@@ -1,0 +1,81 @@
+"""E13 (new finding): the diagonal dynamo family and the bound audit.
+
+Records the reproduction's discovery: size-n monotone dynamos with |C| = 3
+on n x n toroidal meshes (against the paper's 2n - 2 bound and 4-color
+claim), found by complement search and cached as explicit witnesses; plus
+the minimum-palette results for the paper's own seed shapes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CACHED_MESH_DIAGONAL_WITNESSES,
+    diagonal_dynamo,
+    lower_bound,
+    minimum_palette_complement,
+    theorem2_mesh_dynamo,
+    verify_construction,
+)
+
+from conftest import once
+
+
+@pytest.mark.parametrize("n", sorted(CACHED_MESH_DIAGONAL_WITNESSES))
+def test_diagonal_dynamo_verifies(benchmark, n):
+    def run():
+        con = diagonal_dynamo(n)
+        return con, verify_construction(con, check_conditions=False)
+
+    con, rep = benchmark(run)
+    assert rep.is_monotone_dynamo
+    benchmark.extra_info.update(
+        n=n,
+        size=con.seed_size,
+        paper_bound=lower_bound("mesh", n, n),
+        total_colors=con.num_colors,
+        rounds=rep.rounds,
+    )
+
+
+def test_diagonal_search_from_scratch(benchmark):
+    """The uncached complement DFS rediscovers the 5x5 witness."""
+    con = once(benchmark, diagonal_dynamo, 5, "mesh", use_cache=False)
+    assert con is not None
+    assert verify_construction(con, check_conditions=False).is_monotone_dynamo
+    benchmark.extra_info.update(n=5, size=con.seed_size)
+
+
+@pytest.mark.parametrize("kind", ["cordalis", "serpentinus"])
+def test_diagonal_beats_chain_tori_bounds(benchmark, kind):
+    con = once(benchmark, diagonal_dynamo, 5, kind, max_nodes=5_000_000)
+    assert con is not None
+    rep = verify_construction(con, check_conditions=False)
+    assert rep.is_monotone_dynamo
+    assert con.seed_size == 5 < lower_bound(kind, 5, 5)
+    benchmark.extra_info.update(
+        kind=kind, size=con.seed_size, paper_bound=lower_bound(kind, 5, 5)
+    )
+
+
+@pytest.mark.parametrize("n,stripe_palette", [(4, 5), (5, 6)])
+def test_theorem2_seed_minimum_palette(benchmark, n, stripe_palette):
+    """Non-stripe complements achieve the theorem's |C| = 4 where the
+    stripe family needs 5-6 total colors."""
+    con = theorem2_mesh_dynamo(n, n)
+    assert con.num_colors == stripe_palette
+
+    found = once(
+        benchmark,
+        minimum_palette_complement,
+        con.topo,
+        np.flatnonzero(con.seed),
+        con.k,
+        max_nodes=8_000_000,
+    )
+    assert found is not None
+    p, _ = found
+    assert p == 3  # |C| = 4 total
+    benchmark.extra_info.update(
+        n=n, stripe_total=stripe_palette, search_total=p + 1
+    )

@@ -1,0 +1,80 @@
+"""E11: engine throughput — the hpc-parallel engineering claims.
+
+Not a paper table; validates the implementation notes in DESIGN.md: the
+vectorized sorted-gather kernel sustains torus sizes far beyond anything
+the paper simulates, the batch kernel amortizes per-configuration
+overhead, and full dynamo runs stay laptop-scale at 512x512.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import batch_smp_step, theorem2_mesh_dynamo, verify_construction
+from repro.engine import run_synchronous
+from repro.rules import SMPRule
+from repro.topology import ToroidalMesh
+
+
+@pytest.mark.parametrize("size", [64, 128, 256, 512])
+def test_single_step_throughput(benchmark, rng, size):
+    topo = ToroidalMesh(size, size)
+    colors = rng.integers(0, 4, size=topo.num_vertices).astype(np.int32)
+    rule = SMPRule()
+    out = np.empty_like(colors)
+    benchmark(rule.step, colors, topo, out=out)
+    benchmark.extra_info.update(
+        vertices=topo.num_vertices,
+    )
+
+
+@pytest.mark.parametrize("batch", [1, 16, 256])
+def test_batch_step_throughput(benchmark, rng, batch):
+    topo = ToroidalMesh(16, 16)
+    configs = rng.integers(0, 4, size=(batch, topo.num_vertices)).astype(np.int32)
+    benchmark(batch_smp_step, configs, topo.neighbors)
+    benchmark.extra_info.update(configs_per_call=batch)
+
+
+@pytest.mark.parametrize("size", [64, 128, 256])
+def test_full_dynamo_run(benchmark, size):
+    """End-to-end: build the Theorem-2 configuration and run it to the
+    monochromatic fixed point."""
+    def run():
+        con = theorem2_mesh_dynamo(size, size)
+        return verify_construction(con, check_conditions=False)
+
+    rep = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert rep.is_monotone_dynamo
+    benchmark.extra_info.update(size=size, rounds=rep.rounds)
+
+
+def test_scalar_reference_vs_vectorized(benchmark, rng):
+    """The oracle-vs-kernel speed gap that justifies the vectorized path
+    (recorded, not asserted — machines differ)."""
+    import time
+
+    topo = ToroidalMesh(48, 48)
+    colors = rng.integers(0, 4, size=topo.num_vertices).astype(np.int32)
+    rule = SMPRule()
+
+    t0 = time.perf_counter()
+    ref = rule.step_reference(colors, topo)
+    t_ref = time.perf_counter() - t0
+
+    vec = benchmark(rule.step, colors, topo)
+    assert np.array_equal(ref, vec)
+    benchmark.extra_info.update(reference_seconds=round(t_ref, 4))
+
+
+def test_cycle_detection_overhead(benchmark):
+    """Hash-based cycle detection costs one blake2b per round; measure a
+    full run with it enabled (the default)."""
+    con = theorem2_mesh_dynamo(128, 128)
+
+    def run():
+        return run_synchronous(
+            con.topo, con.colors, SMPRule(), target_color=con.k, detect_cycles=True
+        )
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert res.is_dynamo_run(con.k)

@@ -1,0 +1,90 @@
+"""E14 (companion models, refs [4][5]): ordered increments and stubborn
+entities on the torus.
+
+No numbers exist in the reproduced paper (it only points at the companion
+studies); the bench records the qualitative laws: sandwiched rows climb
+one color per round under the increment rule, and stubborn dissenters
+degrade takeover proportionally to their count while stubborn seeds make
+any complement monotone.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import theorem2_mesh_dynamo, theorem4_cordalis_dynamo
+from repro.engine import run_synchronous
+from repro.ext import stubborn_blockade, stubborn_core_experiment
+from repro.rules import OrderedIncrementRule
+from repro.topology import ToroidalMesh
+
+from conftest import once
+
+
+@pytest.mark.parametrize("num_colors", [3, 5, 9])
+def test_ordered_climb_time_scales_with_palette(benchmark, num_colors):
+    """Sandwiched rows take exactly num_colors - 1 rounds to saturate."""
+    topo = ToroidalMesh(5, 6)
+    colors = np.zeros(30, dtype=np.int32)
+    g = colors.reshape(5, 6)
+    g[0, :] = num_colors - 1
+    g[2, :] = num_colors - 1
+    g[4, :] = num_colors - 1
+    rule = OrderedIncrementRule(num_colors)
+
+    def run():
+        return run_synchronous(topo, colors, rule, max_rounds=rule.max_rounds(topo))
+
+    res = benchmark(run)
+    assert res.converged and res.monochromatic
+    assert res.rounds == num_colors - 1
+    benchmark.extra_info.update(num_colors=num_colors, rounds=res.rounds)
+
+
+def test_ordered_random_convergence(benchmark, rng):
+    """Random ordered configurations always converge within the potential
+    budget (the color-sum monovariant)."""
+    topo = ToroidalMesh(12, 12)
+    rule = OrderedIncrementRule(6)
+    configs = rng.integers(0, 6, size=(20, topo.num_vertices)).astype(np.int32)
+
+    def run():
+        rounds = []
+        for c in configs:
+            res = run_synchronous(topo, c, rule, max_rounds=rule.max_rounds(topo))
+            assert res.converged
+            rounds.append(res.rounds)
+        return max(rounds)
+
+    worst = once(benchmark, run)
+    assert worst <= rule.max_rounds(topo)
+    benchmark.extra_info.update(worst_rounds=worst, budget=rule.max_rounds(topo))
+
+
+@pytest.mark.parametrize("count", [0, 2, 8, 32])
+def test_stubborn_blockade_degradation(benchmark, count):
+    con = theorem2_mesh_dynamo(9, 9)
+
+    def run():
+        outs = [
+            stubborn_blockade(con, count, np.random.default_rng(s))
+            for s in range(5)
+        ]
+        return float(np.mean([o.final_k_fraction for o in outs]))
+
+    frac = once(benchmark, run)
+    if count == 0:
+        assert frac == 1.0
+    else:
+        assert frac < 1.0
+    benchmark.extra_info.update(stubborn=count, mean_k_fraction=round(frac, 3))
+
+
+def test_stubborn_seed_with_random_complements(benchmark, rng):
+    con = theorem4_cordalis_dynamo(6, 6)
+    fractions = once(benchmark, stubborn_core_experiment, con, rng, 20)
+    mean = float(np.mean(fractions))
+    full = sum(1 for f in fractions if f == 1.0)
+    benchmark.extra_info.update(
+        mean_k_fraction=round(mean, 3), full_takeovers=f"{full}/20"
+    )
+    assert 0.0 < mean <= 1.0

@@ -1,0 +1,43 @@
+"""E1 / Figure 1 + Theorem 1: the size-(m+n-2) monotone dynamo on the
+paper's 9x9 toroidal mesh, plus the size-vs-bound series over a sweep.
+
+Paper claim: a monotone dynamo of exactly m + n - 2 black nodes exists
+(16 on the 9x9 of Figure 1) and evolves to the black monochromatic
+configuration monotonically.
+"""
+
+import pytest
+
+from repro.core import theorem2_mesh_dynamo, verify_construction
+
+
+def test_figure1_nine_by_nine(benchmark):
+    def run():
+        con = theorem2_mesh_dynamo(9, 9)
+        return con, verify_construction(con)
+
+    con, rep = benchmark(run)
+    assert con.seed_size == 16 == con.size_lower_bound
+    assert rep.is_monotone_dynamo
+    benchmark.extra_info.update(
+        paper_size=16,
+        measured_size=con.seed_size,
+        rounds=rep.rounds,
+        palette=con.num_colors,
+    )
+
+
+@pytest.mark.parametrize("size", [9, 17, 25, 33])
+def test_minimum_dynamo_size_series(benchmark, size):
+    """Seed size tracks the m + n - 2 bound exactly at every size."""
+    def run():
+        con = theorem2_mesh_dynamo(size, size)
+        return con, verify_construction(con, check_conditions=False)
+
+    con, rep = benchmark(run)
+    assert con.seed_size == 2 * size - 2
+    assert rep.is_monotone_dynamo
+    benchmark.extra_info.update(
+        m=size, n=size, seed_size=con.seed_size, bound=2 * size - 2,
+        rounds=rep.rounds,
+    )

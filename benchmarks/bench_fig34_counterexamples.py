@@ -1,0 +1,44 @@
+"""E3 / Figures 3 and 4: configurations where the seed fails.
+
+Figure 3's claim: the minimum-dynamo seed shape is not sufficient — with a
+complement violating the Theorem-2 conditions the black nodes do not
+constitute a dynamo.  Figure 4's claim: configurations exist where *no
+recoloring can arise at all* (fixed from round 0).
+"""
+
+from repro.experiments import (
+    figure3_bad_complement,
+    figure4_frozen_configuration,
+    find_frozen_completion,
+)
+
+from conftest import once
+
+
+def test_figure3_bad_complement(benchmark):
+    res = benchmark(figure3_bad_complement, 9, 9)
+    assert res.matches_paper
+    assert not res.report.is_dynamo
+    benchmark.extra_info.update(
+        seed_size=res.construction.seed_size, outcome="frozen non-dynamo"
+    )
+
+
+def test_figure4_frozen_search(benchmark):
+    res = once(benchmark, figure4_frozen_configuration, 5, 5)
+    assert res.matches_paper
+    benchmark.extra_info.update(notes=res.notes)
+
+
+def test_figure4_search_scales(benchmark):
+    """The backtracking frozen-completion search still succeeds on larger
+    tori (6x6 in seconds; wide-but-short tori like 5x9 are much cheaper
+    than tall ones — the depth of the row-major DFS is what explodes)."""
+    colors = once(benchmark, find_frozen_completion, 6, 6)
+    assert colors is not None
+    from repro.engine import run_synchronous
+    from repro.rules import SMPRule
+    from repro.topology import ToroidalMesh
+
+    res = run_synchronous(ToroidalMesh(6, 6), colors, SMPRule())
+    assert res.converged and res.fixed_point_round == 0

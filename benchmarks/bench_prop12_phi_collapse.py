@@ -1,0 +1,71 @@
+"""E10 / Propositions 1 and 2 + Remark 1: the phi collapse machinery.
+
+Paper claims: (1) non-k-blocks of a multi-coloring correspond exactly to
+simple white blocks of the phi-collapsed bi-coloring (the lower-bound
+transfer); (2) the reverse strong majority rule is more restrictive than
+the SMP rule (the upper-bound transfer); and (Remark 1) the SMP rule on
+two colors differs from the Prefer-Black rule.
+"""
+
+import numpy as np
+
+from repro.core import non_k_core_mask, phi_collapse, white_blocks_mask
+from repro.rules import ReverseSimpleMajority, ReverseStrongMajority, SMPRule
+from repro.topology import ToroidalMesh
+
+
+def test_non_k_core_white_block_correspondence(benchmark, rng):
+    """Proposition 1's engine over 200 random 16x16 multi-colorings."""
+    topo = ToroidalMesh(16, 16)
+    configs = rng.integers(0, 5, size=(200, topo.num_vertices)).astype(np.int32)
+
+    def run():
+        mismatches = 0
+        for colors in configs:
+            multi = non_k_core_mask(topo, colors, k=0)
+            bi = white_blocks_mask(topo, phi_collapse(colors, 0))
+            mismatches += not np.array_equal(multi, bi)
+        return mismatches
+
+    assert benchmark(run) == 0
+    benchmark.extra_info.update(configs=200, mismatches=0)
+
+
+def test_strong_majority_subsumed_by_smp(benchmark, rng):
+    """Proposition 2's item b) over 200 random colorings: every strong-
+    majority recoloring is an SMP recoloring with the same outcome."""
+    topo = ToroidalMesh(16, 16)
+    configs = rng.integers(0, 4, size=(200, topo.num_vertices)).astype(np.int32)
+    smp, strong = SMPRule(), ReverseStrongMajority()
+
+    def run():
+        violations = 0
+        for colors in configs:
+            s = strong.step(colors, topo)
+            m = smp.step(colors, topo)
+            changed = s != colors
+            violations += not np.array_equal(s[changed], m[changed])
+        return violations
+
+    assert benchmark(run) == 0
+    benchmark.extra_info.update(configs=200, violations=0)
+
+
+def test_smp_vs_prefer_black_disagreement_rate(benchmark, rng):
+    """Remark 1 quantified: on random bi-colorings the SMP and PB rules
+    disagree on a substantial fraction of vertices (every 2-2 tie)."""
+    topo = ToroidalMesh(16, 16)
+    configs = rng.integers(1, 3, size=(100, topo.num_vertices)).astype(np.int32)
+    smp, pb = SMPRule(), ReverseSimpleMajority("prefer-black")
+
+    def run():
+        diff = 0
+        total = 0
+        for colors in configs:
+            diff += int((smp.step(colors, topo) != pb.step(colors, topo)).sum())
+            total += topo.num_vertices
+        return diff / total
+
+    rate = benchmark(run)
+    assert rate > 0.1  # ties are common on random bi-colorings
+    benchmark.extra_info.update(disagreement_rate=round(rate, 4))

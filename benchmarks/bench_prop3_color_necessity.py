@@ -1,0 +1,75 @@
+"""E9 / Proposition 3: how many colors a minimum-size dynamo needs.
+
+Paper claims: (a) on an N = 2 torus, more than two colors make a single
+k-colored column a dynamo of size m; (b) with two colors on N = 3, no
+minimum dynamo exists (vertices outside a k row+column form a non-k
+block); (c) at least four colors are needed for the Theorem-2 pattern when
+N >= 4.
+"""
+
+import pytest
+
+from repro.core import (
+    exhaustive_min_dynamo_size,
+    proposition3_column_dynamo,
+    verify_construction,
+)
+from repro.topology import ToroidalMesh
+
+from conftest import once
+
+
+@pytest.mark.parametrize("m", [6, 12, 24, 48])
+def test_n2_column_dynamo_with_three_colors(benchmark, m):
+    def run():
+        con = proposition3_column_dynamo(m)
+        return con, verify_construction(con, check_conditions=False)
+
+    con, rep = benchmark(run)
+    assert rep.is_monotone_dynamo
+    assert con.num_colors == 3
+    assert con.seed_size == m
+    benchmark.extra_info.update(m=m, palette=3, rounds=rep.rounds)
+
+
+def test_two_colors_insufficient_on_3x3(benchmark):
+    """With |C| = 2 the exhaustive minimum monotone-dynamo size on the
+    3x3 mesh is the *entire* seed budget explored — no dynamo of size <= 5
+    exists at all, versus size 3 with three colors.  (Remark 1: with two
+    colors the seed must span every row and column.)"""
+    topo = ToroidalMesh(3, 3)
+    size, outcomes = once(
+        benchmark,
+        exhaustive_min_dynamo_size,
+        topo,
+        num_colors=2,
+        monotone_only=True,
+        max_seed_size=5,
+    )
+    assert size is None
+    assert all(out.exhaustive for out in outcomes)
+    benchmark.extra_info.update(
+        palette=2, min_size_up_to_5=None, three_color_minimum=3
+    )
+
+
+def test_color_count_vs_minimum_size(benchmark):
+    """Series: the exhaustive 3x3 minimum falls as the palette grows —
+    the multi-colored problem is genuinely easier (2 -> impossible,
+    3 -> 3, 4 -> 2)."""
+    topo = ToroidalMesh(3, 3)
+
+    def run():
+        table = {}
+        for nc in (2, 3, 4):
+            size, _ = exhaustive_min_dynamo_size(
+                topo, num_colors=nc, monotone_only=True, max_seed_size=4
+            )
+            table[nc] = size
+        return table
+
+    table = once(benchmark, run)
+    assert table[2] is None
+    assert table[3] == 3
+    assert table[4] == 2
+    benchmark.extra_info.update(**{f"colors_{k}": str(v) for k, v in table.items()})

@@ -1,0 +1,55 @@
+"""E16: the full executable-claim audit (the verdict table as a bench).
+
+One bench per claim group, timing the machine checks themselves and
+recording the verdicts — the programmatic EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.theory import (
+    check_lemma1,
+    check_lemma2,
+    check_lemma3,
+    check_proposition1,
+    check_proposition2,
+    check_proposition3,
+    check_theorem1,
+    check_theorem2,
+    check_theorem3,
+    check_theorem4,
+    check_theorem5,
+    check_theorem6,
+    check_theorem7,
+    check_theorem8,
+)
+from repro.theory.base import Verdict
+
+from conftest import once
+
+_EXPECTED = {
+    check_lemma1: Verdict.CORRECTED,
+    check_lemma2: Verdict.REFUTED,
+    check_lemma3: Verdict.MATCH,
+    check_theorem1: Verdict.REFUTED,
+    check_theorem2: Verdict.CORRECTED,
+    check_theorem3: Verdict.REFUTED,
+    check_theorem4: Verdict.MATCH,
+    check_theorem5: Verdict.REFUTED,
+    check_theorem6: Verdict.MATCH,
+    check_theorem7: Verdict.CORRECTED,
+    check_theorem8: Verdict.CORRECTED,
+    check_proposition1: Verdict.MATCH,
+    check_proposition2: Verdict.MATCH,
+    check_proposition3: Verdict.CORRECTED,
+}
+
+
+@pytest.mark.parametrize(
+    "check", sorted(_EXPECTED, key=lambda f: f.__name__), ids=lambda f: f.__name__
+)
+def test_claim_audit(benchmark, check):
+    report = once(benchmark, check)
+    assert report.verdict is _EXPECTED[check]
+    benchmark.extra_info.update(
+        claim=report.claim_id, verdict=str(report.verdict), note=report.note
+    )

@@ -1,0 +1,62 @@
+"""E4 (continued) / Theorem 7: rounds to monochromatic on the mesh.
+
+Paper formula (1): ``2 * max(ceil((n-1)/2) - 1, ceil((m-1)/2) - 1) + 1``.
+
+Reproduction verdict recorded per point: exact for the square cross seed
+(the configuration of the theorem's own proof and Figure 5); on
+rectangular tori the measured count follows the *sum* of half-extents
+``ceil((m-1)/2) + ceil((n-1)/2) - 1`` — the paper's max-based formula
+overestimates.  The minimum (Theorem 2) seed costs at most one extra
+round.
+"""
+
+import pytest
+
+from repro.core import (
+    full_cross_mesh_dynamo,
+    theorem2_mesh_dynamo,
+    theorem7_mesh_rounds,
+    verify_construction,
+)
+from repro.core.bounds import empirical_cross_rounds
+
+
+@pytest.mark.parametrize("size", [5, 9, 15, 21, 31])
+def test_square_cross_matches_paper(benchmark, size):
+    def run():
+        con = full_cross_mesh_dynamo(size, size)
+        return verify_construction(con, check_conditions=False)
+
+    rep = benchmark(run)
+    paper = theorem7_mesh_rounds(size, size)
+    assert rep.rounds == paper
+    benchmark.extra_info.update(m=size, n=size, paper=paper, measured=rep.rounds)
+
+
+@pytest.mark.parametrize("m,n", [(9, 15), (5, 21), (11, 31), (7, 13)])
+def test_rectangular_cross_paper_overestimates(benchmark, m, n):
+    def run():
+        con = full_cross_mesh_dynamo(m, n)
+        return verify_construction(con, check_conditions=False)
+
+    rep = benchmark(run)
+    paper = theorem7_mesh_rounds(m, n)
+    emp = empirical_cross_rounds(m, n)
+    assert rep.rounds == emp < paper
+    benchmark.extra_info.update(
+        m=m, n=n, paper=paper, empirical=emp, measured=rep.rounds
+    )
+
+
+@pytest.mark.parametrize("size", [9, 15, 21])
+def test_minimum_seed_offset(benchmark, size):
+    def run():
+        con = theorem2_mesh_dynamo(size, size)
+        return verify_construction(con, check_conditions=False)
+
+    rep = benchmark(run)
+    cross = empirical_cross_rounds(size, size)
+    assert rep.rounds in (cross, cross + 1)
+    benchmark.extra_info.update(
+        size=size, cross_rounds=cross, minimum_seed_rounds=rep.rounds
+    )

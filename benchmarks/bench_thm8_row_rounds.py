@@ -1,0 +1,80 @@
+"""E7 / Theorem 8: rounds to monochromatic for the row seeds.
+
+Paper formulas (2)/(3)::
+
+    (floor((m-1)/2) - 1) * n + ceil(n/2)   (m odd)
+    (floor((m-1)/2) - 1) * n + 1           (m even)
+
+Reproduction verdict per point: the odd-m formula is exact for both the
+cordalis and the serpentinus row seed; the even-m formula undercounts —
+measured is ``(m/2 - 1) * n`` (the paper's "one step more" argument skips
+the final middle-row sweep).
+"""
+
+import pytest
+
+from repro.core import (
+    theorem4_cordalis_dynamo,
+    theorem6_serpentinus_dynamo,
+    theorem8_row_rounds,
+    verify_construction,
+)
+from repro.core.bounds import empirical_row_rounds
+
+
+@pytest.mark.parametrize("m,n", [(9, 9), (15, 9), (21, 12), (9, 33)])
+def test_odd_m_matches_paper_cordalis(benchmark, m, n):
+    def run():
+        con = theorem4_cordalis_dynamo(m, n)
+        return verify_construction(con, check_conditions=False)
+
+    rep = benchmark(run)
+    paper = theorem8_row_rounds(m, n)
+    assert rep.rounds == paper
+    benchmark.extra_info.update(m=m, n=n, paper=paper, measured=rep.rounds)
+
+
+@pytest.mark.parametrize("m,n", [(8, 9), (16, 9), (12, 12)])
+def test_even_m_paper_undercounts_cordalis(benchmark, m, n):
+    def run():
+        con = theorem4_cordalis_dynamo(m, n)
+        return verify_construction(con, check_conditions=False)
+
+    rep = benchmark(run)
+    paper = theorem8_row_rounds(m, n)
+    emp = empirical_row_rounds(m, n)
+    assert rep.rounds == emp > paper
+    benchmark.extra_info.update(
+        m=m, n=n, paper=paper, empirical=emp, measured=rep.rounds
+    )
+
+
+@pytest.mark.parametrize("m,n", [(9, 9), (15, 9), (8, 8)])
+def test_serpentinus_row_seed_same_law(benchmark, m, n):
+    """Theorem 8's claim that the serpentinus row seed follows the same
+    pattern as the cordalis holds — including our even-m correction."""
+    def run():
+        con = theorem6_serpentinus_dynamo(m, n)
+        return verify_construction(con, check_conditions=False)
+
+    rep = benchmark(run)
+    assert rep.rounds == empirical_row_rounds(m, n)
+    benchmark.extra_info.update(m=m, n=n, measured=rep.rounds)
+
+
+def test_rounds_grow_linearly_in_area(benchmark):
+    """Shape check: row-seed rounds scale like m*n/2 (each row pair costs a
+    full row sweep), unlike the mesh's max(m, n)/2-ish diagonal time."""
+    def run():
+        return [
+            verify_construction(
+                theorem4_cordalis_dynamo(m, 9), check_conditions=False
+            ).rounds
+            for m in (9, 17, 33)
+        ]
+
+    rounds = benchmark(run)
+    r1, r2, r3 = rounds
+    assert 1.8 <= r2 / r1 <= 2.4
+    assert 1.8 <= r3 / r2 <= 2.4
+    benchmark.extra_info.update(rounds=rounds)

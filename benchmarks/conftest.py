@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench both *times* its reproduction computation (pytest-benchmark)
+and *asserts* the paper's qualitative claim, recording measured-vs-paper
+numbers in ``benchmark.extra_info`` so a ``--benchmark-json`` export
+contains the full reproduction table (EXPERIMENTS.md was generated from
+these).  Heavy one-shot computations use ``benchmark.pedantic`` with a
+single round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0xD1CE)
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Time a heavy computation exactly once (rounds=1, iterations=1)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

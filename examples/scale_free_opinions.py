@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Future work, implemented: SMP opinion dynamics beyond the torus.
+
+The paper's conclusions propose two follow-ups: run the SMP protocol on
+scale-free networks, and compare against the bounded-confidence (Deffuant)
+model of social influence.  This example does both:
+
+1. hub vs random seeding on Barabasi-Albert graphs (who should get the
+   free samples?);
+2. Deffuant cluster counts vs surviving SMP colors from the same initial
+   opinions on a torus community.
+
+Run:  python examples/scale_free_opinions.py
+"""
+
+import numpy as np
+
+from repro import ToroidalMesh
+from repro.ext import compare_with_smp, run_scale_free_experiment
+
+
+def seeding_strategies() -> None:
+    print("=== SMP on scale-free networks: seeding strategies ===")
+    print(f"{'strategy':18s} {'seed':>5s} {'final k-share':>14s} {'rounds':>7s}")
+    for strategy in ("hubs", "degree-weighted", "random"):
+        shares, rounds = [], []
+        for s in range(5):
+            out = run_scale_free_experiment(
+                n=400,
+                m_attach=2,
+                seed_fraction=0.05,
+                strategy=strategy,
+                rng=np.random.default_rng(1000 + s),
+            )
+            shares.append(out.final_k_fraction)
+            rounds.append(out.rounds)
+        print(
+            f"{strategy:18s} {out.seed_size:>5d} "
+            f"{np.mean(shares):>13.1%} {np.mean(rounds):>7.1f}"
+        )
+    print()
+    print("Hubs dominate plurality counts: the same 5% budget converts far")
+    print("more of the graph when it targets high-degree vertices — the")
+    print("scale-free analogue of a well-placed dynamo.\n")
+
+
+def deffuant_comparison() -> None:
+    print("=== Deffuant bounded confidence vs discretized SMP ===")
+    topo = ToroidalMesh(12, 12)
+    print(f"{'epsilon':>8s} {'Deffuant clusters':>18s} {'SMP colors left':>16s}")
+    for eps in (0.5, 0.25, 0.12):
+        out = compare_with_smp(
+            topo, epsilon=eps, num_colors=6, rng=np.random.default_rng(42)
+        )
+        print(
+            f"{eps:>8.2f} {out['deffuant_clusters']:>18d} "
+            f"{out['smp_surviving_colors']:>16d}"
+        )
+    print()
+    print("Both models fragment as tolerance shrinks: wide confidence bounds")
+    print("merge everyone into one opinion, narrow bounds leave several")
+    print("coexisting clusters — mirroring how SMP fixed points retain")
+    print("multiple colors once no color can assemble local pluralities.")
+
+
+def main() -> None:
+    seeding_strategies()
+    deffuant_comparison()
+
+
+if __name__ == "__main__":
+    main()

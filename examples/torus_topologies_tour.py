@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""A tour of the three tori: why topology changes the dynamo price.
+
+The paper's three interaction topologies differ only in boundary wiring,
+yet their minimum monotone dynamos differ drastically:
+
+    toroidal mesh     m + n - 2      (Theorem 1)
+    torus cordalis    n + 1          (Theorem 3)
+    torus serpentinus min(m, n) + 1  (Theorem 5)
+
+This example makes the mechanism visible: which row/column patterns form
+immovable k-blocks and unreachable non-k-blocks in each torus, how the
+minimum seeds look, and how the takeover waves propagate (diagonal vs
+row-chain), including the time-varying-links robustness experiment from
+the paper's conclusions.
+
+Run:  python examples/torus_topologies_tour.py
+"""
+
+import numpy as np
+
+from repro import (
+    SMPRule,
+    build_minimum_dynamo,
+    has_k_block,
+    has_non_k_block,
+    make_torus,
+    run_synchronous,
+)
+from repro.ext import run_temporal_dynamo
+from repro.viz import render_grid, render_time_matrix
+
+KINDS = ("mesh", "cordalis", "serpentinus")
+
+
+def block_anatomy() -> None:
+    print("=== which single lines are immovable (k-blocks)? ===")
+    print(f"{'pattern':20s}" + "".join(f"{k:>14s}" for k in KINDS))
+    patterns = {
+        "single row": lambda g: g.__setitem__((2, slice(None)), 1),
+        "single column": lambda g: g.__setitem__((slice(None), 2), 1),
+        "two rows": lambda g: g.__setitem__((slice(2, 4), slice(None)), 1),
+        "two columns": lambda g: g.__setitem__((slice(None), slice(2, 4)), 1),
+    }
+    for name, paint in patterns.items():
+        row = f"{name:20s}"
+        for kind in KINDS:
+            topo = make_torus(kind, 6, 6)
+            colors = np.zeros(36, dtype=np.int32)
+            paint(colors.reshape(6, 6))
+            row += f"{str(has_k_block(topo, colors, 1)):>14s}"
+        print(row)
+    print()
+    print("=== which non-k bands are unreachable (non-k-blocks)? ===")
+    print(f"{'pattern':20s}" + "".join(f"{k:>14s}" for k in KINDS))
+    for name, paint in [("two rows", patterns["two rows"]),
+                        ("two columns", patterns["two columns"])]:
+        row = f"{name:20s}"
+        for kind in KINDS:
+            topo = make_torus(kind, 6, 6)
+            colors = np.full(36, 2, dtype=np.int32)
+            band = np.zeros(36, dtype=np.int32)
+            paint(band.reshape(6, 6))
+            colors[band.reshape(-1) == 0] = 1  # k everywhere outside the band
+            row += f"{str(has_non_k_block(topo, colors, 1)):>14s}"
+        print(row)
+    print()
+    print("(Reproduction note: the paper claims both bands work in all three")
+    print(" tori; the chain topologies actually erode them from the corners —")
+    print(" which is exactly why their dynamo lower bounds are so much lower.)")
+    print()
+
+
+def minimum_seeds_and_waves() -> None:
+    for kind in KINDS:
+        con = build_minimum_dynamo(kind, 7, 7)
+        res = run_synchronous(con.topo, con.colors, SMPRule(), target_color=con.k)
+        print(f"=== {kind}: |S_k| = {con.seed_size} "
+              f"(bound {con.size_lower_bound}), {res.rounds} rounds ===")
+        print(render_grid(con.topo, con.colors, con.k, seed=con.seed))
+        print("adoption rounds:")
+        print(render_time_matrix(res.recoloring_matrix(con.topo)))
+        print()
+
+
+def flaky_links() -> None:
+    print("=== time-varying links (the conclusions' open question) ===")
+    con = build_minimum_dynamo("mesh", 9, 9)
+    print(f"{'availability':>13s} {'reached all-k':>14s} {'rounds':>7s} {'slowdown':>9s}")
+    for p in (1.0, 0.9, 0.7, 0.5):
+        out = run_temporal_dynamo(
+            con, p, rng=np.random.default_rng(11), max_rounds=100_000
+        )
+        slow = f"{out.slowdown:.2f}x" if out.slowdown else "-"
+        print(f"{p:>13.1f} {str(out.reached_monochromatic):>14s} "
+              f"{out.rounds:>7d} {slow:>9s}")
+    print()
+    print("Monotone dynamos tolerate moderate link intermittency (failures")
+    print("delay adoption); under heavy failure the audible-degree threshold")
+    print("shrinks and even seed vertices can defect - takeover may be lost.")
+
+
+def main() -> None:
+    block_anatomy()
+    minimum_seeds_and_waves()
+    flaky_links()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Viral marketing: target set selection vs dynamo seeding.
+
+The paper frames multi-colored dynamos as an extension of Target Set
+Selection — pick the cheapest set of early adopters whose influence
+converts the whole network.  This example runs both machineries on the
+same torus "community":
+
+1. classic TSS — greedy seed selection under the linear threshold model,
+   versus the exact minimum on a small instance;
+2. multi-color SMP — the Theorem-4 minimum dynamo as a "campaign" seeding
+   one product color against three competitor colors.
+
+Run:  python examples/viral_marketing.py
+"""
+
+import numpy as np
+
+from repro import SMPRule, TorusCordalis, run_synchronous, theorem4_cordalis_dynamo
+from repro.tss import activate, exact_minimum_target_set, greedy_target_set
+from repro.viz import render_grid
+
+
+def classic_tss(topo: TorusCordalis) -> None:
+    print("=== classic TSS (linear threshold, simple majority) ===")
+    greedy = greedy_target_set(topo, "simple")
+    res = activate(topo, np.asarray(greedy), "simple")
+    print(f"greedy target set: {len(greedy)} seeds {greedy}")
+    print(f"activates {res.num_active}/{topo.num_vertices} vertices "
+          f"in {res.rounds} rounds")
+    if topo.num_vertices <= 20:
+        exact = exact_minimum_target_set(topo, "simple")
+        print(f"exact minimum    : {len(exact)} seeds {exact}")
+    print()
+
+
+def dynamo_campaign() -> None:
+    print("=== multi-color campaign (SMP-Protocol, Theorem 4) ===")
+    con = theorem4_cordalis_dynamo(6, 9)
+    print(f"product color k = {con.k}; competitors: {con.palette[1:]}")
+    print(f"campaign seeds: {con.seed_size} vertices "
+          f"(theoretical minimum = {con.size_lower_bound})")
+    print(render_grid(con.topo, con.colors, con.k, seed=con.seed))
+    res = run_synchronous(con.topo, con.colors, SMPRule(), target_color=con.k)
+    print(f"-> {res.summary()}")
+    print(f"   every vertex adopted color {con.k} after {res.rounds} rounds "
+          f"(empirical law predicts {con.empirical_rounds})")
+    print()
+
+
+def bad_campaign() -> None:
+    print("=== the same budget, badly placed ===")
+    con = theorem4_cordalis_dynamo(6, 9)
+    rng = np.random.default_rng(7)
+    colors = con.colors.copy()
+    # scatter the same number of k-seeds uniformly instead of the row shape
+    colors[con.seed] = np.asarray(con.palette[1:])[
+        rng.integers(0, len(con.palette) - 1, size=con.seed_size)
+    ]
+    scatter = rng.choice(con.topo.num_vertices, size=con.seed_size, replace=False)
+    colors[scatter] = con.k
+    res = run_synchronous(con.topo, colors, SMPRule(), target_color=con.k)
+    final_share = float((res.final == con.k).mean())
+    print(f"random placement of {con.seed_size} seeds: {res.summary()}")
+    print(f"final market share of color {con.k}: {final_share:.0%}")
+    print()
+    print("Takeaway: with the minimum budget, *placement* is everything —")
+    print("the Theorem-4 row shape converts 100% of the torus, a random")
+    print("scatter of the same size typically stalls far below that.")
+
+
+def main() -> None:
+    classic_tss(TorusCordalis(4, 5))
+    dynamo_campaign()
+    bad_campaign()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy shim: this environment lacks the `wheel` package, so PEP-660
+editable installs fail; keeping a setup.py lets `pip install -e .` use the
+setuptools develop path. All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,218 @@
+"""Command-line front-end: ``repro-dynamo`` / ``python -m repro.cli``.
+
+Subcommands
+-----------
+``construct``  build a minimum dynamo for a torus and print/save it
+``simulate``   load (or build) a configuration and run the SMP dynamics
+``verify``     full dynamo verification with certificates
+``matrix``     print the recoloring-round matrix (Figures 5/6 style)
+``sweep``      round-count sweep over sizes, printed as a table
+
+Examples
+--------
+::
+
+    repro-dynamo construct mesh 9 9
+    repro-dynamo simulate cordalis 5 5 --render
+    repro-dynamo matrix cordalis 5 5
+    repro-dynamo sweep mesh 5 7 9 11
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .core.constructions import build_minimum_dynamo
+from .core.verify import verify_dynamo
+from .engine.runner import run_synchronous
+from .experiments.sweeps import square_points, sweep_rounds
+from .io.serialize import load_configuration, save_configuration
+from .rules.smp import SMPRule
+from .viz.render import render_grid, render_time_matrix
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-dynamo",
+        description="Dynamic monopolies in colored tori — simulation toolkit",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def add_torus_args(sp):
+        sp.add_argument("kind", choices=["mesh", "cordalis", "serpentinus"])
+        sp.add_argument("m", type=int)
+        sp.add_argument("n", type=int)
+        sp.add_argument("--target-color", type=int, default=1, metavar="K")
+
+    sp = sub.add_parser("construct", help="build a minimum monotone dynamo")
+    add_torus_args(sp)
+    sp.add_argument("--save", metavar="FILE", help="write configuration JSON")
+
+    sp = sub.add_parser("simulate", help="run the SMP dynamics")
+    add_torus_args(sp)
+    sp.add_argument("--load", metavar="FILE", help="use a saved configuration")
+    sp.add_argument("--max-rounds", type=int, default=None)
+    sp.add_argument("--render", action="store_true", help="print initial/final grids")
+
+    sp = sub.add_parser("verify", help="verify a dynamo with certificates")
+    add_torus_args(sp)
+    sp.add_argument("--load", metavar="FILE")
+
+    sp = sub.add_parser("matrix", help="print the recoloring-round matrix")
+    add_torus_args(sp)
+
+    sp = sub.add_parser("sweep", help="round-count sweep over square sizes")
+    sp.add_argument("kind", choices=["mesh", "cordalis", "serpentinus"])
+    sp.add_argument("sizes", type=int, nargs="+")
+    sp.add_argument("--processes", type=int, default=0)
+
+    sp = sub.add_parser(
+        "diagonal",
+        help="build the below-bound diagonal dynamo (reproduction finding)",
+    )
+    sp.add_argument("kind", choices=["mesh", "cordalis", "serpentinus"])
+    sp.add_argument("n", type=int)
+
+    sp = sub.add_parser(
+        "figures", help="reproduce the paper's Figures 1-6 and report matches"
+    )
+
+    sp = sub.add_parser(
+        "theorems",
+        help="audit every lemma/theorem/proposition and print the verdicts",
+    )
+    sp.add_argument("--markdown", action="store_true")
+    return p
+
+
+def _configuration(args):
+    if getattr(args, "load", None):
+        topo, colors, k = load_configuration(args.load)
+        if k is None:
+            k = args.target_color
+        return topo, colors, k
+    con = build_minimum_dynamo(args.kind, args.m, args.n, k=args.target_color)
+    return con.topo, con.colors, con.k
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "construct":
+        con = build_minimum_dynamo(args.kind, args.m, args.n, k=args.target_color)
+        print(f"{con.name}: |S_k| = {con.seed_size} (lower bound "
+              f"{con.size_lower_bound}), palette {con.palette}")
+        if con.predicted_rounds is not None:
+            print(f"paper round prediction: {con.predicted_rounds}")
+        if con.empirical_rounds is not None:
+            print(f"empirical round prediction: {con.empirical_rounds}")
+        print(render_grid(con.topo, con.colors, con.k, seed=con.seed))
+        if args.save:
+            save_configuration(args.save, con.topo, con.colors, con.k, name=con.name)
+            print(f"saved to {args.save}")
+        return 0
+
+    if args.command == "simulate":
+        topo, colors, k = _configuration(args)
+        if args.render:
+            print("initial:")
+            print(render_grid(topo, colors, k))
+        res = run_synchronous(
+            topo, colors, SMPRule(), max_rounds=args.max_rounds, target_color=k
+        )
+        print(res.summary())
+        if args.render:
+            print("final:")
+            print(render_grid(topo, res.final, k))
+        return 0 if res.converged else 1
+
+    if args.command == "verify":
+        topo, colors, k = _configuration(args)
+        rep = verify_dynamo(topo, colors, k)
+        print(f"is_dynamo={rep.is_dynamo} monotone={rep.monotone} "
+              f"rounds={rep.rounds}")
+        print(f"seed size {rep.seed_size}, bounding extents {rep.bounding_extents}")
+        print(f"seed is union of k-blocks: {rep.seed_is_union_of_blocks}")
+        print(f"complement has non-k-block: {rep.complement_has_non_k_block}")
+        if rep.conditions is not None:
+            print(f"theorem conditions satisfied: {rep.conditions.satisfied}")
+        return 0 if rep.is_dynamo else 1
+
+    if args.command == "matrix":
+        con = build_minimum_dynamo(args.kind, args.m, args.n, k=args.target_color)
+        res = run_synchronous(con.topo, con.colors, SMPRule(), target_color=con.k)
+        print(render_time_matrix(res.recoloring_matrix(con.topo)))
+        return 0
+
+    if args.command == "sweep":
+        records = sweep_rounds(
+            square_points(args.kind, args.sizes), processes=args.processes
+        )
+        print(f"{'size':>6} {'|S_k|':>6} {'bound':>6} {'rounds':>7} "
+              f"{'paper':>6} {'empir':>6} {'dynamo':>7}")
+        for r in records:
+            paper = "-" if r["paper_rounds"] < 0 else str(r["paper_rounds"])
+            emp = "-" if r["empirical_rounds"] < 0 else str(r["empirical_rounds"])
+            print(f"{r['m']:>4}x{r['n']:<3} {r['seed_size']:>4} {r['lower_bound']:>6} "
+                  f"{r['rounds']:>7} {paper:>6} {emp:>6} {str(bool(r['is_dynamo'])):>7}")
+        return 0
+
+    if args.command == "diagonal":
+        from .core.diagonal import diagonal_dynamo
+
+        con = diagonal_dynamo(args.n, args.kind)
+        if con is None:
+            print("no witness found within the search budget")
+            return 1
+        rep = verify_dynamo(con.topo, con.colors, con.k, check_conditions=False)
+        print(f"{con.name}: size {con.seed_size} vs paper bound "
+              f"{con.size_lower_bound}, |C| = {con.num_colors}")
+        print(f"monotone dynamo: {rep.is_monotone_dynamo}, rounds {rep.rounds}")
+        print(render_grid(con.topo, con.colors, con.k, seed=con.seed))
+        return 0
+
+    if args.command == "figures":
+        from .experiments import (
+            figure1_minimum_dynamo,
+            figure2_theorem2_coloring,
+            figure3_bad_complement,
+            figure4_frozen_configuration,
+            figure5_mesh_time_matrix,
+            figure6_cordalis_time_matrix,
+        )
+
+        ok = True
+        for name, fn in [
+            ("Figure 1", figure1_minimum_dynamo),
+            ("Figure 2", figure2_theorem2_coloring),
+            ("Figure 3", figure3_bad_complement),
+            ("Figure 4", figure4_frozen_configuration),
+            ("Figure 5", figure5_mesh_time_matrix),
+            ("Figure 6", figure6_cordalis_time_matrix),
+        ]:
+            res = fn()
+            status = "MATCH" if res.matches_paper else "MISMATCH"
+            ok = ok and bool(res.matches_paper)
+            print(f"{name}: {status}  ({res.notes})")
+            if res.artifact is not None and name in ("Figure 5", "Figure 6"):
+                print(render_time_matrix(res.artifact))
+        return 0 if ok else 1
+
+    if args.command == "theorems":
+        from .theory import full_report, render_markdown, render_report
+
+        reports = full_report()
+        print(render_markdown(reports) if args.markdown else render_report(reports))
+        return 0 if all(r.verdict.value != "REFUTED" or r.details for r in reports) else 1
+
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,188 @@
+"""Closed-form bounds and round-count formulas (Theorems 1, 3, 5, 7, 8;
+Lemma 3; Proposition 3).
+
+Each function is a direct transcription of a formula in the paper; the
+benchmarks in ``benchmarks/`` compare them against measured simulations of
+the constructions from :mod:`repro.core.constructions`.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "theorem1_mesh_lower_bound",
+    "empirical_cross_rounds",
+    "empirical_mesh_rounds",
+    "empirical_row_rounds",
+    "empirical_serpentinus_column_rounds",
+    "theorem3_cordalis_lower_bound",
+    "theorem5_serpentinus_lower_bound",
+    "lower_bound",
+    "lemma3_block_min_size",
+    "theorem7_mesh_rounds",
+    "theorem8_row_rounds",
+    "proposition3_min_colors",
+]
+
+
+def theorem1_mesh_lower_bound(m: int, n: int) -> int:
+    """Theorem 1(ii): a monotone dynamo on an m x n toroidal mesh has at
+    least ``m + n - 2`` vertices."""
+    _check_dims(m, n)
+    return m + n - 2
+
+
+def theorem3_cordalis_lower_bound(m: int, n: int) -> int:
+    """Theorem 3: at least ``n + 1`` vertices on an m x n torus cordalis."""
+    _check_dims(m, n)
+    return n + 1
+
+
+def theorem5_serpentinus_lower_bound(m: int, n: int) -> int:
+    """Theorem 5: at least ``min(m, n) + 1`` vertices on a torus serpentinus."""
+    _check_dims(m, n)
+    return min(m, n) + 1
+
+
+def lower_bound(kind: str, m: int, n: int) -> int:
+    """Dispatch the monotone-dynamo size lower bound by torus kind."""
+    table = {
+        "mesh": theorem1_mesh_lower_bound,
+        "toroidal_mesh": theorem1_mesh_lower_bound,
+        "cordalis": theorem3_cordalis_lower_bound,
+        "torus_cordalis": theorem3_cordalis_lower_bound,
+        "serpentinus": theorem5_serpentinus_lower_bound,
+        "torus_serpentinus": theorem5_serpentinus_lower_bound,
+    }
+    try:
+        return table[kind.lower()](m, n)
+    except KeyError:
+        raise ValueError(f"unknown torus kind {kind!r}") from None
+
+
+def lemma3_block_min_size(
+    m: int, n: int, m_block: int, n_block: int
+) -> int:
+    """Lemma 3: minimum vertex count of a k-block on a toroidal mesh whose
+    bounding box is ``m_block x n_block``.
+
+    * spanning blocks (``m_block == m`` or ``n_block == n``) need at least
+      ``m_block + n_block - 1`` vertices;
+    * strictly interior blocks need at least ``m_block + n_block``.
+    """
+    _check_dims(m, n)
+    if not (1 <= m_block <= m and 1 <= n_block <= n):
+        raise ValueError("block extents must fit inside the torus")
+    if m_block == m or n_block == n:
+        return m_block + n_block - 1
+    return m_block + n_block
+
+
+def theorem7_mesh_rounds(m: int, n: int) -> int:
+    """Theorem 7, formula (1): rounds to monochromatic for the Theorem-2
+    seed on the toroidal mesh::
+
+        2 * max(ceil((n-1)/2) - 1, ceil((m-1)/2) - 1) + 1
+    """
+    _check_dims(m, n)
+    return 2 * max(
+        math.ceil((n - 1) / 2) - 1, math.ceil((m - 1) / 2) - 1
+    ) + 1
+
+
+def theorem8_row_rounds(m: int, n: int) -> int:
+    """Theorem 8, formulas (2)/(3): rounds for the Theorem-4 seed on the
+    torus cordalis (and the Theorem-6 row seed on the serpentinus)::
+
+        (floor((m-1)/2) - 1) * n + ceil(n/2)   if m odd
+        (floor((m-1)/2) - 1) * n + 1           if m even
+    """
+    _check_dims(m, n)
+    base = ((m - 1) // 2 - 1) * n
+    if m % 2 == 1:
+        return base + math.ceil(n / 2)
+    return base + 1
+
+
+def empirical_cross_rounds(m: int, n: int) -> int:
+    """Measured law for the full-cross mesh seed (Figure 5's configuration)::
+
+        ceil((m-1)/2) + ceil((n-1)/2) - 1
+
+    Agrees with Theorem 7's formula (1) exactly when the two half-extents
+    coincide (in particular for m == n, the case of Figure 5); for
+    rectangular tori the paper's ``2 * max(...) + 1`` overestimates — the
+    corner waves advance along both axes simultaneously, so the finishing
+    time is the *sum* of the half-extents, not twice their max.  Verified
+    for all 3 <= m, n <= 12 by ``tests/test_round_formulas.py``.
+    """
+    _check_dims(m, n)
+    return math.ceil((m - 1) / 2) + math.ceil((n - 1) / 2) - 1
+
+
+def empirical_mesh_rounds(m: int, n: int) -> int | None:
+    """Measured law for the Theorem-2 *minimum* seed on the mesh.
+
+    The missing seed corner ``(0, n-1)`` delays the north-east wave by one
+    round; whether that delay reaches the last-filled cell depends on
+    parity: measured = cross + 1 when m and n are both odd, = cross when
+    both even, and either value for mixed parity (None returned — benches
+    record the measurement).
+    """
+    base = empirical_cross_rounds(m, n)
+    if m % 2 == 1 and n % 2 == 1:
+        return base + 1
+    if m % 2 == 0 and n % 2 == 0:
+        return base
+    return None
+
+
+def empirical_row_rounds(m: int, n: int) -> int:
+    """Measured law for the Theorem-4/6 row seeds (cordalis, serpentinus).
+
+    Matches Theorem 8 exactly for odd ``m``; for even ``m`` the measured
+    count is ``(m/2 - 1) * n`` — the paper's formula (3) undercounts by
+    ``n - 1`` (its proof argues the two middle row-waves are adjacent and
+    finish "in one step more", but the middle rows still take a full row
+    sweep).  Verified for 3 <= m <= 10, 3 <= n <= 8.
+    """
+    _check_dims(m, n)
+    if m % 2 == 1:
+        return theorem8_row_rounds(m, n)
+    return (m // 2 - 1) * n
+
+
+def empirical_serpentinus_column_rounds(m: int, n: int) -> int:
+    """Measured law for the Theorem-6 *column* seed on the serpentinus
+    (the ``m < n`` branch, for which the paper states no formula)::
+
+        floor(m * (n - 2) / 2) - floor((m - 2) / 2)
+
+    Fitted on the 3 <= m < n <= 10 sweep and pinned by tests.
+    """
+    _check_dims(m, n)
+    return (m * (n - 2)) // 2 - (m - 2) // 2
+
+
+def proposition3_min_colors(m: int, n: int) -> int:
+    """Proposition 3: palette sizes compatible with a *minimum-size* dynamo.
+
+    Returns the least |C| for which a minimum-size dynamo can exist:
+    ``N = min(m, n)``; 1 for N = 1; N for N in {2, 3}; 4 for N >= 4
+    (the paper shows fewer than four colors cannot satisfy Theorem 2's
+    requirements when N >= 4).
+    """
+    _check_dims(m, n, allow_one=True)
+    N = min(m, n)
+    if N == 1:
+        return 1
+    if N <= 3:
+        return N
+    return 4
+
+
+def _check_dims(m: int, n: int, allow_one: bool = False) -> None:
+    least = 1 if allow_one else 2
+    if m < least or n < least:
+        raise ValueError(f"torus dimensions must be >= {least}, got {m}x{n}")

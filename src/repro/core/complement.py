@@ -1,0 +1,182 @@
+"""Complement-coloring search: make an arbitrary seed into a dynamo.
+
+The paper's constructions fix both the seed *and* a hand-crafted
+complement.  This module answers the general question behind them: given a
+seed ``S_k`` on a torus, does **some** coloring of ``T - S_k`` make it a
+(monotone) dynamo — and with how few colors?
+
+Two engines:
+
+* :func:`find_dynamo_complement` — depth-first search over complement
+  cells in a wavefront order with simulation-based validation at the
+  leaves and two sound prunes:
+
+  - *seed protection*: every seed vertex whose open neighborhood is fully
+    assigned must not recolor at round 1 (necessary for monotonicity);
+  - *non-k-block prune*: if the currently-assigned non-k region already
+    contains a non-k-block no extension can ever work (Definition 5 is
+    monotone in the assigned set only when the candidate block is fully
+    assigned, so the prune checks assigned vertices only).
+
+* :func:`minimum_palette_complement` — binary-search wrapper calling the
+  DFS with growing palettes, returning the smallest palette size that
+  admits a dynamo complement (used by the below-bound census and by the
+  Theorem-2 "is 4 really enough?" exploration).
+
+Complexity is exponential in the complement size; intended for tori up to
+~5x5 (25 cells).  The searcher is deterministic given the cell order, so
+results are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..engine.runner import run_synchronous
+from ..rules.smp import SMPRule
+from ..structures.blocks import prune_to_core
+from ..topology.base import Topology
+
+__all__ = ["find_dynamo_complement", "minimum_palette_complement"]
+
+
+def _wavefront_order(topo: Topology, seed_ids: np.ndarray) -> List[int]:
+    """Non-seed cells ordered by BFS distance from the seed.
+
+    Assigning near-seed cells first lets the seed-protection prune fire as
+    early as possible.
+    """
+    n = topo.num_vertices
+    dist = np.full(n, -1, dtype=np.int64)
+    queue = [int(v) for v in seed_ids]
+    for v in queue:
+        dist[v] = 0
+    head = 0
+    while head < len(queue):
+        v = queue[head]
+        head += 1
+        for w in topo.neighbors[v, : topo.degrees[v]]:
+            w = int(w)
+            if dist[w] < 0:
+                dist[w] = dist[v] + 1
+                queue.append(w)
+    cells = [v for v in range(n) if dist[v] != 0]
+    cells.sort(key=lambda v: (dist[v], v))
+    return cells
+
+
+def find_dynamo_complement(
+    topo: Topology,
+    seed_ids: Iterable[int] | np.ndarray,
+    k: int,
+    palette: Sequence[int],
+    *,
+    require_monotone: bool = True,
+    max_nodes: int = 2_000_000,
+    max_rounds: Optional[int] = None,
+) -> Optional[np.ndarray]:
+    """DFS for a complement coloring making ``seed_ids`` a k-dynamo.
+
+    ``palette`` lists the non-k colors available for complement cells.
+    Returns the full color vector, or None when the search space is
+    exhausted (or the node budget ``max_nodes`` is hit — treat None as
+    "not found", not a proof, when the budget binds).
+    """
+    seed_ids = np.asarray(sorted(set(int(v) for v in seed_ids)), dtype=np.int64)
+    n = topo.num_vertices
+    if seed_ids.size and (seed_ids[0] < 0 or seed_ids[-1] >= n):
+        raise ValueError("seed vertex id out of range")
+    palette = [int(c) for c in palette]
+    if k in palette:
+        raise ValueError("palette must not contain the target color")
+    colors = np.full(n, -1, dtype=np.int64)
+    colors[seed_ids] = k
+    cells = _wavefront_order(topo, seed_ids)
+    rule = SMPRule()
+    budget = [max_nodes]
+
+    def fully_assigned_neighbors(v: int) -> bool:
+        nb = topo.neighbors[v, : topo.degrees[v]]
+        return bool(np.all(colors[nb] >= 0))
+
+    def seed_protected(v: int) -> bool:
+        """Seed vertex v keeps k at round 1 (only called when decidable)."""
+        nb = [int(colors[int(w)]) for w in topo.neighbors[v, : topo.degrees[v]]]
+        return rule.update_vertex(k, nb) == k
+
+    def assigned_non_k_block_exists() -> bool:
+        assigned_non_k = colors >= 0
+        assigned_non_k &= colors != k
+        core = prune_to_core(topo, assigned_non_k, 3)
+        return bool(core.any())
+
+    def leaf_check() -> bool:
+        cand = colors.astype(np.int32)
+        res = run_synchronous(
+            topo, cand, rule, max_rounds=max_rounds, target_color=k,
+            track_changes=False,
+        )
+        ok = res.is_dynamo_run(k)
+        if ok and require_monotone:
+            ok = bool(res.monotone)
+        return ok
+
+    def dfs(idx: int) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        if idx == len(cells):
+            return leaf_check()
+        v = cells[idx]
+        for c in palette:
+            colors[v] = c
+            if require_monotone:
+                bad = False
+                for u in [v] + [int(w) for w in topo.neighbors[v, : topo.degrees[v]]]:
+                    if colors[u] == k and fully_assigned_neighbors(u):
+                        if not seed_protected(u):
+                            bad = True
+                            break
+                if bad:
+                    continue
+            if assigned_non_k_block_exists():
+                continue
+            if dfs(idx + 1):
+                return True
+        colors[v] = -1
+        return False
+
+    if dfs(0):
+        return colors.astype(np.int32)
+    return None
+
+
+def minimum_palette_complement(
+    topo: Topology,
+    seed_ids: Iterable[int] | np.ndarray,
+    k: int,
+    *,
+    max_palette: int = 6,
+    require_monotone: bool = True,
+    max_nodes: int = 2_000_000,
+) -> Optional[tuple]:
+    """Smallest non-k palette admitting a dynamo complement for the seed.
+
+    Returns ``(palette_size, colors)`` or None when nothing works up to
+    ``max_palette`` non-k colors.
+    """
+    others = [c for c in range(max_palette + 1) if c != k]
+    for p in range(1, max_palette + 1):
+        colors = find_dynamo_complement(
+            topo,
+            seed_ids,
+            k,
+            others[:p],
+            require_monotone=require_monotone,
+            max_nodes=max_nodes,
+        )
+        if colors is not None:
+            return p, colors
+    return None

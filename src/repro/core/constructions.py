@@ -1,0 +1,372 @@
+"""Explicit minimum monotone dynamos (Theorems 2, 4, 6; Proposition 3).
+
+Each builder returns a fully-specified initial coloring — seed *and*
+complement — packaged as a :class:`Construction`.  The complements are
+stripe colorings whose stripe sequences come from the exact DP solvers in
+:mod:`repro.core.sequences`, so every construction uses the smallest stripe
+palette that satisfies the theorem conditions.
+
+Seed shapes (k = target color):
+
+* **Theorem 2, toroidal mesh** — column 0 entirely plus row 0 minus the
+  vertex ``(0, n-1)``; size ``m + n - 2`` (matches Theorem 1's bound).
+  Complement: row stripes ``g[i]`` for rows ``1..m-1``; the seed gap
+  ``(0, n-1)`` gets a dedicated color.  The seed vertex ``(0, n-2)`` has a
+  single k-colored neighbor, so the stripe solver additionally enforces
+  that its three non-k neighbors are rainbow — otherwise the run would not
+  be monotone (this constraint is implicit in the paper's Figure 2 pattern).
+  A transposed variant is used when it needs a smaller palette.
+* **Theorem 4, torus cordalis** — row 0 entirely plus ``(1, 0)``; size
+  ``n + 1``.  Complement: column stripes from the cyclic window solver.
+* **Theorem 6, torus serpentinus** — for ``n <= m``: row 0 plus ``(1, 0)``
+  (size ``n + 1``); for ``m < n``: column 0 plus ``(0, 1)`` (size
+  ``m + 1``).  Complements: column/row stripes respectively.
+* **Proposition 3, n = 2 (or m = 2)** — a single k-colored column (row) of
+  size ``m`` (= ``m + n - 2``); the opposite column gets alternating
+  colors.  Shows |C| = 3 suffices at N = 2.
+
+Palette-size findings (recorded by the benches into EXPERIMENTS.md): with
+stripes, 4 total colors — the |C| >= 4 of the theorems — are achievable on
+the mesh iff ``m ≡ 0 (mod 3)`` (or ``n``, transposing), and on the
+cordalis/serpentinus iff the striped dimension is ``≡ 0 (mod 3)``;
+otherwise the stripe palette is 4 (5 total), and 6 total for the length-5
+cyclic case.  Whether non-stripe colorings beat this is explored by
+:mod:`repro.core.search` on small tori.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..topology.tori import TorusCordalis, ToroidalMesh, TorusSerpentinus
+from ..topology.base import GridTopology
+from .bounds import (
+    empirical_cross_rounds,
+    empirical_mesh_rounds,
+    empirical_row_rounds,
+    empirical_serpentinus_column_rounds,
+    theorem1_mesh_lower_bound,
+    theorem3_cordalis_lower_bound,
+    theorem5_serpentinus_lower_bound,
+    theorem7_mesh_rounds,
+    theorem8_row_rounds,
+)
+from .sequences import find_cyclic_window_sequence, find_mesh_row_sequence
+
+__all__ = [
+    "Construction",
+    "theorem2_mesh_dynamo",
+    "theorem4_cordalis_dynamo",
+    "theorem6_serpentinus_dynamo",
+    "proposition3_column_dynamo",
+    "full_cross_mesh_dynamo",
+    "build_minimum_dynamo",
+]
+
+
+@dataclass
+class Construction:
+    """A fully-specified initial configuration with provenance."""
+
+    #: the torus it lives on
+    topo: GridTopology
+    #: the complete initial color vector (seed + complement)
+    colors: np.ndarray
+    #: the target color
+    k: int
+    #: boolean mask of the seed S_k
+    seed: np.ndarray
+    #: all color ids in use (k first)
+    palette: List[int] = field(default_factory=list)
+    #: which theorem/figure this instantiates
+    name: str = ""
+    #: the paper's closed-form round prediction (None where the paper is silent)
+    predicted_rounds: Optional[int] = None
+    #: our measured/corrected round law (None where parity leaves it open);
+    #: see the ``empirical_*`` functions in :mod:`repro.core.bounds`
+    empirical_rounds: Optional[int] = None
+    #: the matching lower bound on |S_k| for this topology
+    size_lower_bound: Optional[int] = None
+    notes: str = ""
+
+    @property
+    def seed_size(self) -> int:
+        return int(self.seed.sum())
+
+    @property
+    def num_colors(self) -> int:
+        return len(self.palette)
+
+    def grid(self) -> np.ndarray:
+        """The initial coloring as an (m, n) matrix (for rendering)."""
+        return self.topo.to_grid(self.colors)
+
+
+# ----------------------------------------------------------------------
+# Theorem 2 — toroidal mesh
+# ----------------------------------------------------------------------
+def theorem2_mesh_dynamo(
+    m: int, n: int, k: int = 1, transpose: Optional[bool] = None
+) -> Construction:
+    """Minimum monotone dynamo of size ``m + n - 2`` on the toroidal mesh.
+
+    ``transpose=None`` picks the orientation (full column + partial row vs
+    full row + partial column) needing the smaller stripe palette; pass
+    True/False to force.  ``k`` may be any non-negative int; stripe colors
+    are chosen disjoint from it.
+    """
+    if m < 3 or n < 3:
+        raise ValueError(
+            "theorem2_mesh_dynamo needs m, n >= 3; use "
+            "proposition3_column_dynamo for 2-wide tori"
+        )
+    if transpose is None:
+        # Stripe palette is 3 iff the striped dimension is ≡ 0 (mod 3).
+        transpose = not (m % 3 == 0) and (n % 3 == 0)
+    if transpose:
+        base = theorem2_mesh_dynamo(n, m, k=k, transpose=False)
+        topo = ToroidalMesh(m, n)
+        grid = base.grid().T
+        colors = topo.from_grid(np.ascontiguousarray(grid)).copy()
+        seed = topo.from_grid(np.ascontiguousarray(base.topo.to_grid(base.seed).T)).copy()
+        return Construction(
+            topo=topo,
+            colors=colors,
+            k=k,
+            seed=seed,
+            palette=base.palette,
+            name="theorem2_mesh[transposed]",
+            predicted_rounds=theorem7_mesh_rounds(m, n),
+            empirical_rounds=empirical_mesh_rounds(m, n),
+            size_lower_bound=theorem1_mesh_lower_bound(m, n),
+            notes=base.notes,
+        )
+
+    topo = ToroidalMesh(m, n)
+    g, gap_symbol, p = find_mesh_row_sequence(m)
+    stripe_colors = _stripe_palette(k, p)
+    colors = np.empty(m * n, dtype=np.int32)
+    grid = colors.reshape(m, n)
+    for i in range(1, m):
+        grid[i, :] = stripe_colors[g[i - 1]]
+    grid[0, :] = k
+    grid[:, 0] = k
+    grid[0, n - 1] = stripe_colors[gap_symbol]
+    seed = np.zeros(m * n, dtype=bool)
+    seed_grid = seed.reshape(m, n)
+    seed_grid[0, : n - 1] = True
+    seed_grid[:, 0] = True
+    return Construction(
+        topo=topo,
+        colors=colors,
+        k=k,
+        seed=seed,
+        palette=[k] + stripe_colors,
+        name="theorem2_mesh",
+        predicted_rounds=theorem7_mesh_rounds(m, n),
+        empirical_rounds=empirical_mesh_rounds(m, n),
+        size_lower_bound=theorem1_mesh_lower_bound(m, n),
+        notes=f"row stripes, stripe palette {p}",
+    )
+
+
+def full_cross_mesh_dynamo(m: int, n: int, k: int = 1) -> Construction:
+    """The Figure-5 seed: full row 0 *and* full column 0 (size m + n - 1).
+
+    One vertex above the minimum; used by the Figure 5 reproduction, where
+    the recoloring-time matrix of the paper assumes the full cross.
+    """
+    base = theorem2_mesh_dynamo(m, n, k=k, transpose=False)
+    colors = base.colors.copy()
+    grid = colors.reshape(m, n)
+    grid[0, n - 1] = k
+    seed = base.seed.copy()
+    seed.reshape(m, n)[0, n - 1] = True
+    return Construction(
+        topo=base.topo,
+        colors=colors,
+        k=k,
+        seed=seed,
+        palette=base.palette,
+        name="full_cross_mesh",
+        predicted_rounds=theorem7_mesh_rounds(m, n),
+        empirical_rounds=empirical_cross_rounds(m, n),
+        size_lower_bound=theorem1_mesh_lower_bound(m, n),
+        notes="Figure 5 seed (one above minimum size)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorem 4 — torus cordalis
+# ----------------------------------------------------------------------
+def theorem4_cordalis_dynamo(m: int, n: int, k: int = 1) -> Construction:
+    """Minimum monotone dynamo of size ``n + 1`` on the torus cordalis:
+    row 0 entirely plus the vertex ``(1, 0)``; column-striped complement."""
+    if m < 3 or n < 3:
+        raise ValueError("theorem4_cordalis_dynamo needs m, n >= 3")
+    topo = TorusCordalis(m, n)
+    seq, p = find_cyclic_window_sequence(n)
+    stripe_colors = _stripe_palette(k, p)
+    colors = np.empty(m * n, dtype=np.int32)
+    grid = colors.reshape(m, n)
+    for j in range(n):
+        grid[:, j] = stripe_colors[seq[j]]
+    grid[0, :] = k
+    grid[1, 0] = k
+    seed = np.zeros(m * n, dtype=bool)
+    seed_grid = seed.reshape(m, n)
+    seed_grid[0, :] = True
+    seed_grid[1, 0] = True
+    return Construction(
+        topo=topo,
+        colors=colors,
+        k=k,
+        seed=seed,
+        palette=[k] + stripe_colors,
+        name="theorem4_cordalis",
+        predicted_rounds=theorem8_row_rounds(m, n),
+        empirical_rounds=empirical_row_rounds(m, n),
+        size_lower_bound=theorem3_cordalis_lower_bound(m, n),
+        notes=f"column stripes, stripe palette {p}",
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorem 6 — torus serpentinus
+# ----------------------------------------------------------------------
+def theorem6_serpentinus_dynamo(m: int, n: int, k: int = 1) -> Construction:
+    """Minimum monotone dynamo of size ``min(m, n) + 1`` on the serpentinus.
+
+    Row variant (``n <= m``): row 0 plus ``(1, 0)``, column stripes —
+    with predicted round count from Theorem 8.  Column variant
+    (``m < n``): column 0 plus ``(0, 1)``, row stripes; Theorem 8 does not
+    state this case, so ``predicted_rounds`` uses the row formula with the
+    roles of m and n exchanged (validated empirically by the benches).
+    """
+    if m < 3 or n < 3:
+        raise ValueError("theorem6_serpentinus_dynamo needs m, n >= 3")
+    topo = TorusSerpentinus(m, n)
+    colors = np.empty(m * n, dtype=np.int32)
+    grid = colors.reshape(m, n)
+    seed = np.zeros(m * n, dtype=bool)
+    seed_grid = seed.reshape(m, n)
+    if n <= m:
+        seq, p = find_cyclic_window_sequence(n)
+        stripe_colors = _stripe_palette(k, p)
+        for j in range(n):
+            grid[:, j] = stripe_colors[seq[j]]
+        grid[0, :] = k
+        grid[1, 0] = k
+        seed_grid[0, :] = True
+        seed_grid[1, 0] = True
+        predicted = theorem8_row_rounds(m, n)
+        empirical = empirical_row_rounds(m, n)
+        variant = "row"
+    else:
+        seq, p = find_cyclic_window_sequence(m)
+        stripe_colors = _stripe_palette(k, p)
+        for i in range(m):
+            grid[i, :] = stripe_colors[seq[i]]
+        grid[:, 0] = k
+        grid[0, 1] = k
+        seed_grid[:, 0] = True
+        seed_grid[0, 1] = True
+        predicted = None  # the paper states no formula for the column seed
+        empirical = empirical_serpentinus_column_rounds(m, n)
+        variant = "column"
+    return Construction(
+        topo=topo,
+        colors=colors,
+        k=k,
+        seed=seed,
+        palette=[k] + stripe_colors,
+        name=f"theorem6_serpentinus[{variant}]",
+        predicted_rounds=predicted,
+        empirical_rounds=empirical,
+        size_lower_bound=theorem5_serpentinus_lower_bound(m, n),
+        notes=f"{variant} seed, stripe palette {p}",
+    )
+
+
+# ----------------------------------------------------------------------
+# Proposition 3 — narrow tori
+# ----------------------------------------------------------------------
+def proposition3_column_dynamo(m: int, k: int = 1) -> Construction:
+    """The N = 2 case of Proposition 3 on an ``m x 2`` toroidal mesh: a
+    single k-colored column is a dynamo of size ``m`` once |C| > 2.
+
+    On an ``m x 2`` torus a non-seed vertex ``(i, 1)`` hears the k column
+    twice (its left and right neighbors coincide), so it adopts ``k``
+    immediately unless its two vertical neighbors tie the count with a
+    shared color.  The opposite column therefore uses the paired pattern
+    ``a a b b a a b b ...``: vertices at pattern junctions adopt at round
+    1 and the k color then cascades along the column (a tied vertex adopts
+    as soon as one vertical neighbor has turned k, making the count 3-1).
+    Exactly 3 colors total, as Proposition 3 asserts for N = 2.
+    """
+    if m < 3:
+        raise ValueError("proposition3_column_dynamo needs m >= 3")
+    topo = ToroidalMesh(m, 2)
+    a, b = _stripe_palette(k, 2)
+    colors = np.empty(m * 2, dtype=np.int32)
+    grid = colors.reshape(m, 2)
+    grid[:, 0] = k
+    grid[:, 1] = [a if (i // 2) % 2 == 0 else b for i in range(m)]
+    seed = np.zeros(m * 2, dtype=bool)
+    seed.reshape(m, 2)[:, 0] = True
+    return Construction(
+        topo=topo,
+        colors=colors,
+        k=k,
+        seed=seed,
+        palette=[k, a, b],
+        name="proposition3_column",
+        predicted_rounds=None,
+        size_lower_bound=theorem1_mesh_lower_bound(m, 2),
+        notes="|C| = 3 dynamo on an N = 2 torus (Proposition 3)",
+    )
+
+
+# ----------------------------------------------------------------------
+def build_minimum_dynamo(kind: str, m: int, n: int, k: int = 1) -> Construction:
+    """Dispatch the minimum-dynamo construction by torus kind."""
+    kind = kind.lower()
+    if kind in ("mesh", "toroidal_mesh"):
+        if min(m, n) == 2:
+            if n == 2:
+                return proposition3_column_dynamo(m, k=k)
+            base = proposition3_column_dynamo(n, k=k)
+            topo = ToroidalMesh(m, n)
+            grid = np.ascontiguousarray(base.grid().T)
+            seedg = np.ascontiguousarray(base.topo.to_grid(base.seed).T)
+            return Construction(
+                topo=topo,
+                colors=topo.from_grid(grid).copy(),
+                k=k,
+                seed=topo.from_grid(seedg).copy(),
+                palette=base.palette,
+                name="proposition3_row",
+                predicted_rounds=base.predicted_rounds,
+                size_lower_bound=theorem1_mesh_lower_bound(m, n),
+                notes=base.notes,
+            )
+        return theorem2_mesh_dynamo(m, n, k=k)
+    if kind in ("cordalis", "torus_cordalis"):
+        return theorem4_cordalis_dynamo(m, n, k=k)
+    if kind in ("serpentinus", "torus_serpentinus"):
+        return theorem6_serpentinus_dynamo(m, n, k=k)
+    raise ValueError(f"unknown torus kind {kind!r}")
+
+
+def _stripe_palette(k: int, p: int) -> List[int]:
+    """The first ``p`` non-negative ints distinct from ``k``."""
+    out: List[int] = []
+    c = 0
+    while len(out) < p:
+        if c != k:
+            out.append(c)
+        c += 1
+    return out

@@ -1,0 +1,52 @@
+"""The color-collapse transformation ``phi`` (Propositions 1 and 2).
+
+``phi`` maps a multi-coloring onto a bi-coloring: every non-target color
+becomes WHITE (1) and the target color ``k`` becomes BLACK (2).  The paper
+uses it to transfer bounds between the multi-colored SMP problem and the
+bi-colored majority problems of [15]:
+
+* Proposition 1 — lower bounds transfer: a non-k-block collapses onto a
+  *simple white block* (connected white set, every vertex with >= 3 white
+  neighbors), so any seed too small to preclude white blocks in the
+  bi-colored problem is too small to preclude non-k-blocks in the
+  multi-colored one.
+* Proposition 2 — upper bounds transfer from the *strong* majority rule
+  (more demanding than SMP), which is why the trivial upper bound is slack
+  and the paper builds Theorem 2/4/6 constructions instead.
+
+Besides the map itself this module provides the block-correspondence check
+used by the property tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rules.majority import BLACK, WHITE
+from ..structures.blocks import prune_to_core
+from ..topology.base import Topology
+
+__all__ = ["phi_collapse", "white_blocks_mask", "non_k_core_mask"]
+
+
+def phi_collapse(colors: np.ndarray, k: int) -> np.ndarray:
+    """Map color ``k`` to BLACK (2) and every other color to WHITE (1)."""
+    colors = np.asarray(colors)
+    return np.where(colors == k, BLACK, WHITE).astype(np.int32)
+
+
+def white_blocks_mask(topo: Topology, bicolors: np.ndarray) -> np.ndarray:
+    """Vertices in *simple white blocks* of a bi-coloring ([15]):
+    connected white sets where every vertex has >= 3 white neighbors.
+
+    Returned as the pruned-core mask (union of all simple white blocks).
+    """
+    bad = ~np.isin(bicolors, (WHITE, BLACK))
+    if np.any(bad):
+        raise ValueError("expected a bi-coloring over {WHITE=1, BLACK=2}")
+    return prune_to_core(topo, bicolors == WHITE, min_inside=3)
+
+
+def non_k_core_mask(topo: Topology, colors: np.ndarray, k: int) -> np.ndarray:
+    """Union of all non-k-blocks of a multi-coloring (Definition 5 core)."""
+    return prune_to_core(topo, np.asarray(colors) != k, min_inside=3)

@@ -1,0 +1,204 @@
+"""Minimum-dynamo searches: exhaustive on tiny tori, randomized elsewhere.
+
+The paper's lower bounds (Theorems 1, 3, 5) are universally quantified —
+*no* seed below the bound admits *any* complement coloring that makes it a
+monotone dynamo.  A simulation-based reproduction can check this exactly on
+tiny tori (every seed placement x every complement coloring, batched
+through :mod:`repro.core.batch`) and probabilistically on small ones
+(random seeds + random complements).  Both searches return *witnesses*
+when they find a dynamo, so positive results (existence at the bound) are
+also machine-checkable.
+
+Complexity guard: exhaustive enumeration costs
+``C(N, s) * (|C| - 1)^(N - s)`` configurations for seed size ``s``; the
+functions refuse (raise) when the requested enumeration exceeds
+``max_configs`` instead of silently melting the laptop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations, product
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..topology.base import Topology
+from .batch import run_batch_smp
+
+__all__ = [
+    "SearchOutcome",
+    "exhaustive_dynamo_search",
+    "exhaustive_min_dynamo_size",
+    "random_dynamo_search",
+    "count_configs",
+]
+
+
+@dataclass
+class SearchOutcome:
+    """Result of a search over configurations with a fixed seed size."""
+
+    seed_size: int
+    #: number of configurations examined
+    examined: int
+    #: witnesses: (colors vector, monotone flag) for k-dynamos found
+    witnesses: List[Tuple[np.ndarray, bool]] = field(default_factory=list)
+    #: True when the search covered every configuration of this size
+    exhaustive: bool = False
+
+    @property
+    def found_dynamo(self) -> bool:
+        return bool(self.witnesses)
+
+    @property
+    def found_monotone_dynamo(self) -> bool:
+        return any(mono for _, mono in self.witnesses)
+
+
+def count_configs(n_vertices: int, seed_size: int, num_colors: int) -> int:
+    """Number of configurations enumerated for one seed size."""
+    from math import comb
+
+    return comb(n_vertices, seed_size) * (num_colors - 1) ** (
+        n_vertices - seed_size
+    )
+
+
+def exhaustive_dynamo_search(
+    topo: Topology,
+    seed_size: int,
+    num_colors: int,
+    *,
+    k: int = 0,
+    max_rounds: Optional[int] = None,
+    max_configs: int = 20_000_000,
+    batch_size: int = 8192,
+    stop_at_first: bool = True,
+    monotone_only: bool = False,
+) -> SearchOutcome:
+    """Enumerate every placement of an s-vertex k-seed together with every
+    complement coloring over the remaining ``num_colors - 1`` colors.
+
+    ``k`` defaults to 0 and the other colors are ``1..num_colors-1``; by
+    color symmetry of the SMP rule this loses no generality.
+    """
+    n = topo.num_vertices
+    total = count_configs(n, seed_size, num_colors)
+    if total > max_configs:
+        raise ValueError(
+            f"exhaustive search would examine {total:,} configurations "
+            f"(> max_configs={max_configs:,}); use random_dynamo_search"
+        )
+    if max_rounds is None:
+        max_rounds = 4 * n + 16
+    others = [c for c in range(num_colors) if c != k][: num_colors - 1]
+    outcome = SearchOutcome(seed_size=seed_size, examined=0, exhaustive=True)
+
+    buf: List[np.ndarray] = []
+
+    def flush() -> bool:
+        """Run the buffered configurations; returns True to stop early."""
+        if not buf:
+            return False
+        batch = np.stack(buf)
+        buf.clear()
+        res = run_batch_smp(topo, batch, k, max_rounds)
+        hits = np.flatnonzero(
+            res.k_monochromatic & (res.monotone if monotone_only else True)
+        )
+        for idx in hits:
+            outcome.witnesses.append(
+                (batch[idx].copy(), bool(res.monotone[idx]))
+            )
+        outcome.examined += batch.shape[0]
+        return stop_at_first and bool(hits.size)
+
+    for seed in combinations(range(n), seed_size):
+        seed = np.asarray(seed, dtype=np.int64)
+        rest = np.setdiff1d(np.arange(n), seed)
+        for fill in product(others, repeat=rest.size):
+            colors = np.empty(n, dtype=np.int32)
+            colors[seed] = k
+            colors[rest] = fill
+            buf.append(colors)
+            if len(buf) >= batch_size:
+                if flush():
+                    outcome.exhaustive = False
+                    return outcome
+    if flush():
+        outcome.exhaustive = False
+    return outcome
+
+
+def exhaustive_min_dynamo_size(
+    topo: Topology,
+    num_colors: int,
+    *,
+    k: int = 0,
+    max_seed_size: Optional[int] = None,
+    monotone_only: bool = True,
+    max_configs: int = 20_000_000,
+) -> Tuple[Optional[int], List[SearchOutcome]]:
+    """Smallest seed size admitting a (monotone) k-dynamo, by exhaustion.
+
+    Returns ``(size or None, per-size outcomes)``.  Sizes are tried in
+    increasing order so the first hit is the exact minimum.
+    """
+    n = topo.num_vertices
+    cap = n if max_seed_size is None else min(max_seed_size, n)
+    outcomes: List[SearchOutcome] = []
+    for s in range(1, cap + 1):
+        res = exhaustive_dynamo_search(
+            topo,
+            s,
+            num_colors,
+            k=k,
+            monotone_only=monotone_only,
+            max_configs=max_configs,
+        )
+        outcomes.append(res)
+        if res.found_dynamo:
+            return s, outcomes
+    return None, outcomes
+
+
+def random_dynamo_search(
+    topo: Topology,
+    seed_size: int,
+    num_colors: int,
+    trials: int,
+    rng: np.random.Generator,
+    *,
+    k: int = 0,
+    max_rounds: Optional[int] = None,
+    batch_size: int = 4096,
+    monotone_only: bool = False,
+) -> SearchOutcome:
+    """Monte-Carlo falsification: random seeds + random complements.
+
+    Used where exhaustion is infeasible; finding no witness in many trials
+    is (only) statistical evidence for the lower bound — the benches report
+    the trial count alongside.
+    """
+    n = topo.num_vertices
+    if max_rounds is None:
+        max_rounds = 4 * n + 16
+    others = np.asarray([c for c in range(num_colors) if c != k][: num_colors - 1])
+    outcome = SearchOutcome(seed_size=seed_size, examined=0, exhaustive=False)
+    remaining = trials
+    while remaining > 0:
+        b = min(batch_size, remaining)
+        remaining -= b
+        batch = others[rng.integers(0, others.size, size=(b, n))].astype(np.int32)
+        rows = np.arange(b)[:, None]
+        seeds = np.argsort(rng.random((b, n)), axis=1)[:, :seed_size]
+        batch[rows, seeds] = k
+        res = run_batch_smp(topo, batch, k, max_rounds)
+        hits = np.flatnonzero(
+            res.k_monochromatic & (res.monotone if monotone_only else True)
+        )
+        for idx in hits:
+            outcome.witnesses.append((batch[idx].copy(), bool(res.monotone[idx])))
+        outcome.examined += b
+    return outcome

@@ -1,0 +1,178 @@
+"""Stripe-color sequence solvers for the Theorem 2/4/6 constructions.
+
+The explicit minimum dynamos color the complement ``T - S_k`` in *stripes*
+(constant along rows or columns).  The theorem conditions (forest color
+classes + rainbow neighborhoods; :mod:`repro.structures.forests`) then
+reduce to constraints on the 1-D sequence of stripe colors:
+
+* **window condition** — every three consecutive stripes carry pairwise
+  distinct colors (adjacent-equal stripes would merge into a cyclic color
+  class, distance-2-equal stripes would put two same-colored vertices into
+  a neighborhood that must be rainbow);
+* for the toroidal-mesh construction the stripe sequence is a *path* (the
+  k-colored row cuts the cycle) with extra end constraints coupling the
+  first/last stripes and the color of the one seed gap ``(0, n-1)``;
+* for the cordalis/serpentinus constructions the sequence is *cyclic*.
+
+Both problems are solved exactly by dynamic programming over the state
+``(previous stripe, current stripe)`` — O(p^4 * length) for palette size
+``p`` — trying palettes of increasing size, so each construction uses the
+provably smallest stripe palette.  Feasibility facts recovered by the DP
+(and pinned down in tests):
+
+* cyclic sequences: 3 symbols iff ``len % 3 == 0``; 5 symbols for
+  ``len == 5``; else 4  (the chromatic number of the squared cycle);
+* mesh path sequences: 3 symbols iff ``m % 3 == 0``, else 4.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "cyclic_window_sequence",
+    "find_cyclic_window_sequence",
+    "mesh_row_sequence",
+    "find_mesh_row_sequence",
+    "windows_ok_cyclic",
+    "windows_ok_path",
+]
+
+
+def windows_ok_path(seq: List[int]) -> bool:
+    """Every window of <= 3 consecutive entries is pairwise distinct."""
+    n = len(seq)
+    for i in range(n - 1):
+        if seq[i] == seq[i + 1]:
+            return False
+    for i in range(n - 2):
+        if seq[i] == seq[i + 2]:
+            return False
+    return True
+
+
+def windows_ok_cyclic(seq: List[int]) -> bool:
+    """Path windows plus the two wraparound windows."""
+    n = len(seq)
+    if n < 3:
+        return False
+    if not windows_ok_path(seq):
+        return False
+    return (
+        seq[-1] != seq[0]
+        and seq[-2] != seq[0]
+        and seq[-1] != seq[1]
+    )
+
+
+def cyclic_window_sequence(n: int, p: int) -> Optional[List[int]]:
+    """A cyclic sequence of length ``n`` over ``p`` symbols with all cyclic
+    3-windows rainbow, or None when infeasible.
+
+    DP over states ``(seq[i-1], seq[i])`` for each anchored start pair
+    ``(seq[0], seq[1])``; the wrap constraints are enforced on the final
+    state.  Symmetry: only start pairs ``(0, 1)`` need trying (symbols are
+    interchangeable), which keeps this O(p^2 * n).
+    """
+    if n < 3 or p < 3:
+        return None
+    # By symbol symmetry we can anchor seq[0]=0, seq[1]=1.
+    start = (0, 1)
+    # parent[i][(a, b)] = previous symbol leading to state (a, b) at position i
+    layers: List[dict] = [dict()]
+    layers[0][start] = None
+    for i in range(2, n):
+        nxt: dict = {}
+        for (a, b) in layers[-1]:
+            for c in range(p):
+                if c != a and c != b:
+                    nxt.setdefault((b, c), (a, b))
+        layers.append(nxt)
+        if not nxt:
+            return None
+    for (a, b) in layers[-1]:
+        # wrap windows: (seq[n-2], seq[n-1], seq[0]) and (seq[n-1], seq[0], seq[1])
+        if b != start[0] and a != start[0] and b != start[1]:
+            return _reconstruct(layers, (a, b), start, n)
+    return None
+
+
+def _reconstruct(layers: List[dict], end_state: Tuple[int, int],
+                 start: Tuple[int, int], n: int) -> List[int]:
+    seq = [0] * n
+    seq[0], seq[1] = start
+    state = end_state
+    for i in range(n - 1, 1, -1):
+        seq[i] = state[1]
+        prev = layers[i - 1][state]
+        state = prev if prev is not None else start
+    return seq
+
+
+def find_cyclic_window_sequence(n: int, max_p: int = 6) -> Tuple[List[int], int]:
+    """Smallest-palette cyclic window sequence; raises when none <= max_p."""
+    for p in range(3, max_p + 1):
+        seq = cyclic_window_sequence(n, p)
+        if seq is not None:
+            return seq, p
+    raise ValueError(f"no cyclic window sequence of length {n} with <= {max_p} symbols")
+
+
+# ----------------------------------------------------------------------
+# Mesh row sequences (Theorem 2)
+# ----------------------------------------------------------------------
+def mesh_row_sequence(m: int, p: int) -> Optional[Tuple[List[int], int]]:
+    """Stripe colors ``g[1..m-1]`` plus the gap color for the Theorem-2 mesh
+    construction, over ``p`` symbols; returns ``(g, gap_color)`` or None.
+
+    ``g`` is returned as a list of length ``m - 1`` (``g[0]`` is the color
+    of grid row 1).  Constraints (derivation in the module docstring of
+    :mod:`repro.core.constructions`):
+
+    * path windows on ``g`` (forest + rainbow for interior vertices),
+    * ``g[first] != g[last]`` — the seed gap vertex ``(0, n-1)`` must see
+      two differently-colored vertical neighbors so it recolors at round 1,
+    * the gap color differs from ``g[first]``, ``g[second]``,
+      ``g[second_to_last]`` and ``g[last]`` — protecting the weak seed
+      vertex ``(0, n-2)`` (which has only one k-colored neighbor) and the
+      rainbow condition at ``(1, n-1)`` / ``(m-1, n-1)``.
+    """
+    rows = m - 1
+    if rows < 2 or p < 3:
+        return None
+    if rows == 2:
+        # g = [a, b]: windows trivial, need a != b and a gap off {a, b}.
+        if p >= 3:
+            return [0, 1], 2
+        return None
+    start = (0, 1)
+    layers: List[dict] = [dict()]
+    layers[0][start] = None
+    for i in range(2, rows):
+        nxt: dict = {}
+        for (a, b) in layers[-1]:
+            for c in range(p):
+                if c != a and c != b:
+                    nxt.setdefault((b, c), (a, b))
+        layers.append(nxt)
+        if not nxt:
+            return None
+    for (a, b) in layers[-1]:
+        if b == start[0]:
+            continue  # g[last] != g[first]
+        used = {start[0], start[1], a, b}
+        gap_candidates = [c for c in range(p) if c not in used]
+        if gap_candidates:
+            g = _reconstruct(layers, (a, b), start, rows)
+            return g, gap_candidates[0]
+    return None
+
+
+def find_mesh_row_sequence(m: int, max_p: int = 6) -> Tuple[List[int], int, int]:
+    """Smallest-palette mesh row sequence: ``(g, gap_color, palette_size)``."""
+    for p in range(3, max_p + 1):
+        res = mesh_row_sequence(m, p)
+        if res is not None:
+            g, gap = res
+            return g, gap, p
+    raise ValueError(f"no mesh row sequence for m={m} with <= {max_p} symbols")

@@ -1,0 +1,24 @@
+"""Simulation engine: synchronous, asynchronous, and temporal drivers."""
+
+from .metrics import (
+    adoption_curve,
+    frontier_perimeter,
+    takeover_summary,
+    wavefront_speed,
+)
+from .result import RunResult
+from .runner import default_round_cap, run_synchronous
+from .schedulers import run_asynchronous
+from .temporal import run_temporal
+
+__all__ = [
+    "RunResult",
+    "run_synchronous",
+    "run_asynchronous",
+    "run_temporal",
+    "default_round_cap",
+    "adoption_curve",
+    "wavefront_speed",
+    "frontier_perimeter",
+    "takeover_summary",
+]

@@ -1,0 +1,93 @@
+"""Run analytics: adoption curves, wavefront speed, frontier perimeter.
+
+Quantities used by the experiments and benches to characterize *how* a
+dynamo takes over, beyond the final round count:
+
+* :func:`adoption_curve` — |k-set| per round (from a recorded trajectory
+  or reconstructed from ``last_change`` for monotone runs);
+* :func:`wavefront_speed` — new adoptions per round;
+* :func:`frontier_perimeter` — edges between k and non-k vertices per
+  round (the monovariant that bootstrap-percolation arguments track);
+* :func:`takeover_summary` — one dict with everything, JSON-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..topology.base import Topology
+from .result import RunResult
+
+__all__ = [
+    "adoption_curve",
+    "wavefront_speed",
+    "frontier_perimeter",
+    "takeover_summary",
+]
+
+
+def adoption_curve(result: RunResult, k: int) -> np.ndarray:
+    """|k-set| at rounds 0..rounds.
+
+    Uses the trajectory when recorded; otherwise requires a *monotone* run
+    (checked) and reconstructs from per-vertex change rounds.
+    """
+    if result.trajectory:
+        return np.asarray(
+            [int((state == k).sum()) for state in result.trajectory], dtype=np.int64
+        )
+    if result.monotone is not True or result.last_change is None:
+        raise ValueError(
+            "need a recorded trajectory, or a monotone run with change "
+            "tracking, to reconstruct the adoption curve"
+        )
+    final_k = result.final == k
+    rounds = result.rounds
+    curve = np.zeros(rounds + 1, dtype=np.int64)
+    adopt_round = np.where(final_k, result.last_change, -1)
+    for t in range(rounds + 1):
+        curve[t] = int(((adopt_round >= 0) & (adopt_round <= t)).sum())
+    return curve
+
+
+def wavefront_speed(result: RunResult, k: int) -> np.ndarray:
+    """New k-adoptions per round (first difference of the curve)."""
+    return np.diff(adoption_curve(result, k))
+
+
+def frontier_perimeter(
+    topo: Topology, result: RunResult, k: int
+) -> Optional[np.ndarray]:
+    """k/non-k boundary edge count per recorded round (None w/o trajectory)."""
+    if not result.trajectory:
+        return None
+    out: List[int] = []
+    nb = topo.neighbors
+    mask = nb >= 0
+    for state in result.trajectory:
+        is_k = state == k
+        neigh_k = is_k[np.where(mask, nb, 0)] & mask
+        # count ordered boundary pairs once per direction, halve
+        boundary = (is_k[:, None] ^ neigh_k) & mask
+        out.append(int(boundary.sum()) // 2)
+    return np.asarray(out, dtype=np.int64)
+
+
+def takeover_summary(topo: Topology, result: RunResult, k: int) -> Dict:
+    """JSON-friendly digest of a takeover run."""
+    curve = adoption_curve(result, k)
+    speed = np.diff(curve)
+    perim = frontier_perimeter(topo, result, k)
+    return {
+        "rounds": result.rounds,
+        "converged": result.converged,
+        "monochromatic": result.monochromatic,
+        "initial_k": int(curve[0]),
+        "final_k": int(curve[-1]),
+        "peak_speed": int(speed.max()) if speed.size else 0,
+        "mean_speed": float(speed.mean()) if speed.size else 0.0,
+        "adoption_curve": curve.tolist(),
+        "perimeter_curve": None if perim is None else perim.tolist(),
+    }

@@ -1,0 +1,101 @@
+"""Run results: what a simulation reports back.
+
+:class:`RunResult` is the single return type of every engine entry point.
+It carries enough information to answer all the paper's questions about a
+run without re-simulating:
+
+* whether a fixed point was reached and after how many rounds (Theorems 7/8
+  count rounds to the monochromatic configuration),
+* whether the fixed point is monochromatic and in which color (dynamo test),
+* whether the run was *monotone* with respect to a target color
+  (Definition 3: the k-colored set only ever grows),
+* the per-vertex round of last change (the "time-steps to assume color k"
+  matrices of Figures 5 and 6),
+* optionally the full trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of a synchronous/asynchronous simulation run."""
+
+    #: final color vector (fixed point, cycle entry state, or state at round cap)
+    final: np.ndarray
+    #: number of rounds actually executed
+    rounds: int
+    #: True iff a fixed point was reached within the round cap
+    converged: bool
+    #: length of the limit cycle if one was detected (1 == fixed point);
+    #: None when undetected (cap hit with detection off or no repeat seen)
+    cycle_length: Optional[int] = None
+    #: round index at which the final fixed point was first reached
+    #: (== rounds when converged on the last step; None if not converged)
+    fixed_point_round: Optional[int] = None
+    #: per-vertex round of last color change (0 for vertices that never changed)
+    last_change: Optional[np.ndarray] = None
+    #: per-vertex round of *first* change (0 for never-changed)
+    first_change: Optional[np.ndarray] = None
+    #: monotone w.r.t. the target color passed to the runner (None if no target)
+    monotone: Optional[bool] = None
+    #: target color the run was asked to watch (as passed in)
+    target_color: Optional[int] = None
+    #: recorded states, one per round boundary, when record=True
+    trajectory: List[np.ndarray] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def monochromatic(self) -> bool:
+        """True iff every vertex holds the same color in the final state."""
+        return bool(np.all(self.final == self.final[0]))
+
+    @property
+    def monochromatic_color(self) -> Optional[int]:
+        """The single final color, or None when the final state is mixed."""
+        return int(self.final[0]) if self.monochromatic else None
+
+    def is_dynamo_run(self, k: int) -> bool:
+        """Did this run certify a k-dynamo (converged to all-k)?
+
+        Definition 2 of the paper: a k-monochromatic configuration reached
+        in a finite number of steps.
+        """
+        return self.converged and self.monochromatic and self.final[0] == k
+
+    def recoloring_matrix(self, topo) -> np.ndarray:
+        """Per-vertex adoption rounds as an ``(m, n)`` grid (Figures 5/6).
+
+        Requires a grid topology and ``last_change`` tracking (on by
+        default).  Entry ``(i, j)`` is the round at which vertex ``(i, j)``
+        assumed its final color; vertices of the initial seed show 0.
+        """
+        if self.last_change is None:
+            raise ValueError("run was executed with track_changes=False")
+        return topo.to_grid(self.last_change.astype(np.int64))
+
+    def summary(self) -> str:
+        """One-line human-readable digest (used by the CLI)."""
+        state = (
+            f"monochromatic({self.monochromatic_color})"
+            if self.monochromatic
+            else "mixed"
+        )
+        conv = (
+            f"fixed point @ round {self.fixed_point_round}"
+            if self.converged
+            else (
+                f"cycle of length {self.cycle_length}"
+                if self.cycle_length and self.cycle_length > 1
+                else f"no convergence within {self.rounds} rounds"
+            )
+        )
+        mono = "" if self.monotone is None else f", monotone={self.monotone}"
+        return f"{state}, {conv}{mono}"

@@ -1,0 +1,107 @@
+"""Asynchronous / sequential schedulers.
+
+The paper analyzes the synchronous model, but dynamo research (and the
+paper's future-work section on dynamic settings) also considers sequential
+activation.  :func:`run_asynchronous` updates one vertex at a time using the
+rule's scalar oracle; a *sweep* visits every vertex once in an order chosen
+by the scheduler:
+
+* ``"fixed"``   — ids ``0..N-1`` every sweep (deterministic),
+* ``"random"``  — a fresh uniform permutation per sweep (requires ``rng``),
+* an explicit sequence of vertex ids to use for every sweep.
+
+Convergence is declared after a full sweep with no change — for monotone
+dynamics that is a genuine fixed point of the synchronous rule as well.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..rules.base import Rule, as_color_array
+from ..topology.base import Topology
+from .result import RunResult
+from .runner import default_round_cap
+
+__all__ = ["run_asynchronous"]
+
+
+def run_asynchronous(
+    topo: Topology,
+    initial: Sequence[int] | np.ndarray,
+    rule: Rule,
+    *,
+    order: Union[str, Sequence[int]] = "fixed",
+    rng: Optional[np.random.Generator] = None,
+    max_sweeps: Optional[int] = None,
+    target_color: Optional[int] = None,
+    record: bool = False,
+) -> RunResult:
+    """Sequentially update vertices until a full quiet sweep or the cap.
+
+    Rounds in the returned :class:`RunResult` count *sweeps*.  ``last_change``
+    and ``first_change`` are sweep-granular.
+    """
+    colors = as_color_array(initial, topo.num_vertices).copy()
+    n = topo.num_vertices
+    if max_sweeps is None:
+        max_sweeps = default_round_cap(topo)
+
+    if isinstance(order, str):
+        if order == "fixed":
+            base_order: Optional[np.ndarray] = np.arange(n, dtype=np.int64)
+        elif order == "random":
+            if rng is None:
+                raise ValueError("order='random' requires an explicit rng")
+            base_order = None
+        else:
+            raise ValueError(f"unknown order {order!r}")
+    else:
+        base_order = np.asarray(order, dtype=np.int64)
+        if sorted(base_order.tolist()) != list(range(n)):
+            raise ValueError("explicit order must be a permutation of all vertex ids")
+
+    last_change = np.zeros(n, dtype=np.int32)
+    first_change = np.zeros(n, dtype=np.int32)
+    monotone: Optional[bool] = True if target_color is not None else None
+    trajectory = [colors.copy()] if record else []
+
+    converged = False
+    sweeps = 0
+    for sweep in range(1, max_sweeps + 1):
+        perm = rng.permutation(n) if base_order is None else base_order
+        any_change = False
+        for v in perm:
+            v = int(v)
+            nb = topo.neighbors[v, : topo.degrees[v]]
+            new = rule.update_vertex(int(colors[v]), [int(colors[w]) for w in nb])
+            if new != colors[v]:
+                if monotone is True and colors[v] == target_color:
+                    monotone = False
+                colors[v] = new
+                any_change = True
+                last_change[v] = sweep
+                if first_change[v] == 0:
+                    first_change[v] = sweep
+        sweeps = sweep
+        if record:
+            trajectory.append(colors.copy())
+        if not any_change:
+            converged = True
+            sweeps = sweep - 1
+            break
+
+    return RunResult(
+        final=colors.copy(),
+        rounds=sweeps,
+        converged=converged,
+        cycle_length=1 if converged else None,
+        fixed_point_round=sweeps if converged else None,
+        last_change=last_change,
+        first_change=first_change,
+        monotone=monotone,
+        target_color=target_color,
+        trajectory=trajectory,
+    )

@@ -1,0 +1,80 @@
+"""Synchronous dynamics on time-varying topologies (future-work extension).
+
+Runs the generalized plurality rule on a :class:`~repro.topology.temporal.
+TemporalTopology`: each round the availability process supplies an edge
+mask, and a vertex only counts the colors of neighbors it can currently
+hear, with the adoption threshold computed from the *audible* degree.
+
+Cycle detection is disabled by default — with stochastic availability the
+state sequence is not deterministic, so a repeated state does not imply a
+cycle.  Convergence is declared on reaching a *monochromatic* state (which
+is absorbing for plurality rules regardless of masks) or on a quiet round
+under a full mask.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..rules.plurality import GeneralizedPluralityRule
+from ..rules.base import as_color_array
+from ..topology.temporal import TemporalTopology
+from .result import RunResult
+
+__all__ = ["run_temporal"]
+
+
+def run_temporal(
+    ttopo: TemporalTopology,
+    initial: Sequence[int] | np.ndarray,
+    rule: GeneralizedPluralityRule,
+    *,
+    max_rounds: int = 10_000,
+    target_color: Optional[int] = None,
+    record: bool = False,
+) -> RunResult:
+    """Run masked plurality dynamics; stop on monochromatic or round cap."""
+    topo = ttopo.base
+    colors = as_color_array(initial, topo.num_vertices).copy()
+    n = topo.num_vertices
+    last_change = np.zeros(n, dtype=np.int32)
+    first_change = np.zeros(n, dtype=np.int32)
+    monotone: Optional[bool] = True if target_color is not None else None
+    trajectory = [colors.copy()] if record else []
+    buf = np.empty_like(colors)
+
+    rounds = 0
+    converged = bool(np.all(colors == colors[0]))
+    for t in range(1, max_rounds + 1):
+        if converged:
+            break
+        mask = ttopo.mask_for_round(t - 1)
+        rule.step_masked(colors, topo, mask, out=buf)
+        changed = buf != colors
+        rounds = t
+        if changed.any():
+            last_change[changed] = t
+            np.copyto(first_change, t, where=changed & (first_change == 0))
+            if monotone is True and np.any(changed & (colors == target_color)):
+                monotone = False
+        colors, buf = buf, colors
+        if record:
+            trajectory.append(colors.copy())
+        if np.all(colors == colors[0]):
+            converged = True  # monochromatic is absorbing under plurality
+            break
+
+    return RunResult(
+        final=colors.copy(),
+        rounds=rounds,
+        converged=converged,
+        cycle_length=1 if converged else None,
+        fixed_point_round=rounds if converged else None,
+        last_change=last_change,
+        first_change=first_change,
+        monotone=monotone,
+        target_color=target_color,
+        trajectory=trajectory,
+    )

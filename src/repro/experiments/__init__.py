@@ -1,0 +1,45 @@
+"""Experiment drivers reproducing the paper's figures and theorems."""
+
+from .figures import (
+    FIG5_EXPECTED,
+    FIG6_EXPECTED,
+    FigureResult,
+    figure1_minimum_dynamo,
+    figure2_theorem2_coloring,
+    figure3_bad_complement,
+    figure4_frozen_configuration,
+    figure5_mesh_time_matrix,
+    figure6_cordalis_time_matrix,
+    find_frozen_completion,
+)
+from .ablations import (
+    AblationResult,
+    complement_ablation,
+    seed_shape_ablation,
+    tie_rule_ablation,
+)
+from .census import CensusRow, below_bound_census
+from .sweeps import SweepPoint, rect_points, square_points, sweep_rounds
+
+__all__ = [
+    "FigureResult",
+    "figure1_minimum_dynamo",
+    "figure2_theorem2_coloring",
+    "figure3_bad_complement",
+    "figure4_frozen_configuration",
+    "figure5_mesh_time_matrix",
+    "figure6_cordalis_time_matrix",
+    "find_frozen_completion",
+    "FIG5_EXPECTED",
+    "FIG6_EXPECTED",
+    "sweep_rounds",
+    "CensusRow",
+    "below_bound_census",
+    "AblationResult",
+    "tie_rule_ablation",
+    "seed_shape_ablation",
+    "complement_ablation",
+    "square_points",
+    "rect_points",
+    "SweepPoint",
+]

@@ -1,0 +1,273 @@
+"""Reproduction of the paper's Figures 1-6.
+
+Each ``figure*`` function returns the artifact the paper shows plus our
+simulated counterpart, so benches/tests can diff them:
+
+* Figure 1 — a monotone dynamo of ``m + n - 2`` black nodes (9x9 in the
+  paper): we return the seed grid and the verification report.
+* Figure 2 — the Theorem-2 coloring: full construction + condition report.
+* Figure 3 — black nodes that do *not* form a dynamo: same seed, complement
+  violating the theorem conditions (monochromatic complement — every
+  frontier vertex ties 2-2 and the system freezes instantly).
+* Figure 4 — a configuration where *no recoloring can arise at all*: a
+  complement found by constraint search such that every single vertex is
+  frozen from round 0.
+* Figures 5/6 — per-vertex recoloring-round matrices for the mesh cross
+  seed and the cordalis minimum seed; the paper's 5x5 matrices are
+  hardcoded as ``FIG5_EXPECTED`` / ``FIG6_EXPECTED`` for exact comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.constructions import (
+    Construction,
+    full_cross_mesh_dynamo,
+    theorem2_mesh_dynamo,
+    theorem4_cordalis_dynamo,
+)
+from ..core.verify import DynamoReport, verify_dynamo
+from ..engine.runner import run_synchronous
+from ..rules.smp import SMPRule
+from ..structures.blocks import k_blocks
+from ..topology.tori import ToroidalMesh
+
+__all__ = [
+    "FigureResult",
+    "figure1_minimum_dynamo",
+    "figure2_theorem2_coloring",
+    "figure3_bad_complement",
+    "figure4_frozen_configuration",
+    "figure5_mesh_time_matrix",
+    "figure6_cordalis_time_matrix",
+    "FIG5_EXPECTED",
+    "FIG6_EXPECTED",
+    "find_frozen_completion",
+]
+
+#: Figure 5 of the paper: "time-steps remaining to assume color k" on a
+#: 5x5 multicolored torus (mesh cross seed, diagonal propagation).
+FIG5_EXPECTED = np.array(
+    [
+        [0, 0, 0, 0, 0],
+        [0, 1, 2, 2, 1],
+        [0, 2, 3, 3, 2],
+        [0, 2, 3, 3, 2],
+        [0, 1, 2, 2, 1],
+    ],
+    dtype=np.int64,
+)
+
+#: Figure 6 of the paper: recoloring rounds on a 5x5 torus cordalis
+#: (row seed, row-chain propagation).
+FIG6_EXPECTED = np.array(
+    [
+        [0, 0, 0, 0, 0],
+        [0, 1, 2, 3, 4],
+        [5, 6, 7, 8, 7],
+        [6, 7, 8, 7, 6],
+        [5, 4, 3, 2, 1],
+    ],
+    dtype=np.int64,
+)
+
+
+@dataclass
+class FigureResult:
+    """A reproduced figure: the construction, the run report, artifacts."""
+
+    construction: Construction
+    report: DynamoReport
+    #: figure-specific payload (time matrix, final state, ...)
+    artifact: Optional[np.ndarray] = None
+    #: True when the artifact matches the paper's printed figure exactly
+    matches_paper: Optional[bool] = None
+    notes: str = ""
+
+
+def figure1_minimum_dynamo(m: int = 9, n: int = 9) -> FigureResult:
+    """Figure 1: a monotone dynamo of size m + n - 2 (16 for the paper's 9x9)."""
+    con = theorem2_mesh_dynamo(m, n)
+    rep = verify_dynamo(con.topo, con.colors, con.k)
+    return FigureResult(
+        construction=con,
+        report=rep,
+        artifact=con.topo.to_grid(con.seed).astype(np.int64),
+        matches_paper=bool(
+            rep.is_monotone_dynamo and con.seed_size == m + n - 2
+        ),
+        notes="seed grid returned as artifact",
+    )
+
+
+def figure2_theorem2_coloring(m: int = 9, n: int = 9) -> FigureResult:
+    """Figure 2: the full Theorem-2 coloring (seed + valid complement)."""
+    con = theorem2_mesh_dynamo(m, n)
+    rep = verify_dynamo(con.topo, con.colors, con.k)
+    ok = bool(
+        rep.is_monotone_dynamo
+        and rep.conditions is not None
+        and rep.conditions.satisfied
+    )
+    return FigureResult(
+        construction=con,
+        report=rep,
+        artifact=con.grid().astype(np.int64),
+        matches_paper=ok,
+        notes=con.notes,
+    )
+
+
+def figure3_bad_complement(m: int = 5, n: int = 5) -> FigureResult:
+    """Figure 3: the same black seed fails with a bad complement.
+
+    A monochromatic complement makes every frontier vertex see a 2-2 tie,
+    so nothing ever recolors — the seed is not a dynamo even though it has
+    the minimum-dynamo shape and size.
+    """
+    con = theorem2_mesh_dynamo(m, n)
+    colors = con.colors.copy()
+    other = next(c for c in con.palette if c != con.k)
+    colors[~con.seed] = other
+    rep = verify_dynamo(con.topo, colors, con.k)
+    bad = Construction(
+        topo=con.topo,
+        colors=colors,
+        k=con.k,
+        seed=con.seed.copy(),
+        palette=[con.k, other],
+        name="figure3_bad_complement",
+        size_lower_bound=con.size_lower_bound,
+        notes="monochromatic complement; every frontier vertex ties",
+    )
+    return FigureResult(
+        construction=bad,
+        report=rep,
+        artifact=bad.grid().astype(np.int64),
+        matches_paper=not rep.is_dynamo,
+        notes="non-dynamo confirmed" if not rep.is_dynamo else "UNEXPECTED dynamo",
+    )
+
+
+def find_frozen_completion(
+    m: int,
+    n: int,
+    k: int = 1,
+    num_other_colors: int = 3,
+) -> Optional[np.ndarray]:
+    """Search a complement coloring freezing *every* vertex from round 0
+    (the Figure-4 situation) over the Theorem-2 seed shape.
+
+    Backtracking over the non-seed cells in row-major order with local
+    pruning: whenever all four neighbors of a vertex are decided, the
+    vertex must already be frozen under the SMP rule.  Returns the full
+    color vector or None.
+    """
+    topo = ToroidalMesh(m, n)
+    base = theorem2_mesh_dynamo(m, n, k=k)
+    seed = base.seed
+    colors = np.full(topo.num_vertices, -1, dtype=np.int64)
+    colors[seed] = k
+    others = [c for c in range(num_other_colors + 1) if c != k][:num_other_colors]
+    cells = [int(v) for v in np.flatnonzero(~seed)]
+    rule = SMPRule()
+
+    def frozen(v: int) -> bool:
+        nb = [int(colors[w]) for w in topo.neighbors[v]]
+        if any(c < 0 for c in nb):
+            return True  # undecided — cannot reject yet
+        return rule.update_vertex(int(colors[v]), nb) == int(colors[v])
+
+    def affected(v: int) -> List[int]:
+        return [v] + [int(w) for w in topo.neighbors[v]]
+
+    def backtrack(idx: int) -> bool:
+        if idx == len(cells):
+            return all(frozen(v) for v in range(topo.num_vertices))
+        v = cells[idx]
+        for c in others:
+            colors[v] = c
+            if all(frozen(u) for u in affected(v)):
+                if backtrack(idx + 1):
+                    return True
+        colors[v] = -1
+        return False
+
+    if backtrack(0):
+        return colors.astype(np.int32)
+    return None
+
+
+def figure4_frozen_configuration(m: int = 5, n: int = 5) -> FigureResult:
+    """Figure 4: a coloring where no recoloring can arise.
+
+    Uses :func:`find_frozen_completion`; the run must report convergence
+    at round 0 with the initial state as fixed point.
+    """
+    colors = find_frozen_completion(m, n)
+    if colors is None:
+        raise RuntimeError(
+            f"no frozen completion exists for the {m}x{n} Theorem-2 seed "
+            "with 3 complement colors"
+        )
+    topo = ToroidalMesh(m, n)
+    k = 1
+    res = run_synchronous(topo, colors, SMPRule(), target_color=k)
+    rep = verify_dynamo(topo, colors, k)
+    frozen_from_start = res.converged and res.fixed_point_round == 0
+    con = Construction(
+        topo=topo,
+        colors=np.asarray(colors, dtype=np.int32),
+        k=k,
+        seed=(np.asarray(colors) == k),
+        palette=sorted(set(int(c) for c in colors)),
+        name="figure4_frozen",
+        notes="constraint-searched totally-frozen configuration",
+    )
+    return FigureResult(
+        construction=con,
+        report=rep,
+        artifact=topo.to_grid(np.asarray(colors, dtype=np.int64)),
+        matches_paper=bool(frozen_from_start and not rep.is_dynamo),
+        notes=f"fixed point at round {res.fixed_point_round}",
+    )
+
+
+def figure5_mesh_time_matrix(m: int = 5, n: int = 5) -> FigureResult:
+    """Figure 5: per-vertex recoloring rounds for the mesh cross seed."""
+    con = full_cross_mesh_dynamo(m, n)
+    res = run_synchronous(con.topo, con.colors, SMPRule(), target_color=con.k)
+    matrix = res.recoloring_matrix(con.topo)
+    rep = verify_dynamo(con.topo, con.colors, con.k, check_conditions=False)
+    matches = bool(
+        (m, n) == (5, 5) and np.array_equal(matrix, FIG5_EXPECTED)
+    ) if (m, n) == (5, 5) else None
+    return FigureResult(
+        construction=con,
+        report=rep,
+        artifact=matrix,
+        matches_paper=matches,
+        notes="cross-seed recoloring-round matrix",
+    )
+
+
+def figure6_cordalis_time_matrix(m: int = 5, n: int = 5) -> FigureResult:
+    """Figure 6: per-vertex recoloring rounds for the cordalis minimum seed."""
+    con = theorem4_cordalis_dynamo(m, n)
+    res = run_synchronous(con.topo, con.colors, SMPRule(), target_color=con.k)
+    matrix = res.recoloring_matrix(con.topo)
+    rep = verify_dynamo(con.topo, con.colors, con.k, check_conditions=False)
+    matches = bool(
+        np.array_equal(matrix, FIG6_EXPECTED)
+    ) if (m, n) == (5, 5) else None
+    return FigureResult(
+        construction=con,
+        report=rep,
+        artifact=matrix,
+        matches_paper=matches,
+        notes="row-seed recoloring-round matrix",
+    )

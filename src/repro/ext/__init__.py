@@ -1,0 +1,31 @@
+"""Future-work extensions: scale-free SMP, Deffuant comparison, temporal tori."""
+
+from .asynchrony import AsyncRobustness, async_robustness, order_sensitivity
+from .deffuant import DeffuantResult, compare_with_smp, opinion_clusters, run_deffuant
+from .scale_free import (
+    ScaleFreeOutcome,
+    barabasi_albert_topology,
+    run_scale_free_experiment,
+    seed_vertices,
+)
+from .stubborn import StubbornOutcome, stubborn_blockade, stubborn_core_experiment
+from .temporal_experiments import TemporalOutcome, run_temporal_dynamo
+
+__all__ = [
+    "ScaleFreeOutcome",
+    "AsyncRobustness",
+    "async_robustness",
+    "order_sensitivity",
+    "barabasi_albert_topology",
+    "seed_vertices",
+    "run_scale_free_experiment",
+    "DeffuantResult",
+    "run_deffuant",
+    "opinion_clusters",
+    "compare_with_smp",
+    "TemporalOutcome",
+    "run_temporal_dynamo",
+    "StubbornOutcome",
+    "stubborn_blockade",
+    "stubborn_core_experiment",
+]

@@ -1,0 +1,112 @@
+"""SMP dynamics on scale-free networks (the paper's first future-work item).
+
+The conclusions propose studying the SMP protocol on scale-free graphs "in
+order to have a comparative analysis with respect to other algorithmic
+models of social influence".  This module provides:
+
+* Barabási–Albert graph generation (via networkx, wrapped into our
+  :class:`~repro.topology.graph.GraphTopology`),
+* hub-, random-, and degree-weighted seeding strategies,
+* :func:`run_scale_free_experiment` — seed a fraction of vertices with the
+  target color, run the generalized plurality rule, report takeover.
+
+Because hubs dominate plurality counts, a small hub seed converts far more
+of a BA graph than a random seed of equal size — the scale-free analogue of
+"a well-placed dynamo beats a random fault pattern".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..engine.runner import run_synchronous
+from ..rules.plurality import GeneralizedPluralityRule
+from ..topology.graph import GraphTopology
+
+__all__ = ["ScaleFreeOutcome", "barabasi_albert_topology", "seed_vertices", "run_scale_free_experiment"]
+
+
+@dataclass
+class ScaleFreeOutcome:
+    """Result of one scale-free SMP run."""
+
+    num_vertices: int
+    seed_size: int
+    strategy: str
+    #: fraction of vertices holding the target color at the fixed point/cap
+    final_k_fraction: float
+    rounds: int
+    converged: bool
+    monochromatic: bool
+
+
+def barabasi_albert_topology(
+    n: int, m_attach: int, rng: np.random.Generator
+) -> GraphTopology:
+    """A BA preferential-attachment graph as a GraphTopology."""
+    import networkx as nx
+
+    seed_int = int(rng.integers(0, 2**31 - 1))
+    g = nx.barabasi_albert_graph(n, m_attach, seed=seed_int)
+    return GraphTopology(g)
+
+
+def seed_vertices(
+    topo: GraphTopology,
+    count: int,
+    strategy: str,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Pick seed vertex ids by strategy: ``hubs`` (highest degree),
+    ``random`` (uniform), or ``degree-weighted`` (probability ~ degree)."""
+    n = topo.num_vertices
+    count = min(count, n)
+    if strategy == "hubs":
+        return np.argsort(-topo.degrees.astype(np.int64), kind="stable")[:count]
+    if strategy == "random":
+        return rng.choice(n, size=count, replace=False)
+    if strategy == "degree-weighted":
+        w = topo.degrees.astype(np.float64)
+        return rng.choice(n, size=count, replace=False, p=w / w.sum())
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def run_scale_free_experiment(
+    n: int = 500,
+    m_attach: int = 2,
+    seed_fraction: float = 0.05,
+    strategy: str = "hubs",
+    num_colors: int = 4,
+    rng: Optional[np.random.Generator] = None,
+    max_rounds: int = 400,
+) -> ScaleFreeOutcome:
+    """Seed color-k vertices on a BA graph, run plurality SMP, report.
+
+    Non-seed vertices get uniform random colors from the rest of the
+    palette (the multi-colored analogue of the torus experiments).
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    topo = barabasi_albert_topology(n, m_attach, rng)
+    k = 0
+    others = np.arange(1, num_colors)
+    colors = others[rng.integers(0, others.size, size=topo.num_vertices)].astype(
+        np.int32
+    )
+    seeds = seed_vertices(topo, max(1, int(round(seed_fraction * n))), strategy, rng)
+    colors[seeds] = k
+    rule = GeneralizedPluralityRule(num_colors=num_colors)
+    res = run_synchronous(
+        topo, colors, rule, max_rounds=max_rounds, target_color=k, track_changes=False
+    )
+    return ScaleFreeOutcome(
+        num_vertices=topo.num_vertices,
+        seed_size=int(seeds.size),
+        strategy=strategy,
+        final_k_fraction=float((res.final == k).mean()),
+        rounds=res.rounds,
+        converged=res.converged,
+        monochromatic=res.monochromatic,
+    )

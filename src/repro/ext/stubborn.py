@@ -1,0 +1,95 @@
+"""Stubborn entities (the authors' companion study, ref [5]).
+
+"Stubborn entities in colored toroidal meshes" asks what happens when some
+vertices never change color.  Our engine supports pinning via the
+``frozen`` parameter; this module packages the two experiments the
+companion work motivates:
+
+* :func:`stubborn_blockade` — how many randomly-placed stubborn
+  dissenters does it take to stop a guaranteed dynamo?  (Sweep the
+  stubborn fraction, measure takeover probability and delay.)
+* :func:`stubborn_core_experiment` — stubborn *supporters*: pinning the
+  seed turns any configuration monotone for k by construction; measures
+  how much complement freedom that buys (a random complement plus a
+  stubborn seed versus the theorem's crafted complement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.constructions import Construction
+from ..engine.runner import run_synchronous
+from ..rules.smp import SMPRule
+
+__all__ = ["StubbornOutcome", "stubborn_blockade", "stubborn_core_experiment"]
+
+
+@dataclass
+class StubbornOutcome:
+    """One stubborn-entities run."""
+
+    stubborn_count: int
+    reached_monochromatic: bool
+    final_k_fraction: float
+    rounds: int
+
+
+def stubborn_blockade(
+    con: Construction,
+    stubborn_count: int,
+    rng: np.random.Generator,
+    *,
+    repaint_color: Optional[int] = None,
+) -> StubbornOutcome:
+    """Pin ``stubborn_count`` random non-seed vertices and rerun the dynamo.
+
+    Stubborn vertices keep their complement color forever (or
+    ``repaint_color`` when given).  Even one stubborn dissenter prevents
+    the k-monochromatic configuration by definition; the interesting
+    measurements are how much of the torus still converts and how the
+    wave flows around the blockade.
+    """
+    non_seed = np.flatnonzero(~con.seed)
+    count = min(stubborn_count, non_seed.size)
+    frozen = rng.choice(non_seed, size=count, replace=False)
+    colors = con.colors.copy()
+    if repaint_color is not None:
+        colors[frozen] = repaint_color
+    res = run_synchronous(
+        con.topo, colors, SMPRule(), frozen=frozen, target_color=con.k
+    )
+    return StubbornOutcome(
+        stubborn_count=count,
+        reached_monochromatic=bool(res.converged and res.monochromatic),
+        final_k_fraction=float((res.final == con.k).mean()),
+        rounds=res.rounds,
+    )
+
+
+def stubborn_core_experiment(
+    con: Construction,
+    rng: np.random.Generator,
+    trials: int = 20,
+) -> List[float]:
+    """Stubborn seed + random complements: final k-fractions per trial.
+
+    With the seed pinned, monotonicity is forced, but takeover still
+    depends on the complement (ties can wall the wave off) — quantifying
+    how special the theorem complements are.
+    """
+    others = [c for c in con.palette if c != con.k]
+    seed_ids = np.flatnonzero(con.seed)
+    fractions: List[float] = []
+    for _ in range(trials):
+        colors = con.colors.copy()
+        complement = np.flatnonzero(~con.seed)
+        colors[complement] = rng.choice(others, size=complement.size)
+        res = run_synchronous(
+            con.topo, colors, SMPRule(), frozen=seed_ids, target_color=con.k
+        )
+        fractions.append(float((res.final == con.k).mean()))
+    return fractions

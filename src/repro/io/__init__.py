@@ -1,0 +1,17 @@
+"""Serialization of configurations and run results."""
+
+from .serialize import (
+    construction_to_dict,
+    load_configuration,
+    load_run,
+    save_configuration,
+    save_run,
+)
+
+__all__ = [
+    "save_configuration",
+    "load_configuration",
+    "save_run",
+    "load_run",
+    "construction_to_dict",
+]

@@ -1,0 +1,141 @@
+"""JSON serialization of configurations, constructions, and runs.
+
+Formats are deliberately plain: a configuration file is a JSON object with
+the torus kind/size, the target color, and the row-major color list, so
+artifacts are diffable and readable in a code review.  Runs additionally
+store the result fields and (optionally) the trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.constructions import Construction
+from ..engine.result import RunResult
+from ..topology.base import GridTopology
+from ..topology.tori import make_torus
+
+__all__ = [
+    "save_configuration",
+    "load_configuration",
+    "save_run",
+    "load_run",
+    "construction_to_dict",
+]
+
+PathLike = Union[str, Path]
+
+_KIND_BY_CLASS = {
+    "ToroidalMesh": "mesh",
+    "TorusCordalis": "cordalis",
+    "TorusSerpentinus": "serpentinus",
+}
+
+
+def _kind_of(topo: GridTopology) -> str:
+    try:
+        return _KIND_BY_CLASS[type(topo).__name__]
+    except KeyError:
+        raise ValueError(
+            f"serialization supports the three torus kinds, not {type(topo).__name__}"
+        ) from None
+
+
+def save_configuration(
+    path: PathLike,
+    topo: GridTopology,
+    colors: np.ndarray,
+    k: Optional[int] = None,
+    **metadata,
+) -> None:
+    """Write a coloring (and optional metadata) as JSON."""
+    payload = {
+        "kind": _kind_of(topo),
+        "m": topo.m,
+        "n": topo.n,
+        "k": None if k is None else int(k),
+        "colors": np.asarray(colors, dtype=int).tolist(),
+        "metadata": metadata,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_configuration(path: PathLike) -> Tuple[GridTopology, np.ndarray, Optional[int]]:
+    """Read a configuration back: ``(topology, colors, k)``."""
+    payload = json.loads(Path(path).read_text())
+    topo = make_torus(payload["kind"], payload["m"], payload["n"])
+    colors = np.asarray(payload["colors"], dtype=np.int32)
+    if colors.shape != (topo.num_vertices,):
+        raise ValueError(
+            f"configuration has {colors.size} colors for a "
+            f"{topo.m}x{topo.n} torus"
+        )
+    k = payload.get("k")
+    return topo, colors, None if k is None else int(k)
+
+
+def construction_to_dict(con: Construction) -> dict:
+    """Plain-dict view of a construction (for JSON or reporting)."""
+    return {
+        "kind": _kind_of(con.topo),
+        "m": con.topo.m,
+        "n": con.topo.n,
+        "k": int(con.k),
+        "name": con.name,
+        "colors": con.colors.astype(int).tolist(),
+        "seed": np.flatnonzero(con.seed).astype(int).tolist(),
+        "palette": [int(c) for c in con.palette],
+        "seed_size": con.seed_size,
+        "size_lower_bound": con.size_lower_bound,
+        "predicted_rounds": con.predicted_rounds,
+        "empirical_rounds": con.empirical_rounds,
+        "notes": con.notes,
+    }
+
+
+def save_run(path: PathLike, result: RunResult, include_trajectory: bool = False) -> None:
+    """Write a run result as JSON."""
+    payload = {
+        "final": result.final.astype(int).tolist(),
+        "rounds": result.rounds,
+        "converged": result.converged,
+        "cycle_length": result.cycle_length,
+        "fixed_point_round": result.fixed_point_round,
+        "monotone": result.monotone,
+        "target_color": result.target_color,
+        "monochromatic": result.monochromatic,
+        "last_change": None
+        if result.last_change is None
+        else result.last_change.astype(int).tolist(),
+        "trajectory": [s.astype(int).tolist() for s in result.trajectory]
+        if include_trajectory
+        else None,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_run(path: PathLike) -> RunResult:
+    """Read a run result back (trajectory restored when present)."""
+    payload = json.loads(Path(path).read_text())
+    return RunResult(
+        final=np.asarray(payload["final"], dtype=np.int32),
+        rounds=int(payload["rounds"]),
+        converged=bool(payload["converged"]),
+        cycle_length=payload["cycle_length"],
+        fixed_point_round=payload["fixed_point_round"],
+        last_change=None
+        if payload["last_change"] is None
+        else np.asarray(payload["last_change"], dtype=np.int32),
+        first_change=None,
+        monotone=payload["monotone"],
+        target_color=payload["target_color"],
+        trajectory=[
+            np.asarray(s, dtype=np.int32) for s in payload["trajectory"]
+        ]
+        if payload.get("trajectory")
+        else [],
+    )

@@ -1,0 +1,27 @@
+"""Recoloring rules: the SMP-Protocol and its baselines/generalizations."""
+
+from .base import Rule, as_color_array
+from .ordered import OrderedIncrementRule
+from .majority import BLACK, WHITE, ReverseSimpleMajority, ReverseStrongMajority
+from .plurality import GeneralizedPluralityRule, ceil_half, strong_threshold
+from .smp import SMPRule, smp_literal_update, unique_plurality_color
+from .threshold import ACTIVE, INACTIVE, LinearThresholdRule
+
+__all__ = [
+    "Rule",
+    "as_color_array",
+    "SMPRule",
+    "smp_literal_update",
+    "unique_plurality_color",
+    "ReverseSimpleMajority",
+    "ReverseStrongMajority",
+    "WHITE",
+    "BLACK",
+    "GeneralizedPluralityRule",
+    "ceil_half",
+    "strong_threshold",
+    "LinearThresholdRule",
+    "OrderedIncrementRule",
+    "ACTIVE",
+    "INACTIVE",
+]

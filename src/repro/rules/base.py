@@ -1,0 +1,78 @@
+"""Recoloring-rule interface.
+
+A :class:`Rule` encapsulates one synchronous local update: given the current
+color vector and a topology, produce the next color vector.  Every rule
+provides two implementations:
+
+* :meth:`Rule.step` — the vectorized kernel used by the engine (no Python
+  loop over vertices; see the hpc-parallel notes in DESIGN.md),
+* :meth:`Rule.update_vertex` — a scalar reference used as the correctness
+  oracle in tests and by the asynchronous scheduler.
+
+Colors are small non-negative integers stored in ``int32`` vectors (the
+paper's ``C = {1..k}``; 0 is also a legal color id — nothing in the engine
+reserves it).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..topology.base import Topology
+
+__all__ = ["Rule", "as_color_array"]
+
+
+def as_color_array(colors: Sequence[int] | np.ndarray, num_vertices: int) -> np.ndarray:
+    """Validate and convert a color assignment to the canonical int32 vector."""
+    arr = np.asarray(colors, dtype=np.int32)
+    if arr.shape != (num_vertices,):
+        raise ValueError(f"expected {num_vertices} colors, got shape {arr.shape}")
+    if np.any(arr < 0):
+        raise ValueError("colors must be non-negative integers")
+    return np.ascontiguousarray(arr)
+
+
+class Rule(abc.ABC):
+    """Abstract synchronous recoloring rule."""
+
+    #: largest neighbor-table width the vectorized kernel supports; ``None``
+    #: means any.  The degree-4 sort kernel of :class:`~repro.rules.smp.SMPRule`
+    #: sets this to 4 and the engine falls back to the counting kernel for
+    #: other degrees.
+    regular_degree: Optional[int] = None
+
+    @abc.abstractmethod
+    def step(
+        self,
+        colors: np.ndarray,
+        topo: Topology,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Apply one synchronous round; return the next color vector.
+
+        ``out`` may alias a preallocated buffer (never ``colors`` itself) to
+        avoid per-round allocation in long runs.
+        """
+
+    @abc.abstractmethod
+    def update_vertex(self, current: int, neighbor_colors: Sequence[int]) -> int:
+        """Scalar reference update for one vertex (the test oracle)."""
+
+    # ------------------------------------------------------------------
+    def step_reference(self, colors: np.ndarray, topo: Topology) -> np.ndarray:
+        """Pure-Python synchronous round via :meth:`update_vertex`.
+
+        Quadratically slower than :meth:`step`; only for tests/oracles.
+        """
+        out = np.empty_like(colors)
+        for v in range(topo.num_vertices):
+            nb = topo.neighbors[v, : topo.degrees[v]]
+            out[v] = self.update_vertex(int(colors[v]), [int(colors[w]) for w in nb])
+        return out
+
+    def name(self) -> str:
+        return type(self).__name__

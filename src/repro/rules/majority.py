@@ -1,0 +1,147 @@
+"""Bi-colored majority rules of Flocchini et al. [15] — the paper's baselines.
+
+The paper positions the SMP-Protocol against the *reverse simple majority*
+and *reverse strong majority* rules studied in "Dynamic monopolies in tori"
+(Discrete Applied Mathematics 137, 2004).  Both are defined on two colors,
+conventionally WHITE (non-faulty) and BLACK (faulty); every vertex recomputes
+its color from the majority of its four neighbors each round ("reverse"
+because recoloring is reversible — a black vertex may turn white again).
+
+* **simple majority**: threshold ``ceil(d/2) = 2`` black neighbors make a
+  vertex black.  A 2-2 tie is resolved by the *Prefer-Black* (PB) or
+  *Prefer-Current* (PC) policy (Peleg's terminology, adopted in Section I of
+  the reproduced paper).
+* **strong majority**: threshold ``ceil((d+1)/2) = 3``; a vertex recolors
+  only when some color holds at least three of its four neighbors, otherwise
+  it keeps its color.  (Stated for two colors in [15]; our implementation is
+  multi-color safe since a color held by >= 3 of 4 neighbors is unique.)
+
+These rules drive Propositions 1 and 2 of the reproduced paper: lower bounds
+for multi-colored dynamos are inherited from simple-majority bi-colored
+dynamos through the color-collapse map ``phi`` (:mod:`repro.core.phi`), and
+upper bounds from strong-majority dynamos.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..topology.base import Topology
+from .base import Rule
+
+__all__ = [
+    "WHITE",
+    "BLACK",
+    "ReverseSimpleMajority",
+    "ReverseStrongMajority",
+]
+
+#: conventional color ids for the bi-colored rules (paper: phi maps the
+#: non-target colors to 1=white and the target color k to 2=black)
+WHITE = 1
+BLACK = 2
+
+
+class ReverseSimpleMajority(Rule):
+    """Reverse simple majority on 4-regular bi-colored topologies.
+
+    Parameters
+    ----------
+    tie:
+        ``"prefer-black"`` (PB, the rule of [15]) or ``"prefer-current"``
+        (PC).  Under PB a 2-2 neighborhood makes the vertex black; under PC
+        it keeps its color.
+    """
+
+    regular_degree = 4
+
+    def __init__(self, tie: str = "prefer-black"):
+        if tie not in ("prefer-black", "prefer-current"):
+            raise ValueError(f"unknown tie policy {tie!r}")
+        self.tie = tie
+
+    def step(
+        self,
+        colors: np.ndarray,
+        topo: Topology,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        if topo.neighbors.shape[1] != 4 or not topo.is_regular:
+            raise ValueError("ReverseSimpleMajority requires a 4-regular topology")
+        self._check_bicolored(colors)
+        black_count = (colors[topo.neighbors] == BLACK).sum(axis=1)
+        if self.tie == "prefer-black":
+            result = np.where(black_count >= 2, BLACK, WHITE)
+        else:  # prefer-current: strict majority flips, tie keeps
+            result = np.where(
+                black_count >= 3, BLACK, np.where(black_count <= 1, WHITE, colors)
+            )
+        result = result.astype(np.int32, copy=False)
+        if out is None:
+            return result
+        np.copyto(out, result)
+        return out
+
+    def update_vertex(self, current: int, neighbor_colors: Sequence[int]) -> int:
+        if len(neighbor_colors) != 4:
+            raise ValueError("rule defined on degree-4 neighborhoods")
+        blacks = sum(1 for c in neighbor_colors if c == BLACK)
+        if self.tie == "prefer-black":
+            return BLACK if blacks >= 2 else WHITE
+        if blacks >= 3:
+            return BLACK
+        if blacks <= 1:
+            return WHITE
+        return current
+
+    @staticmethod
+    def _check_bicolored(colors: np.ndarray) -> None:
+        bad = ~np.isin(colors, (WHITE, BLACK))
+        if np.any(bad):
+            raise ValueError(
+                "bi-colored rule got colors outside {WHITE=1, BLACK=2}; "
+                "collapse multi-colorings with repro.core.phi first"
+            )
+
+    def name(self) -> str:
+        return f"ReverseSimpleMajority[{self.tie}]"
+
+
+class ReverseStrongMajority(Rule):
+    """Reverse strong majority: recolor only on a >= 3-of-4 neighborhood.
+
+    Multi-color safe; on bi-colorings it reduces to the strong rule of [15].
+    """
+
+    regular_degree = 4
+
+    def step(
+        self,
+        colors: np.ndarray,
+        topo: Topology,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        if topo.neighbors.shape[1] != 4 or not topo.is_regular:
+            raise ValueError("ReverseStrongMajority requires a 4-regular topology")
+        s = np.sort(colors[topo.neighbors], axis=1)
+        # A color reaching 3 of 4 sorted slots occupies s1 and s2; a low
+        # triple has s0==s1==s2, a high triple s1==s2==s3.  Either way the
+        # triple color equals s1 (== s2).
+        low3 = (s[:, 0] == s[:, 1]) & (s[:, 1] == s[:, 2])
+        high3 = (s[:, 1] == s[:, 2]) & (s[:, 2] == s[:, 3])
+        result = np.where(low3 | high3, s[:, 1], colors)
+        result = result.astype(np.int32, copy=False)
+        if out is None:
+            return result
+        np.copyto(out, result)
+        return out
+
+    def update_vertex(self, current: int, neighbor_colors: Sequence[int]) -> int:
+        if len(neighbor_colors) != 4:
+            raise ValueError("rule defined on degree-4 neighborhoods")
+        counts = Counter(neighbor_colors)
+        color, cnt = counts.most_common(1)[0]
+        return color if cnt >= 3 else current

@@ -1,0 +1,137 @@
+"""The SMP-Protocol — "simple majority with persuadable entities".
+
+Paper statement (Algorithm 1): for each vertex ``x`` with neighbors
+``a, b, c, d``::
+
+    if (r(a) = r(b) and r(c) != r(d)) or (r(a) = r(b) = r(c) = r(d)):
+        r(x) <- r(a)
+
+Read over the *unordered* neighborhood this says: ``x`` adopts color ``c``
+when some two neighbors agree on ``c`` while the remaining two disagree with
+each other, or when all four agree.  Enumerating the five partition shapes of
+a 4-multiset shows this is equivalent to the normalized rule implemented
+here:
+
+====================  ======================  ==========
+neighbor multiset     unique color with >=2?  action
+====================  ======================  ==========
+``{c,c,c,c}``         yes (c)                 adopt ``c``
+``{c,c,c,d}``         yes (c)                 adopt ``c``
+``{c,c,d,e}``         yes (c)                 adopt ``c``
+``{c,c,d,d}``         no (tie)                keep
+``{c,d,e,f}``         no                      keep
+====================  ======================  ==========
+
+The 2+2 tie keeping the current color is the paper's deliberate difference
+from the Prefer-Black resolution of Flocchini et al. [15] (see Section I and
+Remark 1); :mod:`repro.rules.majority` implements those baselines.
+
+``tests/test_rules_smp.py`` verifies the equivalence claim exhaustively: the
+vectorized kernel, the scalar normalized rule, and a literal transcription of
+Algorithm 1 (existential quantification over neighbor orderings) agree on
+every multiset over five colors.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..topology.base import Topology
+from .base import Rule
+
+__all__ = ["SMPRule", "smp_literal_update", "unique_plurality_color"]
+
+
+def unique_plurality_color(neighbor_colors: Sequence[int], threshold: int = 2):
+    """Return the unique color reaching ``threshold`` occurrences, else ``None``.
+
+    This is the normalized core of the SMP rule (``threshold=2`` on degree-4
+    neighborhoods) and of its arbitrary-degree generalization.
+    """
+    counts = Counter(neighbor_colors)
+    reaching = [c for c, cnt in counts.items() if cnt >= threshold]
+    if len(reaching) == 1:
+        return reaching[0]
+    return None
+
+
+def smp_literal_update(current: int, neighbor_colors: Sequence[int]) -> int:
+    """Literal transcription of Algorithm 1 used as a cross-check oracle.
+
+    Quantifies existentially over all orderings ``(a, b, c, d)`` of the
+    neighborhood, exactly as the paper's pseudocode reads: if *some*
+    assignment of the four neighbors to ``a,b,c,d`` satisfies
+    ``(r(a)=r(b) and r(c)!=r(d)) or (r(a)=r(b)=r(c)=r(d))`` then ``x``
+    takes ``r(a)``.  With a 2+2 split two conflicting assignments would
+    exist (one per pair); the paper resolves this as "the node does not
+    change color" (Section I), so we adopt only when the adopted color is
+    unambiguous.
+    """
+    from itertools import permutations
+
+    if len(neighbor_colors) != 4:
+        raise ValueError("literal SMP rule is defined on degree-4 neighborhoods")
+    candidates = set()
+    for a, b, c, d in permutations(neighbor_colors, 4):
+        if (a == b and c != d) or (a == b == c == d):
+            candidates.add(a)
+    if len(candidates) == 1:
+        return candidates.pop()
+    return current
+
+
+class SMPRule(Rule):
+    """Vectorized SMP-Protocol on 4-regular topologies.
+
+    The kernel gathers the four neighbor colors of every vertex into an
+    ``(N, 4)`` array, sorts each row, and decides adoption from the three
+    adjacent-equality flags of the sorted row ``s0 <= s1 <= s2 <= s3``:
+
+    * ``e1 = (s0 == s1)``, ``e2 = (s1 == s2)``, ``e3 = (s2 == s3)``;
+    * adopt ``s0`` when ``e1 and (e2 or not e3)`` — covers ``cccc``,
+      ``cccd`` (low triple) and ``ccde`` (low pair alone);
+    * else adopt ``s1`` when ``e2 and not e1`` — covers ``dccc`` (high
+      triple, reading ``s1=s2=s3``) and ``dcce`` (middle pair alone);
+    * else adopt ``s2`` when ``e3 and not e2 and not e1`` — high pair alone;
+    * otherwise (``ccdd`` tie or all-distinct) keep the current color.
+
+    Branch-free ``np.where`` chain; the only allocations are the gather and
+    sort buffers, reused via ``out`` by the engine.
+    """
+
+    regular_degree = 4
+
+    def step(
+        self,
+        colors: np.ndarray,
+        topo: Topology,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        nb = topo.neighbors
+        if nb.shape[1] != 4 or not topo.is_regular:
+            raise ValueError(
+                "SMPRule.step requires a 4-regular topology; use "
+                "GeneralizedPluralityRule for arbitrary graphs"
+            )
+        s = np.sort(colors[nb], axis=1)
+        s0, s1, s2 = s[:, 0], s[:, 1], s[:, 2]
+        e1 = s0 == s1
+        e2 = s1 == s[:, 2]
+        e3 = s[:, 2] == s[:, 3]
+        adopt0 = e1 & (e2 | ~e3)
+        adopt1 = e2 & ~e1
+        adopt2 = e3 & ~e2 & ~e1
+        result = np.where(adopt0, s0, np.where(adopt1, s1, np.where(adopt2, s2, colors)))
+        if out is None:
+            return result.astype(np.int32, copy=False)
+        np.copyto(out, result)
+        return out
+
+    def update_vertex(self, current: int, neighbor_colors: Sequence[int]) -> int:
+        if len(neighbor_colors) != 4:
+            raise ValueError("SMP rule is defined on degree-4 neighborhoods")
+        winner = unique_plurality_color(neighbor_colors, threshold=2)
+        return current if winner is None else winner

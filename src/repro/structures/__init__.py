@@ -1,0 +1,40 @@
+"""Structural analysis: blocks, bounding boxes, forests, derivable sets."""
+
+from .blocks import (
+    connected_components,
+    has_k_block,
+    has_non_k_block,
+    immutable_vertices,
+    k_blocks,
+    non_k_blocks,
+    prune_to_core,
+)
+from .boxes import BoundingBox, bounding_box, minimal_arc_length
+from .derivable import derivable_k_set, derived_history
+from .forests import (
+    ConditionReport,
+    check_theorem_conditions,
+    color_class_is_forest,
+    induced_subgraph_is_forest,
+    rainbow_violations,
+)
+
+__all__ = [
+    "prune_to_core",
+    "connected_components",
+    "k_blocks",
+    "non_k_blocks",
+    "has_k_block",
+    "has_non_k_block",
+    "immutable_vertices",
+    "BoundingBox",
+    "bounding_box",
+    "minimal_arc_length",
+    "derivable_k_set",
+    "derived_history",
+    "ConditionReport",
+    "check_theorem_conditions",
+    "color_class_is_forest",
+    "induced_subgraph_is_forest",
+    "rainbow_violations",
+]

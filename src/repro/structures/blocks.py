@@ -1,0 +1,130 @@
+"""k-blocks and non-k-blocks (Definitions 4 and 5 of the paper).
+
+* A **k-block** is a connected set of k-colored vertices each having at
+  least **two** neighbors inside the set.  Such vertices can never recolor
+  under the SMP rule: with two same-colored (k) neighbors, either the other
+  two neighbors differ (then k is the unique >=2 color and the vertex
+  "re-adopts" its own color) or they tie (no change).  k-blocks are the
+  immovable cores monotone dynamos are made of (Lemma 2).
+
+* A **non-k-block** is a connected set of vertices with colors in
+  ``C - {k}`` each having at least **three** neighbors inside the set —
+  hence at most one k-colored neighbor, hence never able to see two
+  k-colored neighbors, hence never recoloring to ``k``.  A non-k-block in
+  ``T - S_k`` certifies that ``S_k`` is *not* a k-dynamo.
+
+Both are computed by iterated pruning to the maximal admissible subset
+(a threshold-core computation) followed by connected-component splitting.
+The pruning loop is fully vectorized: membership is a boolean vector and the
+inside-degree is one gather + masked row-sum per iteration; at most ``N``
+iterations, in practice a handful.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..topology.base import Topology
+
+__all__ = [
+    "prune_to_core",
+    "connected_components",
+    "k_blocks",
+    "non_k_blocks",
+    "has_k_block",
+    "has_non_k_block",
+    "immutable_vertices",
+]
+
+
+def prune_to_core(
+    topo: Topology, member: np.ndarray, min_inside: int
+) -> np.ndarray:
+    """Largest subset of ``member`` where every vertex keeps ``min_inside``
+    member-neighbors; returned as a boolean mask.
+
+    This is the standard k-core peeling restricted to an initial candidate
+    set: repeatedly discard vertices whose inside-degree drops below the
+    threshold.  The result is the unique maximal such subset (the union of
+    all admissible subsets is admissible).
+    """
+    member = member.astype(bool).copy()
+    nb = topo.neighbors
+    pad_safe = np.where(nb >= 0, nb, 0)
+    slot_live = nb >= 0
+    while True:
+        inside = (member[pad_safe] & slot_live).sum(axis=1)
+        keep = member & (inside >= min_inside)
+        if np.array_equal(keep, member):
+            return keep
+        member = keep
+
+
+def connected_components(topo: Topology, member: np.ndarray) -> List[np.ndarray]:
+    """Split a vertex mask into connected components (lists of vertex ids).
+
+    BFS over the neighbor table restricted to member vertices.  Components
+    are returned sorted by smallest contained vertex id for determinism.
+    """
+    member = member.astype(bool)
+    seen = np.zeros(topo.num_vertices, dtype=bool)
+    comps: List[np.ndarray] = []
+    for start in np.flatnonzero(member):
+        if seen[start]:
+            continue
+        queue = [int(start)]
+        seen[start] = True
+        comp = []
+        while queue:
+            v = queue.pop()
+            comp.append(v)
+            for w in topo.neighbors[v, : topo.degrees[v]]:
+                w = int(w)
+                if member[w] and not seen[w]:
+                    seen[w] = True
+                    queue.append(w)
+        comps.append(np.asarray(sorted(comp), dtype=np.int64))
+    return comps
+
+
+def k_blocks(topo: Topology, colors: np.ndarray, k: int) -> List[np.ndarray]:
+    """All maximal k-blocks of a coloring (possibly empty list)."""
+    core = prune_to_core(topo, colors == k, min_inside=2)
+    return connected_components(topo, core)
+
+
+def non_k_blocks(topo: Topology, colors: np.ndarray, k: int) -> List[np.ndarray]:
+    """All maximal non-k-blocks of a coloring (Definition 5; needs |C| > 2
+    to be interesting but is well-defined for any coloring)."""
+    core = prune_to_core(topo, colors != k, min_inside=3)
+    return connected_components(topo, core)
+
+
+def has_k_block(topo: Topology, colors: np.ndarray, k: int) -> bool:
+    """True iff some k-block exists (cheap: core non-empty)."""
+    return bool(prune_to_core(topo, colors == k, min_inside=2).any())
+
+
+def has_non_k_block(topo: Topology, colors: np.ndarray, k: int) -> bool:
+    """True iff some non-k-block exists — a certificate that no k-dynamo
+    dynamics can ever reach the all-k configuration from this coloring."""
+    return bool(prune_to_core(topo, colors != k, min_inside=3).any())
+
+
+def immutable_vertices(
+    topo: Topology, colors: np.ndarray, k: Optional[int] = None
+) -> np.ndarray:
+    """Vertices provably unable to ever change color, as a boolean mask.
+
+    Conservative certificate used by tests: the union over all colors ``c``
+    of the c-block cores (vertices with >= 2 same-colored neighbors inside
+    the core can only re-adopt their own color).  When ``k`` is given, only
+    the k-core is computed.
+    """
+    out = np.zeros(topo.num_vertices, dtype=bool)
+    palette = [k] if k is not None else np.unique(colors).tolist()
+    for c in palette:
+        out |= prune_to_core(topo, colors == c, min_inside=2)
+    return out

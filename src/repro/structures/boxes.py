@@ -1,0 +1,74 @@
+"""Toroidal bounding rectangles (the ``R_F`` of Section III).
+
+For a vertex set ``F`` in an ``m x n`` torus, ``R_F`` is the smallest
+axis-aligned rectangle containing ``F`` *allowing cyclic wraparound*: the
+covered rows form a minimal circular arc of ``Z_m`` and likewise for
+columns.  Its dimensions ``m_F x n_F`` drive Lemma 1 and Theorem 1(i).
+
+The minimal covering arc of a set of residues is computed by sorting the
+occupied residues and removing the largest cyclic gap — the arc length is
+``m - max_gap``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from ..topology.base import GridTopology
+
+__all__ = ["BoundingBox", "minimal_arc_length", "bounding_box"]
+
+
+def minimal_arc_length(occupied: np.ndarray, modulus: int) -> Tuple[int, int]:
+    """Length and start of the minimal circular arc covering ``occupied``.
+
+    Returns ``(length, start)`` where ``start`` is the first residue of the
+    arc.  An empty set has length 0 (start 0 by convention).
+    """
+    vals = np.unique(np.asarray(occupied, dtype=np.int64) % modulus)
+    if vals.size == 0:
+        return 0, 0
+    if vals.size == modulus:
+        return modulus, 0
+    gaps = np.diff(np.concatenate([vals, vals[:1] + modulus]))
+    widest = int(np.argmax(gaps))
+    start = int(vals[(widest + 1) % vals.size])
+    # the arc runs from just after the widest gap around to its far side:
+    # gap g leaves g - 1 uncovered residues, so the arc length is m - g + 1
+    return int(modulus - gaps[widest] + 1), start
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Smallest toroidal rectangle ``R_F``: row arc x column arc."""
+
+    row_start: int
+    row_extent: int  # the paper's m_F
+    col_start: int
+    col_extent: int  # the paper's n_F
+
+    @property
+    def extents(self) -> Tuple[int, int]:
+        """``(m_F, n_F)`` — the quantities bounded by Lemma 1/Theorem 1."""
+        return (self.row_extent, self.col_extent)
+
+    def contains(self, i: int, j: int, m: int, n: int) -> bool:
+        """Is grid cell ``(i, j)`` inside the (cyclic) rectangle?"""
+        di = (i - self.row_start) % m
+        dj = (j - self.col_start) % n
+        return di < self.row_extent and dj < self.col_extent
+
+
+def bounding_box(topo: GridTopology, vertices: Iterable[int]) -> BoundingBox:
+    """Compute ``R_F`` for a vertex-id set on a grid topology."""
+    ids = np.asarray(sorted(set(int(v) for v in vertices)), dtype=np.int64)
+    if ids.size and (ids[0] < 0 or ids[-1] >= topo.num_vertices):
+        raise ValueError("vertex id out of range")
+    rows = ids // topo.n
+    cols = ids % topo.n
+    row_extent, row_start = minimal_arc_length(rows, topo.m)
+    col_extent, col_start = minimal_arc_length(cols, topo.n)
+    return BoundingBox(row_start, row_extent, col_start, col_extent)

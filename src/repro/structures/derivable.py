@@ -1,0 +1,66 @@
+"""Derivable sets (Section III): what a seed can ever recolor.
+
+"The set of vertices derivable from F are the recolored vertices obtained
+(within a finite number of steps) by applying the SMP-Protocol to the
+vertices in F."  We expose two related computations:
+
+* :func:`derivable_k_set` — simulate and return every vertex that holds
+  color ``k`` at the reached fixed point (plus, optionally, the set of
+  vertices that were k at any time, relevant for non-monotone runs);
+* :func:`derived_history` — the sequence of k-sets per round, used by the
+  Lemma 1 test (bounding boxes never grow) and the monotonicity tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..engine.runner import run_synchronous
+from ..rules.base import Rule
+from ..rules.smp import SMPRule
+from ..topology.base import Topology
+
+__all__ = ["derivable_k_set", "derived_history"]
+
+
+def derivable_k_set(
+    topo: Topology,
+    colors: np.ndarray,
+    k: int,
+    rule: Optional[Rule] = None,
+    max_rounds: Optional[int] = None,
+) -> Tuple[np.ndarray, bool]:
+    """Vertices colored ``k`` at the end of the dynamics.
+
+    Returns ``(mask, converged)``.  When the dynamics cycle instead of
+    converging, the mask reflects the state at cycle detection and
+    ``converged`` is False.
+    """
+    rule = rule if rule is not None else SMPRule()
+    res = run_synchronous(
+        topo, colors, rule, max_rounds=max_rounds, target_color=k, track_changes=False
+    )
+    return res.final == k, res.converged
+
+
+def derived_history(
+    topo: Topology,
+    colors: np.ndarray,
+    k: int,
+    rule: Optional[Rule] = None,
+    max_rounds: Optional[int] = None,
+) -> List[np.ndarray]:
+    """Boolean k-membership masks per round, round 0 first."""
+    rule = rule if rule is not None else SMPRule()
+    res = run_synchronous(
+        topo,
+        colors,
+        rule,
+        max_rounds=max_rounds,
+        target_color=k,
+        record=True,
+        track_changes=False,
+    )
+    return [state == k for state in res.trajectory]

@@ -1,0 +1,132 @@
+"""Forest and rainbow-neighborhood conditions of Theorems 2, 4 and 6.
+
+The sufficient condition for the explicit minimum dynamos is, for every
+non-target color ``k'``:
+
+1. the subgraph induced by the k'-colored vertices (``S^{k'}``) is a
+   **forest** (acyclic), and
+2. for every k'-colored vertex ``x``, the neighbors of ``x`` that are
+   neither k'-colored nor k-colored carry pairwise **different** colors
+   (the *rainbow* condition; it forbids any second >=2-color from ever
+   contesting the target color at ``x``).
+
+Forest checking uses union-find over the induced edges (linear in edges,
+no recursion).  Violations are reported with offending vertices to make
+failed constructions debuggable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..topology.base import Topology
+
+__all__ = [
+    "induced_subgraph_is_forest",
+    "color_class_is_forest",
+    "rainbow_violations",
+    "check_theorem_conditions",
+    "ConditionReport",
+]
+
+
+class _UnionFind:
+    """Array-based union-find with path halving (no Python recursion)."""
+
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        p = self.parent
+        while p[x] != x:
+            p[x] = p[p[x]]
+            x = p[x]
+        return x
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of a and b; return False when already joined
+        (i.e. the edge (a, b) closes a cycle)."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self.parent[ra] = rb
+        return True
+
+
+def induced_subgraph_is_forest(topo: Topology, member: np.ndarray) -> bool:
+    """Is the subgraph induced by the mask acyclic?"""
+    member = member.astype(bool)
+    uf = _UnionFind(topo.num_vertices)
+    for v in np.flatnonzero(member):
+        v = int(v)
+        for w in topo.neighbors[v, : topo.degrees[v]]:
+            w = int(w)
+            if w > v and member[w]:
+                if not uf.union(v, w):
+                    return False
+    return True
+
+
+def color_class_is_forest(topo: Topology, colors: np.ndarray, color: int) -> bool:
+    """Is ``S^{color}`` (all vertices of that color) a forest?"""
+    return induced_subgraph_is_forest(topo, colors == color)
+
+
+def rainbow_violations(
+    topo: Topology, colors: np.ndarray, k: int
+) -> List[Tuple[int, int]]:
+    """Vertices violating the rainbow condition of Theorem 2/4/6.
+
+    Returns ``(vertex, repeated_color)`` pairs: ``vertex`` is k'-colored
+    (k' != k) and two of its neighbors outside ``V^{k'} union V^k`` share
+    ``repeated_color``.
+    """
+    violations: List[Tuple[int, int]] = []
+    for v in np.flatnonzero(colors != k):
+        v = int(v)
+        own = int(colors[v])
+        seen: set[int] = set()
+        for w in topo.neighbors[v, : topo.degrees[v]]:
+            c = int(colors[int(w)])
+            if c == own or c == k:
+                continue
+            if c in seen:
+                violations.append((v, c))
+                break
+            seen.add(c)
+    return violations
+
+
+@dataclass
+class ConditionReport:
+    """Outcome of checking the Theorem 2/4/6 sufficient conditions."""
+
+    satisfied: bool
+    non_forest_colors: List[int] = field(default_factory=list)
+    rainbow_failures: List[Tuple[int, int]] = field(default_factory=list)
+    note: Optional[str] = None
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.satisfied
+
+
+def check_theorem_conditions(
+    topo: Topology, colors: np.ndarray, k: int
+) -> ConditionReport:
+    """Check both conditions for every non-target color class."""
+    non_forest = [
+        int(c)
+        for c in np.unique(colors)
+        if c != k and not color_class_is_forest(topo, colors, int(c))
+    ]
+    rainbow = rainbow_violations(topo, colors, k)
+    ok = not non_forest and not rainbow
+    return ConditionReport(
+        satisfied=ok,
+        non_forest_colors=non_forest,
+        rainbow_failures=rainbow,
+        note=None if ok else "see non_forest_colors / rainbow_failures",
+    )

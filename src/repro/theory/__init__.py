@@ -1,0 +1,46 @@
+"""The paper as executable claims, with verdicts.
+
+>>> from repro.theory import full_report, render_report
+>>> print(render_report(full_report()))   # the whole paper, audited
+"""
+
+from .base import ClaimReport, Verdict
+from .lemmas import check_lemma1, check_lemma2, check_lemma3
+from .propositions import (
+    check_proposition1,
+    check_proposition2,
+    check_proposition3,
+)
+from .report import ALL_CHECKS, full_report, render_markdown, render_report
+from .rounds import check_theorem7, check_theorem8
+from .size_bounds import (
+    check_theorem1,
+    check_theorem2,
+    check_theorem3,
+    check_theorem4,
+    check_theorem5,
+    check_theorem6,
+)
+
+__all__ = [
+    "ClaimReport",
+    "Verdict",
+    "ALL_CHECKS",
+    "full_report",
+    "render_report",
+    "render_markdown",
+    "check_lemma1",
+    "check_lemma2",
+    "check_lemma3",
+    "check_theorem1",
+    "check_theorem2",
+    "check_theorem3",
+    "check_theorem4",
+    "check_theorem5",
+    "check_theorem6",
+    "check_theorem7",
+    "check_theorem8",
+    "check_proposition1",
+    "check_proposition2",
+    "check_proposition3",
+]

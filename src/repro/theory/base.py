@@ -1,0 +1,58 @@
+"""Executable claims: the paper's statements as checkable objects.
+
+Every lemma/theorem/proposition module in :mod:`repro.theory` exposes a
+``check(...)`` function returning a :class:`ClaimReport` with a
+:class:`Verdict`:
+
+* ``MATCH`` — the claim held exactly on the checked instances;
+* ``CORRECTED`` — the qualitative claim holds but the stated quantity is
+  wrong; the report carries the corrected law;
+* ``REFUTED`` — a verified counterexample exists (included in the report).
+
+``repro.theory.report`` assembles the full verdict table (the programmatic
+version of EXPERIMENTS.md) and the CLI prints it via
+``repro-dynamo theorems``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["Verdict", "ClaimReport"]
+
+
+class Verdict(str, enum.Enum):
+    MATCH = "MATCH"
+    CORRECTED = "CORRECTED"
+    REFUTED = "REFUTED"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class ClaimReport:
+    """Outcome of checking one paper claim on concrete instances."""
+
+    #: e.g. "Theorem 1", "Lemma 2", "Proposition 3"
+    claim_id: str
+    #: one-sentence paraphrase of the paper's statement
+    statement: str
+    verdict: Verdict
+    #: instances the check ran on (sizes, palettes, ...)
+    checked: Dict[str, Any] = field(default_factory=dict)
+    #: paper-vs-measured quantities, corrected laws, witnesses
+    details: Dict[str, Any] = field(default_factory=dict)
+    #: short explanation of the verdict
+    note: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True unless the claim was refuted outright."""
+        return self.verdict is not Verdict.REFUTED
+
+    def as_row(self) -> tuple:
+        """(id, verdict, note) for table rendering."""
+        return (self.claim_id, str(self.verdict), self.note)

@@ -1,0 +1,89 @@
+"""The full verdict table: every paper claim, one function call.
+
+:func:`full_report` runs every check in :mod:`repro.theory` (sized for
+seconds, not minutes) and returns the list of :class:`ClaimReport`;
+:func:`render_report` formats it as a text table, and
+:func:`render_markdown` as a Markdown document (the programmatic
+counterpart of EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .base import ClaimReport
+from .lemmas import check_lemma1, check_lemma2, check_lemma3
+from .propositions import (
+    check_proposition1,
+    check_proposition2,
+    check_proposition3,
+)
+from .rounds import check_theorem7, check_theorem8
+from .size_bounds import (
+    check_theorem1,
+    check_theorem2,
+    check_theorem3,
+    check_theorem4,
+    check_theorem5,
+    check_theorem6,
+)
+
+__all__ = ["ALL_CHECKS", "full_report", "render_report", "render_markdown"]
+
+#: claim id -> zero-argument check callable (default instance sizes)
+ALL_CHECKS: Dict[str, Callable[[], ClaimReport]] = {
+    "Lemma 1": check_lemma1,
+    "Lemma 2": check_lemma2,
+    "Lemma 3": check_lemma3,
+    "Theorem 1": check_theorem1,
+    "Theorem 2": check_theorem2,
+    "Theorem 3": check_theorem3,
+    "Theorem 4": check_theorem4,
+    "Theorem 5": check_theorem5,
+    "Theorem 6": check_theorem6,
+    "Theorem 7": check_theorem7,
+    "Theorem 8": check_theorem8,
+    "Proposition 1": check_proposition1,
+    "Proposition 2": check_proposition2,
+    "Proposition 3": check_proposition3,
+}
+
+
+def full_report() -> List[ClaimReport]:
+    """Run every executable claim check at its default instance sizes."""
+    return [check() for check in ALL_CHECKS.values()]
+
+
+def render_report(reports: List[ClaimReport]) -> str:
+    """Aligned text table of (claim, verdict, note)."""
+    id_w = max(len(r.claim_id) for r in reports)
+    v_w = max(len(str(r.verdict)) for r in reports)
+    lines = [f"{'claim':<{id_w}}  {'verdict':<{v_w}}  note"]
+    lines.append(f"{'-' * id_w}  {'-' * v_w}  {'-' * 40}")
+    for r in reports:
+        lines.append(f"{r.claim_id:<{id_w}}  {str(r.verdict):<{v_w}}  {r.note}")
+    return "\n".join(lines)
+
+
+def render_markdown(reports: List[ClaimReport]) -> str:
+    """Markdown verdict table with per-claim detail sections."""
+    out = [
+        "# Reproduction verdicts",
+        "",
+        "| claim | verdict | note |",
+        "|-------|---------|------|",
+    ]
+    for r in reports:
+        out.append(f"| {r.claim_id} | **{r.verdict}** | {r.note} |")
+    out.append("")
+    for r in reports:
+        out.append(f"## {r.claim_id}")
+        out.append("")
+        out.append(f"*{r.statement}*")
+        out.append("")
+        if r.checked:
+            out.append(f"- checked: `{r.checked}`")
+        if r.details:
+            out.append(f"- details: `{r.details}`")
+        out.append("")
+    return "\n".join(out)

@@ -1,0 +1,159 @@
+"""Executable checks for the size results: Theorems 1-6.
+
+The *construction* halves of Theorems 2/4/6 verify as stated; the *lower
+bound* halves (Theorems 1/3/5) are refuted by the below-bound witnesses
+(diagonal family, floor witnesses, exhaustive 3x3 minima)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.bounds import lower_bound
+from ..core.constructions import (
+    build_minimum_dynamo,
+    theorem2_mesh_dynamo,
+    theorem4_cordalis_dynamo,
+    theorem6_serpentinus_dynamo,
+)
+from ..core.diagonal import diagonal_dynamo
+from ..core.floor import floor_dynamo
+from ..core.verify import is_monotone_dynamo, verify_construction
+from .base import ClaimReport, Verdict
+
+__all__ = [
+    "check_theorem1",
+    "check_theorem2",
+    "check_theorem3",
+    "check_theorem4",
+    "check_theorem5",
+    "check_theorem6",
+]
+
+
+def _check_bound_refutation(kind: str, n: int, statement: str, claim_id: str) -> ClaimReport:
+    """Shared engine for the Theorem 1/3/5 lower-bound audits."""
+    bound = lower_bound(kind, n, n)
+    witness = None
+    if kind == "mesh":
+        con = floor_dynamo(n) or diagonal_dynamo(n, kind)
+    else:
+        con = diagonal_dynamo(n, kind, max_nodes=2_000_000)
+    if con is not None and is_monotone_dynamo(con.topo, con.colors, con.k):
+        witness = con
+    if witness is not None and witness.seed_size < bound:
+        return ClaimReport(
+            claim_id=claim_id,
+            statement=statement,
+            verdict=Verdict.REFUTED,
+            checked={"kind": kind, "n": n},
+            details={
+                "paper_bound": bound,
+                "witness_size": witness.seed_size,
+                "witness_palette": witness.num_colors,
+                "witness_name": witness.name,
+            },
+            note=(
+                f"verified monotone dynamo of size {witness.seed_size} < "
+                f"{bound} ({witness.name})"
+            ),
+        )
+    return ClaimReport(
+        claim_id=claim_id,
+        statement=statement,
+        verdict=Verdict.MATCH,
+        checked={"kind": kind, "n": n},
+        details={"paper_bound": bound},
+        note="no below-bound witness found at this size/budget",
+    )
+
+
+def check_theorem1(n: int = 5) -> ClaimReport:
+    return _check_bound_refutation(
+        "mesh",
+        n,
+        "monotone mesh dynamos need >= m + n - 2 vertices",
+        "Theorem 1",
+    )
+
+
+def check_theorem3(n: int = 5) -> ClaimReport:
+    return _check_bound_refutation(
+        "cordalis", n, "monotone cordalis dynamos need >= n + 1 vertices", "Theorem 3"
+    )
+
+
+def check_theorem5(n: int = 5) -> ClaimReport:
+    return _check_bound_refutation(
+        "serpentinus",
+        n,
+        "monotone serpentinus dynamos need >= min(m, n) + 1 vertices",
+        "Theorem 5",
+    )
+
+
+def _check_construction(con, claim_id: str, statement: str, expected_size: int,
+                        extra_note: str = "") -> ClaimReport:
+    rep = verify_construction(con)
+    ok = (
+        rep.is_monotone_dynamo
+        and rep.conditions is not None
+        and rep.conditions.satisfied
+        and con.seed_size == expected_size
+    )
+    note = f"verified at size {con.seed_size}"
+    if extra_note:
+        note += f"; {extra_note}"
+    return ClaimReport(
+        claim_id=claim_id,
+        statement=statement,
+        verdict=Verdict.MATCH if ok else Verdict.REFUTED,
+        checked={"m": con.topo.m, "n": con.topo.n},
+        details={
+            "seed_size": con.seed_size,
+            "palette": con.num_colors,
+            "rounds": rep.rounds,
+            "conditions": rep.conditions.satisfied if rep.conditions else None,
+        },
+        note=note if ok else "construction failed verification",
+    )
+
+
+def check_theorem2(m: int = 9, n: int = 9) -> ClaimReport:
+    """Theorem 2's construction, including the extra protection constraint
+    on the weak seed vertex (CORRECTED rather than plain MATCH)."""
+    rep = _check_construction(
+        theorem2_mesh_dynamo(m, n),
+        "Theorem 2",
+        "the row+column-minus-one seed with forest+rainbow complement is a "
+        "minimum monotone dynamo (|C| >= 4)",
+        m + n - 2,
+        extra_note=(
+            "needs one extra constraint the paper omits: the weak seed "
+            "vertex (0, n-2) must see rainbow neighbors; minimality refuted "
+            "separately (see Theorem 1)"
+        ),
+    )
+    if rep.verdict is Verdict.MATCH:
+        rep.verdict = Verdict.CORRECTED
+    return rep
+
+
+def check_theorem4(m: int = 9, n: int = 9) -> ClaimReport:
+    return _check_construction(
+        theorem4_cordalis_dynamo(m, n),
+        "Theorem 4",
+        "row 0 plus (1, 0) with a valid complement is a monotone dynamo of "
+        "size n + 1 on the cordalis",
+        n + 1,
+    )
+
+
+def check_theorem6(m: int = 9, n: int = 9) -> ClaimReport:
+    return _check_construction(
+        theorem6_serpentinus_dynamo(m, n),
+        "Theorem 6",
+        "the N + 1 row/column seed is a monotone dynamo on the serpentinus",
+        min(m, n) + 1,
+    )

@@ -1,0 +1,44 @@
+"""Interaction topologies: the paper's three tori plus general graphs.
+
+Public classes
+--------------
+* :class:`ToroidalMesh`, :class:`TorusCordalis`, :class:`TorusSerpentinus` —
+  the degree-4 grid variants of Section II-A.
+* :class:`GraphTopology` — any undirected graph (scale-free extension).
+* :class:`TemporalTopology` — time-varying link availability (future work).
+"""
+
+from .base import GridTopology, Topology
+from .graph import GraphTopology
+from .lattice import OpenMesh
+from .temporal import (
+    AlwaysAvailable,
+    AvailabilityProcess,
+    BernoulliAvailability,
+    PeriodicAvailability,
+    TemporalTopology,
+)
+from .tori import (
+    TORUS_CLASSES,
+    ToroidalMesh,
+    TorusCordalis,
+    TorusSerpentinus,
+    make_torus,
+)
+
+__all__ = [
+    "Topology",
+    "GridTopology",
+    "ToroidalMesh",
+    "TorusCordalis",
+    "TorusSerpentinus",
+    "TORUS_CLASSES",
+    "make_torus",
+    "GraphTopology",
+    "OpenMesh",
+    "TemporalTopology",
+    "AvailabilityProcess",
+    "AlwaysAvailable",
+    "BernoulliAvailability",
+    "PeriodicAvailability",
+]

@@ -1,0 +1,82 @@
+"""Arbitrary-graph topology (used by the scale-free future-work extension).
+
+The paper's conclusions propose studying the SMP protocol on scale-free
+networks; :class:`GraphTopology` adapts any :mod:`networkx` graph (or edge
+list) to the dense neighbor-table interface consumed by the engine, padding
+irregular rows with ``-1``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple, Union
+
+import numpy as np
+
+from .base import Topology
+
+__all__ = ["GraphTopology"]
+
+EdgeLike = Union["networkx.Graph", Iterable[Tuple[int, int]]]  # noqa: F821
+
+
+class GraphTopology(Topology):
+    """Topology backed by an arbitrary undirected simple graph.
+
+    Parameters
+    ----------
+    graph:
+        Either a ``networkx.Graph`` whose nodes are hashable (they are
+        relabeled to ``0..N-1`` in sorted order when not already integers
+        ``0..N-1``), or an iterable of ``(u, v)`` edges over integer ids.
+    num_vertices:
+        Required when passing an edge list that may leave isolated trailing
+        vertices unmentioned; ignored for ``networkx`` input.
+    """
+
+    def __init__(self, graph: EdgeLike, num_vertices: int | None = None):
+        edges, n = self._normalize(graph, num_vertices)
+        adj: list[list[int]] = [[] for _ in range(n)]
+        for u, v in edges:
+            if u == v:
+                raise ValueError(f"self-loop at vertex {u} not supported")
+            if v in adj[u]:
+                continue  # ignore duplicate edges
+            adj[u].append(v)
+            adj[v].append(u)
+        degrees = np.array([len(a) for a in adj], dtype=np.int32)
+        max_deg = int(degrees.max(initial=0))
+        table = np.full((n, max(max_deg, 1)), -1, dtype=np.int32)
+        for v, neigh in enumerate(adj):
+            table[v, : len(neigh)] = sorted(neigh)
+        self.neighbors = np.ascontiguousarray(table)
+        self.degrees = degrees
+        #: mapping original node label -> vertex id (identity for int input)
+        self.labels = self._labels
+
+    def _normalize(self, graph: EdgeLike, num_vertices: int | None):
+        try:
+            import networkx as nx
+        except ImportError:  # pragma: no cover - networkx is a hard dep
+            nx = None
+        if nx is not None and isinstance(graph, nx.Graph):
+            nodes = list(graph.nodes())
+            if all(isinstance(u, (int, np.integer)) for u in nodes) and set(
+                map(int, nodes)
+            ) == set(range(len(nodes))):
+                self._labels = {int(u): int(u) for u in nodes}
+            else:
+                order = sorted(nodes, key=repr)
+                self._labels = {u: i for i, u in enumerate(order)}
+            edges = [
+                (self._labels[u], self._labels[v]) for u, v in graph.edges()
+            ]
+            return edges, len(nodes)
+        edges = [(int(u), int(v)) for u, v in graph]
+        implied = 1 + max((max(e) for e in edges), default=-1)
+        n = implied if num_vertices is None else int(num_vertices)
+        if n < implied:
+            raise ValueError(
+                f"num_vertices={n} smaller than largest edge endpoint {implied - 1}"
+            )
+        self._labels = {i: i for i in range(n)}
+        return edges, n

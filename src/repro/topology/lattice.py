@@ -1,0 +1,72 @@
+"""Open-boundary meshes — the non-toroidal contrast topology.
+
+The headline below-bound finding of this reproduction (diagonal dynamos of
+size n on n x n *tori*) is a torus phenomenon: on the open grid the
+classic perimeter monovariant of 2-neighbor bootstrap percolation forces
+every percolating seed — hence every SMP dynamo — to have at least
+``(perimeter of the full grid) / 4 = (2m + 2n) / 4`` vertices, and the
+wraparound edges that defeat that argument on the torus do not exist.
+:class:`OpenMesh` provides the open grid so the contrast experiments can
+run both sides (see ``tests/test_topology_lattice.py`` and
+``bench_irreversible_bootstrap.py``).
+
+Corner vertices have degree 2, edges 3, interior 4; the neighbor table is
+padded with ``-1`` like any irregular topology, so the generalized
+plurality rule and the bootstrap machinery apply unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .base import Topology
+
+__all__ = ["OpenMesh"]
+
+
+class OpenMesh(Topology):
+    """The m x n grid graph with open (non-wrapping) boundaries."""
+
+    def __init__(self, m: int, n: int):
+        if m < 2 or n < 2:
+            raise ValueError(f"open mesh needs m, n >= 2, got {m}x{n}")
+        self.m = int(m)
+        self.n = int(n)
+        table = np.full((m * n, 4), -1, dtype=np.int32)
+        degrees = np.zeros(m * n, dtype=np.int32)
+        for i in range(m):
+            for j in range(n):
+                v = i * n + j
+                slot = 0
+                for di, dj in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+                    ii, jj = i + di, j + dj
+                    if 0 <= ii < m and 0 <= jj < n:
+                        table[v, slot] = ii * n + jj
+                        slot += 1
+                degrees[v] = slot
+        self.neighbors = np.ascontiguousarray(table)
+        self.degrees = degrees
+
+    def vertex_index(self, i: int, j: int) -> int:
+        """Row-major id; unlike the tori, coordinates must be in range."""
+        if not (0 <= i < self.m and 0 <= j < self.n):
+            raise ValueError(f"({i}, {j}) outside the open {self.m}x{self.n} mesh")
+        return i * self.n + j
+
+    def vertex_coords(self, v: int) -> Tuple[int, int]:
+        if not 0 <= v < self.num_vertices:
+            raise ValueError(f"vertex id {v} out of range")
+        return divmod(int(v), self.n)
+
+    def to_grid(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values)
+        if values.shape != (self.num_vertices,):
+            raise ValueError(
+                f"expected shape ({self.num_vertices},), got {values.shape}"
+            )
+        return values.reshape(self.m, self.n)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OpenMesh(m={self.m}, n={self.n})"

@@ -1,0 +1,153 @@
+"""Time-varying topologies (paper's future-work item, Section IV / ref [8]).
+
+The conclusions of the paper call for studying the SMP protocol on graphs
+"subject to intermittent availability of both links and nodes".  A
+:class:`TemporalTopology` wraps a static :class:`~repro.topology.base.Topology`
+with a per-round edge-availability mask.  The engine treats an unavailable
+edge as if the neighbor slot did not exist for that round (the neighbor's
+color is excluded from the plurality count).
+
+Two availability processes are provided:
+
+* :class:`BernoulliAvailability` — each edge is independently up with
+  probability ``p`` each round (the edge-Markovian model with no memory).
+* :class:`PeriodicAvailability` — edge ``e`` is up on rounds ``t`` with
+  ``(t + phase[e]) % period < duty`` (deterministic duty-cycling, useful for
+  reproducible tests).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from .base import Topology
+
+__all__ = [
+    "AvailabilityProcess",
+    "BernoulliAvailability",
+    "PeriodicAvailability",
+    "AlwaysAvailable",
+    "TemporalTopology",
+]
+
+
+class AvailabilityProcess(abc.ABC):
+    """Produces, for each round, a boolean mask over neighbor-table slots.
+
+    The mask has the same shape as the topology's neighbor table; entry
+    ``[v, s]`` says whether ``v`` can currently *hear* its ``s``-th
+    neighbor.  Implementations must keep the mask **symmetric** on edges
+    (if ``v`` hears ``w`` then ``w`` hears ``v``) to model undirected link
+    failures; the helper :meth:`symmetrize` enforces this given a per-edge
+    decision.
+    """
+
+    @abc.abstractmethod
+    def mask_for_round(self, topo: Topology, t: int) -> np.ndarray:
+        """Return the ``(N, max_degree)`` boolean availability mask at round ``t``."""
+
+    @staticmethod
+    def slot_edge_ids(topo: Topology) -> np.ndarray:
+        """Map each (vertex, slot) to a canonical undirected edge id.
+
+        Padding slots get id ``-1``.  Used to make per-edge decisions and
+        broadcast them symmetrically to the two incident table slots.
+        """
+        nb = topo.neighbors
+        n = topo.num_vertices
+        ids = np.full(nb.shape, -1, dtype=np.int64)
+        edge_index: dict[tuple[int, int], int] = {}
+        for v in range(n):
+            for s in range(int(topo.degrees[v])):
+                w = int(nb[v, s])
+                key = (v, w) if v < w else (w, v)
+                if key not in edge_index:
+                    edge_index[key] = len(edge_index)
+                ids[v, s] = edge_index[key]
+        return ids
+
+
+class AlwaysAvailable(AvailabilityProcess):
+    """Degenerate process: every edge up every round (static graph)."""
+
+    def mask_for_round(self, topo: Topology, t: int) -> np.ndarray:
+        mask = np.zeros(topo.neighbors.shape, dtype=bool)
+        for v in range(topo.num_vertices):
+            mask[v, : int(topo.degrees[v])] = True
+        return mask
+
+
+class BernoulliAvailability(AvailabilityProcess):
+    """Each edge independently available with probability ``p`` per round."""
+
+    def __init__(self, p: float, rng: Optional[np.random.Generator] = None):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        self.p = float(p)
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._slot_ids: Optional[np.ndarray] = None
+
+    def mask_for_round(self, topo: Topology, t: int) -> np.ndarray:
+        if self._slot_ids is None or self._slot_ids.shape != topo.neighbors.shape:
+            self._slot_ids = self.slot_edge_ids(topo)
+        num_edges = int(self._slot_ids.max()) + 1
+        up = self.rng.random(num_edges) < self.p
+        mask = np.zeros(topo.neighbors.shape, dtype=bool)
+        live = self._slot_ids >= 0
+        mask[live] = up[self._slot_ids[live]]
+        return mask
+
+
+class PeriodicAvailability(AvailabilityProcess):
+    """Deterministic duty-cycled availability.
+
+    Edge ``e`` is up at round ``t`` iff ``(t + phase[e]) % period < duty``.
+    Phases default to ``e % period`` giving a staggered but reproducible
+    schedule.
+    """
+
+    def __init__(self, period: int, duty: int, phases: Optional[np.ndarray] = None):
+        if period < 1 or not 0 < duty <= period:
+            raise ValueError("need period >= 1 and 0 < duty <= period")
+        self.period = int(period)
+        self.duty = int(duty)
+        self.phases = phases
+        self._slot_ids: Optional[np.ndarray] = None
+
+    def mask_for_round(self, topo: Topology, t: int) -> np.ndarray:
+        if self._slot_ids is None or self._slot_ids.shape != topo.neighbors.shape:
+            self._slot_ids = self.slot_edge_ids(topo)
+        num_edges = int(self._slot_ids.max()) + 1
+        phases = (
+            np.arange(num_edges) % self.period
+            if self.phases is None
+            else np.asarray(self.phases)
+        )
+        up = (t + phases) % self.period < self.duty
+        mask = np.zeros(topo.neighbors.shape, dtype=bool)
+        live = self._slot_ids >= 0
+        mask[live] = up[self._slot_ids[live]]
+        return mask
+
+
+class TemporalTopology:
+    """A static topology paired with an availability process.
+
+    This is *not* a :class:`Topology` subclass on purpose: the engine needs
+    to know that masks change per round, so it takes a ``TemporalTopology``
+    through a dedicated code path (:func:`repro.engine.temporal.run_temporal`).
+    """
+
+    def __init__(self, base: Topology, availability: AvailabilityProcess):
+        self.base = base
+        self.availability = availability
+
+    @property
+    def num_vertices(self) -> int:
+        return self.base.num_vertices
+
+    def mask_for_round(self, t: int) -> np.ndarray:
+        return self.availability.mask_for_round(self.base, t)

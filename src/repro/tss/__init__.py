@@ -1,0 +1,13 @@
+"""Target Set Selection substrate: threshold process + seed selection."""
+
+from .process import ActivationResult, activate, activation_closure, is_target_set
+from .selection import exact_minimum_target_set, greedy_target_set
+
+__all__ = [
+    "ActivationResult",
+    "activate",
+    "activation_closure",
+    "is_target_set",
+    "greedy_target_set",
+    "exact_minimum_target_set",
+]

@@ -1,0 +1,102 @@
+"""Linear-threshold activation process (the TSS substrate, Section I).
+
+Target Set Selection is the problem the paper generalizes: pick a minimum
+set of initially-active vertices whose influence activates the whole graph
+under the (irreversible) linear threshold dynamics.  This module provides
+the *process*; :mod:`repro.tss.selection` provides seed-selection
+algorithms (greedy and exact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..engine.runner import run_synchronous
+from ..rules.threshold import ACTIVE, INACTIVE, LinearThresholdRule
+from ..topology.base import Topology
+
+__all__ = ["ActivationResult", "activate", "activation_closure", "is_target_set"]
+
+
+@dataclass
+class ActivationResult:
+    """Outcome of running the threshold process from a seed set."""
+
+    #: boolean mask of active vertices at the fixed point
+    active: np.ndarray
+    #: rounds until no further activation
+    rounds: int
+    #: per-vertex activation round (0 for seeds, -1 for never-activated)
+    activation_round: np.ndarray
+
+    @property
+    def num_active(self) -> int:
+        return int(self.active.sum())
+
+    def covers(self, topo: Topology) -> bool:
+        """Did the process activate every vertex?"""
+        return self.num_active == topo.num_vertices
+
+
+def activate(
+    topo: Topology,
+    seeds: Iterable[int] | np.ndarray,
+    thresholds: str | Sequence[int] = "simple",
+    max_rounds: Optional[int] = None,
+) -> ActivationResult:
+    """Run the irreversible threshold process from ``seeds`` to fixed point.
+
+    ``seeds`` may be an iterable of vertex ids or a boolean mask.  The
+    process is monotone, so it converges within ``num_vertices`` rounds.
+    """
+    n = topo.num_vertices
+    state = np.full(n, INACTIVE, dtype=np.int32)
+    seeds = np.asarray(list(seeds) if not isinstance(seeds, np.ndarray) else seeds)
+    if seeds.dtype == bool:
+        if seeds.shape != (n,):
+            raise ValueError("boolean seed mask must cover every vertex")
+        state[seeds] = ACTIVE
+    else:
+        ids = seeds.astype(np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= n):
+            raise ValueError("seed vertex id out of range")
+        state[ids] = ACTIVE
+    rule = LinearThresholdRule(thresholds)
+    res = run_synchronous(
+        topo,
+        state,
+        rule,
+        max_rounds=n if max_rounds is None else max_rounds,
+        detect_cycles=False,  # monotone: fixed-point check suffices
+    )
+    active = res.final == ACTIVE
+    act_round = np.where(
+        active, res.last_change if res.last_change is not None else 0, -1
+    ).astype(np.int64)
+    act_round[state == ACTIVE] = 0
+    return ActivationResult(
+        active=active,
+        rounds=res.fixed_point_round or 0,
+        activation_round=act_round,
+    )
+
+
+def activation_closure(
+    topo: Topology,
+    seeds: Iterable[int] | np.ndarray,
+    thresholds: str | Sequence[int] = "simple",
+) -> np.ndarray:
+    """Just the final active mask (cheap helper)."""
+    return activate(topo, seeds, thresholds).active
+
+
+def is_target_set(
+    topo: Topology,
+    seeds: Iterable[int] | np.ndarray,
+    thresholds: str | Sequence[int] = "simple",
+) -> bool:
+    """Does this seed activate the whole graph (a *perfect target set*)?"""
+    return bool(activation_closure(topo, seeds, thresholds).all())

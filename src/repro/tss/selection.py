@@ -1,0 +1,92 @@
+"""Target-set selection algorithms.
+
+TSS is NP-hard in general (the paper cites the reduction in [20], Kempe,
+Kleinberg, Tardos), so the practical algorithm is the classic greedy
+max-marginal-coverage heuristic; tiny instances get an exact branch-and-
+bound search used as the oracle in tests and in the Proposition-3 style
+experiments.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..topology.base import Topology
+from .process import activation_closure, is_target_set
+
+__all__ = ["greedy_target_set", "exact_minimum_target_set"]
+
+
+def greedy_target_set(
+    topo: Topology,
+    thresholds: str | Sequence[int] = "simple",
+    *,
+    max_size: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> List[int]:
+    """Greedy seed selection: repeatedly add the vertex whose activation
+    closure grows the most (ties broken by lowest id, or randomly with
+    ``rng``), until the whole graph activates.
+
+    Returns the chosen seed list in selection order.  The classic
+    ``1 - 1/e`` guarantee applies to submodular influence models; the hard
+    threshold process is not submodular, so this is a heuristic — exactly
+    how the viral-marketing literature the paper cites uses it.
+    """
+    n = topo.num_vertices
+    cap = n if max_size is None else min(max_size, n)
+    seeds: List[int] = []
+    active = np.zeros(n, dtype=bool)
+    while not active.all() and len(seeds) < cap:
+        best_gain = -1
+        best_vertices: List[int] = []
+        candidates = np.flatnonzero(~active)
+        for v in candidates:
+            closure = activation_closure(
+                topo, np.asarray(seeds + [int(v)]), thresholds
+            )
+            gain = int(closure.sum())
+            if gain > best_gain:
+                best_gain = gain
+                best_vertices = [int(v)]
+            elif gain == best_gain:
+                best_vertices.append(int(v))
+        pick = (
+            best_vertices[int(rng.integers(len(best_vertices)))]
+            if rng is not None
+            else best_vertices[0]
+        )
+        seeds.append(pick)
+        active = activation_closure(topo, np.asarray(seeds), thresholds)
+    return seeds
+
+
+def exact_minimum_target_set(
+    topo: Topology,
+    thresholds: str | Sequence[int] = "simple",
+    *,
+    max_size: Optional[int] = None,
+    max_nodes: int = 24,
+) -> Optional[List[int]]:
+    """Exact minimum perfect target set by size-increasing exhaustion.
+
+    Only for tiny graphs (refuses beyond ``max_nodes`` vertices).  Returns
+    None when no target set up to ``max_size`` exists (possible only when
+    ``max_size`` is given, since the full vertex set always works for
+    thresholds <= degree).
+    """
+    n = topo.num_vertices
+    if n > max_nodes:
+        raise ValueError(
+            f"exact search on {n} vertices refused (max_nodes={max_nodes}); "
+            "use greedy_target_set"
+        )
+    cap = n if max_size is None else min(max_size, n)
+    for s in range(1, cap + 1):
+        for seed in combinations(range(n), s):
+            if is_target_set(topo, np.asarray(seed), thresholds):
+                return list(seed)
+    return None

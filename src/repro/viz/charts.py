@@ -1,0 +1,64 @@
+"""Text charts for sweeps and curves (no plotting dependency).
+
+The examples and the CLI render adoption curves and sweep series as
+terminal charts; keeping this dependency-free matches the offline
+reproduction environment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_line_chart", "sparkline", "series_table"]
+
+_SPARK_GLYPHS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line intensity chart of a numeric series."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi == lo:
+        return _SPARK_GLYPHS[len(_SPARK_GLYPHS) // 2] * arr.size
+    scaled = (arr - lo) / (hi - lo) * (len(_SPARK_GLYPHS) - 1)
+    return "".join(_SPARK_GLYPHS[int(round(v))] for v in scaled)
+
+
+def ascii_line_chart(
+    values: Sequence[float],
+    *,
+    height: int = 10,
+    title: Optional[str] = None,
+) -> str:
+    """A small vertical-resolution chart of a series (rows = levels)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return title or ""
+    lo, hi = float(arr.min()), float(arr.max())
+    span = hi - lo if hi > lo else 1.0
+    levels = np.round((arr - lo) / span * (height - 1)).astype(int)
+    rows = []
+    for level in range(height - 1, -1, -1):
+        label = lo + span * level / (height - 1)
+        line = "".join("#" if lv >= level else " " for lv in levels)
+        rows.append(f"{label:>8.1f} |{line}")
+    rows.append(" " * 9 + "+" + "-" * arr.size)
+    out = "\n".join(rows)
+    return f"{title}\n{out}" if title else out
+
+
+def series_table(
+    headers: Sequence[str], rows: Sequence[Sequence], *, min_width: int = 6
+) -> str:
+    """Aligned plain-text table for sweep outputs."""
+    cols = [list(map(str, col)) for col in zip(headers, *rows)]
+    widths = [max(min_width, max(len(c) for c in col)) for col in cols]
+    def fmt(cells):
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines += [fmt(r) for r in rows]
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""ASCII/Unicode rendering of colorings and time matrices.
+
+The paper communicates configurations as little grid figures (Figs 1-6);
+these helpers produce the same artifacts on a terminal.  Color ids are
+shown as single glyphs: the target color as ``B`` (the paper colors it
+black), other colors as lowercase letters / digits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..topology.base import GridTopology
+
+__all__ = ["render_grid", "render_time_matrix", "render_run", "color_glyphs"]
+
+_GLYPHS = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+
+def color_glyphs(palette: Sequence[int], k: Optional[int] = None) -> dict:
+    """Map color ids to display glyphs; the target color maps to ``B``."""
+    glyphs = {}
+    i = 0
+    for c in sorted(set(int(x) for x in palette)):
+        if k is not None and c == k:
+            glyphs[c] = "B"
+        else:
+            glyphs[c] = _GLYPHS[i % len(_GLYPHS)]
+            i += 1
+    return glyphs
+
+
+def render_grid(
+    topo: GridTopology,
+    colors: np.ndarray,
+    k: Optional[int] = None,
+    *,
+    seed: Optional[np.ndarray] = None,
+) -> str:
+    """Render a coloring as an m x n character grid.
+
+    Seed vertices (when a mask is given) are uppercased to distinguish the
+    initial k-set from vertices recolored later (Figure-1 style).
+    """
+    colors = np.asarray(colors)
+    glyphs = color_glyphs(np.unique(colors), k)
+    grid = topo.to_grid(colors)
+    seed_grid = topo.to_grid(seed) if seed is not None else None
+    lines = []
+    for i in range(topo.m):
+        row = []
+        for j in range(topo.n):
+            ch = glyphs[int(grid[i, j])]
+            if seed_grid is not None and seed_grid[i, j]:
+                ch = ch.upper()
+            row.append(ch)
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def render_time_matrix(matrix: np.ndarray) -> str:
+    """Render a recoloring-round matrix in the style of Figures 5/6."""
+    matrix = np.asarray(matrix)
+    width = max(1, len(str(int(matrix.max(initial=0)))))
+    return "\n".join(
+        " ".join(f"{int(v):>{width}d}" for v in row) for row in matrix
+    )
+
+
+def render_run(topo: GridTopology, trajectory, k: Optional[int] = None) -> str:
+    """Render every recorded round of a run, separated by blank lines."""
+    frames = []
+    for t, state in enumerate(trajectory):
+        frames.append(f"round {t}:\n{render_grid(topo, state, k)}")
+    return "\n\n".join(frames)

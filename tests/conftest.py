@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.topology import ToroidalMesh, TorusCordalis, TorusSerpentinus
+
+#: the three torus classes, keyed by the registry names used everywhere
+TORUS_KINDS = {
+    "mesh": ToroidalMesh,
+    "cordalis": TorusCordalis,
+    "serpentinus": TorusSerpentinus,
+}
+
+
+@pytest.fixture(params=sorted(TORUS_KINDS))
+def torus_kind(request):
+    """Parametrize a test over the three torus kinds."""
+    return request.param
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator per test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+def random_coloring(topo, num_colors, rng, low=0):
+    """Uniform random coloring with colors in [low, low + num_colors)."""
+    return rng.integers(low, low + num_colors, size=topo.num_vertices).astype(
+        np.int32
+    )
+
+
+def grid_colors(topo, rows):
+    """Build a color vector from a list-of-lists grid literal."""
+    arr = np.asarray(rows, dtype=np.int32)
+    assert arr.shape == (topo.m, topo.n)
+    return arr.reshape(-1)

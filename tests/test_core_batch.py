@@ -1,0 +1,78 @@
+"""Batched SMP kernel tests: the search substrate must agree with the
+single-configuration engine bit for bit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import batch_smp_step, run_batch_smp
+from repro.engine import run_synchronous
+from repro.rules import SMPRule
+from repro.topology import GraphTopology, ToroidalMesh
+
+from conftest import TORUS_KINDS
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), batch=st.integers(1, 8))
+def test_batch_step_equals_single_step(seed, batch):
+    rng = np.random.default_rng(seed)
+    topo = ToroidalMesh(4, 5)
+    configs = rng.integers(0, 4, size=(batch, topo.num_vertices)).astype(np.int32)
+    stepped = batch_smp_step(configs, topo.neighbors)
+    rule = SMPRule()
+    for b in range(batch):
+        assert np.array_equal(stepped[b], rule.step(configs[b], topo))
+
+
+def test_batch_run_matches_engine(rng, torus_kind):
+    topo = TORUS_KINDS[torus_kind](4, 4)
+    k = 0
+    configs = rng.integers(0, 3, size=(32, 16)).astype(np.int32)
+    out = run_batch_smp(topo, configs, k, max_rounds=80)
+    for b in range(configs.shape[0]):
+        res = run_synchronous(
+            topo, configs[b], SMPRule(), max_rounds=80, target_color=k
+        )
+        assert out.converged[b] == res.converged
+        if res.converged:
+            assert np.array_equal(out.final[b], res.final)
+            assert out.k_monochromatic[b] == res.is_dynamo_run(k)
+            assert out.monotone[b] == res.monotone
+
+
+def test_batch_includes_constructions(torus_kind):
+    from repro.core import build_minimum_dynamo
+
+    con = build_minimum_dynamo(torus_kind, 5, 5)
+    batch = np.stack([con.colors, con.colors])
+    out = run_batch_smp(con.topo, batch, con.k, max_rounds=200)
+    assert out.k_monochromatic.all()
+    assert out.monotone.all()
+
+
+def test_batch_input_not_mutated(rng):
+    topo = ToroidalMesh(3, 3)
+    configs = rng.integers(0, 3, size=(4, 9)).astype(np.int32)
+    before = configs.copy()
+    run_batch_smp(topo, configs, 0, max_rounds=10)
+    assert np.array_equal(configs, before)
+
+
+def test_batch_rejects_irregular_topology():
+    import networkx as nx
+
+    topo = GraphTopology(nx.path_graph(5))
+    with pytest.raises(ValueError):
+        run_batch_smp(topo, np.zeros((2, 5), dtype=np.int32), 0, 10)
+
+
+def test_batch_round_cap():
+    from repro.core import theorem4_cordalis_dynamo
+
+    con = theorem4_cordalis_dynamo(8, 8)  # 24 rounds needed
+    batch = con.colors[None, :]
+    out = run_batch_smp(con.topo, batch, con.k, max_rounds=5)
+    assert not out.converged[0]
+    assert not out.k_monochromatic[0]

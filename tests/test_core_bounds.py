@@ -1,0 +1,114 @@
+"""Bound and round-formula transcription tests."""
+
+import pytest
+
+from repro.core.bounds import (
+    empirical_cross_rounds,
+    empirical_mesh_rounds,
+    empirical_row_rounds,
+    empirical_serpentinus_column_rounds,
+    lemma3_block_min_size,
+    lower_bound,
+    proposition3_min_colors,
+    theorem1_mesh_lower_bound,
+    theorem3_cordalis_lower_bound,
+    theorem5_serpentinus_lower_bound,
+    theorem7_mesh_rounds,
+    theorem8_row_rounds,
+)
+
+
+def test_theorem1_values():
+    assert theorem1_mesh_lower_bound(9, 9) == 16  # the paper's Figure 1
+    assert theorem1_mesh_lower_bound(3, 3) == 4
+    assert theorem1_mesh_lower_bound(5, 8) == 11
+
+
+def test_theorem3_values():
+    assert theorem3_cordalis_lower_bound(9, 9) == 10
+    assert theorem3_cordalis_lower_bound(4, 7) == 8
+
+
+def test_theorem5_values():
+    assert theorem5_serpentinus_lower_bound(9, 9) == 10
+    assert theorem5_serpentinus_lower_bound(4, 7) == 5
+    assert theorem5_serpentinus_lower_bound(7, 4) == 5
+
+
+def test_lower_bound_dispatch():
+    assert lower_bound("mesh", 5, 7) == 10
+    assert lower_bound("CORDALIS", 5, 7) == 8
+    assert lower_bound("torus_serpentinus", 5, 7) == 6
+    with pytest.raises(ValueError):
+        lower_bound("moebius", 5, 7)
+
+
+def test_dimension_validation():
+    for fn in (
+        theorem1_mesh_lower_bound,
+        theorem3_cordalis_lower_bound,
+        theorem5_serpentinus_lower_bound,
+        theorem7_mesh_rounds,
+        theorem8_row_rounds,
+    ):
+        with pytest.raises(ValueError):
+            fn(1, 5)
+
+
+def test_lemma3_values():
+    # spanning block: m_B + n_B - 1; interior: m_B + n_B
+    assert lemma3_block_min_size(5, 5, 5, 2) == 6
+    assert lemma3_block_min_size(5, 5, 2, 5) == 6
+    assert lemma3_block_min_size(5, 5, 2, 2) == 4
+    with pytest.raises(ValueError):
+        lemma3_block_min_size(5, 5, 6, 2)
+
+
+def test_theorem7_values():
+    assert theorem7_mesh_rounds(5, 5) == 3  # Figure 5's matrix maximum
+    assert theorem7_mesh_rounds(9, 9) == 7
+    assert theorem7_mesh_rounds(4, 4) == 3
+
+
+def test_theorem8_values():
+    assert theorem8_row_rounds(5, 5) == 8  # Figure 6's matrix maximum
+    assert theorem8_row_rounds(7, 5) == 13
+    assert theorem8_row_rounds(6, 6) == 7  # (the paper's even-m value)
+
+
+def test_empirical_cross_equals_paper_on_squares():
+    for s in range(3, 15):
+        assert empirical_cross_rounds(s, s) == theorem7_mesh_rounds(s, s)
+
+
+def test_empirical_cross_below_paper_on_rectangles():
+    assert empirical_cross_rounds(12, 5) == 7
+    assert theorem7_mesh_rounds(12, 5) == 11
+
+
+def test_empirical_mesh_parity_rule():
+    assert empirical_mesh_rounds(5, 5) == empirical_cross_rounds(5, 5) + 1
+    assert empirical_mesh_rounds(8, 8) == empirical_cross_rounds(8, 8)
+    assert empirical_mesh_rounds(5, 6) is None
+
+
+def test_empirical_row_values():
+    assert empirical_row_rounds(5, 5) == theorem8_row_rounds(5, 5)  # odd m
+    assert empirical_row_rounds(7, 5) == 13
+    assert empirical_row_rounds(6, 6) == 12  # even m: (m/2 - 1) * n
+    assert empirical_row_rounds(8, 9) == 27
+
+
+def test_empirical_serpentinus_column_values():
+    assert empirical_serpentinus_column_rounds(3, 6) == 6
+    assert empirical_serpentinus_column_rounds(4, 7) == 9
+    assert empirical_serpentinus_column_rounds(9, 10) == 33
+
+
+def test_proposition3_min_colors():
+    assert proposition3_min_colors(1, 9) == 1
+    assert proposition3_min_colors(2, 9) == 2
+    assert proposition3_min_colors(3, 9) == 3
+    assert proposition3_min_colors(9, 3) == 3
+    assert proposition3_min_colors(4, 9) == 4
+    assert proposition3_min_colors(40, 40) == 4

@@ -1,0 +1,90 @@
+"""Complement-coloring search tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    find_dynamo_complement,
+    is_monotone_dynamo,
+    minimum_palette_complement,
+    theorem2_mesh_dynamo,
+)
+from repro.topology import ToroidalMesh, TorusCordalis
+
+
+def test_rejects_bad_inputs():
+    topo = ToroidalMesh(3, 3)
+    with pytest.raises(ValueError):
+        find_dynamo_complement(topo, [99], 0, [1, 2])
+    with pytest.raises(ValueError):
+        find_dynamo_complement(topo, [0], 0, [0, 1])  # palette contains k
+
+
+def test_finds_triangle_split_for_3x3_diagonal():
+    topo = ToroidalMesh(3, 3)
+    diag = [topo.vertex_index(i, i) for i in range(3)]
+    colors = find_dynamo_complement(topo, diag, 0, [1, 2])
+    assert colors is not None
+    assert is_monotone_dynamo(topo, colors, 0)
+    assert np.array_equal(np.flatnonzero(colors == 0), np.asarray(diag))
+
+
+def test_minimum_palette_is_two_for_3x3_diagonal():
+    topo = ToroidalMesh(3, 3)
+    diag = [topo.vertex_index(i, i) for i in range(3)]
+    p, colors = minimum_palette_complement(topo, diag, 0)
+    assert p == 2
+    assert is_monotone_dynamo(topo, colors, 0)
+
+
+def test_one_color_complement_impossible_for_diagonal():
+    # a monochromatic complement ties every staircase vertex: no dynamo
+    topo = ToroidalMesh(3, 3)
+    diag = [topo.vertex_index(i, i) for i in range(3)]
+    assert find_dynamo_complement(topo, diag, 0, [1]) is None
+
+
+def test_impossible_seed_returns_none():
+    # a single vertex can never grow (no second k anywhere)
+    topo = ToroidalMesh(3, 3)
+    assert find_dynamo_complement(topo, [4], 0, [1, 2, 3]) is None
+
+
+def test_theorem2_seed_four_total_colors_achievable_on_4x4():
+    """Reproduction finding: a non-stripe complement achieves the paper's
+    |C| >= 4 on the 4x4 mesh where stripes need 5."""
+    con = theorem2_mesh_dynamo(4, 4)
+    assert con.num_colors == 5  # the stripe construction's palette
+    p, colors = minimum_palette_complement(
+        con.topo, np.flatnonzero(con.seed), con.k
+    )
+    assert p == 3  # 3 non-k colors -> |C| = 4
+    assert is_monotone_dynamo(con.topo, colors, con.k)
+
+
+def test_non_monotone_search_is_weaker_or_equal():
+    topo = ToroidalMesh(3, 3)
+    diag = [topo.vertex_index(i, i) for i in range(3)]
+    relaxed = minimum_palette_complement(topo, diag, 0, require_monotone=False)
+    strict = minimum_palette_complement(topo, diag, 0, require_monotone=True)
+    assert relaxed is not None and strict is not None
+    assert relaxed[0] <= strict[0]
+
+
+def test_works_on_cordalis():
+    topo = TorusCordalis(4, 4)
+    diag = [topo.vertex_index(i, i) for i in range(4)]
+    found = minimum_palette_complement(topo, diag, 0, max_nodes=500_000)
+    assert found is not None
+    p, colors = found
+    assert is_monotone_dynamo(topo, colors, 0)
+    assert p <= 3
+
+
+def test_budget_exhaustion_returns_none():
+    topo = ToroidalMesh(4, 4)
+    diag = [topo.vertex_index(i, i) for i in range(4)]
+    # a 1-node budget cannot possibly finish
+    assert (
+        find_dynamo_complement(topo, diag, 0, [1, 2], max_nodes=1) is None
+    )

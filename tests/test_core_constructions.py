@@ -1,0 +1,198 @@
+"""Construction tests: every builder yields a verified minimum monotone
+dynamo with the right seed shape, size, and palette."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    build_minimum_dynamo,
+    full_cross_mesh_dynamo,
+    proposition3_column_dynamo,
+    theorem2_mesh_dynamo,
+    theorem4_cordalis_dynamo,
+    theorem6_serpentinus_dynamo,
+    verify_construction,
+)
+from repro.topology import ToroidalMesh, TorusCordalis, TorusSerpentinus
+
+
+# ----------------------------------------------------------------------
+# Theorem 2 — mesh
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("m,n", [(3, 3), (4, 6), (5, 5), (6, 4), (7, 9), (9, 9), (10, 7)])
+def test_theorem2_is_minimum_monotone_dynamo(m, n):
+    con = theorem2_mesh_dynamo(m, n)
+    assert con.seed_size == m + n - 2 == con.size_lower_bound
+    rep = verify_construction(con)
+    assert rep.is_monotone_dynamo
+    assert rep.conditions.satisfied
+    assert not rep.complement_has_non_k_block
+
+
+def test_theorem2_seed_shape():
+    con = theorem2_mesh_dynamo(6, 7, transpose=False)
+    seed = con.topo.to_grid(con.seed)
+    assert seed[:, 0].all()          # full column 0
+    assert seed[0, : 6].all()        # row 0 except the gap
+    assert not seed[0, 6]            # the gap (0, n-1)
+    assert seed.sum() == 6 + 7 - 2
+
+
+def test_theorem2_transpose_variants_both_work():
+    for transpose in (False, True):
+        con = theorem2_mesh_dynamo(7, 6, transpose=transpose)
+        rep = verify_construction(con)
+        assert rep.is_monotone_dynamo, transpose
+
+
+def test_theorem2_palette_four_iff_dimension_divisible_by_three():
+    # |C| = 4 exactly matches the paper's Theorem-2 statement when a
+    # striped dimension is divisible by 3; otherwise stripes need 5.
+    assert theorem2_mesh_dynamo(9, 9).num_colors == 4
+    assert theorem2_mesh_dynamo(6, 5).num_colors == 4
+    assert theorem2_mesh_dynamo(5, 6).num_colors == 4   # transposes
+    assert theorem2_mesh_dynamo(5, 5).num_colors == 6   # m = n = 5 worst case
+    assert theorem2_mesh_dynamo(4, 4).num_colors == 5
+
+
+def test_theorem2_custom_target_color():
+    con = theorem2_mesh_dynamo(6, 6, k=3)
+    assert con.k == 3
+    assert 3 not in set(con.palette[1:])
+    rep = verify_construction(con)
+    assert rep.is_monotone_dynamo
+
+
+def test_theorem2_rejects_tiny():
+    with pytest.raises(ValueError):
+        theorem2_mesh_dynamo(2, 5)
+
+
+def test_full_cross_one_above_minimum():
+    con = full_cross_mesh_dynamo(5, 5)
+    assert con.seed_size == 5 + 5 - 1
+    rep = verify_construction(con)
+    assert rep.is_monotone_dynamo
+    assert rep.seed_is_union_of_blocks  # the cross IS a union of k-blocks
+
+
+def test_theorem2_seed_not_union_of_blocks_reproduction_finding():
+    """Reproduction finding: the paper's own Theorem-2 seed contradicts
+    Lemma 2 — vertex (0, n-2) has a single k-colored neighbor, so the seed
+    is not a union of k-blocks, yet the dynamo is monotone (the vertex is
+    protected by the rainbow condition instead)."""
+    con = theorem2_mesh_dynamo(9, 9, transpose=False)
+    rep = verify_construction(con)
+    assert rep.is_monotone_dynamo
+    assert not rep.seed_is_union_of_blocks
+
+
+# ----------------------------------------------------------------------
+# Theorem 4 — cordalis
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("m,n", [(3, 3), (4, 6), (5, 5), (6, 9), (8, 4), (7, 7)])
+def test_theorem4_is_minimum_monotone_dynamo(m, n):
+    con = theorem4_cordalis_dynamo(m, n)
+    assert con.seed_size == n + 1 == con.size_lower_bound
+    rep = verify_construction(con)
+    assert rep.is_monotone_dynamo
+    assert rep.conditions.satisfied
+    assert rep.seed_is_union_of_blocks  # row + (1,0) is a k-block here
+
+
+def test_theorem4_seed_shape():
+    con = theorem4_cordalis_dynamo(5, 6)
+    seed = con.topo.to_grid(con.seed)
+    assert seed[0, :].all()
+    assert seed[1, 0]
+    assert seed.sum() == 7
+
+
+def test_theorem4_palette_law():
+    assert theorem4_cordalis_dynamo(5, 6).num_colors == 4   # n % 3 == 0
+    assert theorem4_cordalis_dynamo(5, 7).num_colors == 5
+    assert theorem4_cordalis_dynamo(5, 5).num_colors == 6   # n = 5
+
+
+# ----------------------------------------------------------------------
+# Theorem 6 — serpentinus
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("m,n", [(5, 5), (7, 4), (9, 6), (4, 4), (3, 3)])
+def test_theorem6_row_variant(m, n):
+    con = theorem6_serpentinus_dynamo(m, n)
+    assert "row" in con.name
+    assert con.seed_size == min(m, n) + 1 == con.size_lower_bound
+    rep = verify_construction(con)
+    assert rep.is_monotone_dynamo
+    assert rep.conditions.satisfied
+
+
+@pytest.mark.parametrize("m,n", [(4, 7), (3, 8), (6, 9), (5, 11)])
+def test_theorem6_column_variant(m, n):
+    con = theorem6_serpentinus_dynamo(m, n)
+    assert "column" in con.name
+    assert con.seed_size == m + 1 == con.size_lower_bound
+    rep = verify_construction(con)
+    assert rep.is_monotone_dynamo
+    assert rep.conditions.satisfied
+    assert con.predicted_rounds is None  # paper states no formula here
+
+
+def test_theorem6_column_seed_shape():
+    con = theorem6_serpentinus_dynamo(4, 7)
+    seed = con.topo.to_grid(con.seed)
+    assert seed[:, 0].all()
+    assert seed[0, 1]
+    assert seed.sum() == 5
+
+
+# ----------------------------------------------------------------------
+# Proposition 3 — narrow tori
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("m", [3, 4, 5, 6, 9, 12])
+def test_proposition3_column_dynamo(m):
+    con = proposition3_column_dynamo(m)
+    assert con.seed_size == m
+    assert con.num_colors == 3  # "more than two colors" suffice at N = 2
+    rep = verify_construction(con)
+    assert rep.is_monotone_dynamo
+
+
+def test_proposition3_rejects_tiny():
+    with pytest.raises(ValueError):
+        proposition3_column_dynamo(2)
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+def test_build_minimum_dynamo_dispatch():
+    assert isinstance(build_minimum_dynamo("mesh", 5, 5).topo, ToroidalMesh)
+    assert isinstance(build_minimum_dynamo("cordalis", 5, 5).topo, TorusCordalis)
+    assert isinstance(
+        build_minimum_dynamo("serpentinus", 5, 5).topo, TorusSerpentinus
+    )
+    with pytest.raises(ValueError):
+        build_minimum_dynamo("hypercube", 5, 5)
+
+
+@pytest.mark.parametrize("m,n", [(5, 2), (2, 5)])
+def test_build_minimum_dynamo_two_wide_mesh(m, n):
+    con = build_minimum_dynamo("mesh", m, n)
+    assert con.seed_size == m + n - 2
+    rep = verify_construction(con)
+    assert rep.is_monotone_dynamo
+
+
+def test_construction_grid_view():
+    con = theorem2_mesh_dynamo(4, 5)
+    g = con.grid()
+    assert g.shape == (4, 5)
+    assert np.array_equal(g.reshape(-1), con.colors)
+
+
+def test_seeds_are_k_colored():
+    for kind in ("mesh", "cordalis", "serpentinus"):
+        con = build_minimum_dynamo(kind, 6, 6)
+        assert np.all(con.colors[con.seed] == con.k)
+        assert np.all(con.colors[~con.seed] != con.k)

@@ -1,0 +1,75 @@
+"""phi color-collapse tests (Propositions 1 and 2)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import non_k_core_mask, phi_collapse, white_blocks_mask
+from repro.rules import BLACK, WHITE
+from repro.topology import ToroidalMesh
+
+from conftest import TORUS_KINDS, random_coloring
+
+
+def test_phi_maps_target_to_black():
+    colors = np.array([0, 1, 2, 3, 1], dtype=np.int32)
+    out = phi_collapse(colors, k=1)
+    assert np.array_equal(out, [WHITE, BLACK, WHITE, WHITE, BLACK])
+    assert out.dtype == np.int32
+
+
+def test_white_blocks_requires_bicoloring():
+    topo = ToroidalMesh(3, 3)
+    import pytest
+
+    with pytest.raises(ValueError):
+        white_blocks_mask(topo, np.full(9, 7, dtype=np.int32))
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), k=st.integers(0, 3))
+def test_non_k_core_equals_white_block_core_under_phi(seed, k):
+    """Proposition 1's engine: under phi, the non-k-blocks of a
+    multi-coloring are exactly the simple white blocks of the collapsed
+    bi-coloring (both are >= 3-inside cores of the same vertex set)."""
+    rng = np.random.default_rng(seed)
+    topo = ToroidalMesh(5, 6)
+    colors = rng.integers(0, 4, size=topo.num_vertices).astype(np.int32)
+    multi = non_k_core_mask(topo, colors, k)
+    bi = white_blocks_mask(topo, phi_collapse(colors, k))
+    assert np.array_equal(multi, bi)
+
+
+def test_collapse_preserves_seed_mask(rng, torus_kind):
+    topo = TORUS_KINDS[torus_kind](4, 5)
+    colors = random_coloring(topo, 5, rng)
+    k = 2
+    bi = phi_collapse(colors, k)
+    assert np.array_equal(bi == BLACK, colors == k)
+    assert set(np.unique(bi)).issubset({WHITE, BLACK})
+
+
+def test_collapsed_dynamo_behaves_differently_per_rule():
+    """Remark 1's point, dynamically: collapsing a working multi-color
+    dynamo destroys it.  Under the SMP rule the collapsed bi-coloring is
+    no dynamo — worse, the black seed *erodes*: the partial black row is
+    eaten right-to-left (each end vertex faces a 3-white neighborhood)
+    until only the black column block survives, a non-monotone run.
+    Under Prefer-Black the same configuration never settles: it enters
+    the classic period-2 majority oscillation.  The multi-color problem
+    is genuinely different from both bi-color rules."""
+    from repro.core import theorem2_mesh_dynamo
+    from repro.engine import run_synchronous
+    from repro.rules import ReverseSimpleMajority, SMPRule
+
+    con = theorem2_mesh_dynamo(6, 6)
+    bi = phi_collapse(con.colors, con.k)
+    smp = run_synchronous(con.topo, bi, SMPRule(), target_color=BLACK)
+    assert smp.converged and not smp.monochromatic
+    assert smp.monotone is False  # the seed shrank
+    final_black = (smp.final == BLACK).sum()
+    assert 0 < final_black < (bi == BLACK).sum()
+    pb = run_synchronous(con.topo, bi, ReverseSimpleMajority("prefer-black"))
+    assert (pb.converged and pb.monochromatic_color == BLACK) or (
+        pb.cycle_length == 2
+    )

@@ -1,0 +1,89 @@
+"""Stripe-sequence DP solver tests, pinning the palette-size laws."""
+
+import pytest
+
+from repro.core import (
+    cyclic_window_sequence,
+    find_cyclic_window_sequence,
+    find_mesh_row_sequence,
+    mesh_row_sequence,
+    windows_ok_cyclic,
+    windows_ok_path,
+)
+
+
+def test_window_checkers():
+    assert windows_ok_path([0, 1, 2, 0, 1])
+    assert not windows_ok_path([0, 0, 1])       # adjacent equal
+    assert not windows_ok_path([0, 1, 0])       # distance-2 equal
+    assert windows_ok_cyclic([0, 1, 2, 0, 1, 2])
+    assert not windows_ok_cyclic([0, 1, 2, 0])  # wrap window (0,.,0)
+    assert not windows_ok_cyclic([0, 1])        # too short
+
+
+@pytest.mark.parametrize("n", range(3, 25))
+def test_cyclic_sequences_are_valid(n):
+    seq, p = find_cyclic_window_sequence(n)
+    assert len(seq) == n
+    assert windows_ok_cyclic(seq)
+    assert max(seq) < p
+
+
+@pytest.mark.parametrize("n", range(3, 31))
+def test_cyclic_palette_law(n):
+    """chi(C_n^2): 3 iff n % 3 == 0; 5 for n == 5; else 4."""
+    _, p = find_cyclic_window_sequence(n)
+    if n % 3 == 0:
+        assert p == 3
+    elif n == 5:
+        assert p == 5
+    else:
+        assert p == 4
+
+
+def test_cyclic_infeasible_cases():
+    assert cyclic_window_sequence(5, 4) is None    # K5 needs 5 colors
+    assert cyclic_window_sequence(4, 3) is None    # C4^2 = K4
+    assert cyclic_window_sequence(2, 3) is None    # too short
+    assert cyclic_window_sequence(6, 2) is None    # p < 3
+
+
+def test_cyclic_raises_beyond_max_palette():
+    with pytest.raises(ValueError):
+        find_cyclic_window_sequence(5, max_p=4)
+
+
+@pytest.mark.parametrize("m", range(3, 25))
+def test_mesh_sequences_are_valid(m):
+    g, gap, p = find_mesh_row_sequence(m)
+    assert len(g) == m - 1
+    assert windows_ok_path(g)
+    assert g[0] != g[-1]
+    forbidden = {g[0], g[1], g[-2], g[-1]} if len(g) >= 2 else {g[0]}
+    assert gap not in forbidden
+    assert max(max(g), gap) < p
+
+
+@pytest.mark.parametrize("m", range(3, 31))
+def test_mesh_palette_law(m):
+    """Mesh stripe palette: 3 symbols iff m % 3 == 0; 5 for m == 5
+    (the four row stripes are forced pairwise distinct and the gap needs a
+    fifth); else 4 — the same law as the cyclic sequences."""
+    _, _, p = find_mesh_row_sequence(m)
+    if m % 3 == 0:
+        assert p == 3
+    elif m == 5:
+        assert p == 5
+    else:
+        assert p == 4
+
+
+def test_mesh_infeasible_cases():
+    assert mesh_row_sequence(2, 3) is None   # single stripe: too short
+    assert mesh_row_sequence(5, 3) is None   # needs 4 symbols
+    assert mesh_row_sequence(4, 2) is None   # p < 3
+
+
+def test_mesh_m3_special_case():
+    g, gap = mesh_row_sequence(3, 3)
+    assert g == [0, 1] and gap == 2

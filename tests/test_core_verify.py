@@ -1,0 +1,88 @@
+"""Dynamo verification report tests."""
+
+import numpy as np
+
+from repro.core import (
+    theorem2_mesh_dynamo,
+    theorem4_cordalis_dynamo,
+    verify_construction,
+    verify_dynamo,
+    is_monotone_dynamo,
+)
+from repro.topology import ToroidalMesh
+
+from conftest import TORUS_KINDS
+
+
+def test_report_on_known_dynamo():
+    con = theorem4_cordalis_dynamo(5, 5)
+    rep = verify_construction(con)
+    assert rep.is_dynamo and rep.monotone and rep.is_monotone_dynamo
+    assert rep.converged and rep.final_monochromatic
+    assert rep.rounds == 8
+    assert rep.seed_size == 6
+    assert not rep.complement_has_non_k_block
+    assert rep.conditions.satisfied
+
+
+def test_report_on_non_dynamo():
+    topo = ToroidalMesh(5, 5)
+    colors = np.zeros(25, dtype=np.int32)
+    colors[0] = 1  # a lone k vertex cannot take over
+    rep = verify_dynamo(topo, colors, k=1)
+    assert not rep.is_dynamo
+    assert rep.seed_size == 1
+
+
+def test_bounding_extents_reported():
+    con = theorem2_mesh_dynamo(6, 7)
+    rep = verify_construction(con)
+    # Theorem 1(i): a monotone dynamo must have extents >= (m-1, n-1)
+    assert rep.bounding_extents[0] >= 5 and rep.bounding_extents[1] >= 6
+
+
+def test_theorem1_bounding_box_necessity(torus_kind):
+    """Any verified monotone dynamo satisfies Theorem 1(i)'s box bound."""
+    from repro.core import build_minimum_dynamo
+
+    con = build_minimum_dynamo(torus_kind, 6, 6)
+    rep = verify_construction(con)
+    assert rep.is_monotone_dynamo
+    if torus_kind == "mesh":
+        assert rep.bounding_extents[0] >= 5
+        assert rep.bounding_extents[1] >= 5
+
+
+def test_conditions_can_be_skipped():
+    con = theorem2_mesh_dynamo(5, 5)
+    rep = verify_construction(con, check_conditions=False)
+    assert rep.conditions is None
+    assert rep.is_monotone_dynamo
+
+
+def test_non_k_block_flagged():
+    topo = ToroidalMesh(6, 6)
+    colors = np.full(36, 1, dtype=np.int32)
+    colors.reshape(6, 6)[2:4, :] = 2
+    rep = verify_dynamo(topo, colors, k=1)
+    assert rep.complement_has_non_k_block
+    assert not rep.is_dynamo
+
+
+def test_is_monotone_dynamo_fast_path(torus_kind):
+    from repro.core import build_minimum_dynamo
+
+    con = build_minimum_dynamo(torus_kind, 5, 5)
+    assert is_monotone_dynamo(con.topo, con.colors, con.k)
+    bad = con.colors.copy()
+    bad[~con.seed] = int(bad[~con.seed][0])  # monochromatic complement ties
+    assert not is_monotone_dynamo(con.topo, bad, con.k)
+
+
+def test_custom_rule_passthrough():
+    from repro.rules import ReverseStrongMajority
+
+    con = theorem2_mesh_dynamo(5, 5)
+    rep = verify_construction(con, rule=ReverseStrongMajority())
+    # strong majority can't propagate from the thin cross: not a dynamo
+    assert not rep.is_dynamo

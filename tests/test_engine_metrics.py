@@ -1,0 +1,82 @@
+"""Run-analytics tests: adoption curves, wavefront speed, perimeter."""
+
+import numpy as np
+import pytest
+
+from repro.core import theorem2_mesh_dynamo, theorem4_cordalis_dynamo
+from repro.engine import (
+    adoption_curve,
+    frontier_perimeter,
+    run_synchronous,
+    takeover_summary,
+    wavefront_speed,
+)
+from repro.rules import SMPRule
+
+
+def _run(con, record=False):
+    return run_synchronous(
+        con.topo, con.colors, SMPRule(), target_color=con.k, record=record
+    )
+
+
+def test_adoption_curve_from_trajectory():
+    con = theorem2_mesh_dynamo(5, 5)
+    res = _run(con, record=True)
+    curve = adoption_curve(res, con.k)
+    assert curve[0] == con.seed_size
+    assert curve[-1] == con.topo.num_vertices
+    assert np.all(np.diff(curve) >= 0)
+    assert len(curve) == res.rounds + 1
+
+
+def test_adoption_curve_reconstructed_without_trajectory():
+    con = theorem2_mesh_dynamo(5, 5)
+    res_t = _run(con, record=True)
+    res_m = _run(con, record=False)
+    assert np.array_equal(
+        adoption_curve(res_t, con.k), adoption_curve(res_m, con.k)
+    )
+
+
+def test_adoption_curve_requires_monotone_or_trajectory():
+    from repro.topology import ToroidalMesh
+
+    topo = ToroidalMesh(3, 3)
+    colors = np.zeros(9, dtype=np.int32)
+    res = run_synchronous(topo, colors, SMPRule())  # no target -> monotone None
+    with pytest.raises(ValueError):
+        adoption_curve(res, 0)
+
+
+def test_wavefront_speed_sums_to_conversions():
+    con = theorem4_cordalis_dynamo(5, 5)
+    res = _run(con)
+    speed = wavefront_speed(res, con.k)
+    assert speed.sum() == con.topo.num_vertices - con.seed_size
+    # the cordalis wave converts a bounded number of vertices per round
+    assert speed.max() <= con.topo.n
+
+
+def test_frontier_perimeter_ends_at_zero():
+    con = theorem2_mesh_dynamo(5, 5)
+    res = _run(con, record=True)
+    perim = frontier_perimeter(con.topo, res, con.k)
+    assert perim is not None
+    assert perim[-1] == 0  # monochromatic: no boundary
+    assert perim[0] > 0
+    assert frontier_perimeter(con.topo, _run(con), con.k) is None
+
+
+def test_takeover_summary_contract():
+    con = theorem2_mesh_dynamo(6, 6)
+    res = _run(con, record=True)
+    s = takeover_summary(con.topo, res, con.k)
+    assert s["initial_k"] == con.seed_size
+    assert s["final_k"] == 36
+    assert s["rounds"] == res.rounds
+    assert s["peak_speed"] >= 1
+    assert len(s["adoption_curve"]) == res.rounds + 1
+    import json
+
+    json.dumps(s)

@@ -1,0 +1,87 @@
+"""Asynchronous/sequential scheduler tests."""
+
+import numpy as np
+import pytest
+
+from repro.engine import run_asynchronous, run_synchronous
+from repro.rules import SMPRule
+from repro.topology import ToroidalMesh
+
+
+def test_monochromatic_converges_in_one_quiet_sweep():
+    topo = ToroidalMesh(3, 3)
+    colors = np.full(9, 1, dtype=np.int32)
+    res = run_asynchronous(topo, colors, SMPRule())
+    assert res.converged and res.rounds == 0
+    assert res.monochromatic
+
+
+def test_async_fixed_order_reaches_dynamo_fixed_point():
+    from repro.core import theorem2_mesh_dynamo
+
+    con = theorem2_mesh_dynamo(5, 5)
+    res = run_asynchronous(topo := con.topo, con.colors, SMPRule(), target_color=con.k)
+    assert res.converged
+    assert res.monochromatic and res.final[0] == con.k
+    assert res.monotone is True
+    # async sweeps can only be faster than synchronous rounds (updates
+    # within a sweep see fresh values)
+    sync = run_synchronous(topo, con.colors, SMPRule(), target_color=con.k)
+    assert res.rounds <= sync.rounds
+
+
+def test_async_random_order_requires_rng():
+    topo = ToroidalMesh(3, 3)
+    with pytest.raises(ValueError):
+        run_asynchronous(topo, np.zeros(9, dtype=np.int32), SMPRule(), order="random")
+
+
+def test_async_random_order_converges(rng):
+    from repro.core import theorem4_cordalis_dynamo
+
+    con = theorem4_cordalis_dynamo(4, 4)
+    res = run_asynchronous(
+        con.topo, con.colors, SMPRule(), order="random", rng=rng, target_color=con.k
+    )
+    assert res.converged and res.final[0] == con.k
+
+
+def test_async_explicit_order_validated():
+    topo = ToroidalMesh(3, 3)
+    with pytest.raises(ValueError):
+        run_asynchronous(
+            topo, np.zeros(9, dtype=np.int32), SMPRule(), order=[0, 1, 2]
+        )
+    with pytest.raises(ValueError):
+        run_asynchronous(
+            topo, np.zeros(9, dtype=np.int32), SMPRule(), order="zigzag"
+        )
+
+
+def test_async_explicit_order_used():
+    from repro.core import theorem2_mesh_dynamo
+
+    con = theorem2_mesh_dynamo(4, 4)
+    order = list(reversed(range(con.topo.num_vertices)))
+    res = run_asynchronous(
+        con.topo, con.colors, SMPRule(), order=order, target_color=con.k
+    )
+    assert res.converged and res.monochromatic
+
+
+def test_async_max_sweeps_cap():
+    from repro.core import theorem4_cordalis_dynamo
+
+    con = theorem4_cordalis_dynamo(6, 6)
+    res = run_asynchronous(con.topo, con.colors, SMPRule(), max_sweeps=1)
+    assert not res.converged
+    assert res.rounds == 1
+
+
+def test_async_records_trajectory():
+    from repro.core import theorem2_mesh_dynamo
+
+    con = theorem2_mesh_dynamo(4, 4)
+    res = run_asynchronous(con.topo, con.colors, SMPRule(), record=True)
+    assert len(res.trajectory) == res.rounds + 1 + (1 if res.converged else 0)
+    assert np.array_equal(res.trajectory[0], con.colors)

@@ -1,0 +1,108 @@
+"""Temporal (time-varying availability) engine tests."""
+
+import numpy as np
+import pytest
+
+from repro.engine import run_synchronous, run_temporal
+from repro.rules import GeneralizedPluralityRule, SMPRule
+from repro.topology import (
+    AlwaysAvailable,
+    BernoulliAvailability,
+    PeriodicAvailability,
+    TemporalTopology,
+    ToroidalMesh,
+)
+
+
+def _construction(m=5, n=5):
+    from repro.core import theorem2_mesh_dynamo
+
+    return theorem2_mesh_dynamo(m, n)
+
+
+def test_full_availability_matches_static_run():
+    con = _construction()
+    palette = max(con.palette) + 1
+    ttopo = TemporalTopology(con.topo, AlwaysAvailable())
+    rule = GeneralizedPluralityRule(num_colors=palette)
+    res_t = run_temporal(ttopo, con.colors, rule, target_color=con.k)
+    res_s = run_synchronous(con.topo, con.colors, SMPRule(), target_color=con.k)
+    assert res_t.converged
+    assert np.array_equal(res_t.final, res_s.final)
+    assert res_t.rounds == res_s.rounds
+
+
+def test_zero_availability_freezes_everything():
+    con = _construction()
+    rng = np.random.default_rng(1)
+    ttopo = TemporalTopology(con.topo, BernoulliAvailability(0.0, rng))
+    rule = GeneralizedPluralityRule(num_colors=max(con.palette) + 1)
+    res = run_temporal(ttopo, con.colors, rule, max_rounds=20)
+    assert not res.converged
+    assert np.array_equal(res.final, con.colors)
+
+
+def test_partial_availability_still_reaches_monochromatic():
+    con = _construction()
+    rng = np.random.default_rng(7)
+    ttopo = TemporalTopology(con.topo, BernoulliAvailability(0.8, rng))
+    rule = GeneralizedPluralityRule(num_colors=max(con.palette) + 1)
+    res = run_temporal(ttopo, con.colors, rule, max_rounds=5000, target_color=con.k)
+    assert res.converged
+    assert res.monochromatic and res.final[0] == con.k
+
+
+def test_monochromatic_input_is_absorbing():
+    topo = ToroidalMesh(4, 4)
+    ttopo = TemporalTopology(topo, AlwaysAvailable())
+    colors = np.full(16, 2, dtype=np.int32)
+    res = run_temporal(ttopo, colors, GeneralizedPluralityRule(num_colors=3))
+    assert res.converged and res.rounds == 0
+
+
+def test_bernoulli_validates_probability():
+    with pytest.raises(ValueError):
+        BernoulliAvailability(1.5)
+
+
+def test_bernoulli_mask_is_edge_symmetric(rng):
+    topo = ToroidalMesh(4, 5)
+    avail = BernoulliAvailability(0.5, rng)
+    mask = avail.mask_for_round(topo, 0)
+    assert mask.shape == topo.neighbors.shape
+    for v in range(topo.num_vertices):
+        for s in range(4):
+            w = int(topo.neighbors[v, s])
+            # find the slot of v in w's row; symmetric availability
+            back = [t for t in range(4) if int(topo.neighbors[w, t]) == v]
+            assert any(mask[w, t] == mask[v, s] for t in back)
+
+
+def test_periodic_availability_deterministic_and_cycling():
+    topo = ToroidalMesh(3, 3)
+    avail = PeriodicAvailability(period=4, duty=2)
+    m0 = avail.mask_for_round(topo, 0)
+    m4 = avail.mask_for_round(topo, 4)
+    assert np.array_equal(m0, m4)
+    # duty=period means always on
+    full = PeriodicAvailability(period=3, duty=3)
+    assert full.mask_for_round(topo, 1).all()
+
+
+def test_periodic_validates_parameters():
+    with pytest.raises(ValueError):
+        PeriodicAvailability(period=0, duty=1)
+    with pytest.raises(ValueError):
+        PeriodicAvailability(period=4, duty=5)
+
+
+def test_temporal_outcome_helper(rng):
+    from repro.ext import run_temporal_dynamo
+
+    con = _construction(4, 4)
+    out = run_temporal_dynamo(con, availability=1.0, rng=rng)
+    assert out.reached_monochromatic
+    assert out.slowdown == pytest.approx(1.0)
+    out_low = run_temporal_dynamo(con, availability=0.7, rng=rng, max_rounds=5000)
+    if out_low.reached_monochromatic:
+        assert out_low.slowdown >= 1.0

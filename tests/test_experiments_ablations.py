@@ -1,0 +1,57 @@
+"""Ablation experiment tests."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    complement_ablation,
+    seed_shape_ablation,
+    tie_rule_ablation,
+)
+
+
+def test_tie_rule_ablation_smp_wins():
+    arms = {r.arm: r for r in tie_rule_ablation("mesh", 6, 6)}
+    assert arms["smp"].monochromatic and arms["smp"].monotone
+    # strong majority can't move the thin construction at all
+    assert arms["strong-majority"].rounds == 0
+    assert not arms["strong-majority"].monochromatic
+    # the phi-collapsed configuration misbehaves under both bi-color rules
+    assert not arms["prefer-black(phi)"].monotone
+    assert not arms["prefer-current(phi)"].monochromatic
+
+
+@pytest.mark.parametrize("kind", ["mesh", "cordalis", "serpentinus"])
+def test_tie_rule_ablation_all_kinds(kind):
+    arms = {r.arm: r for r in tie_rule_ablation(kind, 6, 6)}
+    assert arms["smp"].k_fraction == 1.0
+    assert arms["smp"].k_fraction >= max(
+        a.k_fraction for name, a in arms.items() if name != "smp"
+    )
+
+
+def test_seed_shape_ablation_theorem_and_diagonal_win():
+    out = seed_shape_ablation(6, 6, rng=np.random.default_rng(5))
+    assert out["theorem"].k_fraction == 1.0
+    assert out["diagonal"].k_fraction == 1.0
+    # same budget, naive placement: strictly worse on average
+    assert out["scatter"].k_fraction < 1.0
+    assert out["block"].k_fraction < 1.0
+
+
+def test_complement_ablation_probabilities():
+    out = complement_ablation("cordalis", 5, 6, trials=30)
+    assert out["theorem"] == 1.0
+    assert out["monochromatic"] == 0.0
+    assert 0.0 <= out["random"] < 1.0
+
+
+def test_complement_ablation_random_rarely_works():
+    """Random complements rarely assemble the protective structure: the
+    crafted complement is the load-bearing ingredient.  (The rate grows
+    with palette size — random rainbows get likelier — so the 4-color
+    6x6 construction is the cleanest demonstration.)"""
+    out = complement_ablation("mesh", 6, 6, trials=40)
+    assert out["random"] <= 0.2
+    out_small_palette = complement_ablation("cordalis", 6, 6, trials=40)
+    assert out_small_palette["random"] <= 0.2

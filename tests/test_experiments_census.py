@@ -1,0 +1,37 @@
+"""Below-bound census experiment tests."""
+
+import numpy as np
+
+from repro.experiments import CensusRow, below_bound_census
+
+
+def test_census_3x3_rows_are_exhaustive():
+    rows = below_bound_census(kinds=["mesh"], sizes=[3])
+    (row,) = rows
+    assert row.method == "exhaustive"
+    assert row.certified_size == 3
+    assert row.paper_bound == 4
+    assert row.below_bound is True
+    assert row.ruled_out_below == 3
+
+
+def test_census_uses_diagonal_witnesses():
+    rows = below_bound_census(
+        kinds=["mesh"], sizes=[4, 5], rng=np.random.default_rng(1)
+    )
+    assert all(r.method == "diagonal" for r in rows)
+    assert [r.certified_size for r in rows] == [4, 5]
+    assert all(r.below_bound for r in rows)
+
+
+def test_census_covers_all_kinds():
+    rows = below_bound_census(sizes=[3], rng=np.random.default_rng(2))
+    kinds = [r.kind for r in rows]
+    assert kinds == ["mesh", "cordalis", "serpentinus"]
+    # all three bounds fall at 3x3
+    assert all(r.below_bound for r in rows)
+
+
+def test_census_row_none_case():
+    row = CensusRow(kind="mesh", n=9, paper_bound=16, certified_size=None, method="random")
+    assert row.below_bound is None

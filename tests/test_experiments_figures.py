@@ -1,0 +1,89 @@
+"""Figure reproduction tests — the paper's printed artifacts, diffed."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    FIG5_EXPECTED,
+    FIG6_EXPECTED,
+    figure1_minimum_dynamo,
+    figure2_theorem2_coloring,
+    figure3_bad_complement,
+    figure4_frozen_configuration,
+    figure5_mesh_time_matrix,
+    figure6_cordalis_time_matrix,
+    find_frozen_completion,
+)
+
+
+def test_figure1_reproduces():
+    res = figure1_minimum_dynamo()  # the paper's 9x9, 16 black nodes
+    assert res.matches_paper
+    assert res.construction.seed_size == 16
+    assert res.artifact.sum() == 16
+
+
+def test_figure2_reproduces():
+    res = figure2_theorem2_coloring()
+    assert res.matches_paper
+    assert res.report.conditions.satisfied
+    assert res.artifact.shape == (9, 9)
+
+
+def test_figure3_same_seed_fails_with_bad_complement():
+    res = figure3_bad_complement()
+    assert res.matches_paper
+    assert not res.report.is_dynamo
+    # the seed shape/size is still the minimum-dynamo one
+    assert res.construction.seed_size == 8
+
+
+def test_figure4_totally_frozen():
+    res = figure4_frozen_configuration()
+    assert res.matches_paper
+    assert not res.report.is_dynamo
+    assert "round 0" in res.notes
+
+
+def test_figure4_completion_is_genuinely_frozen():
+    colors = find_frozen_completion(5, 5)
+    assert colors is not None
+    from repro.engine import run_synchronous
+    from repro.rules import SMPRule
+    from repro.topology import ToroidalMesh
+
+    topo = ToroidalMesh(5, 5)
+    res = run_synchronous(topo, colors, SMPRule())
+    assert res.converged and res.fixed_point_round == 0
+
+
+def test_figure5_matrix_matches_paper_exactly():
+    res = figure5_mesh_time_matrix()
+    assert res.matches_paper is True
+    assert np.array_equal(res.artifact, FIG5_EXPECTED)
+    assert int(res.artifact.max()) == 3  # Theorem 7's value for 5x5
+
+
+def test_figure6_matrix_matches_paper_exactly():
+    res = figure6_cordalis_time_matrix()
+    assert res.matches_paper is True
+    assert np.array_equal(res.artifact, FIG6_EXPECTED)
+    assert int(res.artifact.max()) == 8  # Theorem 8's value for 5x5
+
+
+def test_figure5_other_sizes_dont_claim_paper_match():
+    res = figure5_mesh_time_matrix(7, 7)
+    assert res.matches_paper is None
+    assert res.artifact.shape == (7, 7)
+    assert int(res.artifact.max()) == 5
+
+
+def test_figure_matrices_symmetry():
+    """Figure 5's matrix has the mesh's diagonal symmetry; in Figure 6 the
+    two row-chain waves are mirror images one round apart (row m-1 read
+    backwards is row 1 shifted by one round) — both visible in the paper's
+    printed matrices."""
+    f5 = figure5_mesh_time_matrix().artifact
+    assert np.array_equal(f5, f5.T)
+    f6 = figure6_cordalis_time_matrix().artifact
+    assert np.array_equal(f6[4, ::-1], f6[1] + 1)

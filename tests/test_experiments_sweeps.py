@@ -1,0 +1,45 @@
+"""Parallel sweep driver tests."""
+
+import numpy as np
+
+from repro.experiments import rect_points, square_points, sweep_rounds
+
+
+def test_point_helpers():
+    assert square_points("mesh", [3, 5]) == [("mesh", 3, 3), ("mesh", 5, 5)]
+    assert rect_points("cordalis", [3], [4, 5]) == [
+        ("cordalis", 3, 4),
+        ("cordalis", 3, 5),
+    ]
+
+
+def test_sweep_inline_records():
+    records = sweep_rounds(square_points("mesh", [4, 6]), processes=0)
+    assert records.shape == (2,)
+    assert records["is_dynamo"].all()
+    assert records["monotone"].all()
+    assert list(records["m"]) == [4, 6]
+    assert np.array_equal(records["seed_size"], records["lower_bound"])
+    # empirical predictions agree with the measurement where defined
+    defined = records["empirical_rounds"] >= 0
+    assert np.array_equal(
+        records["rounds"][defined], records["empirical_rounds"][defined]
+    )
+
+
+def test_sweep_parallel_matches_inline():
+    points = square_points("cordalis", [3, 4, 5]) + square_points(
+        "serpentinus", [4, 5]
+    )
+    inline = sweep_rounds(points, processes=0)
+    parallel = sweep_rounds(points, processes=2)
+    assert np.array_equal(inline, parallel)
+
+
+def test_sweep_mixed_kinds():
+    records = sweep_rounds(
+        [("mesh", 5, 5), ("cordalis", 5, 5), ("serpentinus", 5, 5)], processes=0
+    )
+    assert list(records["kind"]) == ["mesh", "cordalis", "serpentinus"]
+    assert list(records["lower_bound"]) == [8, 6, 6]
+    assert list(records["rounds"]) == [4, 8, 8]

@@ -1,0 +1,53 @@
+"""Update-order robustness tests."""
+
+import numpy as np
+
+from repro.core import build_minimum_dynamo
+from repro.ext import async_robustness, order_sensitivity
+
+
+def test_constructions_robust_to_random_order(torus_kind):
+    con = build_minimum_dynamo(torus_kind, 5, 5)
+    out = async_robustness(con, trials=10, rng=np.random.default_rng(3))
+    assert out.takeover_rate == 1.0
+    assert out.monotone_rate == 1.0
+    assert out.min_sweeps >= 1
+
+
+def test_diagonal_dynamo_fragile_under_asynchrony():
+    """The below-bound diagonal witnesses are synchronous-only: their 2-2
+    tie protection breaks when one neighbor updates before the other, so
+    random sequential schedules destroy the takeover (and usually the
+    monotonicity) — unlike the paper's k-block/rainbow constructions."""
+    from repro.core import diagonal_dynamo
+
+    con = diagonal_dynamo(5)
+    out = async_robustness(con, trials=15, rng=np.random.default_rng(4))
+    assert out.takeover_rate < 0.5
+    assert out.monotone_rate < 1.0
+
+
+def test_floor_witness_also_fragile():
+    from repro.core import floor_dynamo
+
+    con = floor_dynamo(4)
+    out = async_robustness(con, trials=15, rng=np.random.default_rng(6))
+    assert out.takeover_rate < 1.0
+
+
+def test_order_sensitivity_distribution():
+    con = build_minimum_dynamo("cordalis", 5, 5)
+    sweeps = order_sensitivity(con, trials=25, rng=np.random.default_rng(9))
+    assert sweeps.shape == (25,)
+    assert sweeps.min() >= 1
+    # the scheduler controls the clock within a bounded band
+    assert sweeps.max() <= 2 * 8 + 4  # ~2x the synchronous rounds
+
+
+def test_sweep_cap_respected():
+    con = build_minimum_dynamo("mesh", 6, 6)
+    out = async_robustness(
+        con, trials=3, rng=np.random.default_rng(1), max_sweeps=1
+    )
+    assert out.takeover_rate == 0.0
+    assert out.max_sweeps == 1

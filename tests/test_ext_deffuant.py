@@ -1,0 +1,67 @@
+"""Bounded-confidence (Deffuant) comparison-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.ext import compare_with_smp, opinion_clusters, run_deffuant
+from repro.topology import ToroidalMesh
+
+
+def test_parameter_validation():
+    topo = ToroidalMesh(3, 3)
+    with pytest.raises(ValueError):
+        run_deffuant(topo, epsilon=0.0)
+    with pytest.raises(ValueError):
+        run_deffuant(topo, epsilon=0.3, mu=0.9)
+    with pytest.raises(ValueError):
+        run_deffuant(topo, 0.3, initial=np.zeros(5))
+
+
+def test_opinion_clusters_gap_splitting():
+    xs = np.array([0.1, 0.11, 0.12, 0.8, 0.82])
+    cents = opinion_clusters(xs, epsilon=0.2)
+    assert len(cents) == 2
+    assert cents[0] == pytest.approx(0.11)
+    assert cents[1] == pytest.approx(0.81)
+    assert opinion_clusters(np.array([]), 0.2) == []
+
+
+def test_large_epsilon_single_cluster(rng):
+    topo = ToroidalMesh(5, 5)
+    res = run_deffuant(topo, epsilon=1.0, rng=rng, max_steps=100_000)
+    assert res.converged
+    assert len(res.clusters) == 1
+    # mean opinion is conserved by the symmetric update
+    assert res.opinions.mean() == pytest.approx(0.5, abs=0.15)
+
+
+def test_small_epsilon_multiple_clusters(rng):
+    topo = ToroidalMesh(6, 6)
+    res = run_deffuant(topo, epsilon=0.12, rng=rng, max_steps=150_000)
+    assert len(res.clusters) >= 2
+
+
+def test_opinions_stay_in_unit_interval(rng):
+    topo = ToroidalMesh(4, 4)
+    res = run_deffuant(topo, epsilon=0.4, rng=rng, max_steps=20_000)
+    assert np.all(res.opinions >= 0.0) and np.all(res.opinions <= 1.0)
+
+
+def test_mean_conservation_exact(rng):
+    topo = ToroidalMesh(4, 4)
+    x0 = rng.random(16)
+    res = run_deffuant(topo, 0.5, rng=rng, initial=x0, max_steps=5_000)
+    assert res.opinions.mean() == pytest.approx(x0.mean(), abs=1e-9)
+
+
+def test_compare_with_smp_contract(rng):
+    topo = ToroidalMesh(5, 5)
+    out = compare_with_smp(topo, epsilon=0.3, num_colors=4, rng=rng)
+    assert set(out) >= {
+        "deffuant_clusters",
+        "smp_surviving_colors",
+        "smp_converged",
+        "num_colors",
+    }
+    assert out["deffuant_clusters"] >= 1
+    assert 1 <= out["smp_surviving_colors"] <= 4

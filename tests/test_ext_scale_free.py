@@ -1,0 +1,61 @@
+"""Scale-free extension tests (the paper's future-work experiment)."""
+
+import numpy as np
+import pytest
+
+from repro.ext import (
+    barabasi_albert_topology,
+    run_scale_free_experiment,
+    seed_vertices,
+)
+
+
+def test_ba_topology_structure(rng):
+    topo = barabasi_albert_topology(100, 2, rng)
+    assert topo.num_vertices == 100
+    topo.validate()
+    # BA(n, 2): (n - 2) * 2 edges... networkx gives (n - m) * m
+    assert topo.num_edges() == 98 * 2
+    # heavy tail: the max degree well above the mean
+    assert topo.degrees.max() >= 3 * topo.degrees.mean()
+
+
+def test_seed_strategies(rng):
+    topo = barabasi_albert_topology(60, 2, rng)
+    hubs = seed_vertices(topo, 5, "hubs", rng)
+    assert len(hubs) == 5
+    top5 = np.sort(topo.degrees[hubs])
+    rest = np.sort(topo.degrees[np.setdiff1d(np.arange(60), hubs)])
+    assert top5[0] >= rest[-1]  # hubs really are the top degrees
+    rand = seed_vertices(topo, 5, "random", rng)
+    assert len(set(int(v) for v in rand)) == 5
+    weighted = seed_vertices(topo, 5, "degree-weighted", rng)
+    assert len(set(int(v) for v in weighted)) == 5
+    with pytest.raises(ValueError):
+        seed_vertices(topo, 5, "psychic", rng)
+
+
+def test_experiment_runs_and_reports(rng):
+    out = run_scale_free_experiment(
+        n=150, seed_fraction=0.1, strategy="hubs", rng=rng, max_rounds=200
+    )
+    assert out.num_vertices == 150
+    assert out.seed_size == 15
+    assert 0.0 <= out.final_k_fraction <= 1.0
+    assert out.strategy == "hubs"
+
+
+def test_hub_seeding_beats_random_on_average():
+    """The scale-free headline: hub seeds convert more of the graph than
+    equally-sized random seeds (averaged over instances)."""
+    hub_total, rand_total = 0.0, 0.0
+    for s in range(6):
+        rng = np.random.default_rng(100 + s)
+        hub_total += run_scale_free_experiment(
+            n=200, seed_fraction=0.05, strategy="hubs", rng=rng
+        ).final_k_fraction
+        rng = np.random.default_rng(100 + s)
+        rand_total += run_scale_free_experiment(
+            n=200, seed_fraction=0.05, strategy="random", rng=rng
+        ).final_k_fraction
+    assert hub_total > rand_total

@@ -1,0 +1,57 @@
+"""Stubborn-entities experiments (ref [5] companion model)."""
+
+import numpy as np
+
+from repro.core import theorem2_mesh_dynamo, theorem4_cordalis_dynamo
+from repro.ext import stubborn_blockade, stubborn_core_experiment
+
+
+def test_zero_stubborn_recovers_dynamo(rng):
+    con = theorem2_mesh_dynamo(6, 6)
+    out = stubborn_blockade(con, 0, rng)
+    assert out.reached_monochromatic
+    assert out.final_k_fraction == 1.0
+
+
+def test_one_stubborn_dissenter_prevents_monochromatic(rng):
+    con = theorem2_mesh_dynamo(6, 6)
+    out = stubborn_blockade(con, 1, rng)
+    assert out.stubborn_count == 1
+    assert not out.reached_monochromatic
+    # ...but the rest of the torus still converts almost entirely
+    assert out.final_k_fraction >= 1.0 - 6 / 36
+
+
+def test_blockade_fraction_decreases_with_stubborn_count(rng):
+    con = theorem4_cordalis_dynamo(6, 6)
+    fractions = []
+    for count in (0, 4, 16):
+        outs = [
+            stubborn_blockade(con, count, np.random.default_rng(s))
+            for s in range(5)
+        ]
+        fractions.append(np.mean([o.final_k_fraction for o in outs]))
+    assert fractions[0] >= fractions[1] >= fractions[2]
+    assert fractions[0] == 1.0
+
+
+def test_stubborn_count_clamped(rng):
+    con = theorem2_mesh_dynamo(4, 4)
+    out = stubborn_blockade(con, 10_000, rng)
+    assert out.stubborn_count == (~con.seed).sum()
+
+
+def test_repaint_color_applied(rng):
+    con = theorem2_mesh_dynamo(5, 5)
+    out = stubborn_blockade(con, 3, rng, repaint_color=con.k)
+    # stubborn supporters pinned to k can only help
+    assert out.final_k_fraction >= 0.5
+
+
+def test_stubborn_core_random_complements(rng):
+    con = theorem4_cordalis_dynamo(5, 5)
+    fractions = stubborn_core_experiment(con, rng, trials=10)
+    assert len(fractions) == 10
+    assert all(0.0 < f <= 1.0 for f in fractions)
+    # the seed itself always stays k
+    assert min(fractions) >= con.seed_size / con.topo.num_vertices

@@ -1,0 +1,148 @@
+"""Global dynamical properties: Lemma 1, monotone growth, derivability,
+and post-hoc validation of every recoloring the engine ever performs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import run_synchronous
+from repro.rules import SMPRule
+from repro.structures import bounding_box, derivable_k_set, derived_history
+from repro.topology import ToroidalMesh
+
+from conftest import TORUS_KINDS
+
+K = 0
+
+
+def _box_extents(topo, mask):
+    return bounding_box(topo, np.flatnonzero(mask)).extents
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_lemma1_bounding_box_never_grows(seed):
+    """Lemma 1: a k-set whose bounding box fits strictly inside an
+    (m-1) x (n-1) window can never grow its box — at every round of any
+    dynamics the k-set stays inside the initial rectangle."""
+    rng = np.random.default_rng(seed)
+    topo = ToroidalMesh(6, 7)
+    colors = rng.integers(1, 4, size=topo.num_vertices).astype(np.int32)
+    # confine k to a random 3x4 sub-box (extents <= m-2, n-2)
+    i0, j0 = int(rng.integers(6)), int(rng.integers(7))
+    grid = colors.reshape(6, 7)
+    cells = [((i0 + di) % 6, (j0 + dj) % 7) for di in range(3) for dj in range(4)]
+    chosen = rng.random(12) < 0.5
+    for (i, j), c in zip(cells, chosen):
+        if c:
+            grid[i, j] = K
+    if not (colors == K).any():
+        grid[i0, j0] = K
+    history = derived_history(topo, colors, K, max_rounds=80)
+    m0, n0 = _box_extents(topo, history[0])
+    assert m0 <= 5 and n0 <= 6
+    box0 = bounding_box(topo, np.flatnonzero(history[0]))
+    for mask in history[1:]:
+        for v in np.flatnonzero(mask):
+            i, j = topo.vertex_coords(int(v))
+            assert box0.contains(i, j, topo.m, topo.n)
+
+
+def test_lemma1_row_band_case():
+    """The one-small-extent branch: a k row-band never gains rows even
+    when it spans every column."""
+    topo = ToroidalMesh(6, 6)
+    rng = np.random.default_rng(3)
+    colors = rng.integers(1, 4, size=36).astype(np.int32)
+    colors.reshape(6, 6)[2:4, :] = K
+    history = derived_history(topo, colors, K, max_rounds=60)
+    for mask in history:
+        rows = {int(v) // 6 for v in np.flatnonzero(mask)}
+        assert rows.issubset({2, 3})
+
+
+def test_monotone_dynamo_k_sets_form_increasing_chain(torus_kind):
+    from repro.core import build_minimum_dynamo
+
+    con = build_minimum_dynamo(torus_kind, 6, 6)
+    history = derived_history(con.topo, con.colors, con.k)
+    for a, b in zip(history, history[1:]):
+        assert np.all(b[a])  # a subset of b
+    assert history[-1].all()
+
+
+def test_derivable_k_set_of_dynamo_is_everything(torus_kind):
+    from repro.core import build_minimum_dynamo
+
+    con = build_minimum_dynamo(torus_kind, 5, 5)
+    mask, converged = derivable_k_set(con.topo, con.colors, con.k)
+    assert converged and mask.all()
+
+
+def test_derivable_k_set_of_frozen_configuration():
+    from repro.experiments import find_frozen_completion
+
+    topo = ToroidalMesh(5, 5)
+    colors = find_frozen_completion(5, 5)
+    mask, converged = derivable_k_set(topo, colors, 1)
+    assert converged
+    assert np.array_equal(mask, np.asarray(colors) == 1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_every_recoloring_is_justified(seed):
+    """Post-hoc audit: whenever the engine changes a vertex's color, the
+    adopted color was held by >= 2 of its neighbors and no other color
+    reached 2 (the normalized SMP rule, validated on whole trajectories)."""
+    from collections import Counter
+
+    rng = np.random.default_rng(seed)
+    topo = ToroidalMesh(5, 5)
+    colors = rng.integers(0, 4, size=25).astype(np.int32)
+    res = run_synchronous(topo, colors, SMPRule(), record=True, max_rounds=40)
+    for prev, curr in zip(res.trajectory, res.trajectory[1:]):
+        for v in np.flatnonzero(prev != curr):
+            nb = [int(prev[int(w)]) for w in topo.neighbors[v]]
+            counts = Counter(nb)
+            reaching = [c for c, cnt in counts.items() if cnt >= 2]
+            assert reaching == [int(curr[v])]
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), perm_seed=st.integers(0, 2**31 - 1))
+def test_color_permutation_commutes_with_full_run(seed, perm_seed):
+    rng = np.random.default_rng(seed)
+    topo = ToroidalMesh(4, 5)
+    colors = rng.integers(0, 5, size=20).astype(np.int32)
+    perm = np.random.default_rng(perm_seed).permutation(5).astype(np.int32)
+    plain = run_synchronous(topo, colors, SMPRule(), max_rounds=60)
+    permed = run_synchronous(topo, perm[colors], SMPRule(), max_rounds=60)
+    assert np.array_equal(permed.final, perm[plain.final])
+    assert permed.rounds == plain.rounds
+
+
+def test_monochromatic_absorbing_under_all_rules(torus_kind):
+    from repro.rules import (
+        GeneralizedPluralityRule,
+        ReverseStrongMajority,
+        SMPRule,
+    )
+
+    topo = TORUS_KINDS[torus_kind](4, 4)
+    colors = np.full(16, 3, dtype=np.int32)
+    for rule in (SMPRule(), ReverseStrongMajority(), GeneralizedPluralityRule(5)):
+        assert np.array_equal(rule.step(colors, topo), colors), rule.name()
+
+
+def test_fixed_points_are_rule_fixed_points(rng, torus_kind):
+    """Whatever state the engine reports as converged must be a genuine
+    fixed point of the rule."""
+    topo = TORUS_KINDS[torus_kind](5, 5)
+    rule = SMPRule()
+    for _ in range(10):
+        colors = rng.integers(0, 3, size=25).astype(np.int32)
+        res = run_synchronous(topo, colors, rule, max_rounds=120)
+        if res.converged:
+            assert np.array_equal(rule.step(res.final, topo), res.final)

@@ -1,0 +1,103 @@
+"""Round-count laws: paper formulas vs measured, pinned over sweeps.
+
+These tests encode the reproduction's headline timing results:
+
+* the full-cross mesh seed follows ``ceil((m-1)/2) + ceil((n-1)/2) - 1``
+  exactly (Theorem 7's formula (1) is the m = n special case; for
+  rectangular tori the paper's max-based formula overestimates);
+* the Theorem-2 minimum seed costs at most one extra round (exactly one
+  when m, n are both odd, none when both even);
+* the cordalis/serpentinus row seeds follow Theorem 8 exactly for odd m;
+  for even m the paper's formula (3) undercounts — measured is
+  ``(m/2 - 1) * n``;
+* the serpentinus column seed (no paper formula) follows
+  ``floor(m(n-2)/2) - floor((m-2)/2)``.
+"""
+
+import pytest
+
+from repro.core import (
+    full_cross_mesh_dynamo,
+    theorem2_mesh_dynamo,
+    theorem4_cordalis_dynamo,
+    theorem6_serpentinus_dynamo,
+    theorem7_mesh_rounds,
+    theorem8_row_rounds,
+    verify_construction,
+)
+from repro.core.bounds import (
+    empirical_cross_rounds,
+    empirical_mesh_rounds,
+    empirical_row_rounds,
+    empirical_serpentinus_column_rounds,
+)
+
+
+def _measured(con):
+    rep = verify_construction(con, check_conditions=False)
+    assert rep.is_monotone_dynamo
+    return rep.rounds
+
+
+@pytest.mark.parametrize("m", range(3, 10))
+@pytest.mark.parametrize("n", range(3, 10))
+def test_cross_seed_follows_empirical_law(m, n):
+    assert _measured(full_cross_mesh_dynamo(m, n)) == empirical_cross_rounds(m, n)
+
+
+@pytest.mark.parametrize("s", range(3, 12))
+def test_paper_theorem7_exact_on_squares(s):
+    assert _measured(full_cross_mesh_dynamo(s, s)) == theorem7_mesh_rounds(s, s)
+
+
+@pytest.mark.parametrize("m,n", [(3, 8), (4, 9), (10, 5), (12, 3)])
+def test_paper_theorem7_overestimates_rectangles(m, n):
+    measured = _measured(full_cross_mesh_dynamo(m, n))
+    assert measured == empirical_cross_rounds(m, n) < theorem7_mesh_rounds(m, n)
+
+
+@pytest.mark.parametrize("m", range(3, 9))
+@pytest.mark.parametrize("n", range(3, 9))
+def test_theorem2_seed_costs_at_most_one_extra_round(m, n):
+    measured = _measured(theorem2_mesh_dynamo(m, n))
+    cross = empirical_cross_rounds(m, n)
+    assert measured in (cross, cross + 1)
+    expected = empirical_mesh_rounds(m, n)
+    if expected is not None:
+        assert measured == expected
+
+
+@pytest.mark.parametrize("m", range(3, 9))
+@pytest.mark.parametrize("n", range(3, 8))
+def test_cordalis_rounds_follow_empirical_law(m, n):
+    assert _measured(theorem4_cordalis_dynamo(m, n)) == empirical_row_rounds(m, n)
+
+
+@pytest.mark.parametrize("m", [3, 5, 7, 9])
+@pytest.mark.parametrize("n", [3, 4, 5, 6])
+def test_paper_theorem8_exact_for_odd_m(m, n):
+    assert _measured(theorem4_cordalis_dynamo(m, n)) == theorem8_row_rounds(m, n)
+
+
+@pytest.mark.parametrize("m,n", [(4, 5), (6, 6), (8, 4)])
+def test_paper_theorem8_undercounts_even_m(m, n):
+    measured = _measured(theorem4_cordalis_dynamo(m, n))
+    assert measured == empirical_row_rounds(m, n) > theorem8_row_rounds(m, n)
+
+
+@pytest.mark.parametrize("m,n", [(5, 5), (7, 4), (8, 6), (9, 9), (6, 3)])
+def test_serpentinus_row_seed_matches_cordalis_law(m, n):
+    assert _measured(theorem6_serpentinus_dynamo(m, n)) == empirical_row_rounds(m, n)
+
+
+@pytest.mark.parametrize("m,n", [(3, 5), (4, 7), (5, 8), (6, 9), (7, 10)])
+def test_serpentinus_column_seed_follows_fitted_law(m, n):
+    assert _measured(
+        theorem6_serpentinus_dynamo(m, n)
+    ) == empirical_serpentinus_column_rounds(m, n)
+
+
+def test_figure_values_pin_the_formulas():
+    # Figure 5's matrix peaks at 3; Figure 6's at 8 — both reproduced
+    assert empirical_cross_rounds(5, 5) == theorem7_mesh_rounds(5, 5) == 3
+    assert empirical_row_rounds(5, 5) == theorem8_row_rounds(5, 5) == 8

@@ -1,0 +1,150 @@
+"""Bi-colored baseline rules of [15]: reverse simple/strong majority."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rules import (
+    BLACK,
+    WHITE,
+    ReverseSimpleMajority,
+    ReverseStrongMajority,
+    SMPRule,
+)
+from repro.topology import ToroidalMesh
+
+from conftest import TORUS_KINDS
+
+
+# ----------------------------------------------------------------------
+# Prefer-Black simple majority
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "blacks,expected",
+    [(0, WHITE), (1, WHITE), (2, BLACK), (3, BLACK), (4, BLACK)],
+)
+def test_prefer_black_thresholds(blacks, expected):
+    rule = ReverseSimpleMajority("prefer-black")
+    nb = [BLACK] * blacks + [WHITE] * (4 - blacks)
+    assert rule.update_vertex(WHITE, nb) == expected
+    assert rule.update_vertex(BLACK, nb) == expected  # current is ignored
+
+
+@pytest.mark.parametrize(
+    "blacks,current,expected",
+    [
+        (0, BLACK, WHITE),
+        (1, BLACK, WHITE),
+        (2, BLACK, BLACK),  # tie keeps current
+        (2, WHITE, WHITE),
+        (3, WHITE, BLACK),
+        (4, WHITE, BLACK),
+    ],
+)
+def test_prefer_current_thresholds(blacks, current, expected):
+    rule = ReverseSimpleMajority("prefer-current")
+    nb = [BLACK] * blacks + [WHITE] * (4 - blacks)
+    assert rule.update_vertex(current, nb) == expected
+
+
+def test_unknown_tie_policy_rejected():
+    with pytest.raises(ValueError):
+        ReverseSimpleMajority("prefer-pink")
+
+
+def test_pb_differs_from_smp_on_two_two():
+    """Remark 1's point: SMP restricted to two colors is *not* the PB rule."""
+    nb = [BLACK, BLACK, WHITE, WHITE]
+    assert ReverseSimpleMajority("prefer-black").update_vertex(WHITE, nb) == BLACK
+    assert SMPRule().update_vertex(WHITE, nb) == WHITE
+
+
+def test_bicolor_rules_reject_multicolor_input():
+    topo = ToroidalMesh(3, 3)
+    colors = np.full(9, 5, dtype=np.int32)
+    with pytest.raises(ValueError):
+        ReverseSimpleMajority().step(colors, topo)
+
+
+@pytest.mark.parametrize("tie", ["prefer-black", "prefer-current"])
+def test_simple_majority_step_matches_reference(tie, rng, torus_kind):
+    topo = TORUS_KINDS[torus_kind](4, 5)
+    rule = ReverseSimpleMajority(tie)
+    for _ in range(5):
+        colors = rng.integers(1, 3, size=topo.num_vertices).astype(np.int32)
+        assert np.array_equal(
+            rule.step(colors, topo), rule.step_reference(colors, topo)
+        )
+
+
+def test_pb_oscillation_exists():
+    """PB dynamics can cycle: a bi-colored 4x4 checkerboard alternates
+    between its two phases forever (every vertex always has a 2-2 split...
+    actually a checkerboard gives every vertex 4 opposite-colored
+    neighbors, so PB sends everything to the *other* color iff it is
+    black-majority; construct the classic blinker instead)."""
+    from repro.engine import run_synchronous
+
+    topo = ToroidalMesh(4, 4)
+    grid = np.full((4, 4), WHITE, dtype=np.int32)
+    grid[0, :] = BLACK  # a single black row: every vertex sees 2-2 or rows
+    colors = grid.reshape(-1)
+    res = run_synchronous(topo, colors, ReverseSimpleMajority("prefer-black"))
+    # under PB the all-tie frontier rows flip black, the old row stays ->
+    # the dynamics must either converge to all-black or cycle; either way
+    # the engine must terminate and report what happened
+    assert res.converged or (res.cycle_length or 0) >= 1
+
+
+# ----------------------------------------------------------------------
+# Strong majority
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "nb,current,expected",
+    [
+        ([1, 1, 1, 2], 9, 1),
+        ([2, 1, 1, 1], 9, 1),
+        ([1, 1, 1, 1], 9, 1),
+        ([1, 1, 2, 2], 9, 9),
+        ([1, 1, 2, 3], 9, 9),  # simple-majority pair is NOT enough
+        ([1, 2, 3, 4], 9, 9),
+    ],
+)
+def test_strong_majority_scalar(nb, current, expected):
+    assert ReverseStrongMajority().update_vertex(current, nb) == expected
+
+
+def test_strong_majority_step_matches_reference(rng, torus_kind):
+    topo = TORUS_KINDS[torus_kind](5, 4)
+    rule = ReverseStrongMajority()
+    for _ in range(5):
+        colors = rng.integers(0, 4, size=topo.num_vertices).astype(np.int32)
+        assert np.array_equal(
+            rule.step(colors, topo), rule.step_reference(colors, topo)
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_strong_majority_more_conservative_than_smp(seed):
+    """Proposition 2's item b): whenever strong majority recolors a vertex,
+    SMP recolors it identically (strong is more restrictive)."""
+    rng = np.random.default_rng(seed)
+    topo = ToroidalMesh(4, 5)
+    colors = rng.integers(0, 4, size=topo.num_vertices).astype(np.int32)
+    strong = ReverseStrongMajority().step(colors, topo)
+    smp = SMPRule().step(colors, topo)
+    changed = strong != colors
+    assert np.array_equal(strong[changed], smp[changed])
+
+
+def test_strong_majority_rejects_irregular():
+    import networkx as nx
+
+    from repro.topology import GraphTopology
+
+    with pytest.raises(ValueError):
+        ReverseStrongMajority().step(
+            np.zeros(4, dtype=np.int32), GraphTopology(nx.path_graph(4))
+        )

@@ -1,0 +1,116 @@
+"""Ordered-increment rule tests (the refs [4][5] companion model)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import run_synchronous
+from repro.rules import OrderedIncrementRule
+from repro.topology import ToroidalMesh
+
+from conftest import TORUS_KINDS
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        OrderedIncrementRule(1)
+    with pytest.raises(ValueError):
+        OrderedIncrementRule(3, threshold="plurality")
+
+
+def test_rejects_out_of_range_colors():
+    topo = ToroidalMesh(3, 3)
+    with pytest.raises(ValueError):
+        OrderedIncrementRule(2).step(np.full(9, 5, dtype=np.int32), topo)
+
+
+def test_scalar_semantics():
+    rule = OrderedIncrementRule(4)
+    assert rule.update_vertex(0, [1, 1, 0, 0]) == 1  # two greater: bump
+    assert rule.update_vertex(0, [1, 0, 0, 0]) == 0  # one greater: stay
+    assert rule.update_vertex(1, [3, 2, 0, 0]) == 2  # any greater counts
+    assert rule.update_vertex(3, [3, 3, 3, 3]) == 3  # top color absorbing
+    assert rule.update_vertex(2, [3, 3, 3, 3]) == 3
+
+
+def test_strong_variant_needs_three():
+    rule = OrderedIncrementRule(4, threshold="strong")
+    assert rule.update_vertex(0, [1, 1, 0, 0]) == 0
+    assert rule.update_vertex(0, [1, 1, 1, 0]) == 1
+
+
+def test_step_matches_reference(rng, torus_kind):
+    topo = TORUS_KINDS[torus_kind](4, 5)
+    rule = OrderedIncrementRule(5)
+    for _ in range(5):
+        colors = rng.integers(0, 5, size=20).astype(np.int32)
+        assert np.array_equal(
+            rule.step(colors, topo), rule.step_reference(colors, topo)
+        )
+
+
+def test_colors_never_decrease(rng):
+    topo = ToroidalMesh(5, 5)
+    rule = OrderedIncrementRule(4)
+    colors = rng.integers(0, 4, size=25).astype(np.int32)
+    res = run_synchronous(topo, colors, rule, record=True, max_rounds=rule.max_rounds(topo))
+    for a, b in zip(res.trajectory, res.trajectory[1:]):
+        assert np.all(b >= a)
+        assert np.all(b - a <= 1)  # increments are by exactly one
+    assert res.converged  # the potential guarantees convergence
+
+
+def test_convergence_within_potential_budget(rng, torus_kind):
+    topo = TORUS_KINDS[torus_kind](4, 4)
+    rule = OrderedIncrementRule(6)
+    for _ in range(5):
+        colors = rng.integers(0, 6, size=16).astype(np.int32)
+        res = run_synchronous(topo, colors, rule, max_rounds=rule.max_rounds(topo))
+        assert res.converged
+
+
+def test_adjacent_top_rows_freeze():
+    """Unlike SMP k-blocks, a band of two adjacent top-color rows cannot
+    spread: every frontier vertex has only ONE strictly-greater neighbor,
+    so the configuration is a fixed point from round 0."""
+    topo = ToroidalMesh(5, 5)
+    colors = np.zeros(25, dtype=np.int32)
+    colors.reshape(5, 5)[0:2, :] = 3
+    rule = OrderedIncrementRule(4)
+    res = run_synchronous(topo, colors, rule, max_rounds=rule.max_rounds(topo))
+    assert res.converged and res.fixed_point_round == 0
+    assert not res.monochromatic
+
+
+def test_sandwiching_top_rows_pull_torus_up():
+    """The ordered analogue of a dynamo: top-color rows placed so that
+    every other row is sandwiched between two of them (rows 0, 2, 4 on a
+    5-row torus) drive the whole torus to the top color — sandwiched rows
+    see two strictly-greater neighbors every round and climb by one."""
+    topo = ToroidalMesh(5, 5)
+    colors = np.zeros(25, dtype=np.int32)
+    g = colors.reshape(5, 5)
+    g[0, :] = 3
+    g[2, :] = 3
+    g[4, :] = 3
+    rule = OrderedIncrementRule(4)
+    res = run_synchronous(topo, colors, rule, max_rounds=rule.max_rounds(topo))
+    assert res.converged
+    assert res.monochromatic and res.monochromatic_color == 3
+    assert res.rounds == 3  # climbing 0 -> 1 -> 2 -> 3
+
+
+def test_uniform_configuration_is_frozen():
+    topo = ToroidalMesh(4, 4)
+    colors = np.full(16, 2, dtype=np.int32)
+    rule = OrderedIncrementRule(5)
+    assert np.array_equal(rule.step(colors, topo), colors)
+
+
+def test_single_top_vertex_insufficient():
+    topo = ToroidalMesh(5, 5)
+    colors = np.zeros(25, dtype=np.int32)
+    colors[12] = 3
+    rule = OrderedIncrementRule(4)
+    res = run_synchronous(topo, colors, rule, max_rounds=rule.max_rounds(topo))
+    assert res.converged
+    assert not res.monochromatic

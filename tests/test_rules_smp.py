@@ -1,0 +1,175 @@
+"""SMP rule tests, including the exhaustive equivalence proof of the
+normalized rule against the paper's literal Algorithm 1."""
+
+from itertools import product
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rules import SMPRule, smp_literal_update, unique_plurality_color
+from repro.topology import ToroidalMesh, TorusCordalis, TorusSerpentinus
+
+from conftest import TORUS_KINDS, random_coloring
+
+
+# ----------------------------------------------------------------------
+# Scalar semantics
+# ----------------------------------------------------------------------
+def test_all_four_equal_adopts():
+    assert SMPRule().update_vertex(0, [7, 7, 7, 7]) == 7
+
+
+def test_three_of_a_kind_adopts():
+    assert SMPRule().update_vertex(0, [5, 5, 5, 9]) == 5
+
+
+def test_pair_plus_two_distinct_adopts():
+    assert SMPRule().update_vertex(0, [3, 4, 3, 9]) == 3
+
+
+def test_two_two_tie_keeps_current():
+    # the paper's deliberate departure from Prefer-Black ([15])
+    assert SMPRule().update_vertex(42, [1, 1, 2, 2]) == 42
+
+
+def test_all_distinct_keeps_current():
+    assert SMPRule().update_vertex(42, [1, 2, 3, 4]) == 42
+
+
+def test_own_color_pair_readopts_own():
+    # a vertex whose own color wins the plurality stays put
+    assert SMPRule().update_vertex(5, [5, 5, 1, 2]) == 5
+
+
+def test_requires_degree_four():
+    with pytest.raises(ValueError):
+        SMPRule().update_vertex(0, [1, 2, 3])
+
+
+def test_unique_plurality_helper():
+    assert unique_plurality_color([1, 1, 2, 3]) == 1
+    assert unique_plurality_color([1, 1, 2, 2]) is None
+    assert unique_plurality_color([1, 2, 3, 4]) is None
+    assert unique_plurality_color([1, 1, 1, 1], threshold=3) == 1
+    assert unique_plurality_color([1, 1, 2], threshold=1) is None  # all reach 1
+
+
+def test_exhaustive_equivalence_with_literal_algorithm1():
+    """Normalized rule == literal Algorithm 1 over *every* neighborhood
+    multiset with five colors and every current color — the equivalence
+    claimed in repro.rules.smp's docstring, machine-checked."""
+    rule = SMPRule()
+    for nb in product(range(5), repeat=4):
+        for cur in range(5):
+            assert rule.update_vertex(cur, list(nb)) == smp_literal_update(
+                cur, list(nb)
+            ), (cur, nb)
+
+
+# ----------------------------------------------------------------------
+# Vectorized kernel == scalar oracle
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", sorted(TORUS_KINDS))
+@pytest.mark.parametrize("num_colors", [2, 3, 5])
+def test_step_matches_reference(kind, num_colors, rng):
+    topo = TORUS_KINDS[kind](5, 6)
+    rule = SMPRule()
+    for _ in range(5):
+        colors = random_coloring(topo, num_colors, rng)
+        assert np.array_equal(
+            rule.step(colors, topo), rule.step_reference(colors, topo)
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.data(),
+    m=st.integers(3, 6),
+    n=st.integers(3, 6),
+    num_colors=st.integers(2, 6),
+)
+def test_step_matches_reference_property(data, m, n, num_colors):
+    topo = ToroidalMesh(m, n)
+    colors = np.asarray(
+        data.draw(
+            st.lists(
+                st.integers(0, num_colors - 1),
+                min_size=topo.num_vertices,
+                max_size=topo.num_vertices,
+            )
+        ),
+        dtype=np.int32,
+    )
+    rule = SMPRule()
+    assert np.array_equal(rule.step(colors, topo), rule.step_reference(colors, topo))
+
+
+def test_step_out_buffer(rng):
+    topo = ToroidalMesh(4, 4)
+    rule = SMPRule()
+    colors = random_coloring(topo, 3, rng)
+    out = np.empty_like(colors)
+    res = rule.step(colors, topo, out=out)
+    assert res is out
+    assert np.array_equal(out, rule.step(colors, topo))
+
+
+def test_step_does_not_mutate_input(rng):
+    topo = ToroidalMesh(4, 4)
+    colors = random_coloring(topo, 3, rng)
+    before = colors.copy()
+    SMPRule().step(colors, topo)
+    assert np.array_equal(colors, before)
+
+
+def test_step_rejects_irregular_topology():
+    import networkx as nx
+
+    from repro.topology import GraphTopology
+
+    star = GraphTopology(nx.star_graph(5))
+    with pytest.raises(ValueError):
+        SMPRule().step(np.zeros(6, dtype=np.int32), star)
+
+
+# ----------------------------------------------------------------------
+# Semantic invariants
+# ----------------------------------------------------------------------
+def test_monochromatic_is_fixed_point(torus_kind):
+    topo = TORUS_KINDS[torus_kind](4, 5)
+    colors = np.full(topo.num_vertices, 3, dtype=np.int32)
+    assert np.array_equal(SMPRule().step(colors, topo), colors)
+
+
+@settings(max_examples=20, deadline=None)
+@given(perm_seed=st.integers(0, 2**31 - 1), cfg_seed=st.integers(0, 2**31 - 1))
+def test_color_permutation_equivariance(perm_seed, cfg_seed):
+    """Relabeling colors commutes with the SMP step (the rule never
+    privileges a color — unlike Prefer-Black)."""
+    topo = TorusCordalis(4, 5)
+    rng = np.random.default_rng(cfg_seed)
+    colors = rng.integers(0, 5, size=topo.num_vertices).astype(np.int32)
+    perm = np.random.default_rng(perm_seed).permutation(5).astype(np.int32)
+    rule = SMPRule()
+    assert np.array_equal(
+        rule.step(perm[colors], topo), perm[rule.step(colors, topo)]
+    )
+
+
+def test_translation_equivariance(rng):
+    """Toroidal translation symmetry: shifting the grid commutes with the
+    step (the torus is vertex-transitive)."""
+    topo = ToroidalMesh(5, 6)
+    colors = random_coloring(topo, 4, rng)
+    rule = SMPRule()
+    grid = topo.to_grid(colors)
+    shifted = np.roll(np.roll(grid, 2, axis=0), 3, axis=1)
+    stepped_then_shifted = np.roll(
+        np.roll(topo.to_grid(rule.step(colors, topo)), 2, axis=0), 3, axis=1
+    )
+    shifted_then_stepped = topo.to_grid(
+        rule.step(topo.from_grid(shifted).astype(np.int32), topo)
+    )
+    assert np.array_equal(stepped_then_shifted, shifted_then_stepped)

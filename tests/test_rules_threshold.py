@@ -1,0 +1,88 @@
+"""Linear-threshold rule tests (the TSS substrate)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.rules import ACTIVE, INACTIVE, LinearThresholdRule
+from repro.topology import GraphTopology, ToroidalMesh
+
+
+def test_threshold_specs_resolve():
+    topo = ToroidalMesh(3, 3)
+    assert np.all(LinearThresholdRule("simple").thresholds_for(topo) == 2)
+    assert np.all(LinearThresholdRule("strong").thresholds_for(topo) == 3)
+    assert np.all(LinearThresholdRule("unanimous").thresholds_for(topo) == 4)
+
+
+def test_unknown_spec_rejected():
+    with pytest.raises(ValueError):
+        LinearThresholdRule("plurality").thresholds_for(ToroidalMesh(3, 3))
+
+
+def test_explicit_vector_validated():
+    topo = ToroidalMesh(3, 3)
+    ok = LinearThresholdRule(np.full(9, 2))
+    assert np.all(ok.thresholds_for(topo) == 2)
+    with pytest.raises(ValueError):
+        LinearThresholdRule(np.full(8, 2)).thresholds_for(topo)
+    with pytest.raises(ValueError):
+        LinearThresholdRule(np.full(9, -1)).thresholds_for(topo)
+
+
+def test_rejects_non_binary_states():
+    topo = ToroidalMesh(3, 3)
+    with pytest.raises(ValueError):
+        LinearThresholdRule().step(np.full(9, 2, dtype=np.int32), topo)
+
+
+def test_activation_is_irreversible():
+    topo = ToroidalMesh(3, 3)
+    state = np.full(9, ACTIVE, dtype=np.int32)
+    state[4] = INACTIVE
+    out = LinearThresholdRule("unanimous").step(state, topo)
+    # active stays active even with zero active neighbors required... and
+    # the inactive center with 4 active neighbors activates
+    assert np.all(out == ACTIVE)
+
+
+def test_simple_threshold_activates_at_two():
+    topo = ToroidalMesh(3, 4)
+    state = np.zeros(12, dtype=np.int32)
+    v = topo.vertex_index(1, 1)
+    up, down = topo.vertex_index(0, 1), topo.vertex_index(2, 1)
+    state[[up, down]] = ACTIVE
+    out = LinearThresholdRule("simple").step(state, topo)
+    assert out[v] == ACTIVE
+    # strong needs 3 -> stays inactive
+    out2 = LinearThresholdRule("strong").step(state, topo)
+    assert out2[v] == INACTIVE
+
+
+def test_step_matches_reference_on_string_specs(rng):
+    topo = ToroidalMesh(4, 4)
+    rule = LinearThresholdRule("simple")
+    for _ in range(5):
+        state = rng.integers(0, 2, size=16).astype(np.int32)
+        assert np.array_equal(
+            rule.step(state, topo), rule.step_reference(state, topo)
+        )
+
+
+def test_scalar_oracle_rejects_explicit_vectors():
+    rule = LinearThresholdRule(np.full(9, 2))
+    with pytest.raises(ValueError):
+        rule.update_vertex(0, [1, 1, 0, 0])
+
+
+def test_irregular_graph_thresholds():
+    topo = GraphTopology(nx.star_graph(4))  # hub degree 4, leaves degree 1
+    state = np.array([0, 1, 1, 0, 0], dtype=np.int32)
+    out = LinearThresholdRule("simple").step(state, topo)
+    assert out[0] == ACTIVE  # hub: ceil(4/2)=2 active neighbors
+    assert out[3] == INACTIVE and out[4] == INACTIVE  # leaves see inactive hub
+
+
+def test_name_contains_spec():
+    assert "simple" in LinearThresholdRule("simple").name()
+    assert "custom" in LinearThresholdRule(np.array([1])).name()

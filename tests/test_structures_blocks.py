@@ -1,0 +1,250 @@
+"""k-block / non-k-block tests — Definitions 4 and 5 and the paper's own
+worked examples of which rows/columns are blocks in which torus."""
+
+import numpy as np
+import pytest
+
+from repro.engine import run_synchronous
+from repro.rules import SMPRule
+from repro.structures import (
+    connected_components,
+    has_k_block,
+    has_non_k_block,
+    immutable_vertices,
+    k_blocks,
+    non_k_blocks,
+    prune_to_core,
+)
+from repro.topology import ToroidalMesh, TorusCordalis, TorusSerpentinus
+
+from conftest import TORUS_KINDS, random_coloring
+
+K, OTHER = 1, 0
+
+
+def _column_coloring(topo, j):
+    colors = np.full(topo.num_vertices, OTHER, dtype=np.int32)
+    colors.reshape(topo.m, topo.n)[:, j] = K
+    return colors
+
+
+def _row_coloring(topo, i):
+    colors = np.full(topo.num_vertices, OTHER, dtype=np.int32)
+    colors.reshape(topo.m, topo.n)[i, :] = K
+    return colors
+
+
+# ----------------------------------------------------------------------
+# The paper's remarks after Definition 4, verbatim as tests
+# ----------------------------------------------------------------------
+def test_single_column_is_block_in_mesh_and_cordalis_not_serpentinus():
+    for cls, expected in [
+        (ToroidalMesh, True),
+        (TorusCordalis, True),
+        (TorusSerpentinus, False),
+    ]:
+        topo = cls(5, 5)
+        assert has_k_block(topo, _column_coloring(topo, 2), K) is expected, cls
+
+
+def test_two_consecutive_columns_are_blocks_in_all_tori(torus_kind):
+    topo = TORUS_KINDS[torus_kind](5, 5)
+    colors = _column_coloring(topo, 2)
+    colors.reshape(5, 5)[:, 3] = K
+    assert has_k_block(topo, colors, K)
+
+
+def test_single_row_is_block_only_in_mesh():
+    for cls, expected in [
+        (ToroidalMesh, True),
+        (TorusCordalis, False),
+        (TorusSerpentinus, False),
+    ]:
+        topo = cls(5, 5)
+        assert has_k_block(topo, _row_coloring(topo, 2), K) is expected, cls
+
+
+def test_two_consecutive_rows_are_blocks_in_all_tori(torus_kind):
+    topo = TORUS_KINDS[torus_kind](5, 5)
+    colors = _row_coloring(topo, 2)
+    colors.reshape(5, 5)[3, :] = K
+    assert has_k_block(topo, colors, K)
+
+
+def test_two_consecutive_row_band_non_k_block_per_torus():
+    """The paper remarks after Definition 5 that two consecutive rows (or
+    columns) of non-k vertices form a non-k-block *in all the tori*.
+
+    Reproduction finding: that holds for the toroidal mesh only.  In the
+    cordalis the 2-row band's row-chain endpoints ``(i, 0)`` and
+    ``(i+1, n-1)`` have just two in-band neighbors (< 3), and the peeling
+    cascades until nothing is left; in the serpentinus the same happens to
+    both row and column bands (both chains are Hamiltonian cycles, so any
+    proper band has weak endpoints).  These corner weaknesses are exactly
+    why the cordalis/serpentinus lower bounds (n+1, N+1) are so much
+    smaller than the mesh's m+n-2.
+    """
+    for cls, expected in [
+        (ToroidalMesh, True),
+        (TorusCordalis, False),
+        (TorusSerpentinus, False),
+    ]:
+        topo = cls(5, 5)
+        colors = np.full(topo.num_vertices, K, dtype=np.int32)
+        colors.reshape(5, 5)[2:4, :] = OTHER
+        assert has_non_k_block(topo, colors, K) is expected, cls
+
+
+def test_two_consecutive_column_band_non_k_block_per_torus():
+    """Column bands: non-k-blocks in the mesh and the cordalis (columns
+    wrap straight there), but not in the serpentinus (column chain)."""
+    for cls, expected in [
+        (ToroidalMesh, True),
+        (TorusCordalis, True),
+        (TorusSerpentinus, False),
+    ]:
+        topo = cls(5, 5)
+        colors = np.full(topo.num_vertices, K, dtype=np.int32)
+        colors.reshape(5, 5)[:, 2:4] = OTHER
+        assert has_non_k_block(topo, colors, K) is expected, cls
+
+
+def test_serpentinus_band_erosion_even_without_any_k():
+    """Strengthened serpentinus finding: even the complement of a single
+    full row erodes completely — only the all-non-k torus has a non-k
+    core.  (Consistent with the serpentinus having the weakest dynamo
+    lower bound in the paper.)"""
+    topo = TorusSerpentinus(5, 5)
+    colors = np.full(topo.num_vertices, OTHER, dtype=np.int32)
+    assert has_non_k_block(topo, colors, K)  # no k at all: trivial core
+    colors.reshape(5, 5)[0, :] = K
+    assert not has_non_k_block(topo, colors, K)
+
+
+# ----------------------------------------------------------------------
+# Pruning mechanics
+# ----------------------------------------------------------------------
+def test_prune_path_vanishes():
+    # a path has endpoints with inside-degree 1 -> fully pruned at threshold 2
+    topo = ToroidalMesh(5, 5)
+    colors = np.full(topo.num_vertices, OTHER, dtype=np.int32)
+    grid = colors.reshape(5, 5)
+    grid[2, 1:4] = K  # 3-vertex horizontal path (not wrapping)
+    assert not has_k_block(topo, colors, K)
+    assert prune_to_core(topo, colors == K, 2).sum() == 0
+
+
+def test_prune_keeps_square():
+    topo = ToroidalMesh(6, 6)
+    colors = np.full(topo.num_vertices, OTHER, dtype=np.int32)
+    colors.reshape(6, 6)[2:4, 2:4] = K  # 2x2 square: every vertex has 2 inside
+    blocks = k_blocks(topo, colors, K)
+    assert len(blocks) == 1 and blocks[0].size == 4
+
+
+def test_prune_to_core_is_idempotent(rng, torus_kind):
+    topo = TORUS_KINDS[torus_kind](5, 6)
+    member = rng.random(topo.num_vertices) < 0.5
+    once = prune_to_core(topo, member, 2)
+    twice = prune_to_core(topo, once, 2)
+    assert np.array_equal(once, twice)
+
+
+def test_core_is_subset_and_satisfies_threshold(rng, torus_kind):
+    topo = TORUS_KINDS[torus_kind](6, 6)
+    member = rng.random(topo.num_vertices) < 0.6
+    core = prune_to_core(topo, member, 3)
+    assert np.all(~core | member)
+    for v in np.flatnonzero(core):
+        inside = sum(core[int(w)] for w in topo.neighbors[v])
+        assert inside >= 3
+
+
+def test_connected_components_structure():
+    topo = ToroidalMesh(6, 6)
+    member = np.zeros(36, dtype=bool)
+    g = member.reshape(6, 6)
+    g[0, 0:2] = True
+    g[3, 3:5] = True
+    comps = connected_components(topo, member)
+    assert [c.size for c in comps] == [2, 2]
+    assert {int(v) for v in comps[0]} == {0, 1}
+
+
+def test_multiple_blocks_found():
+    topo = ToroidalMesh(8, 8)
+    colors = np.full(64, OTHER, dtype=np.int32)
+    g = colors.reshape(8, 8)
+    g[1:3, 1:3] = K
+    g[5:7, 5:7] = K
+    blocks = k_blocks(topo, colors, K)
+    assert len(blocks) == 2
+    assert all(b.size == 4 for b in blocks)
+
+
+# ----------------------------------------------------------------------
+# Dynamic meaning of blocks
+# ----------------------------------------------------------------------
+def test_k_block_vertices_never_recolor(rng, torus_kind):
+    """Vertices in a k-block keep color k forever, whatever surrounds them."""
+    topo = TORUS_KINDS[torus_kind](6, 6)
+    for _ in range(5):
+        colors = random_coloring(topo, 4, rng)
+        colors.reshape(6, 6)[2:4, 2:4] = K  # plant a block
+        block_mask = prune_to_core(topo, colors == K, 2)
+        assert block_mask.any()
+        res = run_synchronous(topo, colors, SMPRule(), max_rounds=60)
+        assert np.all(res.final[block_mask] == K)
+
+
+def test_non_k_block_vertices_never_become_k(rng, torus_kind):
+    """Definition 5's guarantee: non-k-block vertices never adopt k.
+
+    The planted band is torus-specific (see the band tests above); for the
+    serpentinus, where no proper band survives, the property is exercised
+    on whatever core random colorings happen to contain.
+    """
+    topo = TORUS_KINDS[torus_kind](6, 6)
+    cores_seen = 0
+    for _ in range(8):
+        colors = random_coloring(topo, 4, rng, low=0)
+        g = colors.reshape(6, 6)
+        if torus_kind == "mesh":
+            g[2, :] = 2
+            g[3, :] = 3
+        elif torus_kind == "cordalis":
+            g[:, 2] = 2
+            g[:, 3] = 3
+        core = prune_to_core(topo, colors != K, 3)
+        if not core.any():
+            continue
+        cores_seen += 1
+        res = run_synchronous(topo, colors, SMPRule(), max_rounds=60)
+        assert not np.any(res.final[core] == K)
+    if torus_kind != "serpentinus":
+        assert cores_seen > 0
+
+
+def test_immutable_vertices_certificate(rng, torus_kind):
+    """Everything immutable_vertices() certifies must indeed never change."""
+    topo = TORUS_KINDS[torus_kind](5, 6)
+    for _ in range(5):
+        colors = random_coloring(topo, 3, rng)
+        frozen = immutable_vertices(topo, colors)
+        res = run_synchronous(topo, colors, SMPRule(), max_rounds=80)
+        assert np.all(res.final[frozen] == colors[frozen])
+
+
+@pytest.mark.parametrize("kind,band_axis", [("mesh", 0), ("mesh", 1), ("cordalis", 1)])
+def test_non_k_block_blocks_dynamo(kind, band_axis):
+    """A non-k-block in the complement certifies non-dynamo (used by the
+    lower-bound machinery of Proposition 1)."""
+    topo = TORUS_KINDS[kind](6, 6)
+    colors = np.full(36, K, dtype=np.int32)
+    if band_axis == 0:
+        colors.reshape(6, 6)[2:4, :] = 2
+    else:
+        colors.reshape(6, 6)[:, 2:4] = 2
+    assert has_non_k_block(topo, colors, K)
+    res = run_synchronous(topo, colors, SMPRule(), max_rounds=100)
+    assert not (res.converged and res.monochromatic and res.final[0] == K)

@@ -1,0 +1,101 @@
+"""Toroidal bounding-box tests (the R_F of Lemma 1 / Theorem 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures import bounding_box, minimal_arc_length
+from repro.topology import ToroidalMesh
+
+
+def test_minimal_arc_simple():
+    assert minimal_arc_length(np.array([2, 3, 4]), 10) == (3, 2)
+
+
+def test_minimal_arc_wraps():
+    # {8, 9, 0, 1} wraps: arc of length 4 starting at 8
+    length, start = minimal_arc_length(np.array([0, 1, 8, 9]), 10)
+    assert (length, start) == (4, 8)
+
+
+def test_minimal_arc_full_and_empty():
+    assert minimal_arc_length(np.arange(7), 7) == (7, 0)
+    assert minimal_arc_length(np.array([], dtype=int), 7) == (0, 0)
+
+
+def test_minimal_arc_singleton():
+    assert minimal_arc_length(np.array([5]), 9) == (1, 5)
+
+
+def test_minimal_arc_prefers_biggest_gap():
+    # {0, 5} in Z_12: gaps 5 and 7 -> arc covers 0..5 (length 6)
+    length, start = minimal_arc_length(np.array([0, 5]), 12)
+    assert length == 6 and start == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    modulus=st.integers(2, 20),
+    data=st.data(),
+)
+def test_minimal_arc_covers_and_is_minimal(modulus, data):
+    values = data.draw(
+        st.lists(st.integers(0, modulus - 1), min_size=1, max_size=8)
+    )
+    occupied = np.asarray(values)
+    length, start = minimal_arc_length(occupied, modulus)
+    # covers
+    for v in set(values):
+        assert (v - start) % modulus < length
+    # minimal: no shorter arc from any occupied start covers everything
+    uniq = sorted(set(values))
+    best = min(
+        max((v - s) % modulus for v in uniq) + 1 for s in uniq
+    )
+    assert length == best
+
+
+def test_bounding_box_of_cross():
+    topo = ToroidalMesh(5, 7)
+    ids = [topo.vertex_index(0, j) for j in range(7)] + [
+        topo.vertex_index(i, 0) for i in range(5)
+    ]
+    box = bounding_box(topo, ids)
+    assert box.extents == (5, 7)
+
+
+def test_bounding_box_of_wrapping_square():
+    topo = ToroidalMesh(6, 6)
+    ids = [
+        topo.vertex_index(i, j) for i in (5, 0) for j in (5, 0)
+    ]  # 2x2 square across both wraps
+    box = bounding_box(topo, ids)
+    assert box.extents == (2, 2)
+    assert box.row_start == 5 and box.col_start == 5
+    assert box.contains(0, 0, 6, 6)
+    assert not box.contains(2, 2, 6, 6)
+
+
+def test_bounding_box_empty_set():
+    topo = ToroidalMesh(4, 4)
+    assert bounding_box(topo, []).extents == (0, 0)
+
+
+def test_bounding_box_rejects_bad_ids():
+    topo = ToroidalMesh(4, 4)
+    with pytest.raises(ValueError):
+        bounding_box(topo, [99])
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), count=st.integers(1, 10))
+def test_bounding_box_contains_all_members(seed, count):
+    topo = ToroidalMesh(7, 9)
+    rng = np.random.default_rng(seed)
+    ids = rng.choice(topo.num_vertices, size=count, replace=False)
+    box = bounding_box(topo, ids)
+    for v in ids:
+        i, j = topo.vertex_coords(int(v))
+        assert box.contains(i, j, topo.m, topo.n)
+    assert box.row_extent * box.col_extent >= count

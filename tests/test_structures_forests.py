@@ -1,0 +1,96 @@
+"""Forest + rainbow condition tests (the Theorem 2/4/6 hypotheses)."""
+
+import numpy as np
+
+from repro.structures import (
+    check_theorem_conditions,
+    color_class_is_forest,
+    induced_subgraph_is_forest,
+    rainbow_violations,
+)
+from repro.topology import ToroidalMesh, TorusCordalis
+
+from conftest import TORUS_KINDS
+
+K = 1
+
+
+def test_empty_set_is_forest(torus_kind):
+    topo = TORUS_KINDS[torus_kind](4, 4)
+    assert induced_subgraph_is_forest(topo, np.zeros(16, dtype=bool))
+
+
+def test_path_is_forest():
+    topo = ToroidalMesh(5, 5)
+    member = np.zeros(25, dtype=bool)
+    member.reshape(5, 5)[2, 1:4] = True
+    assert induced_subgraph_is_forest(topo, member)
+
+
+def test_full_row_is_cycle_in_mesh_but_path_in_cordalis():
+    member = np.zeros(25, dtype=bool)
+    member.reshape(5, 5)[2, :] = True
+    assert not induced_subgraph_is_forest(ToroidalMesh(5, 5), member)
+    # in the cordalis the row chains into the next row -> induced path
+    assert induced_subgraph_is_forest(TorusCordalis(5, 5), member)
+
+
+def test_square_is_not_forest(torus_kind):
+    topo = TORUS_KINDS[torus_kind](5, 5)
+    member = np.zeros(25, dtype=bool)
+    member.reshape(5, 5)[1:3, 1:3] = True
+    assert not induced_subgraph_is_forest(topo, member)
+
+
+def test_color_class_is_forest_wrapper():
+    topo = ToroidalMesh(5, 5)
+    colors = np.zeros(25, dtype=np.int32)
+    colors.reshape(5, 5)[1, 1:4] = 7
+    assert color_class_is_forest(topo, colors, 7)
+    assert not color_class_is_forest(topo, colors, 0)  # the huge rest has cycles
+
+
+def test_rainbow_violation_detected():
+    topo = ToroidalMesh(5, 5)
+    colors = np.zeros(25, dtype=np.int32)
+    g = colors.reshape(5, 5)
+    # vertex (2,2) has color 5; two neighbors share color 3 (neither k=1 nor 5)
+    g[2, 2] = 5
+    g[1, 2] = 3
+    g[3, 2] = 3
+    g[2, 1] = 2
+    g[2, 3] = 4
+    violations = rainbow_violations(topo, colors, k=K)
+    assert (topo.vertex_index(2, 2), 3) in violations
+
+
+def test_rainbow_ignores_own_and_target_colors():
+    topo = ToroidalMesh(5, 5)
+    colors = np.zeros(25, dtype=np.int32)
+    g = colors.reshape(5, 5)
+    g[2, 2] = 5
+    g[1, 2] = 5  # own color — exempt
+    g[3, 2] = K  # target — exempt
+    g[2, 1] = K
+    g[2, 3] = 2
+    assert (topo.vertex_index(2, 2), 5) not in rainbow_violations(topo, colors, K)
+
+
+def test_constructions_satisfy_conditions(torus_kind):
+    from repro.core import build_minimum_dynamo
+
+    con = build_minimum_dynamo(torus_kind, 6, 6)
+    report = check_theorem_conditions(con.topo, con.colors, con.k)
+    assert report.satisfied
+    assert bool(report) is True
+    assert report.non_forest_colors == []
+    assert report.rainbow_failures == []
+
+
+def test_condition_report_flags_failures():
+    topo = ToroidalMesh(5, 5)
+    colors = np.full(25, 2, dtype=np.int32)  # one giant color class: cycles
+    colors.reshape(5, 5)[0, :] = K
+    report = check_theorem_conditions(topo, colors, K)
+    assert not report.satisfied
+    assert 2 in report.non_forest_colors

@@ -1,0 +1,138 @@
+"""Theory-package tests: the executable claim audit and its verdicts.
+
+These pin the reproduction's final verdict table — if an implementation
+change flips any verdict, these tests fail and EXPERIMENTS.md must be
+revisited.
+"""
+
+import numpy as np
+import pytest
+
+from repro.theory import (
+    ALL_CHECKS,
+    ClaimReport,
+    Verdict,
+    check_lemma1,
+    check_lemma2,
+    check_lemma3,
+    check_proposition1,
+    check_proposition2,
+    check_proposition3,
+    check_theorem1,
+    check_theorem2,
+    check_theorem3,
+    check_theorem4,
+    check_theorem5,
+    check_theorem6,
+    check_theorem7,
+    check_theorem8,
+    full_report,
+    render_markdown,
+    render_report,
+)
+
+EXPECTED_VERDICTS = {
+    "Lemma 1": Verdict.CORRECTED,
+    "Lemma 2": Verdict.REFUTED,
+    "Lemma 3": Verdict.MATCH,
+    "Theorem 1": Verdict.REFUTED,
+    "Theorem 2": Verdict.CORRECTED,
+    "Theorem 3": Verdict.REFUTED,
+    "Theorem 4": Verdict.MATCH,
+    "Theorem 5": Verdict.REFUTED,
+    "Theorem 6": Verdict.MATCH,
+    "Theorem 7": Verdict.CORRECTED,
+    "Theorem 8": Verdict.CORRECTED,
+    "Proposition 1": Verdict.MATCH,
+    "Proposition 2": Verdict.MATCH,
+    "Proposition 3": Verdict.CORRECTED,
+}
+
+
+def test_lemma1_per_kind_scoping():
+    rep = check_lemma1(trials=15)
+    assert rep.verdict is Verdict.CORRECTED
+    assert rep.details["violations_by_kind"]["mesh"] == 0
+    assert (
+        rep.details["violations_by_kind"]["cordalis"] > 0
+        or rep.details["violations_by_kind"]["serpentinus"] > 0
+    )
+
+
+def test_lemma2_refuted_by_paper_seed():
+    rep = check_lemma2()
+    assert rep.verdict is Verdict.REFUTED
+    assert rep.details["is_monotone_dynamo"]
+    assert not rep.details["seed_is_union_of_blocks"]
+
+
+def test_lemma3_holds_but_not_tight():
+    rep = check_lemma3()
+    assert rep.verdict is Verdict.MATCH
+    assert "not tight" in rep.note
+    assert rep.details["3x3"]["exact_min"] == 7 > rep.details["3x3"]["bound"]
+
+
+@pytest.mark.parametrize(
+    "check,verdict",
+    [
+        (check_theorem1, Verdict.REFUTED),
+        (check_theorem3, Verdict.REFUTED),
+        (check_theorem5, Verdict.REFUTED),
+    ],
+)
+def test_bound_theorems_refuted(check, verdict):
+    rep = check()
+    assert rep.verdict is verdict
+    assert rep.details["witness_size"] < rep.details["paper_bound"]
+
+
+@pytest.mark.parametrize(
+    "check,verdict",
+    [
+        (check_theorem2, Verdict.CORRECTED),
+        (check_theorem4, Verdict.MATCH),
+        (check_theorem6, Verdict.MATCH),
+    ],
+)
+def test_construction_theorems(check, verdict):
+    rep = check()
+    assert rep.verdict is verdict
+    assert rep.details["conditions"] is True
+
+
+def test_round_theorems_corrected():
+    assert check_theorem7().verdict is Verdict.CORRECTED
+    assert check_theorem8().verdict is Verdict.CORRECTED
+
+
+def test_propositions():
+    assert check_proposition1(trials=40).verdict is Verdict.MATCH
+    assert check_proposition2(trials=40).verdict is Verdict.MATCH
+    rep3 = check_proposition3()
+    assert rep3.verdict is Verdict.CORRECTED
+    assert rep3.details["min_size_with_2_colors"] is None
+    assert rep3.details["min_size_with_4_colors"] == 2
+
+
+@pytest.mark.slow
+def test_full_report_matches_experiments_md():
+    reports = full_report()
+    assert len(reports) == len(ALL_CHECKS) == 14
+    for rep in reports:
+        assert rep.verdict is EXPECTED_VERDICTS[rep.claim_id], rep.claim_id
+
+
+def test_render_report_and_markdown():
+    reports = [
+        ClaimReport("Theorem X", "a statement", Verdict.MATCH, note="fine"),
+        ClaimReport("Theorem Y", "another", Verdict.REFUTED, note="broken"),
+    ]
+    text = render_report(reports)
+    assert "Theorem X" in text and "MATCH" in text
+    md = render_markdown(reports)
+    assert md.startswith("# Reproduction verdicts")
+    assert "| Theorem Y | **REFUTED** | broken |" in md
+    assert "## Theorem X" in md
+    assert reports[0].ok and not reports[1].ok
+    assert reports[0].as_row() == ("Theorem X", "MATCH", "fine")

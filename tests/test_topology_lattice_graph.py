@@ -1,0 +1,110 @@
+"""OpenMesh and GraphTopology coverage: irregular-table mechanics."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.rules import GeneralizedPluralityRule
+from repro.topology import GraphTopology, OpenMesh
+
+
+# ----------------------------------------------------------------------
+# OpenMesh
+# ----------------------------------------------------------------------
+def test_open_mesh_degrees():
+    om = OpenMesh(3, 4)
+    om.validate()
+    grid = om.to_grid(om.degrees)
+    assert grid[0, 0] == 2 and grid[0, 3] == 2  # corners
+    assert grid[0, 1] == 3 and grid[1, 0] == 3  # edges
+    assert grid[1, 1] == 4 and grid[1, 2] == 4  # interior
+    assert om.num_edges() == 3 * 3 + 4 * 2  # m(n-1) + (m-1)n = 9 + 8
+
+
+def test_open_mesh_no_wraparound():
+    om = OpenMesh(4, 4)
+    corner = om.vertex_index(0, 0)
+    neighbors = set(om.neighbor_list(corner).tolist())
+    assert neighbors == {om.vertex_index(1, 0), om.vertex_index(0, 1)}
+
+
+def test_open_mesh_coordinate_strictness():
+    om = OpenMesh(3, 3)
+    with pytest.raises(ValueError):
+        om.vertex_index(-1, 0)
+    with pytest.raises(ValueError):
+        om.vertex_index(0, 3)
+    with pytest.raises(ValueError):
+        om.vertex_coords(9)
+    with pytest.raises(ValueError):
+        OpenMesh(1, 5)
+
+
+def test_open_mesh_plurality_dynamics(rng):
+    om = OpenMesh(4, 4)
+    colors = rng.integers(0, 3, size=16).astype(np.int32)
+    rule = GeneralizedPluralityRule(num_colors=3)
+    assert np.array_equal(
+        rule.step(colors, om), rule.step_reference(colors, om)
+    )
+
+
+def test_open_mesh_grid_helpers():
+    om = OpenMesh(2, 3)
+    v = np.arange(6)
+    assert om.to_grid(v).shape == (2, 3)
+    with pytest.raises(ValueError):
+        om.to_grid(np.arange(5))
+
+
+# ----------------------------------------------------------------------
+# GraphTopology
+# ----------------------------------------------------------------------
+def test_graph_topology_from_edge_list():
+    topo = GraphTopology([(0, 1), (1, 2), (2, 0)])
+    topo.validate()
+    assert topo.num_vertices == 3
+    assert topo.num_edges() == 3
+    assert topo.is_regular
+
+
+def test_graph_topology_isolated_vertices():
+    topo = GraphTopology([(0, 1)], num_vertices=4)
+    assert topo.num_vertices == 4
+    assert topo.degrees[2] == 0 and topo.degrees[3] == 0
+    assert topo.neighbor_list(3).size == 0
+
+
+def test_graph_topology_num_vertices_validation():
+    with pytest.raises(ValueError):
+        GraphTopology([(0, 5)], num_vertices=3)
+    with pytest.raises(ValueError):
+        GraphTopology([(2, 2)])  # self-loop
+
+
+def test_graph_topology_duplicate_edges_collapsed():
+    topo = GraphTopology([(0, 1), (0, 1), (1, 0)])
+    assert topo.num_edges() == 1
+    assert topo.degrees[0] == 1
+
+
+def test_graph_topology_nonint_labels_relabeled():
+    g = nx.Graph([("alpha", "beta"), ("beta", "gamma")])
+    topo = GraphTopology(g)
+    assert topo.num_vertices == 3
+    assert set(topo.labels) == {"alpha", "beta", "gamma"}
+    assert sorted(topo.labels.values()) == [0, 1, 2]
+
+
+def test_graph_topology_integer_nodes_keep_ids():
+    g = nx.path_graph(4)
+    topo = GraphTopology(g)
+    assert topo.labels == {0: 0, 1: 1, 2: 2, 3: 3}
+    assert set(topo.neighbor_list(1).tolist()) == {0, 2}
+
+
+def test_graph_topology_padding_layout():
+    topo = GraphTopology(nx.star_graph(3))
+    assert topo.max_degree == 3
+    # leaves have two padding slots of -1
+    assert list(topo.neighbors[1]) == [0, -1, -1]

@@ -1,0 +1,176 @@
+"""Topology tests: the three torus variants of Section II-A."""
+
+import numpy as np
+import pytest
+
+from repro.topology import (
+    ToroidalMesh,
+    TorusCordalis,
+    TorusSerpentinus,
+    make_torus,
+)
+
+from conftest import TORUS_KINDS
+
+
+# ----------------------------------------------------------------------
+# Structural invariants (all kinds)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("m,n", [(3, 3), (3, 7), (5, 4), (6, 6), (8, 5)])
+def test_validate_passes(torus_kind, m, n):
+    TORUS_KINDS[torus_kind](m, n).validate()
+
+
+@pytest.mark.parametrize("m,n", [(2, 5), (5, 2), (2, 2), (2, 3)])
+def test_two_wide_tori_allow_duplicate_neighbors(torus_kind, m, n):
+    topo = TORUS_KINDS[torus_kind](m, n)
+    assert topo.allows_duplicate_neighbors
+    topo.validate()  # must not raise on the multi-edges
+
+
+def test_four_regular(torus_kind):
+    topo = TORUS_KINDS[torus_kind](5, 6)
+    assert topo.is_regular
+    assert topo.max_degree == 4
+    assert np.all(topo.degrees == 4)
+
+
+def test_neighbor_table_dtype_and_layout(torus_kind):
+    topo = TORUS_KINDS[torus_kind](4, 5)
+    assert topo.neighbors.dtype == np.int32
+    assert topo.neighbors.flags["C_CONTIGUOUS"]
+    assert topo.neighbors.shape == (20, 4)
+
+
+def test_edge_count(torus_kind):
+    # 4-regular on m*n vertices -> exactly 2*m*n undirected edges
+    topo = TORUS_KINDS[torus_kind](5, 7)
+    assert topo.num_edges() == 2 * 5 * 7
+    assert len(list(topo.edges())) == 2 * 5 * 7
+
+
+def test_networkx_export_matches(torus_kind):
+    topo = TORUS_KINDS[torus_kind](4, 4)
+    g = topo.to_networkx()
+    assert g.number_of_nodes() == 16
+    assert set(g.edges()) == set(topo.edges())
+
+
+@pytest.mark.parametrize("m,n", [(1, 5), (5, 1), (0, 3), (-2, 4)])
+def test_rejects_degenerate_dimensions(torus_kind, m, n):
+    with pytest.raises(ValueError):
+        TORUS_KINDS[torus_kind](m, n)
+
+
+def test_coordinate_roundtrip(torus_kind):
+    topo = TORUS_KINDS[torus_kind](6, 7)
+    for v in range(topo.num_vertices):
+        i, j = topo.vertex_coords(v)
+        assert topo.vertex_index(i, j) == v
+    assert topo.vertex_index(-1, -1) == topo.vertex_index(5, 6)
+    with pytest.raises(ValueError):
+        topo.vertex_coords(topo.num_vertices)
+
+
+def test_grid_helpers_roundtrip(torus_kind):
+    topo = TORUS_KINDS[torus_kind](3, 4)
+    v = np.arange(12)
+    assert np.array_equal(topo.from_grid(topo.to_grid(v)), v)
+    with pytest.raises(ValueError):
+        topo.to_grid(np.arange(11))
+    with pytest.raises(ValueError):
+        topo.from_grid(np.zeros((4, 3)))
+
+
+def test_make_torus_dispatch():
+    assert isinstance(make_torus("mesh", 3, 3), ToroidalMesh)
+    assert isinstance(make_torus("TORUS_CORDALIS", 3, 3), TorusCordalis)
+    assert isinstance(make_torus("serpentinus", 3, 3), TorusSerpentinus)
+    with pytest.raises(ValueError):
+        make_torus("klein_bottle", 3, 3)
+
+
+# ----------------------------------------------------------------------
+# Exact neighbor semantics (the wrap rules that differentiate the tori)
+# ----------------------------------------------------------------------
+def _neighbors_of(topo, i, j):
+    v = topo.vertex_index(i, j)
+    return {tuple(topo.vertex_coords(int(w))) for w in topo.neighbors[v]}
+
+
+def test_mesh_interior_and_wrap_neighbors():
+    t = ToroidalMesh(5, 6)
+    assert _neighbors_of(t, 2, 3) == {(1, 3), (3, 3), (2, 2), (2, 4)}
+    # row wraps onto itself
+    assert _neighbors_of(t, 2, 5) == {(1, 5), (3, 5), (2, 4), (2, 0)}
+    # column wraps onto itself
+    assert _neighbors_of(t, 4, 3) == {(3, 3), (0, 3), (4, 2), (4, 4)}
+    assert _neighbors_of(t, 0, 0) == {(4, 0), (1, 0), (0, 5), (0, 1)}
+
+
+def test_cordalis_row_chain_neighbors():
+    t = TorusCordalis(5, 6)
+    # interior identical to the mesh
+    assert _neighbors_of(t, 2, 3) == {(1, 3), (3, 3), (2, 2), (2, 4)}
+    # last vertex of row i chains to first vertex of row i+1
+    assert _neighbors_of(t, 2, 5) == {(1, 5), (3, 5), (2, 4), (3, 0)}
+    assert _neighbors_of(t, 4, 5) == {(3, 5), (0, 5), (4, 4), (0, 0)}
+    # columns wrap as in the mesh
+    assert _neighbors_of(t, 4, 3) == {(3, 3), (0, 3), (4, 2), (4, 4)}
+
+
+def test_cordalis_rows_form_single_hamiltonian_cycle():
+    m, n = 4, 5
+    t = TorusCordalis(m, n)
+    # follow "right" (slot 3) from vertex 0: must visit all m*n vertices
+    seen = [0]
+    v = 0
+    for _ in range(m * n - 1):
+        v = int(t.neighbors[v, 3])
+        seen.append(v)
+    assert int(t.neighbors[v, 3]) == 0
+    assert sorted(seen) == list(range(m * n))
+
+
+def test_serpentinus_row_and_column_chains():
+    t = TorusSerpentinus(5, 6)
+    # rows chain like the cordalis
+    assert _neighbors_of(t, 2, 5) == {(1, 5), (3, 5), (2, 4), (3, 0)}
+    # last vertex of column j chains to first vertex of column j-1
+    assert _neighbors_of(t, 4, 3) == {(3, 3), (0, 2), (4, 2), (4, 4)}
+    # ...and of column 0 to column n-1
+    assert (0, 5) in _neighbors_of(t, 4, 0)
+    # up-neighbor of row 0 is the inverse map
+    assert (4, 4) in _neighbors_of(t, 0, 3)
+
+
+def test_serpentinus_columns_form_single_hamiltonian_cycle():
+    m, n = 4, 5
+    t = TorusSerpentinus(m, n)
+    seen = [0]
+    v = 0
+    for _ in range(m * n - 1):
+        v = int(t.neighbors[v, 1])  # "down" slot
+        seen.append(v)
+    assert int(t.neighbors[v, 1]) == 0
+    assert sorted(seen) == list(range(m * n))
+
+
+def test_tori_differ_exactly_at_the_chain_edges():
+    m, n = 4, 5
+    mesh, cord, serp = ToroidalMesh(m, n), TorusCordalis(m, n), TorusSerpentinus(m, n)
+    # cordalis differs from mesh only in rows' first/last columns
+    diff = np.flatnonzero((mesh.neighbors != cord.neighbors).any(axis=1))
+    cols = {int(v % n) for v in diff}
+    assert cols == {0, n - 1}
+    # serpentinus differs from cordalis only in columns' first/last rows
+    diff2 = np.flatnonzero((cord.neighbors != serp.neighbors).any(axis=1))
+    rows = {int(v // n) for v in diff2}
+    assert rows == {0, m - 1}
+
+
+def test_index_grid_view():
+    t = ToroidalMesh(3, 4)
+    g = t.index_grid()
+    assert g.shape == (3, 4)
+    assert g[2, 3] == t.vertex_index(2, 3)

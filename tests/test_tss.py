@@ -1,0 +1,136 @@
+"""TSS substrate tests: threshold activation and seed selection."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.topology import GraphTopology, ToroidalMesh
+from repro.tss import (
+    activate,
+    activation_closure,
+    exact_minimum_target_set,
+    greedy_target_set,
+    is_target_set,
+)
+
+
+def test_two_rows_cover_three_row_mesh():
+    topo = ToroidalMesh(3, 4)
+    seeds = [topo.vertex_index(0, j) for j in range(4)] + [
+        topo.vertex_index(1, j) for j in range(4)
+    ]
+    res = activate(topo, seeds, "simple")
+    # the last row is wedged between two active rows (wrap): activates
+    assert res.covers(topo)
+    assert res.rounds == 1
+
+
+def test_two_adjacent_rows_freeze_on_taller_torus():
+    # on m >= 4 each frontier row sees exactly one active row: frozen —
+    # the same corner-counting that drives the dynamo lower bounds
+    topo = ToroidalMesh(4, 4)
+    seeds = [topo.vertex_index(0, j) for j in range(4)] + [
+        topo.vertex_index(1, j) for j in range(4)
+    ]
+    res = activate(topo, seeds, "simple")
+    assert res.num_active == 8
+    assert not res.covers(topo)
+
+
+def test_single_row_does_not_cover_under_simple_threshold():
+    topo = ToroidalMesh(4, 4)
+    seeds = [topo.vertex_index(0, j) for j in range(4)]
+    res = activate(topo, seeds, "simple")
+    # each off-row vertex has only one active neighbor: frozen
+    assert res.num_active == 4
+    assert not res.covers(topo)
+
+
+def test_activation_rounds_tracked():
+    topo = ToroidalMesh(3, 5)
+    seeds = [topo.vertex_index(0, j) for j in range(5)] + [
+        topo.vertex_index(1, j) for j in range(5)
+    ]
+    res = activate(topo, seeds)
+    assert np.all(res.activation_round[seeds] == 0)
+    remaining = np.setdiff1d(np.arange(15), seeds)
+    assert np.all(res.activation_round[remaining] == 1)
+
+
+def test_boolean_mask_seeds():
+    topo = ToroidalMesh(3, 3)
+    mask = np.zeros(9, dtype=bool)
+    mask[:6] = True
+    res = activate(topo, mask)
+    assert res.covers(topo)
+    with pytest.raises(ValueError):
+        activate(topo, np.zeros(5, dtype=bool))
+
+
+def test_seed_id_validation():
+    topo = ToroidalMesh(3, 3)
+    with pytest.raises(ValueError):
+        activate(topo, [12])
+
+
+def test_unanimous_threshold_cases():
+    topo = ToroidalMesh(3, 3)
+    # a single missing vertex has all-active neighbors: still covers
+    assert is_target_set(topo, np.arange(8), "unanimous")
+    # two adjacent missing vertices block each other forever
+    seeds = np.setdiff1d(np.arange(9), [topo.vertex_index(2, 1), topo.vertex_index(2, 2)])
+    assert not is_target_set(topo, seeds, "unanimous")
+    assert is_target_set(topo, np.arange(9), "unanimous")
+
+
+def test_greedy_covers_torus():
+    topo = ToroidalMesh(3, 4)
+    seeds = greedy_target_set(topo, "simple")
+    assert is_target_set(topo, np.asarray(seeds), "simple")
+    assert len(seeds) <= topo.num_vertices // 2
+
+
+def test_greedy_respects_max_size():
+    topo = ToroidalMesh(4, 4)
+    seeds = greedy_target_set(topo, "unanimous", max_size=3)
+    assert len(seeds) == 3  # could not finish, stopped at the cap
+
+
+def test_greedy_random_tie_breaking(rng):
+    topo = ToroidalMesh(3, 3)
+    seeds = greedy_target_set(topo, "simple", rng=rng)
+    assert is_target_set(topo, np.asarray(seeds), "simple")
+
+
+def test_exact_minimum_on_cycle_graph():
+    # C6 with simple threshold ceil(2/2)=1: one seed activates everything
+    topo = GraphTopology(nx.cycle_graph(6))
+    assert exact_minimum_target_set(topo, "simple") == [0]
+    # strong threshold 2: a single seed cannot spread (each neighbor sees 1)
+    best = exact_minimum_target_set(topo, "strong")
+    assert len(best) == 3  # alternate vertices
+    assert is_target_set(topo, np.asarray(best), "strong")
+
+
+def test_exact_minimum_matches_greedy_quality_bound():
+    topo = ToroidalMesh(3, 3)
+    exact = exact_minimum_target_set(topo, "simple")
+    greedy = greedy_target_set(topo, "simple")
+    assert len(exact) <= len(greedy)
+    assert is_target_set(topo, np.asarray(exact), "simple")
+
+
+def test_exact_refuses_big_graphs():
+    with pytest.raises(ValueError):
+        exact_minimum_target_set(ToroidalMesh(5, 5), max_nodes=24)
+
+
+def test_exact_with_max_size_returns_none():
+    topo = ToroidalMesh(3, 3)
+    assert exact_minimum_target_set(topo, "unanimous", max_size=2) is None
+
+
+def test_activation_closure_helper():
+    topo = ToroidalMesh(3, 3)
+    closure = activation_closure(topo, np.arange(6))
+    assert closure.dtype == bool and closure.shape == (9,)
