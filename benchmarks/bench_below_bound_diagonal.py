@@ -18,7 +18,7 @@ from repro.core import (
     verify_construction,
 )
 
-from conftest import once
+from bench_helpers import once
 
 
 @pytest.mark.parametrize("n", sorted(CACHED_MESH_DIAGONAL_WITNESSES))

@@ -17,7 +17,7 @@ from repro.ext import stubborn_blockade, stubborn_core_experiment
 from repro.rules import OrderedIncrementRule
 from repro.topology import ToroidalMesh
 
-from conftest import once
+from bench_helpers import once
 
 
 @pytest.mark.parametrize("num_colors", [3, 5, 9])

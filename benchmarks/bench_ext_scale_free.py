@@ -19,7 +19,7 @@ from repro.ext import (
 )
 from repro.topology import ToroidalMesh
 
-from conftest import once
+from bench_helpers import once
 
 
 def test_hub_vs_random_seeding(benchmark):

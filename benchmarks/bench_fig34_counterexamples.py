@@ -12,7 +12,7 @@ from repro.experiments import (
     find_frozen_completion,
 )
 
-from conftest import once
+from bench_helpers import once
 
 
 def test_figure3_bad_complement(benchmark):

@@ -1,0 +1,14 @@
+"""Importable helpers for the benchmark harness.
+
+Bench modules import these with ``from bench_helpers import ...`` rather
+than from ``conftest`` — the ``conftest`` module name is a rootdir-wide
+singleton, so importing from it collides with ``tests/conftest.py`` when
+both directories are collected in one pytest session.
+"""
+
+from __future__ import annotations
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Time a heavy computation exactly once (rounds=1, iterations=1)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

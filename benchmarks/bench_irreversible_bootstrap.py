@@ -22,7 +22,7 @@ from repro.core import (
 )
 from repro.topology import OpenMesh, ToroidalMesh
 
-from conftest import once
+from bench_helpers import once
 
 
 @pytest.mark.parametrize("n", [3, 4, 5])

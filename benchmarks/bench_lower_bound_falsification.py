@@ -24,7 +24,7 @@ from repro.core import (
 )
 from repro.topology import ToroidalMesh, TorusCordalis, TorusSerpentinus
 
-from conftest import once
+from bench_helpers import once
 
 _KINDS = {
     "mesh": ToroidalMesh,

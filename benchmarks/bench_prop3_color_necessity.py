@@ -16,7 +16,7 @@ from repro.core import (
 )
 from repro.topology import ToroidalMesh
 
-from conftest import once
+from bench_helpers import once
 
 
 @pytest.mark.parametrize("m", [6, 12, 24, 48])

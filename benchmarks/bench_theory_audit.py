@@ -24,7 +24,7 @@ from repro.theory import (
 )
 from repro.theory.base import Verdict
 
-from conftest import once
+from bench_helpers import once
 
 _EXPECTED = {
     check_lemma1: Verdict.CORRECTED,

@@ -1,11 +1,14 @@
-"""Shared helpers for the benchmark harness.
+"""Shared fixtures for the benchmark harness.
 
 Every bench both *times* its reproduction computation (pytest-benchmark)
 and *asserts* the paper's qualitative claim, recording measured-vs-paper
 numbers in ``benchmark.extra_info`` so a ``--benchmark-json`` export
 contains the full reproduction table (EXPERIMENTS.md was generated from
 these).  Heavy one-shot computations use ``benchmark.pedantic`` with a
-single round.
+single round, via :func:`bench_helpers.once` — imported as
+``from bench_helpers import once``, never from ``conftest`` (the
+``conftest`` module name is a rootdir-wide singleton and shadows across
+directories).
 """
 
 from __future__ import annotations
@@ -17,8 +20,3 @@ import pytest
 @pytest.fixture
 def rng():
     return np.random.default_rng(0xD1CE)
-
-
-def once(benchmark, fn, *args, **kwargs):
-    """Time a heavy computation exactly once (rounds=1, iterations=1)."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

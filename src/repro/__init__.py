@@ -44,7 +44,14 @@ from .core import (
     verify_construction,
     verify_dynamo,
 )
-from .engine import RunResult, run_asynchronous, run_synchronous, run_temporal
+from .engine import (
+    BatchRunResult,
+    RunResult,
+    run_asynchronous,
+    run_batch,
+    run_synchronous,
+    run_temporal,
+)
 from .rules import (
     GeneralizedPluralityRule,
     LinearThresholdRule,
@@ -52,6 +59,7 @@ from .rules import (
     ReverseStrongMajority,
     Rule,
     SMPRule,
+    make_rule,
 )
 from .structures import (
     bounding_box,
@@ -87,9 +95,12 @@ __all__ = [
     "ReverseStrongMajority",
     "GeneralizedPluralityRule",
     "LinearThresholdRule",
+    "make_rule",
     # engine
     "RunResult",
+    "BatchRunResult",
     "run_synchronous",
+    "run_batch",
     "run_asynchronous",
     "run_temporal",
     # structures

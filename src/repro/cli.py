@@ -6,7 +6,10 @@ Subcommands
 ``simulate``   load (or build) a configuration and run the SMP dynamics
 ``verify``     full dynamo verification with certificates
 ``matrix``     print the recoloring-round matrix (Figures 5/6 style)
-``sweep``      round-count sweep over sizes, printed as a table
+``sweep``      round-count sweep over sizes, printed as a table; with
+               ``--convergence``, batched random-replica statistics for
+               any rule (``--rule``, ``--batch-size``)
+``census``     below-bound dynamo census (the Theorem 1/3/5 audit)
 
 Examples
 --------
@@ -16,6 +19,8 @@ Examples
     repro-dynamo simulate cordalis 5 5 --render
     repro-dynamo matrix cordalis 5 5
     repro-dynamo sweep mesh 5 7 9 11
+    repro-dynamo sweep mesh 6 8 --convergence --rule majority --batch-size 128
+    repro-dynamo census --sizes 3 4 --batch-size 4096
 """
 
 from __future__ import annotations
@@ -29,8 +34,9 @@ import numpy as np
 from .core.constructions import build_minimum_dynamo
 from .core.verify import verify_dynamo
 from .engine.runner import run_synchronous
-from .experiments.sweeps import square_points, sweep_rounds
+from .experiments.sweeps import convergence_sweep, square_points, sweep_rounds
 from .io.serialize import load_configuration, save_configuration
+from .rules import RULE_NAMES
 from .rules.smp import SMPRule
 from .viz.render import render_grid, render_time_matrix
 
@@ -71,6 +77,52 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("kind", choices=["mesh", "cordalis", "serpentinus"])
     sp.add_argument("sizes", type=int, nargs="+")
     sp.add_argument("--processes", type=int, default=0)
+    sp.add_argument(
+        "--convergence",
+        action="store_true",
+        help="batched random-replica convergence statistics instead of "
+        "the construction sweep",
+    )
+    sp.add_argument(
+        "--rule",
+        choices=list(RULE_NAMES),
+        default=None,
+        help="recoloring rule for --convergence (default: smp)",
+    )
+    sp.add_argument("--replicas", type=int, default=None, metavar="R",
+                    help="random replicas per point for --convergence "
+                    "(default: 256)")
+    sp.add_argument("--colors", type=int, default=None, metavar="C",
+                    help="palette size for --convergence (default: 4)")
+    sp.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="B",
+        help="replica rows advanced per batched-engine call for "
+        "--convergence (default: 256)",
+    )
+
+    sp = sub.add_parser(
+        "census",
+        help="below-bound dynamo census (the Theorem 1/3/5 audit table)",
+    )
+    sp.add_argument(
+        "--kinds",
+        nargs="+",
+        choices=["mesh", "cordalis", "serpentinus"],
+        default=["mesh", "cordalis", "serpentinus"],
+    )
+    sp.add_argument("--sizes", type=int, nargs="+", default=[3, 4, 5, 6])
+    sp.add_argument("--trials", type=int, default=20_000,
+                    help="random-search trials per (kind, size, seed size)")
+    sp.add_argument(
+        "--batch-size",
+        type=int,
+        default=8192,
+        metavar="B",
+        help="replica rows advanced per batched-engine call",
+    )
 
     sp = sub.add_parser(
         "diagonal",
@@ -102,7 +154,52 @@ def _configuration(args):
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # downstream pager/head closed the pipe mid-table; exit quietly
+        # (dup stderr over stdout so interpreter shutdown doesn't re-raise)
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "sweep":
+        # surface flag combinations that would otherwise be silently ignored
+        convergence_flags = {
+            "--rule": args.rule,
+            "--replicas": args.replicas,
+            "--colors": args.colors,
+            "--batch-size": args.batch_size,
+        }
+        if args.convergence:
+            if args.processes:
+                parser.error(
+                    "--processes is not used by --convergence (batching "
+                    "replaces process fan-out); drop one of the two flags"
+                )
+            if args.colors is not None:
+                from .rules import replica_palette
+
+                rule_name = args.rule if args.rule is not None else "smp"
+                palette = replica_palette(rule_name, args.colors)[1]
+                if palette != args.colors:
+                    parser.error(
+                        f"--colors is ignored by rule {rule_name!r}, which "
+                        f"has a fixed {palette}-color domain"
+                    )
+        else:
+            given = [f for f, v in convergence_flags.items() if v is not None]
+            if given:
+                parser.error(
+                    f"{', '.join(given)} only appl{'ies' if len(given) == 1 else 'y'} "
+                    "to --convergence sweeps; add --convergence or drop them"
+                )
 
     if args.command == "construct":
         con = build_minimum_dynamo(args.kind, args.m, args.n, k=args.target_color)
@@ -151,6 +248,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "sweep":
+        if args.convergence:
+            records = convergence_sweep(
+                square_points(args.kind, args.sizes),
+                args.rule if args.rule is not None else "smp",
+                replicas=args.replicas if args.replicas is not None else 256,
+                num_colors=args.colors if args.colors is not None else 4,
+                batch_size=args.batch_size if args.batch_size is not None else 256,
+            )
+            print(f"{'size':>8} {'rule':>15} {'conv':>6} {'mono':>6} "
+                  f"{'monot':>6} {'rounds':>7}")
+            for r in records:
+                mean = "-" if np.isnan(r["mean_rounds"]) else f"{r['mean_rounds']:.1f}"
+                size = f"{r['m']}x{r['n']}"
+                print(f"{size:>8} {r['rule']:>15} "
+                      f"{r['converged_frac']:>6.2f} {r['monochromatic_frac']:>6.2f} "
+                      f"{r['monotone_frac']:>6.2f} {mean:>7}")
+            return 0
         records = sweep_rounds(
             square_points(args.kind, args.sizes), processes=args.processes
         )
@@ -161,6 +275,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             emp = "-" if r["empirical_rounds"] < 0 else str(r["empirical_rounds"])
             print(f"{r['m']:>4}x{r['n']:<3} {r['seed_size']:>4} {r['lower_bound']:>6} "
                   f"{r['rounds']:>7} {paper:>6} {emp:>6} {str(bool(r['is_dynamo'])):>7}")
+        return 0
+
+    if args.command == "census":
+        from .experiments.census import below_bound_census
+
+        rows = below_bound_census(
+            kinds=args.kinds,
+            sizes=args.sizes,
+            random_trials=args.trials,
+            batch_size=args.batch_size,
+        )
+        print(f"{'kind':>12} {'size':>6} {'bound':>6} {'found':>6} "
+              f"{'below':>6} {'method':>11}")
+        for r in rows:
+            found = "-" if r.certified_size is None else str(r.certified_size)
+            below = "-" if r.below_bound is None else str(r.below_bound)
+            size = f"{r.n}x{r.n}"
+            print(f"{r.kind:>12} {size:>6} {r.paper_bound:>6} "
+                  f"{found:>6} {below:>6} {r.method:>11}")
         return 0
 
     if args.command == "diagonal":

@@ -1,47 +1,35 @@
-"""Batched SMP simulation — many configurations in lockstep.
+"""Deprecated SMP-only batch front-end.
 
-The exhaustive lower-bound searches (:mod:`repro.core.search`) need to run
-millions of tiny-torus configurations.  Doing that one
-:func:`~repro.engine.runner.run_synchronous` call at a time would drown in
-Python overhead, so this module vectorizes *across configurations*: a batch
-is a ``(B, N)`` int32 array, one row per configuration, all sharing one
-topology.  The per-row update is the same sorted-gather SMP kernel as
-:class:`~repro.rules.smp.SMPRule`, applied over the batch dimension in one
-shot (``colors[:, neighbors]`` has shape ``(B, N, 4)``).
-
-Rows that have individually converged are masked out of subsequent writes,
-so a batch costs (rounds of the slowest member) x (live rows) work.
+.. deprecated::
+   Batching is now a first-class engine subsystem: use
+   :func:`repro.engine.batch.run_batch`, which works with *every* rule
+   (each rule ships a ``step_batch`` kernel, with a row-looping fallback
+   in :class:`repro.rules.base.Rule`), supports frozen/irreversible
+   vertices, and performs per-row cycle detection.  This module remains
+   as a thin compatibility shim over the new runner; its behaviour is
+   unchanged (no cycle detection — cycling rows run to the cap).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..engine.batch import run_batch
+from ..rules.smp import SMPRule, smp_step_batch
 from ..topology.base import Topology
 
 __all__ = ["batch_smp_step", "BatchOutcome", "run_batch_smp"]
 
-
-def batch_smp_step(colors: np.ndarray, neighbors: np.ndarray) -> np.ndarray:
-    """One synchronous SMP round for a ``(B, N)`` batch; returns new batch."""
-    s = np.sort(colors[:, neighbors], axis=2)
-    s0, s1, s2, s3 = s[:, :, 0], s[:, :, 1], s[:, :, 2], s[:, :, 3]
-    e1 = s0 == s1
-    e2 = s1 == s2
-    e3 = s2 == s3
-    adopt0 = e1 & (e2 | ~e3)
-    adopt1 = e2 & ~e1
-    adopt2 = e3 & ~e2 & ~e1
-    return np.where(
-        adopt0, s0, np.where(adopt1, s1, np.where(adopt2, s2, colors))
-    ).astype(np.int32, copy=False)
+#: re-export of the raw kernel under its historical name
+batch_smp_step = smp_step_batch
 
 
 @dataclass
 class BatchOutcome:
-    """Per-row results of a batched run."""
+    """Per-row results of a batched run (legacy SMP-only schema)."""
 
     #: final state of each configuration
     final: np.ndarray
@@ -63,40 +51,30 @@ def run_batch_smp(
 ) -> BatchOutcome:
     """Run every row to fixed point / cap under the SMP rule.
 
-    Cycling configurations simply hit the cap and report unconverged —
-    fine for search, where only k-monochromatic outcomes matter.  Choose
-    ``max_rounds`` generously (fixed points on an N-vertex torus are
-    reached well within ``4 N`` rounds for everything the paper studies).
+    .. deprecated::
+       Thin wrapper over :func:`repro.engine.batch.run_batch` with
+       ``rule=SMPRule()``; prefer the engine entry point directly.
     """
+    warnings.warn(
+        "run_batch_smp is deprecated; use repro.engine.run_batch with "
+        "rule=SMPRule()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if topo.neighbors.shape[1] != 4 or not topo.is_regular:
         raise ValueError("batched kernel is specialized to 4-regular topologies")
-    colors = np.ascontiguousarray(batch, dtype=np.int32).copy()
-    b = colors.shape[0]
-    live = np.ones(b, dtype=bool)
-    converged = np.zeros(b, dtype=bool)
-    monotone = np.ones(b, dtype=bool)
-    rounds = 0
-    for t in range(1, max_rounds + 1):
-        if not live.any():
-            break
-        sub = colors[live]
-        new = batch_smp_step(sub, topo.neighbors)
-        changed_rows = (new != sub).any(axis=1)
-        # monotonicity: a k vertex changing away breaks it
-        left_k = ((sub == k) & (new != sub)).any(axis=1)
-        live_idx = np.flatnonzero(live)
-        monotone[live_idx[left_k]] = False
-        colors[live_idx] = new
-        newly_done = live_idx[~changed_rows]
-        converged[newly_done] = True
-        live[newly_done] = False
-        if changed_rows.any():
-            rounds = t
-    k_mono = converged & (colors == k).all(axis=1)
+    res = run_batch(
+        topo,
+        batch,
+        SMPRule(),
+        max_rounds=max_rounds,
+        target_color=k,
+        detect_cycles=False,
+    )
     return BatchOutcome(
-        final=colors,
-        converged=converged,
-        k_monochromatic=k_mono,
-        monotone=monotone,
-        rounds=rounds,
+        final=res.final,
+        converged=res.converged,
+        k_monochromatic=res.k_monochromatic,
+        monotone=res.monotone,
+        rounds=int(res.rounds.max(initial=0)),
     )

@@ -4,7 +4,8 @@ The paper's lower bounds (Theorems 1, 3, 5) are universally quantified —
 *no* seed below the bound admits *any* complement coloring that makes it a
 monotone dynamo.  A simulation-based reproduction can check this exactly on
 tiny tori (every seed placement x every complement coloring, batched
-through :mod:`repro.core.batch`) and probabilistically on small ones
+through the rule-agnostic engine :mod:`repro.engine.batch`) and
+probabilistically on small ones
 (random seeds + random complements).  Both searches return *witnesses*
 when they find a dynamo, so positive results (existence at the bound) are
 also machine-checkable.
@@ -23,8 +24,10 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..engine.batch import run_batch
+from ..rules.base import Rule
+from ..rules.smp import SMPRule
 from ..topology.base import Topology
-from .batch import run_batch_smp
 
 __all__ = [
     "SearchOutcome",
@@ -71,6 +74,7 @@ def exhaustive_dynamo_search(
     num_colors: int,
     *,
     k: int = 0,
+    rule: Optional[Rule] = None,
     max_rounds: Optional[int] = None,
     max_configs: int = 20_000_000,
     batch_size: int = 8192,
@@ -81,8 +85,14 @@ def exhaustive_dynamo_search(
     complement coloring over the remaining ``num_colors - 1`` colors.
 
     ``k`` defaults to 0 and the other colors are ``1..num_colors-1``; by
-    color symmetry of the SMP rule this loses no generality.
+    color symmetry of the SMP rule this loses no generality.  ``rule``
+    defaults to the paper's SMP-Protocol; any
+    :class:`~repro.rules.base.Rule` works (the batched engine falls back
+    to a row loop for rules without a fast ``step_batch`` kernel).
     """
+    rule = rule if rule is not None else SMPRule()
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
     n = topo.num_vertices
     total = count_configs(n, seed_size, num_colors)
     if total > max_configs:
@@ -103,7 +113,14 @@ def exhaustive_dynamo_search(
             return False
         batch = np.stack(buf)
         buf.clear()
-        res = run_batch_smp(topo, batch, k, max_rounds)
+        res = run_batch(
+            topo,
+            batch,
+            rule,
+            max_rounds=max_rounds,
+            target_color=k,
+            detect_cycles=False,
+        )
         hits = np.flatnonzero(
             res.k_monochromatic & (res.monotone if monotone_only else True)
         )
@@ -136,9 +153,11 @@ def exhaustive_min_dynamo_size(
     num_colors: int,
     *,
     k: int = 0,
+    rule: Optional[Rule] = None,
     max_seed_size: Optional[int] = None,
     monotone_only: bool = True,
     max_configs: int = 20_000_000,
+    batch_size: int = 8192,
 ) -> Tuple[Optional[int], List[SearchOutcome]]:
     """Smallest seed size admitting a (monotone) k-dynamo, by exhaustion.
 
@@ -154,8 +173,10 @@ def exhaustive_min_dynamo_size(
             s,
             num_colors,
             k=k,
+            rule=rule,
             monotone_only=monotone_only,
             max_configs=max_configs,
+            batch_size=batch_size,
         )
         outcomes.append(res)
         if res.found_dynamo:
@@ -171,6 +192,7 @@ def random_dynamo_search(
     rng: np.random.Generator,
     *,
     k: int = 0,
+    rule: Optional[Rule] = None,
     max_rounds: Optional[int] = None,
     batch_size: int = 4096,
     monotone_only: bool = False,
@@ -181,6 +203,9 @@ def random_dynamo_search(
     is (only) statistical evidence for the lower bound — the benches report
     the trial count alongside.
     """
+    rule = rule if rule is not None else SMPRule()
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
     n = topo.num_vertices
     if max_rounds is None:
         max_rounds = 4 * n + 16
@@ -194,7 +219,14 @@ def random_dynamo_search(
         rows = np.arange(b)[:, None]
         seeds = np.argsort(rng.random((b, n)), axis=1)[:, :seed_size]
         batch[rows, seeds] = k
-        res = run_batch_smp(topo, batch, k, max_rounds)
+        res = run_batch(
+            topo,
+            batch,
+            rule,
+            max_rounds=max_rounds,
+            target_color=k,
+            detect_cycles=False,
+        )
         hits = np.flatnonzero(
             res.k_monochromatic & (res.monotone if monotone_only else True)
         )

@@ -6,6 +6,7 @@ from .metrics import (
     takeover_summary,
     wavefront_speed,
 )
+from .batch import BatchRunResult, as_color_batch, run_batch
 from .result import RunResult
 from .runner import default_round_cap, run_synchronous
 from .schedulers import run_asynchronous
@@ -13,6 +14,9 @@ from .temporal import run_temporal
 
 __all__ = [
     "RunResult",
+    "BatchRunResult",
+    "run_batch",
+    "as_color_batch",
     "run_synchronous",
     "run_asynchronous",
     "run_temporal",

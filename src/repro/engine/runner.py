@@ -30,7 +30,7 @@ from ..rules.base import Rule, as_color_array
 from ..topology.base import Topology
 from .result import RunResult
 
-__all__ = ["run_synchronous", "default_round_cap"]
+__all__ = ["run_synchronous", "default_round_cap", "parse_frozen"]
 
 
 def default_round_cap(topo: Topology) -> int:
@@ -41,6 +41,22 @@ def default_round_cap(topo: Topology) -> int:
 def _state_digest(colors: np.ndarray) -> bytes:
     """Cheap collision-resistant digest of a state for cycle detection."""
     return hashlib.blake2b(colors.tobytes(), digest_size=16).digest()
+
+
+def parse_frozen(
+    frozen: Optional[Iterable[int]], num_vertices: int
+) -> Optional[np.ndarray]:
+    """Normalize a frozen-vertex spec to a sorted unique int64 index array.
+
+    Shared by the scalar and batched runners; returns ``None`` when no
+    freezing was requested.
+    """
+    if frozen is None:
+        return None
+    idx = np.asarray(sorted(set(int(v) for v in frozen)), dtype=np.int64)
+    if idx.size and (idx[0] < 0 or idx[-1] >= num_vertices):
+        raise ValueError("frozen vertex id out of range")
+    return idx
 
 
 def run_synchronous(
@@ -92,15 +108,8 @@ def run_synchronous(
     if max_rounds < 0:
         raise ValueError("max_rounds must be >= 0")
 
-    frozen_idx: Optional[np.ndarray] = None
-    frozen_values: Optional[np.ndarray] = None
-    if frozen is not None:
-        frozen_idx = np.asarray(sorted(set(int(v) for v in frozen)), dtype=np.int64)
-        if frozen_idx.size and (
-            frozen_idx[0] < 0 or frozen_idx[-1] >= topo.num_vertices
-        ):
-            raise ValueError("frozen vertex id out of range")
-        frozen_values = colors[frozen_idx].copy()
+    frozen_idx = parse_frozen(frozen, topo.num_vertices)
+    frozen_values = colors[frozen_idx].copy() if frozen_idx is not None else None
 
     n = topo.num_vertices
     last_change = np.zeros(n, dtype=np.int32) if track_changes else None

@@ -19,7 +19,13 @@ from .ablations import (
     tie_rule_ablation,
 )
 from .census import CensusRow, below_bound_census
-from .sweeps import SweepPoint, rect_points, square_points, sweep_rounds
+from .sweeps import (
+    SweepPoint,
+    convergence_sweep,
+    rect_points,
+    square_points,
+    sweep_rounds,
+)
 
 __all__ = [
     "FigureResult",
@@ -33,6 +39,7 @@ __all__ = [
     "FIG5_EXPECTED",
     "FIG6_EXPECTED",
     "sweep_rounds",
+    "convergence_sweep",
     "CensusRow",
     "below_bound_census",
     "AblationResult",

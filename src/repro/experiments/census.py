@@ -49,9 +49,15 @@ def below_bound_census(
     sizes: List[int] = (3, 4, 5, 6),
     *,
     random_trials: int = 20_000,
+    batch_size: int = 8192,
     rng: Optional[np.random.Generator] = None,
 ) -> List[CensusRow]:
-    """Run the audit; every returned witness size is re-verified."""
+    """Run the audit; every returned witness size is re-verified.
+
+    ``batch_size`` is the replica-block width handed to the batched
+    engine (:func:`repro.engine.batch.run_batch`) by both the exhaustive
+    and the random searches.
+    """
     rng = rng if rng is not None else np.random.default_rng(0xBEEF)
     rows: List[CensusRow] = []
     for kind in kinds:
@@ -60,7 +66,11 @@ def below_bound_census(
             if n == 3:
                 topo = make_torus(kind, 3, 3)
                 size, outcomes = exhaustive_min_dynamo_size(
-                    topo, num_colors=3, monotone_only=True, max_seed_size=bound
+                    topo,
+                    num_colors=3,
+                    monotone_only=True,
+                    max_seed_size=bound,
+                    batch_size=batch_size,
                 )
                 rows.append(
                     CensusRow(
@@ -93,7 +103,13 @@ def below_bound_census(
             best: Optional[int] = None
             for s in range(bound - 1, 2, -1):
                 out = random_dynamo_search(
-                    topo, s, 5, random_trials, rng, monotone_only=True
+                    topo,
+                    s,
+                    5,
+                    random_trials,
+                    rng,
+                    monotone_only=True,
+                    batch_size=batch_size,
                 )
                 if out.found_monotone_dynamo:
                     best = s

@@ -9,6 +9,14 @@ pickled) and reducing into a numpy record array.
 
 Set ``processes=0`` to run inline (deterministic profiles, debugging,
 or platforms without fork).
+
+A second driver, :func:`convergence_sweep`, measures *statistical*
+behaviour instead of constructions: at every grid point it pushes blocks
+of random replicas through the batched engine
+(:func:`repro.engine.batch.run_batch`) under any registered rule and
+reduces per-row outcomes (convergence/monochromatic fractions, round
+statistics) into one record per point.  Batching across replicas — not
+processes — is the parallelism here; a single process saturates numpy.
 """
 
 from __future__ import annotations
@@ -18,7 +26,13 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["SweepPoint", "sweep_rounds", "square_points", "rect_points"]
+__all__ = [
+    "SweepPoint",
+    "sweep_rounds",
+    "convergence_sweep",
+    "square_points",
+    "rect_points",
+]
 
 SweepPoint = Tuple[str, int, int]
 
@@ -79,6 +93,100 @@ def sweep_rounds(
         with mp.get_context().Pool(nproc) as pool:
             rows = pool.map(_run_point, pts, chunksize=max(1, len(pts) // (4 * nproc)))
     out = np.empty(len(rows), dtype=SWEEP_DTYPE)
+    for i, row in enumerate(rows):
+        out[i] = row
+    return out
+
+
+#: dtype of a convergence-sweep record: one row per (kind, m, n) point
+CONVERGENCE_DTYPE = np.dtype(
+    [
+        ("kind", "U16"),
+        ("m", np.int64),
+        ("n", np.int64),
+        ("rule", "U24"),
+        ("replicas", np.int64),
+        ("converged_frac", np.float64),
+        ("monochromatic_frac", np.float64),
+        ("monotone_frac", np.float64),
+        ("mean_rounds", np.float64),
+        ("max_rounds", np.int64),
+    ]
+)
+
+
+def convergence_sweep(
+    points: Iterable[SweepPoint],
+    rule_name: str = "smp",
+    *,
+    replicas: int = 256,
+    num_colors: int = 4,
+    batch_size: int = 256,
+    max_rounds: Optional[int] = None,
+    seed: int = 0xD1CE,
+) -> np.ndarray:
+    """Random-replica convergence statistics per grid point, batched.
+
+    For each ``(kind, m, n)`` point, ``replicas`` uniform random initial
+    colorings are advanced by the batched engine in blocks of
+    ``batch_size`` rows, and the per-row outcomes are reduced to one
+    record (fractions converged / target-monochromatic / monotone, plus
+    round statistics over converged rows).
+    """
+    from ..engine.batch import run_batch
+    from ..rules import make_rule, replica_palette
+    from ..topology.tori import make_torus
+
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    rule = make_rule(rule_name, num_colors=num_colors)
+    low, palette, target = replica_palette(rule_name, num_colors)
+    rows = []
+    for kind, m, n in points:
+        topo = make_torus(kind, m, n)
+        # a rule that knows its own sound convergence bound (e.g. the
+        # ordered rule's color-sum potential) overrides the generic cap
+        cap = max_rounds
+        if cap is None and hasattr(rule, "max_rounds"):
+            cap = rule.max_rounds(topo)
+        kind_tag = int.from_bytes(kind.encode()[:4].ljust(4, b"\0"), "little")
+        rng = np.random.default_rng([seed, kind_tag, m, n])
+        converged = monochromatic = monotone = 0
+        rounds_sum = 0
+        rounds_max = 0
+        remaining = replicas
+        while remaining > 0:
+            b = min(batch_size, remaining)
+            remaining -= b
+            batch = rng.integers(
+                low, low + palette, size=(b, topo.num_vertices)
+            ).astype(np.int32)
+            res = run_batch(
+                topo, batch, rule, max_rounds=cap, target_color=target
+            )
+            converged += int(res.converged.sum())
+            monochromatic += int(res.k_monochromatic.sum())
+            monotone += int(res.monotone.sum())
+            if res.converged.any():
+                rounds_sum += int(res.rounds[res.converged].sum())
+                rounds_max = max(rounds_max, int(res.rounds[res.converged].max()))
+        rows.append(
+            (
+                kind,
+                m,
+                n,
+                rule_name,
+                replicas,
+                converged / replicas,
+                monochromatic / replicas,
+                monotone / replicas,
+                rounds_sum / converged if converged else float("nan"),
+                rounds_max,
+            )
+        )
+    out = np.empty(len(rows), dtype=CONVERGENCE_DTYPE)
     for i, row in enumerate(rows):
         out[i] = row
     return out

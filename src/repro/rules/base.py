@@ -9,6 +9,11 @@ provides two implementations:
 * :meth:`Rule.update_vertex` — a scalar reference used as the correctness
   oracle in tests and by the asynchronous scheduler.
 
+Rules may additionally override :meth:`Rule.step_batch`, the kernel of the
+batched multi-replica engine (:mod:`repro.engine.batch`), which advances a
+``(B, N)`` block of independent replicas in one fused pass; the base class
+supplies a row-looping fallback so the batched engine works with any rule.
+
 Colors are small non-negative integers stored in ``int32`` vectors (the
 paper's ``C = {1..k}``; 0 is also a legal color id — nothing in the engine
 reserves it).
@@ -63,6 +68,28 @@ class Rule(abc.ABC):
         """Scalar reference update for one vertex (the test oracle)."""
 
     # ------------------------------------------------------------------
+    def step_batch(
+        self,
+        colors: np.ndarray,
+        topo: Topology,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """One synchronous round for a ``(B, N)`` block of replicas.
+
+        The batched engine (:mod:`repro.engine.batch`) drives simulations
+        through this entry point.  This base implementation is the
+        correctness oracle: it loops :meth:`step` over rows, so every rule
+        works with the batched engine unchanged; rules override it with a
+        kernel vectorized over the batch axis (all five shipped rules do).
+        """
+        if colors.ndim != 2:
+            raise ValueError(f"expected a (B, N) batch, got shape {colors.shape}")
+        if out is None:
+            out = np.empty_like(colors)
+        for row in range(colors.shape[0]):
+            self.step(colors[row], topo, out=out[row])
+        return out
+
     def step_reference(self, colors: np.ndarray, topo: Topology) -> np.ndarray:
         """Pure-Python synchronous round via :meth:`update_vertex`.
 

@@ -85,6 +85,28 @@ class ReverseSimpleMajority(Rule):
         np.copyto(out, result)
         return out
 
+    def step_batch(
+        self,
+        colors: np.ndarray,
+        topo: Topology,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        if topo.neighbors.shape[1] != 4 or not topo.is_regular:
+            raise ValueError("ReverseSimpleMajority requires a 4-regular topology")
+        self._check_bicolored(colors)
+        black_count = (colors[:, topo.neighbors] == BLACK).sum(axis=2)
+        if self.tie == "prefer-black":
+            result = np.where(black_count >= 2, BLACK, WHITE)
+        else:
+            result = np.where(
+                black_count >= 3, BLACK, np.where(black_count <= 1, WHITE, colors)
+            )
+        result = result.astype(np.int32, copy=False)
+        if out is None:
+            return result
+        np.copyto(out, result)
+        return out
+
     def update_vertex(self, current: int, neighbor_colors: Sequence[int]) -> int:
         if len(neighbor_colors) != 4:
             raise ValueError("rule defined on degree-4 neighborhoods")
@@ -134,6 +156,23 @@ class ReverseStrongMajority(Rule):
         high3 = (s[:, 1] == s[:, 2]) & (s[:, 2] == s[:, 3])
         result = np.where(low3 | high3, s[:, 1], colors)
         result = result.astype(np.int32, copy=False)
+        if out is None:
+            return result
+        np.copyto(out, result)
+        return out
+
+    def step_batch(
+        self,
+        colors: np.ndarray,
+        topo: Topology,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        if topo.neighbors.shape[1] != 4 or not topo.is_regular:
+            raise ValueError("ReverseStrongMajority requires a 4-regular topology")
+        s = np.sort(colors[:, topo.neighbors], axis=2)
+        low3 = (s[..., 0] == s[..., 1]) & (s[..., 1] == s[..., 2])
+        high3 = (s[..., 1] == s[..., 2]) & (s[..., 2] == s[..., 3])
+        result = np.where(low3 | high3, s[..., 1], colors).astype(np.int32, copy=False)
         if out is None:
             return result
         np.copyto(out, result)

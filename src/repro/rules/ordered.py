@@ -79,6 +79,26 @@ class OrderedIncrementRule(Rule):
         np.copyto(out, result)
         return out
 
+    def step_batch(
+        self,
+        colors: np.ndarray,
+        topo: Topology,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        if np.any(colors >= self.num_colors) or np.any(colors < 0):
+            raise ValueError(f"colors must lie in [0, {self.num_colors})")
+        nb = topo.neighbors
+        mask = nb >= 0
+        neighbor_colors = colors[:, np.where(mask, nb, 0)]
+        greater = ((neighbor_colors > colors[:, :, None]) & mask).sum(axis=2)
+        thr = self._thresholds(topo.degrees)
+        bump = (greater >= thr) & (colors < self.num_colors - 1)
+        result = np.where(bump, colors + 1, colors).astype(np.int32, copy=False)
+        if out is None:
+            return result
+        np.copyto(out, result)
+        return out
+
     def update_vertex(self, current: int, neighbor_colors: Sequence[int]) -> int:
         d = len(neighbor_colors)
         if d == 0 or current >= self.num_colors - 1:

@@ -120,6 +120,42 @@ class GeneralizedPluralityRule(Rule):
         np.copyto(out, result)
         return out
 
+    def step_batch(
+        self,
+        colors: np.ndarray,
+        topo: Topology,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Batched counting kernel: one ``(B, N, num_colors)`` histogram,
+        accumulated with one fused scatter per neighbor slot."""
+        if np.any(colors >= self.num_colors) or np.any(colors < 0):
+            raise ValueError(
+                f"colors must lie in [0, {self.num_colors}); "
+                "construct the rule with the full palette size"
+            )
+        nb = topo.neighbors
+        mask = nb >= 0
+        b, n = colors.shape
+        counts = np.zeros((b, n, self.num_colors), dtype=np.int32)
+        b_idx = np.arange(b)[:, None]
+        safe_nb = np.where(mask, nb, 0)
+        for s in range(nb.shape[1]):
+            cols = np.flatnonzero(mask[:, s])
+            np.add.at(
+                counts, (b_idx, cols[None, :], colors[:, safe_nb[cols, s]]), 1
+            )
+        audible_degree = mask.sum(axis=1).astype(np.int64)
+        thresholds = self.threshold_fn(audible_degree)
+        reaching = counts >= thresholds[None, :, None]
+        n_reaching = reaching.sum(axis=2)
+        winner = np.argmax(counts, axis=2).astype(np.int32)
+        adopt = (n_reaching == 1) & (audible_degree > 0)
+        result = np.where(adopt, winner, colors).astype(np.int32, copy=False)
+        if out is None:
+            return result
+        np.copyto(out, result)
+        return out
+
     def update_vertex(self, current: int, neighbor_colors: Sequence[int]) -> int:
         d = len(neighbor_colors)
         if d == 0:

@@ -42,7 +42,32 @@ import numpy as np
 from ..topology.base import Topology
 from .base import Rule
 
-__all__ = ["SMPRule", "smp_literal_update", "unique_plurality_color"]
+__all__ = [
+    "SMPRule",
+    "smp_literal_update",
+    "smp_step_batch",
+    "unique_plurality_color",
+]
+
+
+def smp_step_batch(colors: np.ndarray, neighbors: np.ndarray) -> np.ndarray:
+    """One synchronous SMP round for a ``(B, N)`` batch; returns a new batch.
+
+    The raw sorted-gather kernel of :class:`SMPRule` applied over the batch
+    dimension in one shot (``colors[:, neighbors]`` has shape ``(B, N, 4)``);
+    callers must guarantee a 4-regular neighbor table.
+    """
+    s = np.sort(colors[:, neighbors], axis=2)
+    s0, s1, s2, s3 = s[..., 0], s[..., 1], s[..., 2], s[..., 3]
+    e1 = s0 == s1
+    e2 = s1 == s2
+    e3 = s2 == s3
+    adopt0 = e1 & (e2 | ~e3)
+    adopt1 = e2 & ~e1
+    adopt2 = e3 & ~e2 & ~e1
+    return np.where(
+        adopt0, s0, np.where(adopt1, s1, np.where(adopt2, s2, colors))
+    ).astype(np.int32, copy=False)
 
 
 def unique_plurality_color(neighbor_colors: Sequence[int], threshold: int = 2):
@@ -127,6 +152,23 @@ class SMPRule(Rule):
         result = np.where(adopt0, s0, np.where(adopt1, s1, np.where(adopt2, s2, colors)))
         if out is None:
             return result.astype(np.int32, copy=False)
+        np.copyto(out, result)
+        return out
+
+    def step_batch(
+        self,
+        colors: np.ndarray,
+        topo: Topology,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        if topo.neighbors.shape[1] != 4 or not topo.is_regular:
+            raise ValueError(
+                "SMPRule.step_batch requires a 4-regular topology; use "
+                "GeneralizedPluralityRule for arbitrary graphs"
+            )
+        result = smp_step_batch(colors, topo.neighbors)
+        if out is None:
+            return result
         np.copyto(out, result)
         return out
 

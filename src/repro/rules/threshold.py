@@ -84,6 +84,27 @@ class LinearThresholdRule(Rule):
         np.copyto(out, result)
         return out
 
+    def step_batch(
+        self,
+        colors: np.ndarray,
+        topo: Topology,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        if np.any((colors != INACTIVE) & (colors != ACTIVE)):
+            raise ValueError("linear-threshold states must be 0 (inactive) or 1 (active)")
+        thr = self.thresholds_for(topo)
+        nb, mask = topo.neighbors, topo.neighbors >= 0
+        active_neighbors = (
+            (colors[:, np.where(mask, nb, 0)] == ACTIVE) & mask
+        ).sum(axis=2)
+        result = np.where(
+            (colors == ACTIVE) | (active_neighbors >= thr), ACTIVE, INACTIVE
+        ).astype(np.int32, copy=False)
+        if out is None:
+            return result
+        np.copyto(out, result)
+        return out
+
     def update_vertex(self, current: int, neighbor_colors: Sequence[int]) -> int:
         if current == ACTIVE:
             return ACTIVE

@@ -1,18 +1,17 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite.
+
+Plain helpers (``TORUS_KINDS``, ``random_coloring``, ``grid_colors``)
+live in :mod:`helpers` — import them with ``from helpers import ...``,
+never from ``conftest`` (the ``conftest`` module name is a rootdir-wide
+singleton and shadows across directories).
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
-from repro.topology import ToroidalMesh, TorusCordalis, TorusSerpentinus
-
-#: the three torus classes, keyed by the registry names used everywhere
-TORUS_KINDS = {
-    "mesh": ToroidalMesh,
-    "cordalis": TorusCordalis,
-    "serpentinus": TorusSerpentinus,
-}
+from helpers import TORUS_KINDS
 
 
 @pytest.fixture(params=sorted(TORUS_KINDS))
@@ -25,17 +24,3 @@ def torus_kind(request):
 def rng():
     """A deterministic generator per test."""
     return np.random.default_rng(0xC0FFEE)
-
-
-def random_coloring(topo, num_colors, rng, low=0):
-    """Uniform random coloring with colors in [low, low + num_colors)."""
-    return rng.integers(low, low + num_colors, size=topo.num_vertices).astype(
-        np.int32
-    )
-
-
-def grid_colors(topo, rows):
-    """Build a color vector from a list-of-lists grid literal."""
-    arr = np.asarray(rows, dtype=np.int32)
-    assert arr.shape == (topo.m, topo.n)
-    return arr.reshape(-1)

@@ -1,5 +1,10 @@
 """Batched SMP kernel tests: the search substrate must agree with the
-single-configuration engine bit for bit."""
+single-configuration engine bit for bit.
+
+These exercise the deprecated :mod:`repro.core.batch` shim on purpose
+(its DeprecationWarning is expected behavior, filtered below); the
+rule-agnostic replacement is covered by ``test_engine_batch.py``.
+"""
 
 import numpy as np
 import pytest
@@ -11,7 +16,11 @@ from repro.engine import run_synchronous
 from repro.rules import SMPRule
 from repro.topology import GraphTopology, ToroidalMesh
 
-from conftest import TORUS_KINDS
+from helpers import TORUS_KINDS
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:run_batch_smp is deprecated:DeprecationWarning"
+)
 
 
 @settings(max_examples=25, deadline=None)

@@ -21,7 +21,7 @@ from repro.engine import run_synchronous
 from repro.rules import SMPRule
 from repro.topology import OpenMesh, ToroidalMesh
 
-from conftest import TORUS_KINDS
+from helpers import TORUS_KINDS
 
 
 # ----------------------------------------------------------------------

@@ -8,7 +8,7 @@ from repro.core import non_k_core_mask, phi_collapse, white_blocks_mask
 from repro.rules import BLACK, WHITE
 from repro.topology import ToroidalMesh
 
-from conftest import TORUS_KINDS, random_coloring
+from helpers import TORUS_KINDS, random_coloring
 
 
 def test_phi_maps_target_to_black():

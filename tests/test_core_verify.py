@@ -11,7 +11,7 @@ from repro.core import (
 )
 from repro.topology import ToroidalMesh
 
-from conftest import TORUS_KINDS
+from helpers import TORUS_KINDS
 
 
 def test_report_on_known_dynamo():

@@ -7,7 +7,7 @@ from repro.engine import default_round_cap, run_synchronous
 from repro.rules import BLACK, WHITE, ReverseSimpleMajority, SMPRule
 from repro.topology import ToroidalMesh
 
-from conftest import TORUS_KINDS, random_coloring
+from helpers import TORUS_KINDS, random_coloring
 
 
 def test_monochromatic_input_converges_at_round_zero(torus_kind):

@@ -11,7 +11,7 @@ from repro.rules import SMPRule
 from repro.structures import bounding_box, derivable_k_set, derived_history
 from repro.topology import ToroidalMesh
 
-from conftest import TORUS_KINDS
+from helpers import TORUS_KINDS
 
 K = 0
 

@@ -14,7 +14,7 @@ from repro.rules import (
 )
 from repro.topology import ToroidalMesh
 
-from conftest import TORUS_KINDS
+from helpers import TORUS_KINDS
 
 
 # ----------------------------------------------------------------------

@@ -7,7 +7,7 @@ from repro.engine import run_synchronous
 from repro.rules import OrderedIncrementRule
 from repro.topology import ToroidalMesh
 
-from conftest import TORUS_KINDS
+from helpers import TORUS_KINDS
 
 
 def test_parameter_validation():

@@ -14,7 +14,7 @@ from repro.rules import (
 )
 from repro.topology import GraphTopology, ToroidalMesh
 
-from conftest import random_coloring
+from helpers import random_coloring
 
 
 def test_threshold_functions():

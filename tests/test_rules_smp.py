@@ -11,7 +11,7 @@ from hypothesis import strategies as st
 from repro.rules import SMPRule, smp_literal_update, unique_plurality_color
 from repro.topology import ToroidalMesh, TorusCordalis, TorusSerpentinus
 
-from conftest import TORUS_KINDS, random_coloring
+from helpers import TORUS_KINDS, random_coloring
 
 
 # ----------------------------------------------------------------------

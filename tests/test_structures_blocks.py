@@ -17,7 +17,7 @@ from repro.structures import (
 )
 from repro.topology import ToroidalMesh, TorusCordalis, TorusSerpentinus
 
-from conftest import TORUS_KINDS, random_coloring
+from helpers import TORUS_KINDS, random_coloring
 
 K, OTHER = 1, 0
 

@@ -10,7 +10,7 @@ from repro.structures import (
 )
 from repro.topology import ToroidalMesh, TorusCordalis
 
-from conftest import TORUS_KINDS
+from helpers import TORUS_KINDS
 
 K = 1
 

@@ -10,7 +10,7 @@ from repro.topology import (
     make_torus,
 )
 
-from conftest import TORUS_KINDS
+from helpers import TORUS_KINDS
 
 
 # ----------------------------------------------------------------------
