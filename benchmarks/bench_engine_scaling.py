@@ -161,6 +161,49 @@ def test_scalar_reference_vs_vectorized(benchmark, rng):
     benchmark.extra_info.update(reference_seconds=round(t_ref, 4))
 
 
+def test_process_sharded_convergence_scaling(benchmark):
+    """Cross-process sharding (repro.engine.parallel): a census-scale
+    convergence sweep — many random replicas over a grid of small tori —
+    sharded over 4 worker processes vs a single process.
+
+    Parity is asserted everywhere (the records must be bitwise-identical
+    at any process count); the >= 2x wall-clock floor is asserted only on
+    machines with at least 4 cores and outside REPRO_BENCH_RELAX runs.
+    """
+    from repro.experiments import convergence_sweep
+    from repro.experiments.sweeps import square_points
+
+    points = (
+        square_points("mesh", [5, 6, 7])
+        + square_points("cordalis", [5, 6, 7])
+        + square_points("serpentinus", [5, 6, 7])
+    )
+    kwargs = dict(replicas=2048, shard_size=256, batch_size=256, seed=7)
+
+    def single():
+        return convergence_sweep(points, **kwargs, processes=1)
+
+    def sharded():
+        return convergence_sweep(points, **kwargs, processes=4)
+
+    ref, out = single(), sharded()  # warm both paths + parity cross-check
+    assert np.array_equal(ref, out)
+    speedup = _tmin(single, repeats=2) / _tmin(sharded, repeats=2)
+    benchmark.pedantic(sharded, rounds=1, iterations=1)
+    ncpu = os.cpu_count() or 1
+    benchmark.extra_info.update(
+        points=len(points),
+        replicas_per_point=2048,
+        cores=ncpu,
+        process_speedup=round(speedup, 2),
+    )
+    if ncpu >= 4 and not _RELAX_SPEEDUP:
+        assert speedup >= 2.0, (
+            f"4-process sharding only {speedup:.2f}x over single-process "
+            f"on {ncpu} cores"
+        )
+
+
 def test_cycle_detection_overhead(benchmark):
     """Hash-based cycle detection costs one blake2b per round; measure a
     full run with it enabled (the default)."""

@@ -8,8 +8,10 @@ Subcommands
 ``matrix``     print the recoloring-round matrix (Figures 5/6 style)
 ``sweep``      round-count sweep over sizes, printed as a table; with
                ``--convergence``, batched random-replica statistics for
-               any rule (``--rule``, ``--batch-size``)
-``census``     below-bound dynamo census (the Theorem 1/3/5 audit)
+               any rule (``--rule``, ``--batch-size``), sharded across
+               ``--processes`` worker processes
+``census``     below-bound dynamo census (the Theorem 1/3/5 audit),
+               random searches sharded across ``--processes``
 
 Examples
 --------
@@ -20,7 +22,8 @@ Examples
     repro-dynamo matrix cordalis 5 5
     repro-dynamo sweep mesh 5 7 9 11
     repro-dynamo sweep mesh 6 8 --convergence --rule majority --batch-size 128
-    repro-dynamo census --sizes 3 4 --batch-size 4096
+    repro-dynamo sweep mesh 8 10 --convergence --processes 4 --shard-size 64
+    repro-dynamo census --sizes 3 4 --batch-size 4096 --processes 4
 """
 
 from __future__ import annotations
@@ -41,6 +44,22 @@ from .rules.smp import SMPRule
 from .viz.render import render_grid, render_time_matrix
 
 __all__ = ["main", "build_parser"]
+
+
+def _processes_arg(value: str) -> int:
+    """argparse type for ``--processes``: shared validation, clear message."""
+    from .engine.parallel import validate_processes
+
+    try:
+        count = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--processes must be an integer >= 0, got {value!r}"
+        ) from None
+    try:
+        return validate_processes(count, flag="--processes")
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,7 +95,14 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("sweep", help="round-count sweep over square sizes")
     sp.add_argument("kind", choices=["mesh", "cordalis", "serpentinus"])
     sp.add_argument("sizes", type=int, nargs="+")
-    sp.add_argument("--processes", type=int, default=0)
+    sp.add_argument(
+        "--processes",
+        type=_processes_arg,
+        default=0,
+        metavar="P",
+        help="worker processes (0 runs inline; construction sweeps and "
+        "--convergence shards both use them)",
+    )
     sp.add_argument(
         "--convergence",
         action="store_true",
@@ -102,6 +128,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="replica rows advanced per batched-engine call for "
         "--convergence (default: 256)",
     )
+    sp.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        metavar="S",
+        help="replicas per process shard for --convergence (default: "
+        "the batch size); results are identical at any --processes "
+        "count but depend on this value",
+    )
 
     sp = sub.add_parser(
         "census",
@@ -122,6 +157,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=8192,
         metavar="B",
         help="replica rows advanced per batched-engine call",
+    )
+    sp.add_argument(
+        "--processes",
+        type=_processes_arg,
+        default=0,
+        metavar="P",
+        help="worker processes sharding the random searches (0 runs "
+        "inline); results are identical at any count",
+    )
+    sp.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        metavar="S",
+        help="random trials per process shard (default: the batch size)",
+    )
+    sp.add_argument(
+        "--seed",
+        type=int,
+        default=0xBEEF,
+        help="RNG root for the per-cell random searches",
     )
 
     sp = sub.add_parser(
@@ -176,13 +232,9 @@ def _main(argv: Optional[List[str]] = None) -> int:
             "--replicas": args.replicas,
             "--colors": args.colors,
             "--batch-size": args.batch_size,
+            "--shard-size": args.shard_size,
         }
         if args.convergence:
-            if args.processes:
-                parser.error(
-                    "--processes is not used by --convergence (batching "
-                    "replaces process fan-out); drop one of the two flags"
-                )
             if args.colors is not None:
                 from .rules import replica_palette
 
@@ -255,6 +307,8 @@ def _main(argv: Optional[List[str]] = None) -> int:
                 replicas=args.replicas if args.replicas is not None else 256,
                 num_colors=args.colors if args.colors is not None else 4,
                 batch_size=args.batch_size if args.batch_size is not None else 256,
+                processes=args.processes,
+                shard_size=args.shard_size,
             )
             print(f"{'size':>8} {'rule':>15} {'conv':>6} {'mono':>6} "
                   f"{'monot':>6} {'rounds':>7}")
@@ -285,15 +339,19 @@ def _main(argv: Optional[List[str]] = None) -> int:
             sizes=args.sizes,
             random_trials=args.trials,
             batch_size=args.batch_size,
+            seed=args.seed,
+            processes=args.processes,
+            shard_size=args.shard_size,
         )
         print(f"{'kind':>12} {'size':>6} {'bound':>6} {'found':>6} "
-              f"{'below':>6} {'method':>11}")
+              f"{'below':>6} {'ruled<':>7} {'method':>11}")
         for r in rows:
             found = "-" if r.certified_size is None else str(r.certified_size)
             below = "-" if r.below_bound is None else str(r.below_bound)
+            ruled = "-" if r.ruled_out_below is None else str(r.ruled_out_below)
             size = f"{r.n}x{r.n}"
             print(f"{r.kind:>12} {size:>6} {r.paper_bound:>6} "
-                  f"{found:>6} {below:>6} {r.method:>11}")
+                  f"{found:>6} {below:>6} {ruled:>7} {r.method:>11}")
         return 0
 
     if args.command == "diagonal":

@@ -20,11 +20,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import combinations, product
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..engine.batch import run_batch
+from ..engine.parallel import (
+    build_topology,
+    run_sharded,
+    shard_counts,
+    topology_spec,
+    validate_processes,
+)
 from ..rules.base import Rule
 from ..rules.smp import SMPRule
 from ..topology.base import Topology
@@ -141,10 +148,15 @@ def exhaustive_dynamo_search(
             buf.append(colors)
             if len(buf) >= batch_size:
                 if flush():
-                    outcome.exhaustive = False
+                    # stop_at_first stopped the enumeration here; coverage
+                    # is still complete when this batch happened to be the
+                    # final one (total an exact multiple of batch_size)
+                    outcome.exhaustive = outcome.examined == total
                     return outcome
-    if flush():
-        outcome.exhaustive = False
+    # The enumeration loop completed, so every configuration was buffered
+    # and this final flush examines the rest — the search is exhaustive
+    # whether or not a witness lands in the last (or only) batch.
+    flush()
     return outcome
 
 
@@ -184,33 +196,49 @@ def exhaustive_min_dynamo_size(
     return None, outcomes
 
 
-def random_dynamo_search(
-    topo: Topology,
-    seed_size: int,
-    num_colors: int,
-    trials: int,
-    rng: np.random.Generator,
-    *,
-    k: int = 0,
-    rule: Optional[Rule] = None,
-    max_rounds: Optional[int] = None,
-    batch_size: int = 4096,
-    monotone_only: bool = False,
-) -> SearchOutcome:
-    """Monte-Carlo falsification: random seeds + random complements.
+#: seed material accepted by :func:`random_dynamo_search` for the sharded
+#: deterministic path (a plain int, SeedSequence entropy words, or a
+#: SeedSequence itself); a ``numpy.random.Generator`` selects the legacy
+#: single-stream path instead.
+SeedMaterial = Union[int, Sequence[int], np.random.SeedSequence]
 
-    Used where exhaustion is infeasible; finding no witness in many trials
-    is (only) statistical evidence for the lower bound — the benches report
-    the trial count alongside.
+
+def _seed_entropy(rng: Union[np.random.Generator, SeedMaterial]) -> Optional[List[int]]:
+    """Entropy words of seed material, or ``None`` for a Generator."""
+    if isinstance(rng, np.random.SeedSequence):
+        ent = rng.entropy
+        words = [int(x) for x in ent] if isinstance(ent, (list, tuple)) else [int(ent)]
+        # spawned children differ from their parent only by spawn_key;
+        # dropping it would make spawn(2) drive identical searches
+        words.extend(int(x) for x in rng.spawn_key)
+        return words
+    if isinstance(rng, (int, np.integer)):
+        return [int(rng)]
+    if isinstance(rng, (list, tuple)):
+        return [int(x) for x in rng]
+    return None
+
+
+def _random_trials(
+    topo: Topology,
+    rng: np.random.Generator,
+    trials: int,
+    seed_size: int,
+    others: np.ndarray,
+    k: int,
+    rule: Rule,
+    max_rounds: int,
+    batch_size: int,
+    monotone_only: bool,
+) -> List[Tuple[np.ndarray, bool]]:
+    """Run ``trials`` random configurations; return the witnesses found.
+
+    Draw order is (complements, then seed placements) per ``batch_size``
+    block, so the stream consumed depends on ``batch_size`` but never on
+    how the caller distributed trials over processes.
     """
-    rule = rule if rule is not None else SMPRule()
-    if batch_size < 1:
-        raise ValueError("batch_size must be >= 1")
     n = topo.num_vertices
-    if max_rounds is None:
-        max_rounds = 4 * n + 16
-    others = np.asarray([c for c in range(num_colors) if c != k][: num_colors - 1])
-    outcome = SearchOutcome(seed_size=seed_size, examined=0, exhaustive=False)
+    witnesses: List[Tuple[np.ndarray, bool]] = []
     remaining = trials
     while remaining > 0:
         b = min(batch_size, remaining)
@@ -231,6 +259,127 @@ def random_dynamo_search(
             res.k_monochromatic & (res.monotone if monotone_only else True)
         )
         for idx in hits:
-            outcome.witnesses.append((batch[idx].copy(), bool(res.monotone[idx])))
-        outcome.examined += b
+            witnesses.append((batch[idx].copy(), bool(res.monotone[idx])))
+    return witnesses
+
+
+def _random_search_shard(shard: tuple) -> List[Tuple[np.ndarray, bool]]:
+    """Pool worker: one replica block of a sharded random search.
+
+    The shard is a small picklable tuple; the topology is rebuilt locally
+    from its spec (tori) and the RNG is derived from the shard *index*,
+    so any process count draws identical streams.
+    """
+    (
+        spec,
+        topo_obj,
+        entropy,
+        shard_idx,
+        trials,
+        seed_size,
+        others,
+        k,
+        rule,
+        max_rounds,
+        batch_size,
+        monotone_only,
+    ) = shard
+    topo = build_topology(spec, topo_obj)
+    rng = np.random.default_rng(np.random.SeedSequence([*entropy, shard_idx]))
+    return _random_trials(
+        topo,
+        rng,
+        trials,
+        seed_size,
+        np.asarray(others),
+        k,
+        rule,
+        max_rounds,
+        batch_size,
+        monotone_only,
+    )
+
+
+def random_dynamo_search(
+    topo: Topology,
+    seed_size: int,
+    num_colors: int,
+    trials: int,
+    rng: Union[np.random.Generator, SeedMaterial],
+    *,
+    k: int = 0,
+    rule: Optional[Rule] = None,
+    max_rounds: Optional[int] = None,
+    batch_size: int = 4096,
+    monotone_only: bool = False,
+    processes: Optional[int] = 0,
+    shard_size: Optional[int] = None,
+) -> SearchOutcome:
+    """Monte-Carlo falsification: random seeds + random complements.
+
+    Used where exhaustion is infeasible; finding no witness in many trials
+    is (only) statistical evidence for the lower bound — the benches report
+    the trial count alongside.
+
+    ``rng`` selects the execution mode.  Seed *material* — an int, a
+    sequence of entropy words, or a ``SeedSequence`` — picks the sharded
+    deterministic path: trials split into shards of ``shard_size``
+    (default ``batch_size``), shard ``i`` draws from
+    ``SeedSequence([*entropy, i])``, and shards fan out over ``processes``
+    pool workers (``0`` = inline, ``None`` = one per core).  Witnesses are
+    reduced in shard order, so the outcome is **bitwise-identical at any
+    process count** (it does depend on ``shard_size``/``batch_size``,
+    which are part of the experiment definition).  A ``Generator`` keeps
+    the legacy single-stream sequential behaviour and cannot be sharded —
+    combining one with ``processes > 0`` raises :class:`ValueError`.
+    """
+    rule = rule if rule is not None else SMPRule()
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    nproc = validate_processes(processes)
+    n = topo.num_vertices
+    if max_rounds is None:
+        max_rounds = 4 * n + 16
+    others = np.asarray([c for c in range(num_colors) if c != k][: num_colors - 1])
+    outcome = SearchOutcome(seed_size=seed_size, examined=0, exhaustive=False)
+
+    entropy = _seed_entropy(rng)
+    if entropy is None:
+        if nproc is None or nproc > 0:
+            raise ValueError(
+                "a Generator cannot be split deterministically across "
+                "processes; pass seed material (an int, a sequence of "
+                "ints, or a SeedSequence) to shard the search"
+            )
+        outcome.witnesses.extend(
+            _random_trials(
+                topo, rng, trials, seed_size, others, k, rule,
+                max_rounds, batch_size, monotone_only,
+            )
+        )
+        outcome.examined = trials
+        return outcome
+
+    spec = topology_spec(topo)
+    counts = shard_counts(trials, shard_size if shard_size is not None else batch_size)
+    shards = [
+        (
+            spec,
+            None if spec is not None else topo,
+            entropy,
+            i,
+            count,
+            seed_size,
+            others,
+            k,
+            rule,
+            max_rounds,
+            batch_size,
+            monotone_only,
+        )
+        for i, count in enumerate(counts)
+    ]
+    for partial in run_sharded(_random_search_shard, shards, processes=nproc):
+        outcome.witnesses.extend(partial)
+    outcome.examined = trials
     return outcome

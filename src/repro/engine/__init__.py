@@ -7,6 +7,14 @@ from .metrics import (
     wavefront_speed,
 )
 from .batch import BatchRunResult, as_color_batch, run_batch
+from .parallel import (
+    kind_tag,
+    resolve_processes,
+    run_sharded,
+    shard_counts,
+    shard_seed,
+    validate_processes,
+)
 from .result import RunResult
 from .runner import default_round_cap, run_synchronous
 from .schedulers import run_asynchronous
@@ -20,6 +28,12 @@ __all__ = [
     "run_synchronous",
     "run_asynchronous",
     "run_temporal",
+    "run_sharded",
+    "shard_counts",
+    "shard_seed",
+    "kind_tag",
+    "resolve_processes",
+    "validate_processes",
     "default_round_cap",
     "adoption_curve",
     "wavefront_speed",

@@ -1,0 +1,180 @@
+"""Cross-process sharding for sweep / census / search workloads.
+
+The batched engine (:mod:`repro.engine.batch`) saturates *one* process:
+a ``(B, N)`` replica block is advanced by fused numpy kernels, but numpy
+holds the GIL-free work inside a single interpreter.  Production-scale
+audits — a convergence sweep over a grid of tori, a below-bound census
+over thousands of random trials per cell — want every core.  This module
+promotes the ``sweep_rounds`` pool idiom to a reusable layer:
+
+1. a workload is split into **shards** — small picklable descriptions of
+   ``(grid point x replica block)`` work units;
+2. shards fan out over a ``multiprocessing`` pool via :func:`run_sharded`
+   (workers rebuild topology/rule state locally, so nothing large is
+   pickled in either direction);
+3. each shard derives its RNG from coordinates, not execution order —
+   :func:`shard_seed` builds ``SeedSequence([seed, kind_tag, m, n,
+   shard])`` — and :func:`run_sharded` returns partials in shard order,
+   so the reduced result is **bitwise-identical at any process count**;
+4. per-shard partials reduce into the caller's existing record dtypes
+   (``CONVERGENCE_DTYPE`` rows, :class:`~repro.experiments.census.CensusRow`,
+   :class:`~repro.core.search.SearchOutcome`).
+
+Determinism contract: results never depend on ``processes``; they *do*
+depend on the shard geometry (``shard_size``) and the seed, which are
+part of the experiment definition.  ``processes=0`` runs inline in the
+calling process, ``None`` uses one worker per core.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from ..topology.base import Topology
+from ..topology.tori import TORUS_CLASSES, make_torus
+
+__all__ = [
+    "build_topology",
+    "kind_tag",
+    "resolve_processes",
+    "run_sharded",
+    "shard_counts",
+    "shard_seed",
+    "topology_spec",
+    "validate_processes",
+]
+
+S = TypeVar("S")
+R = TypeVar("R")
+
+#: picklable torus description carried by shards: ``(kind, m, n)``
+TopologySpec = Tuple[str, int, int]
+
+
+def validate_processes(
+    processes: Optional[int], *, flag: str = "processes"
+) -> Optional[int]:
+    """Validate a process count in the one place every driver shares.
+
+    ``None`` means one worker per core; ``0`` means run inline in the
+    calling process; positive integers give the pool size.  Anything
+    else raises :class:`ValueError` with a clear message instead of
+    reaching ``multiprocessing.Pool`` (whose own complaint is opaque).
+    """
+    if processes is None:
+        return None
+    try:
+        p = int(processes)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{flag} must be an integer >= 0 or None, got {processes!r}"
+        ) from None
+    if p != processes or p < 0:
+        raise ValueError(
+            f"{flag} must be >= 0 (0 runs inline, None uses every core), "
+            f"got {processes!r}"
+        )
+    return p
+
+
+def resolve_processes(
+    processes: Optional[int], num_units: int, *, flag: str = "processes"
+) -> int:
+    """Effective pool size for ``num_units`` shards (``<= 1`` means inline)."""
+    p = validate_processes(processes, flag=flag)
+    if p is None:
+        p = mp.cpu_count()
+    return min(p, num_units)
+
+
+def run_sharded(
+    worker: Callable[[S], R],
+    shards: Iterable[S],
+    *,
+    processes: Optional[int] = None,
+    chunksize: Optional[int] = None,
+    flag: str = "processes",
+) -> List[R]:
+    """Map ``worker`` over ``shards``, optionally across a process pool.
+
+    Partials come back **in shard order** regardless of which process ran
+    which shard, so a worker whose output depends only on its shard
+    description produces bitwise-identical reductions at any process
+    count.  ``worker`` must be a module-level callable and each shard a
+    small picklable value; workers rebuild anything large locally.
+
+    ``processes=0`` (or an effective pool of one, or a single shard)
+    short-circuits to an inline loop — same code path as the pool
+    workers, no pickling.
+    """
+    units = list(shards)
+    nproc = resolve_processes(processes, len(units), flag=flag)
+    if nproc <= 1 or len(units) <= 1:
+        return [worker(u) for u in units]
+    # fork keeps the warm import; spawn platforms re-import lazily
+    with mp.get_context().Pool(nproc) as pool:
+        return pool.map(
+            worker,
+            units,
+            chunksize=chunksize or max(1, len(units) // (4 * nproc)),
+        )
+
+
+def shard_counts(total: int, shard_size: int) -> List[int]:
+    """Split ``total`` work items into contiguous shards of ``shard_size``.
+
+    The trailing shard carries the remainder; ``sum == total`` always.
+    """
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    full, rem = divmod(total, shard_size)
+    return [shard_size] * full + ([rem] if rem else [])
+
+
+def kind_tag(kind: str) -> int:
+    """Stable 32-bit tag of a topology-kind name, used as RNG seed material."""
+    return int.from_bytes(kind.encode()[:4].ljust(4, b"\0"), "little")
+
+
+def shard_seed(
+    seed: int, kind: str, m: int, n: int, shard: int
+) -> np.random.SeedSequence:
+    """RNG root of one ``(grid point x replica block)`` shard.
+
+    Derived from the shard's *coordinates*, never from execution order,
+    so any process count — and any assignment of shards to workers —
+    draws exactly the same streams.
+    """
+    return np.random.SeedSequence(
+        [int(seed), kind_tag(kind), int(m), int(n), int(shard)]
+    )
+
+
+def topology_spec(topo: Topology) -> Optional[TopologySpec]:
+    """Small picklable description of a registry torus, else ``None``.
+
+    Shards carry this instead of the topology object so pool workers
+    rebuild the neighbor table locally.  Non-torus topologies return
+    ``None`` and are pickled as-is by callers that support them.
+    """
+    for name, cls in TORUS_CLASSES.items():
+        if type(topo) is cls:
+            return (name, topo.m, topo.n)
+    return None
+
+
+def build_topology(
+    spec: Optional[TopologySpec], fallback: Optional[Topology] = None
+) -> Topology:
+    """Rebuild a topology from :func:`topology_spec` output (worker side)."""
+    if spec is None:
+        if fallback is None:
+            raise ValueError("no topology spec and no fallback topology")
+        return fallback
+    kind, m, n = spec
+    return make_torus(kind, m, n)

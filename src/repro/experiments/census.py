@@ -4,22 +4,37 @@ Builds the table in EXPERIMENTS.md: for each torus kind and size, the
 paper's lower bound, the smallest monotone dynamo this reproduction can
 certify (exhaustive minimum on 3x3, diagonal-family witnesses and random
 search elsewhere), and the witness provenance.
+
+Reproducibility: every cell derives its own RNG root from
+``SeedSequence([seed, kind_tag, n, seed_size])`` — a cell's result never
+depends on which cells ran before it or on the ``kinds``/``sizes``
+order.  The random searches shard their trials across ``processes``
+pool workers through :mod:`repro.engine.parallel`, with per-shard
+streams derived from shard coordinates, so the census is
+**bitwise-identical at any process count** (it does depend on ``seed``,
+``shard_size`` and ``batch_size``, which are part of the experiment
+definition).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
-
-import numpy as np
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.bounds import lower_bound
 from ..core.diagonal import diagonal_dynamo
 from ..core.search import exhaustive_min_dynamo_size, random_dynamo_search
 from ..core.verify import is_monotone_dynamo
+from ..engine.parallel import kind_tag, validate_processes
+from ..topology.base import Topology
 from ..topology.tori import make_torus
 
 __all__ = ["CensusRow", "below_bound_census"]
+
+#: palette size used by the statistical (random-search) branches; richer
+#: than the constructions' palettes because more colors only make small
+#: dynamos easier — the audit wants the strongest counterexample hunt.
+_RANDOM_PALETTE = 5
 
 
 @dataclass
@@ -33,8 +48,12 @@ class CensusRow:
     certified_size: Optional[int]
     #: how the witness was found ("exhaustive" / "diagonal" / "random")
     method: str
-    #: smaller sizes explored without witness (statistical only unless
-    #: exhaustive)
+    #: no witness was found below this size by this row's search: one more
+    #: than the largest seed size searched without finding a witness.
+    #: Exhaustive rows certify every smaller size; diagonal/random rows
+    #: searched the boundary statistically (the downward scan stops at its
+    #: first witness-free size).  ``None`` when no size below the witness
+    #: was searched.
     ruled_out_below: Optional[int] = None
 
     @property
@@ -44,25 +63,69 @@ class CensusRow:
         return self.certified_size < self.paper_bound
 
 
+def _random_floor_scan(
+    topo: Topology,
+    start_size: int,
+    trials: int,
+    entropy_base: Sequence[int],
+    *,
+    batch_size: int,
+    processes: Optional[int],
+    shard_size: Optional[int],
+) -> Tuple[Optional[int], Optional[int]]:
+    """Scan seed sizes downward from ``start_size`` by random search.
+
+    Returns ``(best, ruled_out_below)``: the smallest size in the
+    consecutive witness run starting at ``start_size`` (``None`` when
+    even ``start_size`` yields no witness), and one more than the size
+    the scan stopped at without a witness (``None`` when every size down
+    to 3 produced one — nothing was ruled out).  Each size draws from
+    its own ``SeedSequence([*entropy_base, seed_size])`` root.
+    """
+    best: Optional[int] = None
+    for s in range(start_size, 2, -1):
+        out = random_dynamo_search(
+            topo,
+            s,
+            _RANDOM_PALETTE,
+            trials,
+            [*entropy_base, s],
+            monotone_only=True,
+            batch_size=batch_size,
+            processes=processes,
+            shard_size=shard_size,
+        )
+        if out.found_monotone_dynamo:
+            best = s
+        else:
+            return best, s + 1
+    return best, None
+
+
 def below_bound_census(
-    kinds: List[str] = ("mesh", "cordalis", "serpentinus"),
-    sizes: List[int] = (3, 4, 5, 6),
+    kinds: Sequence[str] = ("mesh", "cordalis", "serpentinus"),
+    sizes: Sequence[int] = (3, 4, 5, 6),
     *,
     random_trials: int = 20_000,
     batch_size: int = 8192,
-    rng: Optional[np.random.Generator] = None,
+    seed: int = 0xBEEF,
+    processes: Optional[int] = 0,
+    shard_size: Optional[int] = None,
 ) -> List[CensusRow]:
     """Run the audit; every returned witness size is re-verified.
 
     ``batch_size`` is the replica-block width handed to the batched
     engine (:func:`repro.engine.batch.run_batch`) by both the exhaustive
-    and the random searches.
+    and the random searches; ``processes``/``shard_size`` shard the
+    random-search trials across a worker pool (``processes=0`` runs
+    inline, ``None`` uses every core) without changing any result.
     """
-    rng = rng if rng is not None else np.random.default_rng(0xBEEF)
+    validate_processes(processes)
     rows: List[CensusRow] = []
     for kind in kinds:
         for n in sizes:
             bound = lower_bound(kind, n, n)
+            cell_entropy = (int(seed), kind_tag(kind), int(n))
             if n == 3:
                 topo = make_torus(kind, 3, 3)
                 size, outcomes = exhaustive_min_dynamo_size(
@@ -88,33 +151,40 @@ def below_bound_census(
                 n, kind, max_nodes=2_000_000 if n <= 5 else 8_000_000
             )
             if con is not None and is_monotone_dynamo(con.topo, con.colors, con.k):
+                # probe below the diagonal witness so the row records how
+                # far the audit actually looked (and catches any smaller
+                # random witness the diagonal family misses)
+                below, ruled_out = _random_floor_scan(
+                    con.topo,
+                    con.seed_size - 1,
+                    random_trials,
+                    cell_entropy,
+                    batch_size=batch_size,
+                    processes=processes,
+                    shard_size=shard_size,
+                )
                 rows.append(
                     CensusRow(
                         kind=kind,
                         n=n,
                         paper_bound=bound,
-                        certified_size=con.seed_size,
-                        method="diagonal",
+                        certified_size=below if below is not None else con.seed_size,
+                        method="diagonal" if below is None else "random",
+                        ruled_out_below=ruled_out,
                     )
                 )
                 continue
             # fall back to random search just below the bound
             topo = make_torus(kind, n, n)
-            best: Optional[int] = None
-            for s in range(bound - 1, 2, -1):
-                out = random_dynamo_search(
-                    topo,
-                    s,
-                    5,
-                    random_trials,
-                    rng,
-                    monotone_only=True,
-                    batch_size=batch_size,
-                )
-                if out.found_monotone_dynamo:
-                    best = s
-                else:
-                    break
+            best, ruled_out = _random_floor_scan(
+                topo,
+                bound - 1,
+                random_trials,
+                cell_entropy,
+                batch_size=batch_size,
+                processes=processes,
+                shard_size=shard_size,
+            )
             rows.append(
                 CensusRow(
                     kind=kind,
@@ -122,6 +192,7 @@ def below_bound_census(
                     paper_bound=bound,
                     certified_size=best,
                     method="random",
+                    ruled_out_below=ruled_out,
                 )
             )
     return rows

@@ -1,30 +1,38 @@
-"""Parallel parameter-sweep driver.
+"""Parallel parameter-sweep drivers, sharded across processes.
 
 Every figure/theorem reproduction boils down to "run a construction over a
 grid of (kind, m, n) points and collect scalars".  :func:`sweep_rounds`
-does that, fanning out over a ``multiprocessing`` pool (one process per
-point — the hpc-parallel idiom for embarrassingly parallel CPU-bound work;
-each worker re-builds its construction locally so nothing large is
-pickled) and reducing into a numpy record array.
-
-Set ``processes=0`` to run inline (deterministic profiles, debugging,
-or platforms without fork).
+does that, fanning its points out over the shared sharding layer
+(:func:`repro.engine.parallel.run_sharded` — one process per point, each
+worker re-building its construction locally so nothing large is pickled)
+and reducing into a numpy record array.
 
 A second driver, :func:`convergence_sweep`, measures *statistical*
 behaviour instead of constructions: at every grid point it pushes blocks
 of random replicas through the batched engine
 (:func:`repro.engine.batch.run_batch`) under any registered rule and
 reduces per-row outcomes (convergence/monochromatic fractions, round
-statistics) into one record per point.  Batching across replicas — not
-processes — is the parallelism here; a single process saturates numpy.
+statistics) into one record per point.  Two layers of parallelism
+compose here: batching across replicas saturates numpy *within* a
+process, and the workload shards into ``(grid point x replica block)``
+units of ``shard_size`` replicas that fan out over ``processes`` pool
+workers.  Shard ``i`` of point ``(kind, m, n)`` draws from
+``SeedSequence([seed, kind_tag, m, n, i])`` and partials reduce in shard
+order, so records are **bitwise-identical at any process count**; they
+do depend on ``seed`` and ``shard_size``, which are part of the
+experiment definition.
+
+Set ``processes=0`` to run inline (deterministic profiles, debugging,
+or platforms without fork); ``None`` uses one worker per core.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from ..engine.parallel import run_sharded, shard_counts, shard_seed
 
 __all__ = [
     "SweepPoint",
@@ -82,16 +90,12 @@ def sweep_rounds(
 ) -> np.ndarray:
     """Run the minimum-dynamo construction at every point; return records.
 
-    ``processes=None`` uses ``min(cpu_count, #points)``; ``0`` runs inline.
+    ``processes=None`` uses one worker per core; ``0`` runs inline.  The
+    construction at each point is deterministic, so records never depend
+    on the process count.
     """
     pts: List[SweepPoint] = list(points)
-    if processes == 0 or len(pts) <= 1:
-        rows = [_run_point(p) for p in pts]
-    else:
-        nproc = processes or min(mp.cpu_count(), len(pts))
-        # fork keeps the warm import; spawn platforms re-import lazily
-        with mp.get_context().Pool(nproc) as pool:
-            rows = pool.map(_run_point, pts, chunksize=max(1, len(pts) // (4 * nproc)))
+    rows = run_sharded(_run_point, pts, processes=processes)
     out = np.empty(len(rows), dtype=SWEEP_DTYPE)
     for i, row in enumerate(rows):
         out[i] = row
@@ -115,6 +119,49 @@ CONVERGENCE_DTYPE = np.dtype(
 )
 
 
+def _convergence_shard(shard: tuple) -> Tuple[int, int, int, int, int]:
+    """Pool worker: one replica block of one grid point.
+
+    Rebuilds topology and rule locally from the shard's small picklable
+    description, derives its RNG from the shard *coordinates* (never
+    from execution order), and returns integer partials — exact to
+    reduce in any grouping.
+    """
+    from ..engine.batch import run_batch
+    from ..rules import make_rule, replica_palette
+    from ..topology.tori import make_torus
+
+    (kind, m, n, rule_name, num_colors, count, shard_idx, seed, batch_size,
+     max_rounds) = shard
+    topo = make_torus(kind, m, n)
+    rule = make_rule(rule_name, num_colors=num_colors)
+    low, palette, target = replica_palette(rule_name, num_colors)
+    # a rule that knows its own sound convergence bound (e.g. the
+    # ordered rule's color-sum potential) overrides the generic cap
+    cap = max_rounds
+    if cap is None and hasattr(rule, "max_rounds"):
+        cap = rule.max_rounds(topo)
+    rng = np.random.default_rng(shard_seed(seed, kind, m, n, shard_idx))
+    converged = monochromatic = monotone = 0
+    rounds_sum = 0
+    rounds_max = 0
+    remaining = count
+    while remaining > 0:
+        b = min(batch_size, remaining)
+        remaining -= b
+        batch = rng.integers(
+            low, low + palette, size=(b, topo.num_vertices)
+        ).astype(np.int32)
+        res = run_batch(topo, batch, rule, max_rounds=cap, target_color=target)
+        converged += int(res.converged.sum())
+        monochromatic += int(res.k_monochromatic.sum())
+        monotone += int(res.monotone.sum())
+        if res.converged.any():
+            rounds_sum += int(res.rounds[res.converged].sum())
+            rounds_max = max(rounds_max, int(res.rounds[res.converged].max()))
+    return (converged, monochromatic, monotone, rounds_sum, rounds_max)
+
+
 def convergence_sweep(
     points: Iterable[SweepPoint],
     rule_name: str = "smp",
@@ -124,54 +171,48 @@ def convergence_sweep(
     batch_size: int = 256,
     max_rounds: Optional[int] = None,
     seed: int = 0xD1CE,
+    processes: Optional[int] = 0,
+    shard_size: Optional[int] = None,
 ) -> np.ndarray:
-    """Random-replica convergence statistics per grid point, batched.
+    """Random-replica convergence statistics per grid point, sharded.
 
     For each ``(kind, m, n)`` point, ``replicas`` uniform random initial
     colorings are advanced by the batched engine in blocks of
     ``batch_size`` rows, and the per-row outcomes are reduced to one
     record (fractions converged / target-monochromatic / monotone, plus
     round statistics over converged rows).
+
+    The workload splits into ``(point x replica block)`` shards of
+    ``shard_size`` replicas (default ``batch_size``) that fan out over
+    ``processes`` pool workers; per-shard integer partials are reduced
+    in shard order, so the records are bitwise-identical at any process
+    count.
     """
-    from ..engine.batch import run_batch
-    from ..rules import make_rule, replica_palette
-    from ..topology.tori import make_torus
+    from ..rules import make_rule  # validate the rule name before forking
 
     if replicas < 1:
         raise ValueError("replicas must be >= 1")
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
-    rule = make_rule(rule_name, num_colors=num_colors)
-    low, palette, target = replica_palette(rule_name, num_colors)
+    make_rule(rule_name, num_colors=num_colors)
+    pts: List[SweepPoint] = list(points)
+    counts = shard_counts(replicas, shard_size if shard_size is not None else batch_size)
+    shards = [
+        (kind, m, n, rule_name, num_colors, count, si, seed, batch_size, max_rounds)
+        for kind, m, n in pts
+        for si, count in enumerate(counts)
+    ]
+    partials = run_sharded(_convergence_shard, shards, processes=processes)
+
     rows = []
-    for kind, m, n in points:
-        topo = make_torus(kind, m, n)
-        # a rule that knows its own sound convergence bound (e.g. the
-        # ordered rule's color-sum potential) overrides the generic cap
-        cap = max_rounds
-        if cap is None and hasattr(rule, "max_rounds"):
-            cap = rule.max_rounds(topo)
-        kind_tag = int.from_bytes(kind.encode()[:4].ljust(4, b"\0"), "little")
-        rng = np.random.default_rng([seed, kind_tag, m, n])
-        converged = monochromatic = monotone = 0
-        rounds_sum = 0
-        rounds_max = 0
-        remaining = replicas
-        while remaining > 0:
-            b = min(batch_size, remaining)
-            remaining -= b
-            batch = rng.integers(
-                low, low + palette, size=(b, topo.num_vertices)
-            ).astype(np.int32)
-            res = run_batch(
-                topo, batch, rule, max_rounds=cap, target_color=target
-            )
-            converged += int(res.converged.sum())
-            monochromatic += int(res.k_monochromatic.sum())
-            monotone += int(res.monotone.sum())
-            if res.converged.any():
-                rounds_sum += int(res.rounds[res.converged].sum())
-                rounds_max = max(rounds_max, int(res.rounds[res.converged].max()))
+    per_point = len(counts)
+    for pi, (kind, m, n) in enumerate(pts):
+        parts = partials[pi * per_point : (pi + 1) * per_point]
+        converged = sum(p[0] for p in parts)
+        monochromatic = sum(p[1] for p in parts)
+        monotone = sum(p[2] for p in parts)
+        rounds_sum = sum(p[3] for p in parts)
+        rounds_max = max((p[4] for p in parts), default=0)
         rows.append(
             (
                 kind,

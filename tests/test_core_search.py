@@ -92,6 +92,73 @@ def test_exhaustive_finds_trivial_full_seed():
     assert out.examined >= 1
 
 
+def test_single_batch_witness_still_exhaustive():
+    """Regression: the final flush after a completed enumeration used to
+    flip ``exhaustive`` to False whenever it held a witness, so any
+    search with ``total <= batch_size`` (a single batch) — or a witness
+    in the last batch — reported wrong provenance to the census."""
+    topo = ToroidalMesh(3, 3)
+    # one single configuration: the trivial all-k seed; witness found,
+    # and every configuration (all one of them) was examined
+    out = exhaustive_dynamo_search(topo, seed_size=9, num_colors=2)
+    assert out.found_dynamo
+    assert out.examined == count_configs(9, 9, 2) == 1
+    assert out.exhaustive
+
+
+def test_last_batch_witness_still_exhaustive():
+    """Full enumeration across several batches with witnesses: coverage is
+    complete, so the outcome stays exhaustive."""
+    topo = ToroidalMesh(3, 3)
+    total = count_configs(9, 8, 3)
+    out = exhaustive_dynamo_search(
+        topo, seed_size=8, num_colors=3, batch_size=4, stop_at_first=False
+    )
+    assert out.found_dynamo
+    assert out.examined == total
+    assert out.exhaustive
+
+
+def test_exact_multiple_batch_witness_still_exhaustive():
+    """Boundary case: when total is an exact multiple of batch_size the
+    last batch flushes *inside* the enumeration loop; a stop_at_first
+    witness there still covers every configuration."""
+    topo = ToroidalMesh(3, 3)
+    # 1 configuration, batch_size=1: the only batch flushes in-loop
+    out = exhaustive_dynamo_search(
+        topo, seed_size=9, num_colors=2, batch_size=1, stop_at_first=True
+    )
+    assert out.found_dynamo
+    assert out.examined == count_configs(9, 9, 2) == 1
+    assert out.exhaustive
+
+
+def test_spawned_seed_sequences_draw_distinct_trials():
+    """SeedSequence spawn_key must reach the shard derivation: spawned
+    children are documented seed material and must not replay their
+    parent's streams."""
+    topo = ToroidalMesh(3, 3)
+    child_a, child_b = np.random.SeedSequence(7).spawn(2)
+    out_a = random_dynamo_search(topo, 3, 3, 500, child_a, shard_size=100)
+    out_b = random_dynamo_search(topo, 3, 3, 500, child_b, shard_size=100)
+    assert any(
+        not np.array_equal(wa, wb)
+        for (wa, _), (wb, _) in zip(out_a.witnesses, out_b.witnesses)
+    ) or len(out_a.witnesses) != len(out_b.witnesses)
+
+
+def test_early_stop_is_not_exhaustive():
+    """stop_at_first cutting the enumeration short must keep reporting
+    non-exhaustive coverage."""
+    topo = ToroidalMesh(3, 3)
+    out = exhaustive_dynamo_search(
+        topo, seed_size=8, num_colors=3, batch_size=4, stop_at_first=True
+    )
+    assert out.found_dynamo
+    assert out.examined < count_configs(9, 8, 3)
+    assert not out.exhaustive
+
+
 def test_exhaustive_witnesses_verify(rng):
     topo = ToroidalMesh(3, 3)
     out = exhaustive_dynamo_search(

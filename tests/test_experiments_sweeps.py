@@ -1,8 +1,14 @@
 """Parallel sweep driver tests."""
 
 import numpy as np
+import pytest
 
-from repro.experiments import rect_points, square_points, sweep_rounds
+from repro.experiments import (
+    convergence_sweep,
+    rect_points,
+    square_points,
+    sweep_rounds,
+)
 
 
 def test_point_helpers():
@@ -34,6 +40,26 @@ def test_sweep_parallel_matches_inline():
     inline = sweep_rounds(points, processes=0)
     parallel = sweep_rounds(points, processes=2)
     assert np.array_equal(inline, parallel)
+
+
+def test_convergence_sweep_records():
+    recs = convergence_sweep(
+        square_points("mesh", [4]), replicas=32, batch_size=8, shard_size=8
+    )
+    (r,) = recs
+    assert r["replicas"] == 32
+    assert 0.0 <= r["converged_frac"] <= 1.0
+    assert r["monochromatic_frac"] <= r["converged_frac"]
+    assert r["rule"] == "smp"
+
+
+def test_convergence_sweep_validates_early():
+    with pytest.raises(ValueError):
+        convergence_sweep(square_points("mesh", [4]), replicas=0)
+    with pytest.raises(ValueError):
+        convergence_sweep(square_points("mesh", [4]), "no-such-rule", replicas=4)
+    with pytest.raises(ValueError, match="processes"):
+        convergence_sweep(square_points("mesh", [4]), replicas=4, processes=-3)
 
 
 def test_sweep_mixed_kinds():

@@ -154,6 +154,31 @@ def test_cli_sweep(capsys):
     assert "4x4" in out and "5x5" in out
 
 
+def test_cli_sweep_convergence_with_processes(capsys):
+    # --processes now shards --convergence instead of being rejected
+    code, out = _run_cli(
+        ["sweep", "mesh", "4", "--convergence", "--replicas", "16",
+         "--processes", "2", "--shard-size", "8"], capsys
+    )
+    assert code == 0
+    assert "4x4" in out and "smp" in out
+
+
+def test_cli_census_with_processes(capsys):
+    code, out = _run_cli(
+        ["census", "--kinds", "mesh", "--sizes", "3", "--processes", "2"],
+        capsys,
+    )
+    assert code == 0
+    assert "exhaustive" in out
+
+
+def test_cli_rejects_negative_processes(capsys):
+    with pytest.raises(SystemExit):
+        _run_cli(["sweep", "mesh", "4", "--processes", "-2"], capsys)
+    capsys.readouterr()  # drain the usage message
+
+
 def test_cli_simulate_nonconvergent_exit_code(tmp_path, capsys):
     # a frozen non-dynamo still converges (fixed point) -> exit 0; but a
     # capped run that never settles exits 1
