@@ -11,7 +11,12 @@ Subcommands
                any rule (``--rule``, ``--batch-size``), sharded across
                ``--processes`` worker processes
 ``census``     below-bound dynamo census (the Theorem 1/3/5 audit),
-               random searches sharded across ``--processes``
+               random searches sharded across ``--processes``; with
+               ``--db``, witnesses persist and cached cells skip the pool
+``search``     one dynamo search (random or ``--exhaustive``) on a torus,
+               recording witnesses into ``--db``
+``witness``    query the witness database: ``list`` / ``show`` /
+               ``verify`` / ``export``
 
 Examples
 --------
@@ -24,11 +29,16 @@ Examples
     repro-dynamo sweep mesh 6 8 --convergence --rule majority --batch-size 128
     repro-dynamo sweep mesh 8 10 --convergence --processes 4 --shard-size 64
     repro-dynamo census --sizes 3 4 --batch-size 4096 --processes 4
+    repro-dynamo census --db results/witnesses.jsonl
+    repro-dynamo search mesh 4 4 --seed-size 3 --colors 5 --trials 20000
+    repro-dynamo witness list
+    repro-dynamo witness verify --all
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -179,6 +189,90 @@ def build_parser() -> argparse.ArgumentParser:
         default=0xBEEF,
         help="RNG root for the per-cell random searches",
     )
+    sp.add_argument(
+        "--db",
+        metavar="FILE",
+        help="witness database (JSON lines): record every witness found "
+        "and serve cells whose experiment definition is already stored "
+        "without re-running the pool",
+    )
+
+    sp = sub.add_parser(
+        "search",
+        help="one dynamo search on a torus (random, or --exhaustive)",
+    )
+    sp.add_argument("kind", choices=["mesh", "cordalis", "serpentinus"])
+    sp.add_argument("m", type=int)
+    sp.add_argument("n", type=int)
+    sp.add_argument("--seed-size", type=int, required=True, metavar="S",
+                    help="number of target-color seed vertices")
+    sp.add_argument("--colors", type=int, default=4, metavar="C",
+                    help="palette size (default: 4)")
+    sp.add_argument("--target-color", type=int, default=0, metavar="K")
+    sp.add_argument("--rule", choices=list(RULE_NAMES), default="smp")
+    sp.add_argument("--exhaustive", action="store_true",
+                    help="enumerate every configuration instead of "
+                    "random trials (refuses oversized enumerations)")
+    sp.add_argument("--trials", type=int, default=20_000,
+                    help="random trials (ignored with --exhaustive)")
+    sp.add_argument("--seed", type=int, default=0xBEEF,
+                    help="RNG root of the random search")
+    sp.add_argument("--monotone-only", action="store_true",
+                    help="keep only monotone witnesses")
+    sp.add_argument("--batch-size", type=int, default=None, metavar="B")
+    sp.add_argument(
+        "--processes",
+        type=_processes_arg,
+        default=0,
+        metavar="P",
+        help="worker processes sharding the random trials (0 runs inline)",
+    )
+    sp.add_argument("--shard-size", type=int, default=None, metavar="S")
+    sp.add_argument("--max-configs", type=int, default=20_000_000)
+    sp.add_argument("--db", metavar="FILE",
+                    help="witness database to consult and record into")
+    sp.add_argument("--render", action="store_true",
+                    help="render the first witness found")
+
+    sp = sub.add_parser(
+        "witness",
+        help="query/verify the witness database (list/show/verify/export)",
+    )
+    wsub = sp.add_subparsers(dest="witness_command", required=True)
+    _DEFAULT_DB = "results/witnesses.jsonl"
+
+    def add_db_arg(wp):
+        wp.add_argument("--db", metavar="FILE", default=_DEFAULT_DB,
+                        help=f"witness database (default: {_DEFAULT_DB})")
+
+    wp = wsub.add_parser("list", help="tabulate stored witnesses")
+    add_db_arg(wp)
+    wp.add_argument("--kind", choices=["mesh", "cordalis", "serpentinus"])
+    wp.add_argument("--rule")
+    wp.add_argument("--method")
+    wp.add_argument("--unverified", action="store_true",
+                    help="only records not yet re-verified")
+
+    wp = wsub.add_parser("show", help="print one witness in full")
+    add_db_arg(wp)
+    wp.add_argument("id", help="witness id (any unique prefix)")
+
+    wp = wsub.add_parser(
+        "verify",
+        help="replay stored witnesses through the engine and stamp them",
+    )
+    add_db_arg(wp)
+    wp.add_argument("ids", nargs="*", help="witness ids (unique prefixes)")
+    wp.add_argument("--all", action="store_true", dest="verify_all",
+                    help="verify every stored witness")
+
+    wp = wsub.add_parser(
+        "export", help="write one witness as a configuration JSON"
+    )
+    add_db_arg(wp)
+    wp.add_argument("id", help="witness id (any unique prefix)")
+    wp.add_argument("--out", required=True, metavar="FILE",
+                    help="destination (loadable by simulate/verify --load)")
 
     sp = sub.add_parser(
         "diagonal",
@@ -197,6 +291,117 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sp.add_argument("--markdown", action="store_true")
     return p
+
+
+def _open_db(path):
+    """Build a WitnessDB for a CLI flag, surfacing corrupted lines."""
+    from .io.witnessdb import WitnessDB
+
+    db = WitnessDB(path)
+    for lineno, msg in db.corrupt:
+        print(f"warning: {path}:{lineno}: skipped corrupted record "
+              f"({msg})", file=sys.stderr)
+    return db
+
+
+def _witness_topology(rec):
+    """Rebuild a record's torus, or report cleanly (exit-code-2 path)."""
+    from .topology.tori import make_torus
+
+    try:
+        return make_torus(rec.kind, rec.m, rec.n)
+    except (KeyError, ValueError) as exc:
+        print(f"error: cannot rebuild topology for {rec.id}: {exc}",
+              file=sys.stderr)
+        return None
+
+
+def _witness_main(args) -> int:
+    """The ``witness`` subcommand group: list / show / verify / export."""
+    db = _open_db(args.db)
+
+    if args.witness_command == "list":
+        records = db.witnesses(
+            kind=args.kind,
+            rule=args.rule,
+            method=args.method,
+            verified=False if args.unverified else None,
+        )
+        print(f"{'id':>12} {'rule':>8} {'kind':>12} {'size':>7} {'|C|':>4} "
+              f"{'|S|':>4} {'mono':>5} {'method':>11} {'verified':>9}")
+        for r in records:
+            size = f"{r.m}x{r.n}"
+            print(f"{r.id:>12} {r.rule:>8} {r.kind:>12} {size:>7} "
+                  f"{r.colors:>4} {r.seed_size:>4} "
+                  f"{'yes' if r.monotone else 'no':>5} {r.method:>11} "
+                  f"{'yes' if r.verified else 'no':>9}")
+        print(f"{len(records)} witness record(s), "
+              f"{len(db.cells)} cached census cell(s) in {args.db}")
+        return 0
+
+    if args.witness_command == "verify":
+        if args.verify_all:
+            targets = list(db)
+        elif args.ids:
+            try:
+                targets = [db.resolve(i) for i in args.ids]
+            except KeyError as exc:
+                print(f"error: {exc.args[0]}", file=sys.stderr)
+                return 2
+        else:
+            print("error: give witness ids or --all", file=sys.stderr)
+            return 2
+        failures = 0
+        for rec in targets:
+            outcome = db.verify(rec)
+            size = f"{rec.m}x{rec.n}"
+            if outcome.ok:
+                print(f"{rec.id} {rec.rule} {rec.kind} {size} "
+                      f"|S|={rec.seed_size}: OK ({outcome.rounds} rounds)")
+            else:
+                failures += 1
+                print(f"{rec.id} {rec.rule} {rec.kind} {size} "
+                      f"|S|={rec.seed_size}: FAIL — {outcome.reason}")
+        print(f"{len(targets) - failures}/{len(targets)} witnesses verified")
+        return 1 if failures else 0
+
+    try:
+        rec = db.resolve(args.id)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.witness_command == "show":
+        topo = _witness_topology(rec)
+        if topo is None:
+            return 2
+        print(f"id:        {rec.id}")
+        print(f"key:       rule={rec.rule} kind={rec.kind} "
+              f"size={rec.m}x{rec.n} colors={rec.colors}")
+        print(f"dynamo:    target {rec.k}, seed size {rec.seed_size}, "
+              f"monotone={rec.monotone}, verified={rec.verified}")
+        print(f"method:    {rec.method}")
+        print(f"provenance: {json.dumps(rec.provenance, sort_keys=True)}")
+        print(render_grid(topo, rec.colors_array(), rec.k))
+        return 0
+
+    if args.witness_command == "export":
+        topo = _witness_topology(rec)
+        if topo is None:
+            return 2
+        save_configuration(
+            args.out,
+            topo,
+            rec.colors_array(),
+            rec.k,
+            witness_id=rec.id,
+            rule=rec.rule,
+            method=rec.method,
+        )
+        print(f"exported {rec.id} to {args.out}")
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces the choices
 
 
 def _configuration(args):
@@ -334,6 +539,7 @@ def _main(argv: Optional[List[str]] = None) -> int:
     if args.command == "census":
         from .experiments.census import below_bound_census
 
+        stats = {} if args.db else None
         rows = below_bound_census(
             kinds=args.kinds,
             sizes=args.sizes,
@@ -342,6 +548,8 @@ def _main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             processes=args.processes,
             shard_size=args.shard_size,
+            db=_open_db(args.db) if args.db else None,
+            stats=stats,
         )
         print(f"{'kind':>12} {'size':>6} {'bound':>6} {'found':>6} "
               f"{'below':>6} {'ruled<':>7} {'method':>11}")
@@ -352,7 +560,71 @@ def _main(argv: Optional[List[str]] = None) -> int:
             size = f"{r.n}x{r.n}"
             print(f"{r.kind:>12} {size:>6} {r.paper_bound:>6} "
                   f"{found:>6} {below:>6} {ruled:>7} {r.method:>11}")
+        if stats is not None:
+            # stderr keeps census stdout bitwise-identical across runs
+            print(
+                f"witness db {args.db}: {stats['cache_hits']}/{stats['cells']} "
+                f"cells from cache, {stats['witnesses_recorded']} new "
+                f"witness records",
+                file=sys.stderr,
+            )
         return 0
+
+    if args.command == "search":
+        from .core.search import exhaustive_dynamo_search, random_dynamo_search
+        from .rules import make_rule
+        from .topology.tori import make_torus as _make_torus
+
+        topo = _make_torus(args.kind, args.m, args.n)
+        rule = make_rule(args.rule, num_colors=args.colors)
+        db = _open_db(args.db) if args.db else None
+        if args.exhaustive:
+            out = exhaustive_dynamo_search(
+                topo,
+                args.seed_size,
+                args.colors,
+                k=args.target_color,
+                rule=rule,
+                monotone_only=args.monotone_only,
+                max_configs=args.max_configs,
+                batch_size=args.batch_size if args.batch_size is not None else 8192,
+                db=db,
+            )
+        else:
+            out = random_dynamo_search(
+                topo,
+                args.seed_size,
+                args.colors,
+                args.trials,
+                args.seed,
+                k=args.target_color,
+                rule=rule,
+                monotone_only=args.monotone_only,
+                batch_size=args.batch_size if args.batch_size is not None else 4096,
+                processes=args.processes,
+                shard_size=args.shard_size,
+                db=db,
+            )
+        mode = "exhaustive" if args.exhaustive else "random"
+        mono = sum(1 for _, m in out.witnesses if m)
+        head = (f"{mode} search on {args.kind} {args.m}x{args.n}, seed size "
+                f"{args.seed_size}, {args.colors} colors: ")
+        if out.cached:
+            total = (out.found_total if out.found_total is not None
+                     else len(out.witnesses))
+            print(f"{head}{total} witness(es) in {out.examined:,} "
+                  f"configurations (served from witness db; "
+                  f"{len(out.witnesses)} recorded, {mono} monotone)")
+        else:
+            print(f"{head}{len(out.witnesses)} witness(es) ({mono} monotone) "
+                  f"in {out.examined:,} configurations")
+        if out.witnesses and args.render:
+            cfg, _ = out.witnesses[0]
+            print(render_grid(topo, cfg, args.target_color))
+        return 0 if out.found_dynamo else 1
+
+    if args.command == "witness":
+        return _witness_main(args)
 
     if args.command == "diagonal":
         from .core.diagonal import diagonal_dynamo

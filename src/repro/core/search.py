@@ -20,11 +20,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import combinations, product
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..engine.batch import run_batch
+if TYPE_CHECKING:  # runtime import stays lazy: io.serialize imports core
+    from ..io.witnessdb import WitnessDB
+
+from ..engine.batch import DYNAMICS_VERSION, run_batch
 from ..engine.parallel import (
     build_topology,
     run_sharded,
@@ -56,6 +59,14 @@ class SearchOutcome:
     witnesses: List[Tuple[np.ndarray, bool]] = field(default_factory=list)
     #: True when the search covered every configuration of this size
     exhaustive: bool = False
+    #: True when the outcome was served from a witness database instead
+    #: of running the search (``examined``/``exhaustive`` restored from
+    #: the stored summary; the witness list holds the *recorded*
+    #: witnesses, which caps at ``_DB_RECORD_CAP`` per original search)
+    cached: bool = False
+    #: total witnesses the original search found, on cached outcomes
+    #: where the cap recorded only representatives (``None`` when fresh)
+    found_total: Optional[int] = None
 
     @property
     def found_dynamo(self) -> bool:
@@ -75,6 +86,127 @@ def count_configs(n_vertices: int, seed_size: int, num_colors: int) -> int:
     )
 
 
+#: witnesses recorded into a database per search call; searches can find
+#: thousands at easy sizes and the catalog wants representatives, not a
+#: dump (the total count lands in provenance as ``witnesses_found``)
+_DB_RECORD_CAP = 16
+
+
+def _db_cached_outcome(
+    db: Optional["WitnessDB"], definition: Optional[dict], seed_size: int
+) -> Optional[SearchOutcome]:
+    """Rebuild a SearchOutcome from a stored search summary.
+
+    Only *positive* outcomes are cached (a search that found nothing
+    records no summary), so a miss means "run the search", never "the
+    answer is no".  A summary whose witness rows are missing from the
+    store (hand-pruned file) is treated as a miss rather than served
+    incomplete.
+    """
+    if db is None or definition is None:
+        return None
+    summary = db.find_search(definition)
+    if summary is None:
+        return None
+    witnesses = []
+    for wid in summary.witness_ids:
+        record = db.get(wid)
+        if record is None:
+            return None
+        witnesses.append((record.colors_array(), record.monotone))
+    return SearchOutcome(
+        seed_size=seed_size,
+        examined=summary.examined,
+        witnesses=witnesses,
+        exhaustive=summary.exhaustive,
+        cached=True,
+        found_total=summary.witnesses_found,
+    )
+
+
+def _db_record_outcome(
+    db: Optional["WitnessDB"],
+    definition: Optional[dict],
+    spec,
+    rule: Rule,
+    num_colors: int,
+    k: int,
+    outcome: SearchOutcome,
+    method: str,
+    shard_of: Optional[List[int]] = None,
+) -> None:
+    """Persist a finished search: its witnesses (up to ``_DB_RECORD_CAP``)
+    and, when a definition identifies it, the summary the cache matches."""
+    if db is None or spec is None or not outcome.witnesses:
+        return
+    from .. import __version__
+    from ..io.serialize import WitnessRecord
+    from ..io.witnessdb import SearchRecord, rule_registry_name
+
+    kind, m, n = spec
+    indices = list(range(min(len(outcome.witnesses), _DB_RECORD_CAP)))
+    # keep a cache hit semantically truthful: found_monotone_dynamo on the
+    # reconstructed outcome must match the fresh one, so when the cap
+    # truncates, a monotone witness (if any exists) must survive it
+    if len(outcome.witnesses) > _DB_RECORD_CAP and not any(
+        outcome.witnesses[i][1] for i in indices
+    ):
+        first_mono = next(
+            (i for i, (_, mono) in enumerate(outcome.witnesses) if mono), None
+        )
+        if first_mono is not None:
+            indices[-1] = first_mono
+    # witnesses reference their search summary by id — the definition
+    # itself is stored once, on the SearchRecord the cache consults
+    summary_id = (
+        SearchRecord(definition=definition).id if definition is not None else None
+    )
+    recorded_ids: List[str] = []
+    for j in indices:
+        cfg, mono = outcome.witnesses[j]
+        provenance = {
+            "source": "search",
+            "examined": int(outcome.examined),
+            "exhaustive": bool(outcome.exhaustive),
+            "witnesses_found": len(outcome.witnesses),
+            "recorded": len(indices),
+            "engine": __version__,
+        }
+        if summary_id is not None:
+            provenance["search_id"] = summary_id
+        if shard_of is not None:
+            provenance["shard"] = int(shard_of[j])
+        record = WitnessRecord(
+            rule=rule_registry_name(rule, num_colors),
+            kind=kind,
+            m=m,
+            n=n,
+            colors=num_colors,
+            k=k,
+            seed_size=outcome.seed_size,
+            monotone=mono,
+            configuration=cfg,
+            method=method,
+            provenance=provenance,
+        )
+        db.add(record)
+        recorded_ids.append(record.id)
+    if definition is not None:
+        # the summary lists this definition's witnesses even when the
+        # configurations themselves were first appended by an earlier
+        # search (witness rows dedupe by id; summaries must not, or a
+        # cache hit would return an incomplete witness set)
+        db.add_search(
+            SearchRecord(
+                definition=definition,
+                witness_ids=recorded_ids,
+                examined=int(outcome.examined),
+                exhaustive=bool(outcome.exhaustive),
+                witnesses_found=len(outcome.witnesses),
+            )
+        )
+
+
 def exhaustive_dynamo_search(
     topo: Topology,
     seed_size: int,
@@ -87,6 +219,7 @@ def exhaustive_dynamo_search(
     batch_size: int = 8192,
     stop_at_first: bool = True,
     monotone_only: bool = False,
+    db: Optional["WitnessDB"] = None,
 ) -> SearchOutcome:
     """Enumerate every placement of an s-vertex k-seed together with every
     complement coloring over the remaining ``num_colors - 1`` colors.
@@ -96,6 +229,15 @@ def exhaustive_dynamo_search(
     defaults to the paper's SMP-Protocol; any
     :class:`~repro.rules.base.Rule` works (the batched engine falls back
     to a row loop for rules without a fast ``step_batch`` kernel).
+
+    ``db`` plugs in a :class:`~repro.io.witnessdb.WitnessDB`: before
+    enumerating, the store is consulted for witnesses recorded under an
+    identical search definition (same topology, rule, seed size,
+    palette, ``stop_at_first``/``monotone_only``/batch geometry) and a
+    hit returns immediately with ``cached=True``; after a fresh search,
+    every witness found (capped at ``_DB_RECORD_CAP``) is recorded with
+    full provenance.  Only registry tori participate — other topologies
+    silently skip the database.
     """
     rule = rule if rule is not None else SMPRule()
     if batch_size < 1:
@@ -109,6 +251,29 @@ def exhaustive_dynamo_search(
         )
     if max_rounds is None:
         max_rounds = 4 * n + 16
+    spec = topology_spec(topo) if db is not None else None
+    definition = None
+    if spec is not None:
+        from ..io.witnessdb import rule_registry_name
+
+        definition = {
+            "mode": "exhaustive",
+            "dynamics": DYNAMICS_VERSION,
+            "rule": rule_registry_name(rule, num_colors),
+            "kind": spec[0],
+            "m": spec[1],
+            "n": spec[2],
+            "seed_size": int(seed_size),
+            "colors": int(num_colors),
+            "k": int(k),
+            "monotone_only": bool(monotone_only),
+            "stop_at_first": bool(stop_at_first),
+            "batch_size": int(batch_size),
+            "max_rounds": int(max_rounds),
+        }
+        hit = _db_cached_outcome(db, definition, seed_size)
+        if hit is not None:
+            return hit
     others = [c for c in range(num_colors) if c != k][: num_colors - 1]
     outcome = SearchOutcome(seed_size=seed_size, examined=0, exhaustive=True)
 
@@ -152,11 +317,18 @@ def exhaustive_dynamo_search(
                     # is still complete when this batch happened to be the
                     # final one (total an exact multiple of batch_size)
                     outcome.exhaustive = outcome.examined == total
+                    _db_record_outcome(
+                        db, definition, spec, rule, num_colors, k, outcome,
+                        "exhaustive",
+                    )
                     return outcome
     # The enumeration loop completed, so every configuration was buffered
     # and this final flush examines the rest — the search is exhaustive
     # whether or not a witness lands in the last (or only) batch.
     flush()
+    _db_record_outcome(
+        db, definition, spec, rule, num_colors, k, outcome, "exhaustive"
+    )
     return outcome
 
 
@@ -170,11 +342,16 @@ def exhaustive_min_dynamo_size(
     monotone_only: bool = True,
     max_configs: int = 20_000_000,
     batch_size: int = 8192,
+    db: Optional["WitnessDB"] = None,
 ) -> Tuple[Optional[int], List[SearchOutcome]]:
     """Smallest seed size admitting a (monotone) k-dynamo, by exhaustion.
 
     Returns ``(size or None, per-size outcomes)``.  Sizes are tried in
-    increasing order so the first hit is the exact minimum.
+    increasing order so the first hit is the exact minimum.  ``db`` is
+    forwarded to every per-size :func:`exhaustive_dynamo_search`, so a
+    populated witness database short-circuits the sizes that previously
+    produced witnesses (witness-free sizes always re-run: absence is not
+    recorded).
     """
     n = topo.num_vertices
     cap = n if max_seed_size is None else min(max_seed_size, n)
@@ -189,6 +366,7 @@ def exhaustive_min_dynamo_size(
             monotone_only=monotone_only,
             max_configs=max_configs,
             batch_size=batch_size,
+            db=db,
         )
         outcomes.append(res)
         if res.found_dynamo:
@@ -314,6 +492,7 @@ def random_dynamo_search(
     monotone_only: bool = False,
     processes: Optional[int] = 0,
     shard_size: Optional[int] = None,
+    db: Optional["WitnessDB"] = None,
 ) -> SearchOutcome:
     """Monte-Carlo falsification: random seeds + random complements.
 
@@ -332,6 +511,17 @@ def random_dynamo_search(
     which are part of the experiment definition).  A ``Generator`` keeps
     the legacy single-stream sequential behaviour and cannot be sharded —
     combining one with ``processes > 0`` raises :class:`ValueError`.
+
+    ``db`` plugs in a :class:`~repro.io.witnessdb.WitnessDB`.  On the
+    deterministic seed-material path the store is consulted first: a
+    record whose search definition matches exactly (entropy words,
+    trials, seed size, palette, batch/shard geometry, rule) returns
+    immediately with ``cached=True`` and **skips the sharded pool
+    entirely**.  After a fresh search, witnesses are recorded with their
+    originating shard index in provenance.  Generator-path witnesses are
+    recorded too (they are replayable even though the stream is not
+    reconstructible), but never consulted.  Searches that find nothing
+    record nothing and therefore always re-run.
     """
     rule = rule if rule is not None else SMPRule()
     if batch_size < 1:
@@ -344,6 +534,7 @@ def random_dynamo_search(
     outcome = SearchOutcome(seed_size=seed_size, examined=0, exhaustive=False)
 
     entropy = _seed_entropy(rng)
+    spec = topology_spec(topo)
     if entropy is None:
         if nproc is None or nproc > 0:
             raise ValueError(
@@ -358,9 +549,36 @@ def random_dynamo_search(
             )
         )
         outcome.examined = trials
+        _db_record_outcome(
+            db, None, spec, rule, num_colors, k, outcome, "random"
+        )
         return outcome
 
-    spec = topology_spec(topo)
+    definition = None
+    if db is not None and spec is not None:
+        from ..io.witnessdb import rule_registry_name
+
+        definition = {
+            "mode": "random",
+            "dynamics": DYNAMICS_VERSION,
+            "rule": rule_registry_name(rule, num_colors),
+            "kind": spec[0],
+            "m": spec[1],
+            "n": spec[2],
+            "entropy": [int(x) for x in entropy],
+            "trials": int(trials),
+            "seed_size": int(seed_size),
+            "colors": int(num_colors),
+            "k": int(k),
+            "monotone_only": bool(monotone_only),
+            "batch_size": int(batch_size),
+            "shard_size": int(shard_size if shard_size is not None else batch_size),
+            "max_rounds": int(max_rounds),
+        }
+        hit = _db_cached_outcome(db, definition, seed_size)
+        if hit is not None:
+            return hit
+
     counts = shard_counts(trials, shard_size if shard_size is not None else batch_size)
     shards = [
         (
@@ -379,7 +597,15 @@ def random_dynamo_search(
         )
         for i, count in enumerate(counts)
     ]
-    for partial in run_sharded(_random_search_shard, shards, processes=nproc):
+    shard_of: List[int] = []
+    for i, partial in enumerate(
+        run_sharded(_random_search_shard, shards, processes=nproc)
+    ):
         outcome.witnesses.extend(partial)
+        shard_of.extend([i] * len(partial))
     outcome.examined = trials
+    _db_record_outcome(
+        db, definition, spec, rule, num_colors, k, outcome, "random",
+        shard_of=shard_of,
+    )
     return outcome

@@ -41,7 +41,16 @@ from ..topology.base import Topology
 from .result import RunResult
 from .runner import default_round_cap, parse_frozen
 
-__all__ = ["BatchRunResult", "run_batch", "as_color_batch"]
+__all__ = ["BatchRunResult", "DYNAMICS_VERSION", "run_batch", "as_color_batch"]
+
+#: version of the *observable dynamics* (rule kernels + engine update
+#: semantics).  Bump whenever a change alters what any configuration
+#: converges to — witness-database cache definitions embed this value,
+#: so bumping it invalidates every cached search/census cell and forces
+#: recomputation under the new dynamics (stored witnesses stay and are
+#: re-checked by ``witness verify``).  Pure performance work that keeps
+#: the engine-parity tests bitwise-green does not bump it.
+DYNAMICS_VERSION = 1
 
 
 def as_color_batch(batch: Sequence | np.ndarray, num_vertices: int) -> np.ndarray:

@@ -63,6 +63,19 @@ def validate_processes(
     calling process; positive integers give the pool size.  Anything
     else raises :class:`ValueError` with a clear message instead of
     reaching ``multiprocessing.Pool`` (whose own complaint is opaque).
+
+    Parameters
+    ----------
+    processes:
+        The raw value from a caller or CLI flag.
+    flag:
+        Name used in the error message (e.g. ``"--processes"``), so the
+        complaint points at what the user actually typed.
+
+    Returns
+    -------
+    ``None`` unchanged, or the count as a plain ``int``; never a numpy
+    scalar, so downstream pickling and equality checks are exact.
     """
     if processes is None:
         return None
@@ -83,7 +96,20 @@ def validate_processes(
 def resolve_processes(
     processes: Optional[int], num_units: int, *, flag: str = "processes"
 ) -> int:
-    """Effective pool size for ``num_units`` shards (``<= 1`` means inline)."""
+    """Effective pool size for ``num_units`` shards.
+
+    Parameters
+    ----------
+    processes:
+        As accepted by :func:`validate_processes` (``None`` = per-core).
+    num_units:
+        Number of shards available; the pool is never larger than this.
+
+    Returns
+    -------
+    The worker count :func:`run_sharded` would actually use; a value
+    ``<= 1`` means the workload runs inline without a pool.
+    """
     p = validate_processes(processes, flag=flag)
     if p is None:
         p = mp.cpu_count()
@@ -103,12 +129,33 @@ def run_sharded(
     Partials come back **in shard order** regardless of which process ran
     which shard, so a worker whose output depends only on its shard
     description produces bitwise-identical reductions at any process
-    count.  ``worker`` must be a module-level callable and each shard a
-    small picklable value; workers rebuild anything large locally.
+    count — this ordering guarantee plus coordinate-derived shard RNGs
+    (:func:`shard_seed`) is the whole determinism contract.
 
     ``processes=0`` (or an effective pool of one, or a single shard)
     short-circuits to an inline loop — same code path as the pool
     workers, no pickling.
+
+    Parameters
+    ----------
+    worker:
+        A **module-level** callable (pool workers import it by qualified
+        name; closures and lambdas cannot cross the process boundary).
+    shards:
+        Small picklable values fully describing each work unit; workers
+        rebuild anything large (topologies, rule state) locally.
+    processes:
+        Pool size per :func:`validate_processes`.
+    chunksize:
+        Shards handed to a worker per pool dispatch; defaults to
+        ``len(shards) / (4 * pool)`` so stragglers rebalance.
+    flag:
+        Flag name used in validation errors.
+
+    Returns
+    -------
+    ``[worker(shard) for shard in shards]`` — exactly, whatever the
+    process count.
     """
     units = list(shards)
     nproc = resolve_processes(processes, len(units), flag=flag)
@@ -127,6 +174,15 @@ def shard_counts(total: int, shard_size: int) -> List[int]:
     """Split ``total`` work items into contiguous shards of ``shard_size``.
 
     The trailing shard carries the remainder; ``sum == total`` always.
+    Raises :class:`ValueError` for negative totals or a non-positive
+    shard size.
+
+    Returns
+    -------
+    A list of per-shard item counts, e.g. ``shard_counts(10, 4) ==
+    [4, 4, 2]``.  Shard *geometry* is part of an experiment's
+    definition: results are identical at any process count but differ
+    across ``shard_size`` values (each shard draws its own RNG stream).
     """
     if total < 0:
         raise ValueError(f"total must be >= 0, got {total}")
@@ -137,7 +193,12 @@ def shard_counts(total: int, shard_size: int) -> List[int]:
 
 
 def kind_tag(kind: str) -> int:
-    """Stable 32-bit tag of a topology-kind name, used as RNG seed material."""
+    """Stable 32-bit tag of a topology-kind name, used as RNG seed material.
+
+    The first four bytes of the name, little-endian — a pure function of
+    the string, stable across processes, platforms, and releases, which
+    is what lets seeds derived from it reproduce forever.
+    """
     return int.from_bytes(kind.encode()[:4].ljust(4, b"\0"), "little")
 
 
@@ -149,6 +210,21 @@ def shard_seed(
     Derived from the shard's *coordinates*, never from execution order,
     so any process count — and any assignment of shards to workers —
     draws exactly the same streams.
+
+    Parameters
+    ----------
+    seed:
+        The experiment's root seed.
+    kind, m, n:
+        The grid point's topology coordinates (kind via
+        :func:`kind_tag`).
+    shard:
+        The shard index within the grid point.
+
+    Returns
+    -------
+    ``SeedSequence([seed, kind_tag(kind), m, n, shard])`` — feed it to
+    ``numpy.random.default_rng``.
     """
     return np.random.SeedSequence(
         [int(seed), kind_tag(kind), int(m), int(n), int(shard)]
@@ -160,7 +236,14 @@ def topology_spec(topo: Topology) -> Optional[TopologySpec]:
 
     Shards carry this instead of the topology object so pool workers
     rebuild the neighbor table locally.  Non-torus topologies return
-    ``None`` and are pickled as-is by callers that support them.
+    ``None`` and are pickled as-is by callers that support them; the
+    witness database uses the same ``None`` signal to skip topologies it
+    cannot re-identify.
+
+    Returns
+    -------
+    ``(kind, m, n)`` for an exact registry-torus instance (subclasses
+    deliberately excluded — their dynamics may differ), else ``None``.
     """
     for name, cls in TORUS_CLASSES.items():
         if type(topo) is cls:
@@ -171,7 +254,23 @@ def topology_spec(topo: Topology) -> Optional[TopologySpec]:
 def build_topology(
     spec: Optional[TopologySpec], fallback: Optional[Topology] = None
 ) -> Topology:
-    """Rebuild a topology from :func:`topology_spec` output (worker side)."""
+    """Rebuild a topology from :func:`topology_spec` output (worker side).
+
+    Parameters
+    ----------
+    spec:
+        A ``(kind, m, n)`` tuple, or ``None`` for non-registry
+        topologies.
+    fallback:
+        The topology object to use when ``spec`` is ``None`` (callers
+        that pickled it into the shard); a ``None`` spec without a
+        fallback raises :class:`ValueError`.
+
+    Returns
+    -------
+    A freshly constructed torus (neighbor tables built locally in the
+    worker), or ``fallback`` unchanged.
+    """
     if spec is None:
         if fallback is None:
             raise ValueError("no topology spec and no fallback topology")

@@ -14,18 +14,31 @@ streams derived from shard coordinates, so the census is
 **bitwise-identical at any process count** (it does depend on ``seed``,
 ``shard_size`` and ``batch_size``, which are part of the experiment
 definition).
+
+Witness persistence: pass ``db`` (a
+:class:`~repro.io.witnessdb.WitnessDB` or a path) and every cell records
+its winning witness configuration *and* a ``census-cell`` summary keyed
+by the experiment definition.  On a re-run with the same definition the
+cell is served from the store — the sharded pool never spins up — and
+because the stored row is the bitwise row the fresh run would produce,
+cached and fresh censuses are indistinguishable in output.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from ..core.bounds import lower_bound
 from ..core.diagonal import diagonal_dynamo
 from ..core.search import exhaustive_min_dynamo_size, random_dynamo_search
 from ..core.verify import is_monotone_dynamo
+from ..engine.batch import DYNAMICS_VERSION
 from ..engine.parallel import kind_tag, validate_processes
+from ..io.witnessdb import CensusCellRecord, WitnessDB
 from ..topology.base import Topology
 from ..topology.tori import make_torus
 
@@ -35,6 +48,10 @@ __all__ = ["CensusRow", "below_bound_census"]
 #: than the constructions' palettes because more colors only make small
 #: dynamos easier — the audit wants the strongest counterexample hunt.
 _RANDOM_PALETTE = 5
+
+#: palette size of the 3x3 exhaustive minimum (3 colors suffice there and
+#: keep the full enumeration tractable)
+_EXHAUSTIVE_PALETTE = 3
 
 
 @dataclass
@@ -63,6 +80,11 @@ class CensusRow:
         return self.certified_size < self.paper_bound
 
 
+#: a cell's winning witness, threaded out of the search branches for
+#: recording: (row-major configuration, palette size, target color)
+_CellWitness = Optional[Tuple[np.ndarray, int, int]]
+
+
 def _random_floor_scan(
     topo: Topology,
     start_size: int,
@@ -72,17 +94,20 @@ def _random_floor_scan(
     batch_size: int,
     processes: Optional[int],
     shard_size: Optional[int],
-) -> Tuple[Optional[int], Optional[int]]:
+    db: Optional[WitnessDB] = None,
+) -> Tuple[Optional[int], Optional[int], _CellWitness]:
     """Scan seed sizes downward from ``start_size`` by random search.
 
-    Returns ``(best, ruled_out_below)``: the smallest size in the
-    consecutive witness run starting at ``start_size`` (``None`` when
-    even ``start_size`` yields no witness), and one more than the size
+    Returns ``(best, ruled_out_below, witness)``: the smallest size in
+    the consecutive witness run starting at ``start_size`` (``None``
+    when even ``start_size`` yields no witness), one more than the size
     the scan stopped at without a witness (``None`` when every size down
-    to 3 produced one — nothing was ruled out).  Each size draws from
-    its own ``SeedSequence([*entropy_base, seed_size])`` root.
+    to 3 produced one — nothing was ruled out), and the first monotone
+    witness found at the best size (for recording).  Each size draws
+    from its own ``SeedSequence([*entropy_base, seed_size])`` root.
     """
     best: Optional[int] = None
+    witness: _CellWitness = None
     for s in range(start_size, 2, -1):
         out = random_dynamo_search(
             topo,
@@ -94,12 +119,25 @@ def _random_floor_scan(
             batch_size=batch_size,
             processes=processes,
             shard_size=shard_size,
+            db=db,
         )
         if out.found_monotone_dynamo:
             best = s
+            cfg = next(c for c, mono in out.witnesses if mono)
+            witness = (cfg, _RANDOM_PALETTE, 0)
         else:
-            return best, s + 1
-    return best, None
+            return best, s + 1, witness
+    return best, None, witness
+
+
+def _open_db(db: Union[WitnessDB, str, Path, None]) -> Optional[WitnessDB]:
+    if db is None or isinstance(db, WitnessDB):
+        return db
+    return WitnessDB(db)
+
+
+def _row_from_cell(cell: CensusCellRecord) -> CensusRow:
+    return CensusRow(**cell.row)
 
 
 def below_bound_census(
@@ -111,6 +149,8 @@ def below_bound_census(
     seed: int = 0xBEEF,
     processes: Optional[int] = 0,
     shard_size: Optional[int] = None,
+    db: Union[WitnessDB, str, Path, None] = None,
+    stats: Optional[dict] = None,
 ) -> List[CensusRow]:
     """Run the audit; every returned witness size is re-verified.
 
@@ -119,32 +159,67 @@ def below_bound_census(
     and the random searches; ``processes``/``shard_size`` shard the
     random-search trials across a worker pool (``processes=0`` runs
     inline, ``None`` uses every core) without changing any result.
+
+    ``db`` (a :class:`~repro.io.witnessdb.WitnessDB` or a path to one)
+    enables the witness cache: each ``(kind, n)`` cell whose experiment
+    definition — ``seed``, ``random_trials``, ``batch_size``,
+    ``shard_size``, plus the module's search palettes — matches a
+    stored ``census-cell`` record is served
+    from the store without running any search, and freshly computed
+    cells store their witness and summary on the way out.  ``stats``
+    (an optional dict, mutated in place) reports ``cells``,
+    ``cache_hits``, and ``witnesses_recorded``.
     """
     validate_processes(processes)
+    store = _open_db(db)
+    witnesses_before = len(store) if store is not None else 0
+    definition = {
+        "experiment": "below-bound-census",
+        "dynamics": DYNAMICS_VERSION,
+        "seed": int(seed),
+        "trials": int(random_trials),
+        "batch_size": int(batch_size),
+        "shard_size": None if shard_size is None else int(shard_size),
+        # not parameters, but part of the outcome's identity: a cached
+        # cell must not survive a change to the scan's palettes
+        "palette": _RANDOM_PALETTE,
+        "exhaustive_colors": _EXHAUSTIVE_PALETTE,
+    }
+    cache_hits = 0
     rows: List[CensusRow] = []
     for kind in kinds:
         for n in sizes:
+            if store is not None:
+                cell = store.find_cell(kind, n, definition)
+                if cell is not None:
+                    rows.append(_row_from_cell(cell))
+                    cache_hits += 1
+                    continue
             bound = lower_bound(kind, n, n)
             cell_entropy = (int(seed), kind_tag(kind), int(n))
+            witness: _CellWitness = None
             if n == 3:
                 topo = make_torus(kind, 3, 3)
                 size, outcomes = exhaustive_min_dynamo_size(
                     topo,
-                    num_colors=3,
+                    num_colors=_EXHAUSTIVE_PALETTE,
                     monotone_only=True,
                     max_seed_size=bound,
                     batch_size=batch_size,
+                    db=store,
                 )
-                rows.append(
-                    CensusRow(
-                        kind=kind,
-                        n=n,
-                        paper_bound=bound,
-                        certified_size=size,
-                        method="exhaustive",
-                        ruled_out_below=size,
-                    )
+                if size is not None:
+                    witness = (outcomes[-1].witnesses[0][0], _EXHAUSTIVE_PALETTE, 0)
+                row = CensusRow(
+                    kind=kind,
+                    n=n,
+                    paper_bound=bound,
+                    certified_size=size,
+                    method="exhaustive",
+                    ruled_out_below=size,
                 )
+                rows.append(row)
+                _record_cell(store, definition, row, witness)
                 continue
             # diagonal family first (cheap for cached mesh sizes)
             con = diagonal_dynamo(
@@ -154,7 +229,7 @@ def below_bound_census(
                 # probe below the diagonal witness so the row records how
                 # far the audit actually looked (and catches any smaller
                 # random witness the diagonal family misses)
-                below, ruled_out = _random_floor_scan(
+                below, ruled_out, probe_witness = _random_floor_scan(
                     con.topo,
                     con.seed_size - 1,
                     random_trials,
@@ -162,21 +237,26 @@ def below_bound_census(
                     batch_size=batch_size,
                     processes=processes,
                     shard_size=shard_size,
+                    db=store,
                 )
-                rows.append(
-                    CensusRow(
-                        kind=kind,
-                        n=n,
-                        paper_bound=bound,
-                        certified_size=below if below is not None else con.seed_size,
-                        method="diagonal" if below is None else "random",
-                        ruled_out_below=ruled_out,
-                    )
+                if below is not None:
+                    witness = probe_witness
+                else:
+                    witness = (con.colors, con.num_colors, con.k)
+                row = CensusRow(
+                    kind=kind,
+                    n=n,
+                    paper_bound=bound,
+                    certified_size=below if below is not None else con.seed_size,
+                    method="diagonal" if below is None else "random",
+                    ruled_out_below=ruled_out,
                 )
+                rows.append(row)
+                _record_cell(store, definition, row, witness)
                 continue
             # fall back to random search just below the bound
             topo = make_torus(kind, n, n)
-            best, ruled_out = _random_floor_scan(
+            best, ruled_out, witness = _random_floor_scan(
                 topo,
                 bound - 1,
                 random_trials,
@@ -184,15 +264,70 @@ def below_bound_census(
                 batch_size=batch_size,
                 processes=processes,
                 shard_size=shard_size,
+                db=store,
             )
-            rows.append(
-                CensusRow(
-                    kind=kind,
-                    n=n,
-                    paper_bound=bound,
-                    certified_size=best,
-                    method="random",
-                    ruled_out_below=ruled_out,
-                )
+            row = CensusRow(
+                kind=kind,
+                n=n,
+                paper_bound=bound,
+                certified_size=best,
+                method="random",
+                ruled_out_below=ruled_out,
             )
+            rows.append(row)
+            _record_cell(store, definition, row, witness)
+    if stats is not None:
+        # count actual store growth: the searches themselves append
+        # witnesses beyond the one-per-cell the census links to its row
+        recorded = (len(store) - witnesses_before) if store is not None else 0
+        stats.update(
+            cells=len(rows), cache_hits=cache_hits, witnesses_recorded=recorded
+        )
     return rows
+
+
+def _record_cell(
+    store: Optional[WitnessDB],
+    definition: dict,
+    row: CensusRow,
+    witness: _CellWitness,
+) -> None:
+    """Persist one freshly computed cell: its witness (when the searches
+    have not already recorded it) and the census-cell summary."""
+    if store is None:
+        return
+    from .. import __version__
+    from ..io.serialize import WitnessRecord
+
+    witness_id = None
+    if witness is not None and row.certified_size is not None:
+        cfg, palette, k = witness
+        record = WitnessRecord(
+            rule="smp",
+            kind=row.kind,
+            m=row.n,
+            n=row.n,
+            colors=palette,
+            k=k,
+            seed_size=row.certified_size,
+            monotone=True,
+            configuration=cfg,
+            method=row.method,
+            provenance={
+                "source": "census",
+                "census": definition,
+                "paper_bound": row.paper_bound,
+                "engine": __version__,
+            },
+        )
+        store.add(record)
+        witness_id = record.id
+    store.add_cell(
+        CensusCellRecord(
+            kind=row.kind,
+            n=row.n,
+            definition=definition,
+            row=asdict(row),
+            witness_id=witness_id,
+        )
+    )

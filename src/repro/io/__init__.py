@@ -1,11 +1,24 @@
-"""Serialization of configurations and run results."""
+"""Serialization of configurations, run results, and the witness store."""
 
 from .serialize import (
+    WITNESS_SCHEMA,
+    WitnessFormatError,
+    WitnessRecord,
     construction_to_dict,
     load_configuration,
     load_run,
     save_configuration,
     save_run,
+    witness_from_dict,
+    witness_id,
+    witness_to_dict,
+)
+from .witnessdb import (
+    CensusCellRecord,
+    WitnessDB,
+    WitnessVerification,
+    rule_registry_name,
+    verify_witness,
 )
 
 __all__ = [
@@ -14,4 +27,15 @@ __all__ = [
     "save_run",
     "load_run",
     "construction_to_dict",
+    "WITNESS_SCHEMA",
+    "WitnessFormatError",
+    "WitnessRecord",
+    "witness_id",
+    "witness_to_dict",
+    "witness_from_dict",
+    "CensusCellRecord",
+    "WitnessDB",
+    "WitnessVerification",
+    "rule_registry_name",
+    "verify_witness",
 ]

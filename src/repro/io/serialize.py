@@ -1,14 +1,35 @@
-"""JSON serialization of configurations, constructions, and runs.
+"""JSON serialization of configurations, constructions, runs, and witnesses.
 
 Formats are deliberately plain: a configuration file is a JSON object with
 the torus kind/size, the target color, and the row-major color list, so
 artifacts are diffable and readable in a code review.  Runs additionally
 store the result fields and (optionally) the trajectory.
+
+Witness records — the minimal dynamo configurations discovered by the
+census/search drivers — serialize through :class:`WitnessRecord` /
+:func:`witness_to_dict` / :func:`witness_from_dict`.  The on-disk schema
+is versioned (``schema`` field, currently :data:`WITNESS_SCHEMA`);
+:func:`witness_from_dict` upgrades legacy ``save_configuration``-style
+payloads in place and raises :class:`WitnessFormatError` on anything it
+cannot make sense of, so the append-only store in
+:mod:`repro.io.witnessdb` can skip corrupted lines without aborting a
+load.
+
+Schema guarantees
+-----------------
+* every value is a plain JSON type (no numpy scalars leak to disk);
+* ``witness_from_dict(witness_to_dict(r))`` is the identity on every
+  field, including the row-major ``configuration`` tuple (bitwise
+  round-trip — covered by ``tests/test_io_witnessdb.py``);
+* records from a *newer* schema than this build understands are rejected
+  (refuse-don't-guess), records from older builds are upgraded.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Tuple, Union
 
@@ -25,9 +46,19 @@ __all__ = [
     "save_run",
     "load_run",
     "construction_to_dict",
+    "WITNESS_SCHEMA",
+    "WitnessFormatError",
+    "WitnessRecord",
+    "witness_id",
+    "witness_to_dict",
+    "witness_from_dict",
 ]
 
 PathLike = Union[str, Path]
+
+#: current on-disk schema version of witness records; bump when the field
+#: set changes and teach :func:`witness_from_dict` to upgrade the old one
+WITNESS_SCHEMA = 1
 
 _KIND_BY_CLASS = {
     "ToroidalMesh": "mesh",
@@ -52,7 +83,24 @@ def save_configuration(
     k: Optional[int] = None,
     **metadata,
 ) -> None:
-    """Write a coloring (and optional metadata) as JSON."""
+    """Write a coloring (and optional metadata) as JSON.
+
+    Parameters
+    ----------
+    path:
+        Destination file; overwritten if present.
+    topo:
+        One of the three registry tori (:class:`ValueError` otherwise —
+        the file stores only ``(kind, m, n)``, so arbitrary topologies
+        cannot round-trip).
+    colors:
+        Row-major color vector of length ``topo.num_vertices``.
+    k:
+        Target color to store alongside the coloring (``None`` when the
+        configuration has no distinguished color).
+    **metadata:
+        Extra JSON-serializable fields stored under ``"metadata"``.
+    """
     payload = {
         "kind": _kind_of(topo),
         "m": topo.m,
@@ -65,7 +113,15 @@ def save_configuration(
 
 
 def load_configuration(path: PathLike) -> Tuple[GridTopology, np.ndarray, Optional[int]]:
-    """Read a configuration back: ``(topology, colors, k)``."""
+    """Read a configuration back.
+
+    Returns
+    -------
+    ``(topology, colors, k)`` — the rebuilt torus, the ``int32`` color
+    vector, and the stored target color (``None`` when absent).  Raises
+    :class:`ValueError` when the color list length disagrees with the
+    stored torus size.
+    """
     payload = json.loads(Path(path).read_text())
     topo = make_torus(payload["kind"], payload["m"], payload["n"])
     colors = np.asarray(payload["colors"], dtype=np.int32)
@@ -79,7 +135,12 @@ def load_configuration(path: PathLike) -> Tuple[GridTopology, np.ndarray, Option
 
 
 def construction_to_dict(con: Construction) -> dict:
-    """Plain-dict view of a construction (for JSON or reporting)."""
+    """Plain-dict view of a construction (for JSON or reporting).
+
+    Every value is a built-in Python type, so the result passes
+    ``json.dumps`` unchanged; the seed is stored as the sorted list of
+    seed vertex indices, not the boolean mask.
+    """
     return {
         "kind": _kind_of(con.topo),
         "m": con.topo.m,
@@ -98,7 +159,19 @@ def construction_to_dict(con: Construction) -> dict:
 
 
 def save_run(path: PathLike, result: RunResult, include_trajectory: bool = False) -> None:
-    """Write a run result as JSON."""
+    """Write a run result as JSON.
+
+    Parameters
+    ----------
+    path:
+        Destination file; overwritten if present.
+    result:
+        A scalar-engine :class:`~repro.engine.result.RunResult`.
+    include_trajectory:
+        Store every intermediate state (large: ``rounds x N`` ints).
+        When ``False`` the file stores ``"trajectory": null`` and
+        :func:`load_run` restores an empty trajectory list.
+    """
     payload = {
         "final": result.final.astype(int).tolist(),
         "rounds": result.rounds,
@@ -119,7 +192,12 @@ def save_run(path: PathLike, result: RunResult, include_trajectory: bool = False
 
 
 def load_run(path: PathLike) -> RunResult:
-    """Read a run result back (trajectory restored when present)."""
+    """Read a run result back.
+
+    Returns a :class:`~repro.engine.result.RunResult` with the trajectory
+    restored when the file stored one (``first_change`` is not
+    serialized and always loads as ``None``).
+    """
     payload = json.loads(Path(path).read_text())
     return RunResult(
         final=np.asarray(payload["final"], dtype=np.int32),
@@ -139,3 +217,241 @@ def load_run(path: PathLike) -> RunResult:
         if payload.get("trajectory")
         else [],
     )
+
+
+# ----------------------------------------------------------------------
+# witness records
+# ----------------------------------------------------------------------
+class WitnessFormatError(ValueError):
+    """A serialized witness record is corrupted or from an unknown schema."""
+
+
+def witness_id(
+    rule: str, kind: str, m: int, n: int, colors: int, k: int, configuration
+) -> str:
+    """Deterministic 12-hex-digit identity of a witness.
+
+    Hashes the *identity* fields only — the key ``(rule, kind, m, n,
+    colors)``, the target color, and the exact configuration — never the
+    provenance or verification status, so re-discovering the same witness
+    through a different search maps to the same id and the append-only
+    store can deduplicate/supersede by id.
+    """
+    identity = json.dumps(
+        [str(rule), str(kind), int(m), int(n), int(colors), int(k),
+         [int(c) for c in configuration]],
+        separators=(",", ":"),
+    )
+    return hashlib.sha1(identity.encode()).hexdigest()[:12]
+
+
+@dataclass
+class WitnessRecord:
+    """One witness: a dynamo configuration plus provenance.
+
+    The in-memory row of ``results/witnesses.jsonl``.  Identity (the
+    store key) is ``(rule, kind, m, n, colors)`` plus the configuration;
+    everything else is provenance or status.
+    """
+
+    #: recoloring rule, by registry name (``"smp"``, ``"majority"``, ...)
+    rule: str
+    #: torus kind: ``"mesh"`` / ``"cordalis"`` / ``"serpentinus"``
+    kind: str
+    m: int
+    n: int
+    #: palette size the witness was searched under
+    colors: int
+    #: target color of the dynamo
+    k: int
+    #: number of seed (color-``k``) vertices in the configuration
+    seed_size: int
+    #: the witness was monotone w.r.t. ``k`` when discovered
+    monotone: bool
+    #: row-major initial coloring, length ``m * n``
+    configuration: Tuple[int, ...]
+    #: how it was found: ``"exhaustive"`` / ``"random"`` / ``"diagonal"`` /
+    #: ``"legacy"`` / ``"manual"``
+    method: str = "manual"
+    #: free-form discovery context: RNG entropy words, shard index, trial
+    #: counts, engine version, the exact search definition (used by the
+    #: consult-before-recompute cache), ...
+    provenance: dict = field(default_factory=dict)
+    #: stamped by :func:`repro.io.witnessdb.verify_witness` replay
+    verified: bool = False
+    schema: int = WITNESS_SCHEMA
+    #: deterministic identity hash; computed when left empty
+    id: str = ""
+
+    def __post_init__(self):
+        self.configuration = tuple(int(c) for c in self.configuration)
+        self.m, self.n = int(self.m), int(self.n)
+        self.colors, self.k = int(self.colors), int(self.k)
+        self.seed_size = int(self.seed_size)
+        self.monotone = bool(self.monotone)
+        self.verified = bool(self.verified)
+        if not self.id:
+            self.id = witness_id(
+                self.rule, self.kind, self.m, self.n, self.colors, self.k,
+                self.configuration,
+            )
+
+    @property
+    def key(self) -> Tuple[str, str, int, int, int]:
+        """The store's index key: ``(rule, kind, m, n, colors)``."""
+        return (self.rule, self.kind, self.m, self.n, self.colors)
+
+    def colors_array(self) -> np.ndarray:
+        """The configuration as the engine's ``int32`` vector."""
+        return np.asarray(self.configuration, dtype=np.int32)
+
+
+def witness_to_dict(record: WitnessRecord) -> dict:
+    """Serialize a witness record to its JSON-line payload.
+
+    Returns a dict of plain JSON types tagged ``"type": "witness"``;
+    :func:`witness_from_dict` inverts it exactly.
+    """
+    return {
+        "type": "witness",
+        "schema": int(record.schema),
+        "id": record.id,
+        "rule": record.rule,
+        "kind": record.kind,
+        "m": record.m,
+        "n": record.n,
+        "colors": record.colors,
+        "k": record.k,
+        "seed_size": record.seed_size,
+        "monotone": record.monotone,
+        "configuration": list(record.configuration),
+        "method": record.method,
+        "provenance": record.provenance,
+        "verified": record.verified,
+    }
+
+
+_REQUIRED_WITNESS_FIELDS = (
+    "rule", "kind", "m", "n", "colors", "k", "seed_size", "monotone",
+    "configuration",
+)
+
+
+def witness_from_dict(payload) -> WitnessRecord:
+    """Deserialize (and validate) one witness payload.
+
+    Accepts the current schema and upgrades *legacy* payloads — the
+    ``save_configuration`` layout ``{kind, m, n, k, colors: [...]}`` that
+    predates the witness store — into schema-current records with
+    ``method="legacy"`` (seed size recovered as the count of ``k``-colored
+    vertices, palette as the number of distinct colors, rule assumed
+    ``"smp"``, ``monotone``/``verified`` conservatively ``False``).
+
+    Raises
+    ------
+    WitnessFormatError
+        On non-dict payloads, records from a newer schema, missing
+        fields, a configuration whose length disagrees with ``m * n``,
+        negative colors, or a stored ``seed_size`` that contradicts the
+        configuration.
+    """
+    if not isinstance(payload, dict):
+        raise WitnessFormatError(f"witness payload must be an object, got {type(payload).__name__}")
+    if "schema" in payload or payload.get("type") == "witness":
+        schema = payload.get("schema")
+        if not isinstance(schema, int) or schema < 1:
+            raise WitnessFormatError(f"bad schema field {schema!r}")
+        if schema > WITNESS_SCHEMA:
+            raise WitnessFormatError(
+                f"record schema {schema} is newer than this build's "
+                f"{WITNESS_SCHEMA}; upgrade the package to read it"
+            )
+        missing = [f for f in _REQUIRED_WITNESS_FIELDS if f not in payload]
+        if missing:
+            raise WitnessFormatError(f"witness record missing fields {missing}")
+        record = _build_record(
+            payload,
+            configuration=payload["configuration"],
+            num_colors=payload["colors"],
+            method=str(payload.get("method", "manual")),
+            rule=str(payload["rule"]),
+            monotone=payload["monotone"],
+            provenance=payload.get("provenance") or {},
+            verified=bool(payload.get("verified", False)),
+            seed_size=payload["seed_size"],
+            stored_id=payload.get("id", ""),
+        )
+        return record
+    # legacy: a save_configuration payload (no schema tag)
+    if all(f in payload for f in ("kind", "m", "n", "colors")) and isinstance(
+        payload["colors"], list
+    ):
+        k = payload.get("k")
+        if k is None:
+            raise WitnessFormatError("legacy configuration has no target color")
+        configuration = payload["colors"]
+        meta = payload.get("metadata") or {}
+        return _build_record(
+            payload,
+            configuration=configuration,
+            num_colors=len({int(c) for c in configuration} | {int(k)}),
+            method="legacy",
+            rule="smp",
+            monotone=False,
+            provenance={"source": "legacy", "metadata": meta},
+            verified=False,
+            seed_size=None,
+            stored_id="",
+        )
+    raise WitnessFormatError(
+        "payload is neither a witness record nor a legacy configuration"
+    )
+
+
+def _build_record(
+    payload, *, configuration, num_colors, method, rule, monotone,
+    provenance, verified, seed_size, stored_id,
+) -> WitnessRecord:
+    """Shared validation tail of :func:`witness_from_dict`."""
+    try:
+        m, n, k = int(payload["m"]), int(payload["n"]), int(payload["k"])
+        config = tuple(int(c) for c in configuration)
+        colors = int(num_colors)
+    except (TypeError, ValueError, KeyError) as exc:
+        raise WitnessFormatError(f"malformed witness fields: {exc}") from None
+    if len(config) != m * n:
+        raise WitnessFormatError(
+            f"configuration has {len(config)} entries for a {m}x{n} torus"
+        )
+    if any(c < 0 for c in config):
+        raise WitnessFormatError("configuration colors must be non-negative")
+    actual_seed = sum(c == k for c in config)
+    if seed_size is None:
+        seed_size = actual_seed
+    elif int(seed_size) != actual_seed:
+        raise WitnessFormatError(
+            f"stored seed_size {seed_size} contradicts the configuration "
+            f"({actual_seed} vertices of color {k})"
+        )
+    if not isinstance(provenance, dict):
+        raise WitnessFormatError("provenance must be an object")
+    record = WitnessRecord(
+        rule=rule,
+        kind=str(payload["kind"]),
+        m=m,
+        n=n,
+        colors=colors,
+        k=k,
+        seed_size=int(seed_size),
+        monotone=bool(monotone),
+        configuration=config,
+        method=method,
+        provenance=provenance,
+        verified=verified,
+    )
+    if stored_id and stored_id != record.id:
+        raise WitnessFormatError(
+            f"stored id {stored_id!r} does not match the identity hash "
+            f"{record.id!r} (tampered or truncated record)"
+        )
+    return record

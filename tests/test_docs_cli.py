@@ -1,0 +1,74 @@
+"""Docs stay honest: every documented CLI invocation must parse.
+
+Runs the same checker CI uses (``tools/check_docs_cli.py``) over
+README.md and docs/*.md, plus unit tests of its extractor so a silent
+regression in the checker itself (finding nothing, mis-joining
+continuations) also fails loudly.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs_cli", ROOT / "tools" / "check_docs_cli.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_extractor_joins_continuations_and_cuts_pipes():
+    checker = _load_checker()
+    text = "\n".join([
+        "prose repro-dynamo outside a fence is ignored",
+        "```bash",
+        "repro-dynamo census --kinds mesh cordalis \\",
+        "  --sizes 3 4 --processes 2",
+        "$ repro-dynamo witness list | head -3",
+        "python not-a-cli-line.py",
+        "```",
+    ])
+    got = list(checker.extract_invocations(text))
+    assert got == [
+        (3, "repro-dynamo census --kinds mesh cordalis --sizes 3 4 --processes 2"),
+        (5, "repro-dynamo witness list"),
+    ]
+
+
+def test_checker_flags_stale_flags():
+    checker = _load_checker()
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    assert checker.check_invocation(parser, "repro-dynamo census --db x.jsonl") is None
+    assert checker.check_invocation(parser, "repro-dynamo census --no-such-flag") is not None
+    assert checker.check_invocation(parser, "repro-dynamo witness verify --all") is None
+
+
+def test_all_documented_invocations_parse(capsys):
+    checker = _load_checker()
+    code = checker.main(["check_docs_cli.py", str(ROOT)])
+    out = capsys.readouterr().out
+    assert code == 0, f"documented CLI invocations failed to parse:\n{out}"
+    # the extractor found a healthy number of commands (README quickstart
+    # alone documents a dozen); zero would mean it silently broke
+    import re
+
+    match = re.search(r"(\d+)/(\d+) documented CLI invocations parse", out)
+    assert match and int(match.group(2)) >= 10
+
+
+def test_checker_script_runs_standalone():
+    import subprocess
+
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "check_docs_cli.py"), str(ROOT)],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

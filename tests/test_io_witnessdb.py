@@ -1,0 +1,407 @@
+"""Witness database tests: round-trip, caching, corruption, verification."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.experiments.census as census_mod
+from repro.core.search import exhaustive_dynamo_search, random_dynamo_search
+from repro.experiments import below_bound_census
+from repro.io import (
+    WITNESS_SCHEMA,
+    CensusCellRecord,
+    WitnessDB,
+    WitnessFormatError,
+    WitnessRecord,
+    verify_witness,
+    witness_from_dict,
+    witness_to_dict,
+)
+from repro.topology import ToroidalMesh
+
+
+def _sample_record(**overrides):
+    """A small hand-built monotone dynamo record (3x3 mesh diagonal)."""
+    fields = dict(
+        rule="smp",
+        kind="mesh",
+        m=3,
+        n=3,
+        colors=3,
+        k=0,
+        seed_size=3,
+        monotone=True,
+        configuration=(0, 1, 1, 2, 0, 1, 2, 2, 0),
+        method="manual",
+        provenance={"source": "test"},
+    )
+    fields.update(overrides)
+    return WitnessRecord(**fields)
+
+
+# ----------------------------------------------------------------------
+# round-trip
+# ----------------------------------------------------------------------
+def test_witness_dict_roundtrip_is_identity():
+    rec = _sample_record()
+    back = witness_from_dict(witness_to_dict(rec))
+    assert back == rec
+    assert back.configuration == rec.configuration  # bitwise, not just len
+    assert back.id == rec.id
+
+
+def test_witness_save_load_verify_roundtrip(tmp_path):
+    path = tmp_path / "w.jsonl"
+    db = WitnessDB(path)
+    rec = _sample_record()
+    assert db.add(rec) is True
+    assert db.add(rec) is False  # identical re-add appends nothing
+    size_before = path.stat().st_size
+
+    back = WitnessDB(path)
+    assert len(back) == 1 and back.corrupt == []
+    loaded = back.get(rec.id)
+    assert loaded == rec
+    assert np.array_equal(loaded.colors_array(), rec.colors_array())
+    assert loaded.colors_array().dtype == np.int32
+    outcome = verify_witness(loaded)
+    assert outcome.ok and outcome.rounds > 0
+    assert path.stat().st_size == size_before
+
+
+def test_witness_id_is_deterministic_and_provenance_free():
+    a = _sample_record(provenance={"source": "a"})
+    b = _sample_record(provenance={"source": "b"}, verified=True)
+    assert a.id == b.id
+    assert a.id != _sample_record(colors=4).id
+
+
+def test_lookup_and_best(tmp_path):
+    db = WitnessDB(tmp_path / "w.jsonl")
+    db.add(_sample_record())
+    bigger = _sample_record(
+        configuration=(0, 0, 1, 2, 0, 1, 2, 2, 0), seed_size=4
+    )
+    db.add(bigger)
+    assert len(db.lookup("smp", "mesh", 3, 3, 3)) == 2
+    assert db.best("smp", "mesh", 3, 3, 3).seed_size == 3
+    assert db.lookup("smp", "mesh", 9, 9, 3) == []
+    assert db.witnesses(kind="cordalis") == []
+
+
+# ----------------------------------------------------------------------
+# search-level cache
+# ----------------------------------------------------------------------
+def test_random_search_cache_hit_bitwise(tmp_path):
+    topo = ToroidalMesh(4, 4)
+    db = WitnessDB(tmp_path / "w.jsonl")
+    kw = dict(monotone_only=True, batch_size=512)
+    fresh = random_dynamo_search(topo, 4, 5, 2000, [1, 2], db=db, **kw)
+    assert fresh.found_monotone_dynamo and not fresh.cached
+    cached = random_dynamo_search(topo, 4, 5, 2000, [1, 2], db=db, **kw)
+    assert cached.cached
+    assert cached.examined == fresh.examined
+    assert len(cached.witnesses) == len(fresh.witnesses)
+    for (a, am), (b, bm) in zip(fresh.witnesses, cached.witnesses):
+        assert np.array_equal(a, b) and am == bm
+    # a different definition (trial count) is a miss, not a wrong hit
+    other = random_dynamo_search(topo, 4, 5, 2001, [1, 2], db=db, **kw)
+    assert not other.cached
+
+
+def test_exhaustive_search_cache_restores_flags(tmp_path):
+    topo = ToroidalMesh(3, 3)
+    db = WitnessDB(tmp_path / "w.jsonl")
+    fresh = exhaustive_dynamo_search(topo, 3, 3, monotone_only=True, db=db)
+    cached = exhaustive_dynamo_search(topo, 3, 3, monotone_only=True, db=db)
+    assert cached.cached and not fresh.cached
+    assert cached.exhaustive == fresh.exhaustive
+    assert cached.examined == fresh.examined
+    assert cached.found_monotone_dynamo
+
+
+def test_cache_preserves_found_monotone_across_record_cap(tmp_path):
+    """Easy searches find far more witnesses than the record cap; a cache
+    hit must still agree with the fresh run on found_monotone_dynamo
+    (regression: monotone witnesses past the cap used to vanish)."""
+    topo = ToroidalMesh(3, 3)
+    db = WitnessDB(tmp_path / "w.jsonl")
+    kw = dict(monotone_only=False, batch_size=512)
+    fresh = random_dynamo_search(topo, 4, 4, 3000, [9, 9], db=db, **kw)
+    assert len(fresh.witnesses) > 16  # the cap really truncated
+    assert fresh.found_monotone_dynamo
+    cached = random_dynamo_search(topo, 4, 4, 3000, [9, 9], db=db, **kw)
+    assert cached.cached
+    assert cached.found_dynamo == fresh.found_dynamo
+    assert cached.found_monotone_dynamo == fresh.found_monotone_dynamo
+
+
+def test_cache_complete_when_definitions_overlap(tmp_path):
+    """Two searches whose witness sets overlap (same shard streams, one a
+    trial-superset of the other) must each cache their own full outcome:
+    witness rows dedupe by id across definitions, but the per-definition
+    search summary keeps every id (regression: the superset search used
+    to come back from cache with only its non-shared witnesses)."""
+    topo = ToroidalMesh(4, 4)
+    db = WitnessDB(tmp_path / "w.jsonl")
+    kw = dict(monotone_only=True, batch_size=500, shard_size=500)
+    small = random_dynamo_search(topo, 4, 5, 2000, [7], db=db, **kw)
+    fresh = random_dynamo_search(topo, 4, 5, 4000, [7], db=db, **kw)
+    assert small.found_dynamo and not fresh.cached
+    # shards 0-3 of the superset reproduce the subset's witnesses exactly
+    assert len(fresh.witnesses) > len(small.witnesses)
+    cached = random_dynamo_search(topo, 4, 5, 4000, [7], db=db, **kw)
+    assert cached.cached
+    assert len(cached.witnesses) == len(fresh.witnesses)
+    for (a, am), (b, bm) in zip(fresh.witnesses, cached.witnesses):
+        assert np.array_equal(a, b) and am == bm
+    # the subset's own cache entry is intact too
+    resmall = random_dynamo_search(topo, 4, 5, 2000, [7], db=db, **kw)
+    assert resmall.cached and len(resmall.witnesses) == len(small.witnesses)
+
+
+def test_generator_rng_records_but_never_caches(tmp_path):
+    topo = ToroidalMesh(4, 4)
+    db = WitnessDB(tmp_path / "w.jsonl")
+    out = random_dynamo_search(
+        topo, 4, 5, 2000, np.random.default_rng(3), monotone_only=True, db=db
+    )
+    assert out.found_monotone_dynamo
+    assert len(db) > 0
+    again = random_dynamo_search(
+        topo, 4, 5, 2000, np.random.default_rng(3), monotone_only=True, db=db
+    )
+    assert not again.cached
+
+
+# ----------------------------------------------------------------------
+# census cache
+# ----------------------------------------------------------------------
+def test_census_cache_hit_short_circuits_the_search(tmp_path, monkeypatch):
+    path = tmp_path / "w.jsonl"
+    kw = dict(kinds=["mesh"], sizes=[3, 4], random_trials=1500)
+    s1, s2 = {}, {}
+    fresh = below_bound_census(db=path, stats=s1, **kw)
+    # (the 3x3 cell's witness is already recorded by the inner exhaustive
+    # search, so the census-level add dedupes it: recorded counts new rows)
+    assert s1["cells"] == 2 and s1["cache_hits"] == 0
+    assert s1["witnesses_recorded"] >= 1
+
+    def boom(*a, **k):  # any search on the second run is a cache failure
+        raise AssertionError("cache miss: the census re-ran a search")
+
+    monkeypatch.setattr(census_mod, "exhaustive_min_dynamo_size", boom)
+    monkeypatch.setattr(census_mod, "random_dynamo_search", boom)
+    monkeypatch.setattr(census_mod, "diagonal_dynamo", boom)
+    cached = below_bound_census(db=path, stats=s2, **kw)
+    assert s2["cache_hits"] == 2 and s2["witnesses_recorded"] == 0
+    assert cached == fresh
+    # ... and the db file did not grow on the all-hit run
+    assert below_bound_census(db=path, **kw) == fresh
+
+
+def test_census_rows_identical_with_and_without_db(tmp_path):
+    kw = dict(kinds=["mesh"], sizes=[3], random_trials=500)
+    assert below_bound_census(db=tmp_path / "w.jsonl", **kw) == below_bound_census(**kw)
+
+
+def test_census_witnesses_reverify(tmp_path):
+    path = tmp_path / "w.jsonl"
+    below_bound_census(kinds=["mesh"], sizes=[4], random_trials=1500, db=path)
+    db = WitnessDB(path)
+    assert len(db) > 0
+    for rec in db:
+        assert verify_witness(rec).ok, rec.id
+
+
+# ----------------------------------------------------------------------
+# corruption / legacy
+# ----------------------------------------------------------------------
+def test_corrupted_lines_are_collected_not_fatal(tmp_path):
+    path = tmp_path / "w.jsonl"
+    good = json.dumps(witness_to_dict(_sample_record()))
+    truncated = good[: len(good) // 2]
+    wrong_len = json.dumps(
+        {**witness_to_dict(_sample_record()), "m": 5}  # 9 colors on 5x3
+    )
+    path.write_text("\n".join(["not json {", good, truncated, wrong_len]) + "\n")
+    db = WitnessDB(path)
+    assert len(db) == 1
+    assert [lineno for lineno, _ in db.corrupt] == [1, 3, 4]
+    with pytest.raises(WitnessFormatError):
+        WitnessDB(path, strict=True)
+
+
+def test_tampered_id_is_corrupt(tmp_path):
+    payload = witness_to_dict(_sample_record())
+    payload["id"] = "000000000000"
+    path = tmp_path / "w.jsonl"
+    path.write_text(json.dumps(payload) + "\n")
+    db = WitnessDB(path)
+    assert len(db) == 0 and len(db.corrupt) == 1
+    assert "does not match" in db.corrupt[0][1]
+
+
+def test_newer_schema_is_rejected():
+    payload = witness_to_dict(_sample_record())
+    payload["schema"] = WITNESS_SCHEMA + 1
+    with pytest.raises(WitnessFormatError, match="newer"):
+        witness_from_dict(payload)
+
+
+def test_legacy_configuration_upgrades(tmp_path):
+    # the pre-witness-store save_configuration layout
+    legacy = {
+        "kind": "mesh",
+        "m": 3,
+        "n": 3,
+        "k": 0,
+        "colors": [0, 1, 1, 2, 0, 1, 2, 2, 0],
+        "metadata": {"name": "old"},
+    }
+    path = tmp_path / "w.jsonl"
+    path.write_text(json.dumps(legacy) + "\n")
+    db = WitnessDB(path)
+    assert db.corrupt == [] and db.legacy_upgraded == 1
+    (rec,) = list(db)
+    assert rec.method == "legacy" and rec.rule == "smp"
+    assert rec.seed_size == 3  # recovered from the configuration
+    assert rec.colors == 3 and not rec.verified
+    assert verify_witness(rec).ok  # and it still replays
+
+
+def test_seed_size_contradiction_is_corrupt():
+    payload = witness_to_dict(_sample_record())
+    payload["seed_size"] = 5
+    with pytest.raises(WitnessFormatError, match="seed_size"):
+        witness_from_dict(payload)
+
+
+# ----------------------------------------------------------------------
+# verification stamping
+# ----------------------------------------------------------------------
+def test_verify_stamps_by_appending(tmp_path):
+    path = tmp_path / "w.jsonl"
+    db = WitnessDB(path)
+    rec = _sample_record()
+    db.add(rec)
+    lines_before = len(path.read_text().splitlines())
+    assert db.verify(rec.id).ok
+    assert len(path.read_text().splitlines()) == lines_before + 1
+    # the stamp survives a reload, and re-verifying appends nothing
+    db2 = WitnessDB(path)
+    assert db2.get(rec.id).verified
+    assert db2.verify(rec.id).ok
+    assert len(path.read_text().splitlines()) == lines_before + 1
+
+
+def test_verify_fails_non_dynamo_and_downgrades(tmp_path):
+    path = tmp_path / "w.jsonl"
+    db = WitnessDB(path)
+    dud = _sample_record(
+        configuration=(0, 1, 1, 1, 1, 1, 2, 2, 2),
+        seed_size=1,
+        verified=True,  # falsely stamped
+    )
+    db.add(dud)
+    outcome = db.verify(dud.id)
+    assert not outcome.ok and "monochromatic" in outcome.reason
+    assert not WitnessDB(path).get(dud.id).verified
+
+
+def test_verified_stamp_survives_rediscovery(tmp_path):
+    path = tmp_path / "w.jsonl"
+    db = WitnessDB(path)
+    rec = _sample_record()
+    db.add(rec)
+    db.verify(rec.id)
+    # the same witness re-recorded by a later search must not lose the stamp
+    rediscovered = _sample_record(provenance={"source": "search"})
+    assert db.add(rediscovered, replace=True) is True
+    assert WitnessDB(path).get(rec.id).verified
+
+
+# ----------------------------------------------------------------------
+# census-cell records
+# ----------------------------------------------------------------------
+def test_cell_records_roundtrip_and_mismatch(tmp_path):
+    path = tmp_path / "w.jsonl"
+    db = WitnessDB(path)
+    cell = CensusCellRecord(
+        kind="mesh",
+        n=4,
+        definition={"experiment": "x", "seed": 1},
+        row={
+            "kind": "mesh", "n": 4, "paper_bound": 6,
+            "certified_size": 3, "method": "random", "ruled_out_below": None,
+        },
+        witness_id="abc",
+    )
+    assert db.add_cell(cell) is True
+    assert db.add_cell(cell) is False
+    back = WitnessDB(path)
+    assert back.find_cell("mesh", 4, {"experiment": "x", "seed": 1}) is not None
+    assert back.find_cell("mesh", 4, {"experiment": "x", "seed": 2}) is None
+    assert back.find_cell("cordalis", 4, {"experiment": "x", "seed": 1}) is None
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _run_cli(args, capsys):
+    from repro.cli import main
+
+    code = main(args)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_cli_census_db_cache_and_witness_tools(tmp_path, capsys):
+    dbpath = str(tmp_path / "w.jsonl")
+    argv = ["census", "--kinds", "mesh", "--sizes", "3",
+            "--trials", "500", "--db", dbpath]
+    code, out1, err1 = _run_cli(argv, capsys)
+    assert code == 0 and "0/1 cells from cache" in err1
+    code, out2, err2 = _run_cli(argv, capsys)
+    assert code == 0 and "1/1 cells from cache" in err2
+    assert out1 == out2  # stdout bitwise-identical across runs
+
+    code, out, _ = _run_cli(["witness", "list", "--db", dbpath], capsys)
+    assert code == 0 and "exhaustive" in out and "witness record(s)" in out
+    some_id = out.split("\n")[1].split()[0]
+
+    code, out, _ = _run_cli(["witness", "show", some_id, "--db", dbpath], capsys)
+    assert code == 0 and "monotone=True" in out
+
+    code, out, _ = _run_cli(["witness", "verify", "--all", "--db", dbpath], capsys)
+    assert code == 0 and "FAIL" not in out
+
+    exported = tmp_path / "conf.json"
+    code, out, _ = _run_cli(
+        ["witness", "export", some_id, "--db", dbpath, "--out", str(exported)],
+        capsys,
+    )
+    assert code == 0 and exported.exists()
+    code, out, _ = _run_cli(
+        ["verify", "mesh", "3", "3", "--load", str(exported),
+         "--target-color", "0"], capsys
+    )
+    assert code == 0 and "is_dynamo=True" in out
+
+
+def test_cli_witness_unknown_id(tmp_path, capsys):
+    dbpath = str(tmp_path / "w.jsonl")
+    WitnessDB(dbpath).add(_sample_record())
+    code, _, err = _run_cli(["witness", "show", "zzzz", "--db", dbpath], capsys)
+    assert code == 2 and "no witness" in err
+
+
+def test_cli_search_records_and_caches(tmp_path, capsys):
+    dbpath = str(tmp_path / "w.jsonl")
+    argv = ["search", "mesh", "3", "3", "--seed-size", "3", "--colors", "3",
+            "--exhaustive", "--monotone-only", "--db", dbpath]
+    code, out, _ = _run_cli(argv, capsys)
+    assert code == 0 and "witness(es)" in out and "served" not in out
+    code, out, _ = _run_cli(argv, capsys)
+    assert code == 0 and "served from witness db" in out

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Smoke-check every ``repro-dynamo`` invocation in the docs.
+
+Scans fenced code blocks in README.md and docs/*.md, joins
+backslash-continued lines, and runs each ``repro-dynamo ...`` command
+line through the real argument parser (`repro.cli.build_parser`) —
+parse only, nothing executes.  A flag that was renamed or removed makes
+the corresponding doc line fail here, so stale CLI documentation cannot
+survive CI.
+
+Usage: ``python tools/check_docs_cli.py [repo_root]`` — exits non-zero
+on the first unparseable invocation, listing every failure.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import re
+import shlex
+import sys
+from pathlib import Path
+
+_FENCE = re.compile(r"^```")
+#: shell operators that end the repro-dynamo argument list on a doc line
+_SHELL_BREAK = re.compile(r"\s(?:\|\||\||&&|>|2>|<)\s")
+
+
+def iter_doc_files(root: Path):
+    yield root / "README.md"
+    docs = root / "docs"
+    if docs.is_dir():
+        yield from sorted(docs.glob("*.md"))
+
+
+def extract_invocations(text: str):
+    """Yield (line_number, command_string) for repro-dynamo doc lines."""
+    in_block = False
+    pending: str = ""
+    pending_line = 0
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if _FENCE.match(line.strip()):
+            in_block = not in_block
+            pending = ""
+            continue
+        if not in_block:
+            continue
+        if pending:
+            line = pending + " " + line.strip()
+            lineno = pending_line
+            pending = ""
+        stripped = line.strip()
+        if stripped.startswith("$ "):
+            stripped = stripped[2:]
+        if not stripped.startswith("repro-dynamo"):
+            continue
+        if stripped.endswith("\\"):
+            pending = stripped[:-1].rstrip()
+            pending_line = lineno
+            continue
+        # cut at shell operators and inline comments
+        stripped = _SHELL_BREAK.split(stripped)[0]
+        stripped = stripped.split(" #")[0].rstrip()
+        yield lineno, stripped
+
+
+def check_invocation(parser, command: str):
+    """Parse one command; returns an error string or None."""
+    try:
+        argv = shlex.split(command)[1:]
+    except ValueError as exc:
+        return f"unparseable shell syntax: {exc}"
+    # argparse prints usage to stderr and raises SystemExit on bad args
+    sink = io.StringIO()
+    try:
+        with contextlib.redirect_stderr(sink), contextlib.redirect_stdout(sink):
+            parser.parse_args(argv)
+    except SystemExit as exc:
+        if exc.code not in (0, None):
+            return sink.getvalue().strip().splitlines()[-1]
+    return None
+
+
+def main(argv=None) -> int:
+    root = Path(argv[1]) if argv and len(argv) > 1 else Path(__file__).parent.parent
+    sys.path.insert(0, str(root / "src"))
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    checked = 0
+    failures = []
+    for path in iter_doc_files(root):
+        if not path.exists():
+            continue
+        for lineno, command in extract_invocations(path.read_text()):
+            checked += 1
+            error = check_invocation(parser, command)
+            if error:
+                failures.append(f"{path.relative_to(root)}:{lineno}: "
+                                f"`{command}` — {error}")
+    for failure in failures:
+        print(f"FAIL {failure}")
+    print(f"{checked - len(failures)}/{checked} documented CLI invocations parse")
+    if checked == 0:
+        print("FAIL no repro-dynamo invocations found — extractor broken?")
+        return 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
