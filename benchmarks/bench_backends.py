@@ -1,0 +1,201 @@
+"""Kernel-backend throughput: reference vs stencil vs (optional) numba.
+
+Two entry points:
+
+* **pytest-benchmark suite** (``pytest benchmarks/bench_backends.py``) —
+  times the compiled steppers and the end-to-end ``run_batch`` hot path
+  on the census-sized workload, asserts the stencil backend's >= 2x
+  acceptance floor (skipped under ``REPRO_BENCH_RELAX``, parity asserted
+  always), and records every ratio in ``extra_info``;
+* **standalone emitter** (``python benchmarks/bench_backends.py
+  [--out BENCH_backends.json]``) — runs the same workloads across every
+  available backend and writes the machine-readable comparison CI
+  archives.  The JSON never asserts: it *records* (timings move with the
+  hardware; the parity matrix in ``tests/test_engine_backends.py`` is
+  the correctness gate).
+
+The workload is the census/search regime the ROADMAP calls the hottest
+path: thousands of random replicas on a small torus (the below-bound
+census steps ``(8192, 36)`` blocks on the 6x6 tori), advanced by the
+sorted-gather (SMP) and histogram (plurality) kernels.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+#: wall-clock speedup floors are meaningless on loaded shared runners;
+#: CI's smoke step sets this to record ratios without asserting them
+_RELAX_SPEEDUP = os.environ.get("REPRO_BENCH_RELAX", "") not in ("", "0")
+
+from repro.engine import available_backend_names, run_batch, select_backend
+from repro.rules import GeneralizedPluralityRule, SMPRule
+from repro.topology import ToroidalMesh
+
+#: the census-sized workloads: (label, rule factory, palette size)
+WORKLOADS = {
+    "smp": (lambda: SMPRule(), 5),
+    "plurality": (lambda: GeneralizedPluralityRule(5), 5),
+}
+
+#: census geometry: the 6x6 torus cell stepping full replica blocks
+TORUS_SIZE = 6
+BATCH = 8192
+
+
+def _tmin(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _census_batch(rng, topo, palette, batch=BATCH):
+    return rng.integers(0, palette, size=(batch, topo.num_vertices)).astype(
+        np.int32
+    )
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_stencil_stepper_speedup(benchmark, rng, workload):
+    """Compiled stencil stepper vs the reference kernel, parity included.
+
+    This is the acceptance bar: >= 2x on the census-sized workload (the
+    per-round kernel cost that dominates sweeps/censuses/searches).
+    """
+    factory, palette = WORKLOADS[workload]
+    rule = factory()
+    topo = ToroidalMesh(TORUS_SIZE, TORUS_SIZE)
+    batch = _census_batch(rng, topo, palette)
+    reference = select_backend("reference").compile(rule, topo, BATCH)
+    stencil = select_backend("stencil").compile(rule, topo, BATCH)
+    assert np.array_equal(stencil(batch), reference(batch))  # warm + parity
+    speedup = _tmin(lambda: reference(batch)) / _tmin(lambda: stencil(batch))
+    benchmark(stencil, batch)
+    benchmark.extra_info.update(
+        workload=workload,
+        vertices=topo.num_vertices,
+        batch=BATCH,
+        stencil_speedup=round(speedup, 2),
+    )
+    if not _RELAX_SPEEDUP:
+        assert speedup >= 2.0, (
+            f"stencil backend only {speedup:.2f}x over reference on the "
+            f"{workload} census workload"
+        )
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_run_batch_backend_speedup(benchmark, rng, workload):
+    """End-to-end run_batch under each backend (census flags: no cycle
+    detection, target color 0), parity asserted, ratio recorded."""
+    factory, palette = WORKLOADS[workload]
+    rule = factory()
+    topo = ToroidalMesh(TORUS_SIZE, TORUS_SIZE)
+    batch = _census_batch(rng, topo, palette, batch=2048)
+    kwargs = dict(max_rounds=160, target_color=0, detect_cycles=False)
+
+    def reference():
+        return run_batch(topo, batch, rule, backend="reference", **kwargs)
+
+    def stencil():
+        return run_batch(topo, batch, rule, backend="stencil", **kwargs)
+
+    ref, res = reference(), stencil()  # warm + parity cross-check
+    assert np.array_equal(ref.final, res.final)
+    assert np.array_equal(ref.rounds, res.rounds)
+    speedup = _tmin(reference, repeats=3) / _tmin(stencil, repeats=3)
+    benchmark.pedantic(stencil, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        workload=workload, replicas=2048, run_batch_stencil_speedup=round(speedup, 2)
+    )
+    if not _RELAX_SPEEDUP:
+        assert speedup >= 1.5  # engine bookkeeping dilutes the kernel win
+
+
+def collect_backend_timings(rounds: int = 20) -> dict:
+    """Measure every available backend on the census-sized workloads.
+
+    Returns the ``BENCH_backends.json`` payload: per-workload stepper
+    times (best-of-``rounds`` milliseconds per round over the full
+    ``(8192, 36)`` block), end-to-end ``run_batch`` seconds, and
+    speedups relative to the ``reference`` backend.
+    """
+    rng = np.random.default_rng(0xD1CE)
+    topo = ToroidalMesh(TORUS_SIZE, TORUS_SIZE)
+    backends = list(available_backend_names())
+    payload = {
+        "workload": {
+            "torus": f"mesh {TORUS_SIZE}x{TORUS_SIZE}",
+            "batch": BATCH,
+            "palette": 5,
+            "note": "census-sized: the below-bound census steps blocks of "
+            "this shape; times are best-of-N per synchronous round",
+        },
+        "backends": backends,
+        "results": {},
+    }
+    for label, (factory, palette) in sorted(WORKLOADS.items()):
+        rule = factory()
+        batch = _census_batch(rng, topo, palette)
+        small = batch[:2048]
+        entry = {}
+        for name in backends:
+            stepper = select_backend(name).compile(rule, topo, BATCH)
+            reference = stepper(batch)  # warm (includes any JIT cost)
+            step_ms = 1e3 * _tmin(lambda: stepper(batch), repeats=rounds)
+            t0 = time.perf_counter()
+            run_batch(
+                topo, small, rule, max_rounds=160, target_color=0,
+                detect_cycles=False, backend=name,
+            )
+            entry[name] = {
+                "step_ms_per_round": round(step_ms, 3),
+                "run_batch_seconds": round(time.perf_counter() - t0, 3),
+            }
+            del reference
+        ref_entry = entry["reference"]
+        for name, timing in entry.items():
+            timing["step_speedup_vs_reference"] = round(
+                ref_entry["step_ms_per_round"] / timing["step_ms_per_round"], 2
+            )
+            timing["run_batch_speedup_vs_reference"] = round(
+                ref_entry["run_batch_seconds"] / timing["run_batch_seconds"], 2
+            )
+        payload["results"][label] = entry
+    return payload
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="emit the backend-comparison JSON (BENCH_backends.json)"
+    )
+    parser.add_argument("--out", default="BENCH_backends.json", metavar="FILE")
+    parser.add_argument("--rounds", type=int, default=20,
+                        help="timing repeats per measurement (best-of)")
+    args = parser.parse_args(argv)
+    payload = collect_backend_timings(rounds=args.rounds)
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for label, entry in sorted(payload["results"].items()):
+        for name, timing in sorted(entry.items()):
+            print(
+                f"{label:10s} {name:10s} "
+                f"{timing['step_ms_per_round']:9.2f} ms/round  "
+                f"{timing['step_speedup_vs_reference']:5.2f}x kernel  "
+                f"{timing['run_batch_speedup_vs_reference']:5.2f}x run_batch"
+            )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

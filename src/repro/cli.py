@@ -29,6 +29,7 @@ Examples
     repro-dynamo sweep mesh 6 8 --convergence --rule majority --batch-size 128
     repro-dynamo sweep mesh 8 10 --convergence --processes 4 --shard-size 64
     repro-dynamo census --sizes 3 4 --batch-size 4096 --processes 4
+    repro-dynamo census --sizes 3 4 --backend stencil
     repro-dynamo census --db results/witnesses.jsonl
     repro-dynamo search mesh 4 4 --seed-size 3 --colors 5 --trials 20000
     repro-dynamo witness list
@@ -70,6 +71,74 @@ def _processes_arg(value: str) -> int:
         return validate_processes(count, flag="--processes")
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _positive_arg(flag: str):
+    """argparse type factory for strictly positive tuning knobs
+    (``--batch-size``, ``--shard-size``): shared validation, clear
+    message, mirroring :func:`_processes_arg`."""
+    from .engine.parallel import validate_positive
+
+    def parse(value: str) -> int:
+        try:
+            count = int(value)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{flag} must be a positive integer, got {value!r}"
+            ) from None
+        try:
+            return validate_positive(count, flag=flag)
+        except ValueError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+
+    parse.__name__ = "positive_int"  # argparse error prefix
+    return parse
+
+
+def _backend_arg(value: str) -> str:
+    """argparse type for ``--backend``: reject unknown names at the
+    prompt.  Availability of optional dependencies is checked at
+    dispatch time (:func:`_check_backend_available`), keeping parsing
+    side-effect-free — the docs smoke checker parses every documented
+    invocation, including ``--backend numba``, on machines without
+    numba."""
+    from .engine.backends import BackendUnavailableError, select_backend
+
+    try:
+        select_backend(value)
+    except BackendUnavailableError:
+        pass  # known name, missing optional dependency: defer
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return value
+
+
+def _check_backend_available(parser, args) -> None:
+    """Fail fast (clean parser error) when the requested backend's
+    optional dependency is missing — before any work is sharded."""
+    backend = getattr(args, "backend", None)
+    if backend is None:
+        return
+    from .engine.backends import BackendUnavailableError, select_backend
+
+    try:
+        select_backend(backend)
+    except BackendUnavailableError as exc:
+        parser.error(str(exc))
+
+
+def _add_backend_arg(sp, what: str) -> None:
+    from .engine.backends import backend_names
+
+    sp.add_argument(
+        "--backend",
+        type=_backend_arg,
+        default=None,
+        metavar="NAME",
+        help=f"kernel backend for {what}: auto, "
+        f"{', '.join(backend_names())} (results are bitwise-identical "
+        "under every backend; this only affects speed)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -132,7 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="palette size for --convergence (default: 4)")
     sp.add_argument(
         "--batch-size",
-        type=int,
+        type=_positive_arg("--batch-size"),
         default=None,
         metavar="B",
         help="replica rows advanced per batched-engine call for "
@@ -140,13 +209,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sp.add_argument(
         "--shard-size",
-        type=int,
+        type=_positive_arg("--shard-size"),
         default=None,
         metavar="S",
         help="replicas per process shard for --convergence (default: "
         "the batch size); results are identical at any --processes "
         "count but depend on this value",
     )
+    _add_backend_arg(sp, "--convergence replica blocks")
 
     sp = sub.add_parser(
         "census",
@@ -163,7 +233,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="random-search trials per (kind, size, seed size)")
     sp.add_argument(
         "--batch-size",
-        type=int,
+        type=_positive_arg("--batch-size"),
         default=8192,
         metavar="B",
         help="replica rows advanced per batched-engine call",
@@ -178,11 +248,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sp.add_argument(
         "--shard-size",
-        type=int,
+        type=_positive_arg("--shard-size"),
         default=None,
         metavar="S",
         help="random trials per process shard (default: the batch size)",
     )
+    _add_backend_arg(sp, "the census searches")
     sp.add_argument(
         "--seed",
         type=int,
@@ -219,7 +290,8 @@ def build_parser() -> argparse.ArgumentParser:
                     help="RNG root of the random search")
     sp.add_argument("--monotone-only", action="store_true",
                     help="keep only monotone witnesses")
-    sp.add_argument("--batch-size", type=int, default=None, metavar="B")
+    sp.add_argument("--batch-size", type=_positive_arg("--batch-size"),
+                    default=None, metavar="B")
     sp.add_argument(
         "--processes",
         type=_processes_arg,
@@ -227,7 +299,9 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="P",
         help="worker processes sharding the random trials (0 runs inline)",
     )
-    sp.add_argument("--shard-size", type=int, default=None, metavar="S")
+    sp.add_argument("--shard-size", type=_positive_arg("--shard-size"),
+                    default=None, metavar="S")
+    _add_backend_arg(sp, "the search batches")
     sp.add_argument("--max-configs", type=int, default=20_000_000)
     sp.add_argument("--db", metavar="FILE",
                     help="witness database to consult and record into")
@@ -265,6 +339,7 @@ def build_parser() -> argparse.ArgumentParser:
     wp.add_argument("ids", nargs="*", help="witness ids (unique prefixes)")
     wp.add_argument("--all", action="store_true", dest="verify_all",
                     help="verify every stored witness")
+    _add_backend_arg(wp, "the replay")
 
     wp = wsub.add_parser(
         "export", help="write one witness as a configuration JSON"
@@ -353,7 +428,7 @@ def _witness_main(args) -> int:
             return 2
         failures = 0
         for rec in targets:
-            outcome = db.verify(rec)
+            outcome = db.verify(rec, backend=args.backend)
             size = f"{rec.m}x{rec.n}"
             if outcome.ok:
                 print(f"{rec.id} {rec.rule} {rec.kind} {size} "
@@ -429,6 +504,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 def _main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _check_backend_available(parser, args)
 
     if args.command == "sweep":
         # surface flag combinations that would otherwise be silently ignored
@@ -438,6 +514,7 @@ def _main(argv: Optional[List[str]] = None) -> int:
             "--colors": args.colors,
             "--batch-size": args.batch_size,
             "--shard-size": args.shard_size,
+            "--backend": args.backend,
         }
         if args.convergence:
             if args.colors is not None:
@@ -514,6 +591,7 @@ def _main(argv: Optional[List[str]] = None) -> int:
                 batch_size=args.batch_size if args.batch_size is not None else 256,
                 processes=args.processes,
                 shard_size=args.shard_size,
+                backend=args.backend,
             )
             print(f"{'size':>8} {'rule':>15} {'conv':>6} {'mono':>6} "
                   f"{'monot':>6} {'rounds':>7}")
@@ -550,6 +628,7 @@ def _main(argv: Optional[List[str]] = None) -> int:
             shard_size=args.shard_size,
             db=_open_db(args.db) if args.db else None,
             stats=stats,
+            backend=args.backend,
         )
         print(f"{'kind':>12} {'size':>6} {'bound':>6} {'found':>6} "
               f"{'below':>6} {'ruled<':>7} {'method':>11}")
@@ -589,6 +668,7 @@ def _main(argv: Optional[List[str]] = None) -> int:
                 max_configs=args.max_configs,
                 batch_size=args.batch_size if args.batch_size is not None else 8192,
                 db=db,
+                backend=args.backend,
             )
         else:
             out = random_dynamo_search(
@@ -604,6 +684,7 @@ def _main(argv: Optional[List[str]] = None) -> int:
                 processes=args.processes,
                 shard_size=args.shard_size,
                 db=db,
+                backend=args.backend,
             )
         mode = "exhaustive" if args.exhaustive else "random"
         mono = sum(1 for _, m in out.witnesses if m)

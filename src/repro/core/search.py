@@ -27,12 +27,14 @@ import numpy as np
 if TYPE_CHECKING:  # runtime import stays lazy: io.serialize imports core
     from ..io.witnessdb import WitnessDB
 
+from ..engine.backends import KernelBackend, resolve_backend_ref
 from ..engine.batch import DYNAMICS_VERSION, run_batch
 from ..engine.parallel import (
     build_topology,
     run_sharded,
     shard_counts,
     topology_spec,
+    validate_positive,
     validate_processes,
 )
 from ..rules.base import Rule
@@ -40,12 +42,19 @@ from ..rules.smp import SMPRule
 from ..topology.base import Topology
 
 __all__ = [
+    "BackendSpec",
     "SearchOutcome",
     "exhaustive_dynamo_search",
     "exhaustive_min_dynamo_size",
     "random_dynamo_search",
     "count_configs",
 ]
+
+#: how callers name a kernel backend: a registry name, an instance, or
+#: ``None``/"auto" for the default.  Bitwise-interchangeable by contract,
+#: so the choice is recorded in witness provenance but never enters a
+#: search definition (cache keys are backend-independent).
+BackendSpec = Union[str, KernelBackend, None]
 
 
 @dataclass
@@ -134,6 +143,7 @@ def _db_record_outcome(
     outcome: SearchOutcome,
     method: str,
     shard_of: Optional[List[int]] = None,
+    backend: Optional[str] = None,
 ) -> None:
     """Persist a finished search: its witnesses (up to ``_DB_RECORD_CAP``)
     and, when a definition identifies it, the summary the cache matches."""
@@ -172,6 +182,10 @@ def _db_record_outcome(
             "recorded": len(indices),
             "engine": __version__,
         }
+        if backend is not None:
+            # provenance only: backends are bitwise-interchangeable, so
+            # the name never enters the search definition / cache key
+            provenance["backend"] = backend
         if summary_id is not None:
             provenance["search_id"] = summary_id
         if shard_of is not None:
@@ -220,9 +234,15 @@ def exhaustive_dynamo_search(
     stop_at_first: bool = True,
     monotone_only: bool = False,
     db: Optional["WitnessDB"] = None,
+    backend: BackendSpec = None,
 ) -> SearchOutcome:
     """Enumerate every placement of an s-vertex k-seed together with every
     complement coloring over the remaining ``num_colors - 1`` colors.
+
+    ``backend`` selects the kernel backend batches run under
+    (:mod:`repro.engine.backends`); backends are bitwise-interchangeable,
+    so it affects speed only — the name lands in witness provenance but
+    never in the cached search definition.
 
     ``k`` defaults to 0 and the other colors are ``1..num_colors-1``; by
     color symmetry of the SMP rule this loses no generality.  ``rule``
@@ -240,8 +260,8 @@ def exhaustive_dynamo_search(
     silently skip the database.
     """
     rule = rule if rule is not None else SMPRule()
-    if batch_size < 1:
-        raise ValueError("batch_size must be >= 1")
+    validate_positive(batch_size, flag="batch_size")
+    backend_name, backend_ref = resolve_backend_ref(backend)
     n = topo.num_vertices
     total = count_configs(n, seed_size, num_colors)
     if total > max_configs:
@@ -292,6 +312,7 @@ def exhaustive_dynamo_search(
             max_rounds=max_rounds,
             target_color=k,
             detect_cycles=False,
+            backend=backend_ref,
         )
         hits = np.flatnonzero(
             res.k_monochromatic & (res.monotone if monotone_only else True)
@@ -319,7 +340,7 @@ def exhaustive_dynamo_search(
                     outcome.exhaustive = outcome.examined == total
                     _db_record_outcome(
                         db, definition, spec, rule, num_colors, k, outcome,
-                        "exhaustive",
+                        "exhaustive", backend=backend_name,
                     )
                     return outcome
     # The enumeration loop completed, so every configuration was buffered
@@ -327,7 +348,8 @@ def exhaustive_dynamo_search(
     # whether or not a witness lands in the last (or only) batch.
     flush()
     _db_record_outcome(
-        db, definition, spec, rule, num_colors, k, outcome, "exhaustive"
+        db, definition, spec, rule, num_colors, k, outcome, "exhaustive",
+        backend=backend_name,
     )
     return outcome
 
@@ -343,6 +365,7 @@ def exhaustive_min_dynamo_size(
     max_configs: int = 20_000_000,
     batch_size: int = 8192,
     db: Optional["WitnessDB"] = None,
+    backend: BackendSpec = None,
 ) -> Tuple[Optional[int], List[SearchOutcome]]:
     """Smallest seed size admitting a (monotone) k-dynamo, by exhaustion.
 
@@ -367,6 +390,7 @@ def exhaustive_min_dynamo_size(
             max_configs=max_configs,
             batch_size=batch_size,
             db=db,
+            backend=backend,
         )
         outcomes.append(res)
         if res.found_dynamo:
@@ -408,6 +432,7 @@ def _random_trials(
     max_rounds: int,
     batch_size: int,
     monotone_only: bool,
+    backend: BackendSpec = None,
 ) -> List[Tuple[np.ndarray, bool]]:
     """Run ``trials`` random configurations; return the witnesses found.
 
@@ -432,6 +457,7 @@ def _random_trials(
             max_rounds=max_rounds,
             target_color=k,
             detect_cycles=False,
+            backend=backend,
         )
         hits = np.flatnonzero(
             res.k_monochromatic & (res.monotone if monotone_only else True)
@@ -445,8 +471,9 @@ def _random_search_shard(shard: tuple) -> List[Tuple[np.ndarray, bool]]:
     """Pool worker: one replica block of a sharded random search.
 
     The shard is a small picklable tuple; the topology is rebuilt locally
-    from its spec (tori) and the RNG is derived from the shard *index*,
-    so any process count draws identical streams.
+    from its spec (tori), the kernel backend is resolved locally from its
+    *name*, and the RNG is derived from the shard *index*, so any process
+    count draws identical streams.
     """
     (
         spec,
@@ -461,6 +488,7 @@ def _random_search_shard(shard: tuple) -> List[Tuple[np.ndarray, bool]]:
         max_rounds,
         batch_size,
         monotone_only,
+        backend,
     ) = shard
     topo = build_topology(spec, topo_obj)
     rng = np.random.default_rng(np.random.SeedSequence([*entropy, shard_idx]))
@@ -475,6 +503,7 @@ def _random_search_shard(shard: tuple) -> List[Tuple[np.ndarray, bool]]:
         max_rounds,
         batch_size,
         monotone_only,
+        backend=backend,
     )
 
 
@@ -493,8 +522,15 @@ def random_dynamo_search(
     processes: Optional[int] = 0,
     shard_size: Optional[int] = None,
     db: Optional["WitnessDB"] = None,
+    backend: BackendSpec = None,
 ) -> SearchOutcome:
     """Monte-Carlo falsification: random seeds + random complements.
+
+    ``backend`` selects the kernel backend (a registry name resolved
+    locally by each pool worker); bitwise-interchangeable by contract, so
+    it is recorded in witness provenance but excluded from the cached
+    search definition — a census computed under one backend serves cache
+    hits to every other.
 
     Used where exhaustion is infeasible; finding no witness in many trials
     is (only) statistical evidence for the lower bound — the benches report
@@ -524,8 +560,9 @@ def random_dynamo_search(
     record nothing and therefore always re-run.
     """
     rule = rule if rule is not None else SMPRule()
-    if batch_size < 1:
-        raise ValueError("batch_size must be >= 1")
+    validate_positive(batch_size, flag="batch_size")
+    if shard_size is not None:
+        validate_positive(shard_size, flag="shard_size")
     nproc = validate_processes(processes)
     n = topo.num_vertices
     if max_rounds is None:
@@ -535,6 +572,9 @@ def random_dynamo_search(
 
     entropy = _seed_entropy(rng)
     spec = topology_spec(topo)
+    backend_name, backend_ref = resolve_backend_ref(
+        backend, sharded=entropy is not None and (nproc is None or nproc > 0)
+    )
     if entropy is None:
         if nproc is None or nproc > 0:
             raise ValueError(
@@ -545,12 +585,13 @@ def random_dynamo_search(
         outcome.witnesses.extend(
             _random_trials(
                 topo, rng, trials, seed_size, others, k, rule,
-                max_rounds, batch_size, monotone_only,
+                max_rounds, batch_size, monotone_only, backend=backend_ref,
             )
         )
         outcome.examined = trials
         _db_record_outcome(
-            db, None, spec, rule, num_colors, k, outcome, "random"
+            db, None, spec, rule, num_colors, k, outcome, "random",
+            backend=backend_name,
         )
         return outcome
 
@@ -594,6 +635,7 @@ def random_dynamo_search(
             max_rounds,
             batch_size,
             monotone_only,
+            backend_ref,
         )
         for i, count in enumerate(counts)
     ]
@@ -606,6 +648,6 @@ def random_dynamo_search(
     outcome.examined = trials
     _db_record_outcome(
         db, definition, spec, rule, num_colors, k, outcome, "random",
-        shard_of=shard_of,
+        shard_of=shard_of, backend=backend_name,
     )
     return outcome

@@ -6,6 +6,14 @@ from .metrics import (
     takeover_summary,
     wavefront_speed,
 )
+from .backends import (
+    BackendUnavailableError,
+    KernelBackend,
+    available_backend_names,
+    backend_names,
+    register_backend,
+    select_backend,
+)
 from .batch import BatchRunResult, as_color_batch, run_batch
 from .parallel import (
     kind_tag,
@@ -13,6 +21,7 @@ from .parallel import (
     run_sharded,
     shard_counts,
     shard_seed,
+    validate_positive,
     validate_processes,
 )
 from .result import RunResult
@@ -33,7 +42,14 @@ __all__ = [
     "shard_seed",
     "kind_tag",
     "resolve_processes",
+    "validate_positive",
     "validate_processes",
+    "BackendUnavailableError",
+    "KernelBackend",
+    "available_backend_names",
+    "backend_names",
+    "register_backend",
+    "select_backend",
     "default_round_cap",
     "adoption_curve",
     "wavefront_speed",

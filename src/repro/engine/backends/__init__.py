@@ -1,0 +1,151 @@
+"""Pluggable kernel backends for the batched engine.
+
+Every experiment in this reproduction bottoms out in per-rule
+``step_batch`` kernels; this registry decouples *what* a rule computes
+(its declarative :class:`~repro.rules.base.KernelSpec`) from *how* the
+neighbor reduction executes.  Three backends ship:
+
+``reference``
+    Each rule's own ``step_batch`` kernel, unmodified — the semantic
+    baseline.
+
+``stencil``
+    Optimized pure NumPy: per-topology gather indices precomputed once,
+    sorting networks instead of ``np.sort``, fused per-color counting
+    instead of ``np.add.at``, and preallocated scratch — zero allocations
+    per round.  Always available; what ``"auto"`` selects.
+
+``numba``
+    Optional JIT row-parallel kernels (``prange`` over replicas).  Lazy
+    import; selecting it without numba installed raises
+    :class:`BackendUnavailableError` with an actionable message.  Never
+    chosen by ``"auto"``: JIT warm-up dominates short runs, so it is an
+    explicit opt-in for long many-core workloads.
+
+The determinism contract (PR 2/3) makes this layer safe: any backend that
+passes the parity matrix is bitwise-interchangeable, so backend choice is
+recorded in witness provenance but **excluded from cache-definition
+keys** — cached censuses and searches are served identically under any
+``--backend``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Union
+
+from .base import BackendUnavailableError, KernelBackend, Stepper, fallback_stepper
+from .numba_backend import NumbaBackend
+from .reference import ReferenceBackend
+from .stencil import StencilBackend
+
+__all__ = [
+    "BackendUnavailableError",
+    "KernelBackend",
+    "Stepper",
+    "available_backend_names",
+    "backend_names",
+    "fallback_stepper",
+    "register_backend",
+    "resolve_backend_ref",
+    "select_backend",
+]
+
+#: name the engine resolves when no backend is requested; ``"auto"``
+#: currently means ``"stencil"`` (fastest always-available backend)
+DEFAULT_BACKEND = "auto"
+
+#: registered backend singletons, in registration (= preference) order
+_REGISTRY: Dict[str, KernelBackend] = {}
+
+
+def register_backend(backend: KernelBackend) -> KernelBackend:
+    """Add a backend instance to the registry (name collisions replace).
+
+    Third-party backends register themselves here and immediately become
+    selectable by name through :func:`select_backend`, ``run_batch``, and
+    the CLI ``--backend`` flag.
+    """
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+register_backend(ReferenceBackend())
+register_backend(StencilBackend())
+register_backend(NumbaBackend())
+
+
+def backend_names() -> Tuple[str, ...]:
+    """All registered backend names (including unavailable optional ones)."""
+    return tuple(_REGISTRY)
+
+
+def available_backend_names() -> Tuple[str, ...]:
+    """Backend names whose dependencies are importable right now."""
+    return tuple(
+        name
+        for name, backend in _REGISTRY.items()
+        if backend.availability_error() is None
+    )
+
+
+def select_backend(
+    spec: Union[str, KernelBackend, None] = None
+) -> KernelBackend:
+    """Resolve a backend request to a registered instance.
+
+    Parameters
+    ----------
+    spec:
+        ``None`` or ``"auto"`` picks the default (currently ``stencil``);
+        a name picks that backend; a :class:`KernelBackend` instance
+        passes through unchanged (custom backends need no registration
+        for direct use).
+
+    Raises
+    ------
+    ValueError
+        Unknown backend name (the message lists the choices).
+    BackendUnavailableError
+        The backend exists but its optional dependency is missing.
+    """
+    if isinstance(spec, KernelBackend):
+        return spec
+    name = DEFAULT_BACKEND if spec is None else str(spec)
+    if name == "auto":
+        name = "stencil"
+    backend = _REGISTRY.get(name)
+    if backend is None:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; choose from "
+            f"{('auto',) + backend_names()}"
+        )
+    unavailable = backend.availability_error()
+    if unavailable is not None:
+        raise BackendUnavailableError(unavailable)
+    return backend
+
+
+def resolve_backend_ref(
+    spec: Union[str, KernelBackend, None], *, sharded: bool = False
+):
+    """Resolve a backend request once, up front, for a driver.
+
+    Returns ``(name, ref)``: the canonical backend name for provenance,
+    and the reference to hand to ``run_batch`` — always the *name* on
+    sharded paths (pool workers resolve it locally; backend objects
+    never cross process boundaries), the instance itself otherwise.
+
+    Raises early on unknown or unavailable backends, and — with
+    ``sharded=True`` — on a :class:`KernelBackend` instance that a pool
+    would have to pickle, before any work fans out.
+    """
+    name = select_backend(spec).name
+    if isinstance(spec, KernelBackend):
+        if sharded:
+            raise ValueError(
+                "a KernelBackend instance cannot cross process "
+                "boundaries; register it (repro.engine.backends."
+                "register_backend) and pass its name to shard the search"
+            )
+        return name, spec
+    return name, name

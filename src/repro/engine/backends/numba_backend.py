@@ -1,0 +1,259 @@
+"""The numba backend: JIT-compiled row-parallel kernels (optional).
+
+Everything numba is imported lazily — the package is an *optional*
+dependency and this module imports cleanly without it (asking for the
+backend then raises :class:`~repro.engine.backends.base.
+BackendUnavailableError` with an actionable message).  Kernels are
+``@njit(parallel=True, cache=True)`` scalar loops with ``prange`` over
+replica rows: each row is an independent simulation, so row-parallelism
+has no write conflicts, and ``cache=True`` amortizes compilation across
+processes/runs.
+
+Bitwise contract: the kernels transcribe the reference formulas in exact
+integer arithmetic (the sorting network sorts values; the histogram's
+winner is the first maximal color, matching ``np.argmax``), so outputs
+are identical to every other backend — pinned by the same parity matrix.
+
+When to reach for it: JIT warm-up costs a few hundred milliseconds per
+kernel per process, so ``auto`` never selects numba — pass
+``--backend numba`` explicitly for long censuses/searches on machines
+with many cores, where row-parallel stepping beats single-threaded NumPy.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from typing import Callable, Optional
+
+import numpy as np
+
+from ...rules.base import Rule
+from ...rules.majority import BLACK, WHITE
+from ...rules.threshold import ACTIVE
+from ...topology.base import Topology
+from .base import (
+    BackendUnavailableError,
+    KernelBackend,
+    Stepper,
+    fallback_stepper,
+    rule_spec,
+)
+
+__all__ = ["NumbaBackend", "numba_available"]
+
+
+def numba_available() -> bool:
+    """True when the optional numba package is importable."""
+    return importlib.util.find_spec("numba") is not None
+
+
+#: the one actionable message for every missing-numba path
+_MISSING_NUMBA = (
+    "the 'numba' backend needs the optional numba package "
+    "(pip install numba); the 'stencil' and 'reference' backends "
+    "are always available"
+)
+
+
+#: lazily built dict of jitted kernels, shared by every compile() call
+_KERNELS: Optional[dict] = None
+
+
+def _build_kernels() -> dict:
+    """Import numba and define the jitted kernels (once per process)."""
+    global _KERNELS
+    if _KERNELS is not None:
+        return _KERNELS
+    try:
+        from numba import njit, prange
+    except ImportError as exc:  # pragma: no cover - exercised without numba
+        raise BackendUnavailableError(_MISSING_NUMBA) from exc
+
+    @njit(parallel=True, cache=True)
+    def sort4(colors, n0, n1, n2, n3, strong, out):
+        rows, n = colors.shape
+        for i in prange(rows):
+            for v in range(n):
+                a = colors[i, n0[v]]
+                b = colors[i, n1[v]]
+                c = colors[i, n2[v]]
+                d = colors[i, n3[v]]
+                if a > b:
+                    a, b = b, a
+                if c > d:
+                    c, d = d, c
+                if a > c:
+                    a, c = c, a
+                if b > d:
+                    b, d = d, b
+                if b > c:
+                    b, c = c, b
+                cur = colors[i, v]
+                if strong:
+                    out[i, v] = b if (b == c and (a == b or c == d)) else cur
+                elif a == b and (b == c or c != d):
+                    out[i, v] = a
+                elif b == c and a != b:
+                    out[i, v] = b
+                elif c == d and b != c and a != b:
+                    out[i, v] = c
+                else:
+                    out[i, v] = cur
+
+    @njit(parallel=True, cache=True)
+    def majority(colors, n0, n1, n2, n3, prefer_black, out):
+        rows, n = colors.shape
+        for i in prange(rows):
+            for v in range(n):
+                cnt = 0
+                if colors[i, n0[v]] == BLACK:
+                    cnt += 1
+                if colors[i, n1[v]] == BLACK:
+                    cnt += 1
+                if colors[i, n2[v]] == BLACK:
+                    cnt += 1
+                if colors[i, n3[v]] == BLACK:
+                    cnt += 1
+                if prefer_black:
+                    out[i, v] = BLACK if cnt >= 2 else WHITE
+                elif cnt >= 3:
+                    out[i, v] = BLACK
+                elif cnt <= 1:
+                    out[i, v] = WHITE
+                else:
+                    out[i, v] = colors[i, v]
+
+    @njit(parallel=True, cache=True)
+    def plurality(colors, nb, thr, num_colors, out):
+        rows, n = colors.shape
+        d = nb.shape[1]
+        for i in prange(rows):
+            hist = np.empty(num_colors, np.int32)
+            for v in range(n):
+                hist[:] = 0
+                audible = 0
+                for s in range(d):
+                    w = nb[v, s]
+                    if w >= 0:
+                        hist[colors[i, w]] += 1
+                        audible += 1
+                reaching = 0
+                for c in range(num_colors):
+                    if hist[c] >= thr[v]:
+                        reaching += 1
+                if reaching == 1 and audible > 0:
+                    winner = 0
+                    for c in range(1, num_colors):  # first maximum == argmax
+                        if hist[c] > hist[winner]:
+                            winner = c
+                    out[i, v] = winner
+                else:
+                    out[i, v] = colors[i, v]
+
+    @njit(parallel=True, cache=True)
+    def ordered(colors, nb, thr, top, out):
+        rows, n = colors.shape
+        d = nb.shape[1]
+        for i in prange(rows):
+            for v in range(n):
+                cur = colors[i, v]
+                greater = 0
+                for s in range(d):
+                    w = nb[v, s]
+                    if w >= 0 and colors[i, w] > cur:
+                        greater += 1
+                bump = greater >= thr[v] and cur < top
+                out[i, v] = cur + 1 if bump else cur
+
+    @njit(parallel=True, cache=True)
+    def threshold(colors, nb, thr, out):
+        rows, n = colors.shape
+        d = nb.shape[1]
+        for i in prange(rows):
+            for v in range(n):
+                if colors[i, v] == ACTIVE:
+                    out[i, v] = ACTIVE
+                    continue
+                active = 0
+                for s in range(d):
+                    w = nb[v, s]
+                    if w >= 0 and colors[i, w] == ACTIVE:
+                        active += 1
+                out[i, v] = ACTIVE if active >= thr[v] else 0
+
+    _KERNELS = {
+        "sort4": sort4,
+        "majority": majority,
+        "plurality": plurality,
+        "ordered": ordered,
+        "threshold": threshold,
+    }
+    return _KERNELS
+
+
+class _NumbaPlan:
+    """Bind a jitted kernel to its per-topology arguments + out buffer."""
+
+    def __init__(self, call: Callable, validate, n: int):
+        self._call = call
+        self._validate = validate
+        self._n = n
+        self._out = np.empty((0, n), np.int32)
+
+    def __call__(self, colors: np.ndarray) -> np.ndarray:
+        if self._validate is not None:
+            self._validate(colors)
+        b = colors.shape[0]
+        if b > self._out.shape[0]:
+            self._out = np.empty((b, self._n), np.int32)
+        out = self._out[:b]
+        self._call(np.ascontiguousarray(colors), out)
+        return out
+
+
+class NumbaBackend(KernelBackend):
+    """JIT row-parallel execution of the declarative kernel specs."""
+
+    name = "numba"
+
+    def availability_error(self):
+        return None if numba_available() else _MISSING_NUMBA
+
+    def compile(self, rule: Rule, topo: Topology, max_batch: int) -> Stepper:
+        kernels = _build_kernels()
+        spec = rule_spec(rule, topo)
+        if spec is None:
+            return fallback_stepper(rule, topo)
+        n = topo.num_vertices
+        nb = np.ascontiguousarray(topo.neighbors, dtype=np.int64)
+        if spec.kind in ("smp", "strong-majority"):
+            cols = [np.ascontiguousarray(nb[:, s]) for s in range(4)]
+            strong = spec.kind == "strong-majority"
+            fn = kernels["sort4"]
+            call = lambda colors, out: fn(colors, *cols, strong, out)
+        elif spec.kind == "majority":
+            cols = [np.ascontiguousarray(nb[:, s]) for s in range(4)]
+            prefer_black = spec.tie == "prefer-black"
+            fn = kernels["majority"]
+            call = lambda colors, out: fn(colors, *cols, prefer_black, out)
+        elif spec.kind == "plurality":
+            thr = np.ascontiguousarray(spec.thresholds, dtype=np.int64)
+            num_colors = int(spec.num_colors)
+            fn = kernels["plurality"]
+            call = lambda colors, out: fn(colors, nb, thr, num_colors, out)
+        elif spec.kind == "ordered":
+            thr = np.ascontiguousarray(spec.thresholds, dtype=np.int64)
+            top = int(spec.num_colors) - 1
+            fn = kernels["ordered"]
+            call = lambda colors, out: fn(colors, nb, thr, top, out)
+        elif spec.kind == "threshold":
+            thr = np.ascontiguousarray(spec.thresholds, dtype=np.int64)
+            fn = kernels["threshold"]
+            call = lambda colors, out: fn(colors, nb, thr, out)
+        else:  # a spec kind this backend does not know: defer to the rule
+            return fallback_stepper(rule, topo)
+        # trigger JIT specialization on a one-row dummy so compile-time
+        # stays out of the stepping loop (cache=True persists it on disk);
+        # bypasses the plan so the dummy needs no domain validation
+        call(np.zeros((1, n), np.int32), np.empty((1, n), np.int32))
+        return _NumbaPlan(call, spec.validate, n)

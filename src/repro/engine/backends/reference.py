@@ -1,0 +1,25 @@
+"""The reference backend: each rule's own ``step_batch`` kernel, as-is.
+
+This is the semantic baseline every other backend is measured against —
+the parity matrix asserts bitwise agreement with it, and the benchmark
+suite reports speedups relative to it.  It performs no precomputation and
+allocates fresh arrays every round, exactly like calling
+:meth:`~repro.rules.base.Rule.step_batch` by hand.
+"""
+
+from __future__ import annotations
+
+from ...rules.base import Rule
+from ...topology.base import Topology
+from .base import KernelBackend, Stepper, fallback_stepper
+
+__all__ = ["ReferenceBackend"]
+
+
+class ReferenceBackend(KernelBackend):
+    """Dispatch straight to ``rule.step_batch`` (no plan, no scratch)."""
+
+    name = "reference"
+
+    def compile(self, rule: Rule, topo: Topology, max_batch: int) -> Stepper:
+        return fallback_stepper(rule, topo)

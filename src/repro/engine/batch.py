@@ -27,17 +27,27 @@ Semantics mirror :func:`~repro.engine.runner.run_synchronous` row for row:
 The generic :meth:`step_batch` falls back to looping the rule's scalar
 :meth:`step` over rows, so *every* rule works with this driver from day
 one; the five shipped rules override it with flat vectorized kernels.
+
+How a round actually executes is delegated to a pluggable **kernel
+backend** (:mod:`repro.engine.backends`): the default ``stencil`` backend
+compiles each rule's declarative kernel spec into a zero-allocation
+NumPy plan, ``reference`` runs the rule's own ``step_batch``, and the
+optional ``numba`` backend JIT-compiles row-parallel kernels.  Backends
+are bitwise-interchangeable (the parity matrix in
+``tests/test_engine_backends.py`` pins it), so the choice never affects
+results, seeds, or witness-database cache keys.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
 from ..rules.base import Rule
 from ..topology.base import Topology
+from .backends import KernelBackend, select_backend
 from .result import RunResult
 from .runner import default_round_cap, parse_frozen
 
@@ -145,16 +155,21 @@ def run_batch(
     frozen: Optional[Iterable[int]] = None,
     irreversible_color: Optional[int] = None,
     detect_cycles: bool = True,
+    backend: Union[str, KernelBackend, None] = None,
 ) -> BatchRunResult:
     """Run every row of ``batch`` to fixed point, cycle, or round cap.
 
     Parameters mirror :func:`~repro.engine.runner.run_synchronous`; the
     returned arrays are indexed by row.  ``detect_cycles=False`` lets
     cycling rows run to the cap (cheaper for searches that only consume
-    converged outcomes).
+    converged outcomes).  ``backend`` selects how rule kernels execute
+    (a name, a :class:`~repro.engine.backends.KernelBackend` instance,
+    or ``None``/``"auto"`` for the default) — backends are
+    bitwise-interchangeable, so this only affects speed.
     """
     colors = as_color_batch(batch, topo.num_vertices).copy()
     b = colors.shape[0]
+    stepper = select_backend(backend).compile(rule, topo, max_batch=b)
     if max_rounds is None:
         max_rounds = default_round_cap(topo)
     if max_rounds < 0:
@@ -182,7 +197,7 @@ def run_batch(
         if not live_idx.size:
             break
         sub = colors[live_idx]
-        new = rule.step_batch(sub, topo)
+        new = stepper(sub)
         if frozen_idx is not None and frozen_idx.size:
             new[:, frozen_idx] = frozen_values[live_idx]
         if irreversible_color is not None:

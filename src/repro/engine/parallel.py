@@ -44,6 +44,7 @@ __all__ = [
     "shard_counts",
     "shard_seed",
     "topology_spec",
+    "validate_positive",
     "validate_processes",
 ]
 
@@ -91,6 +92,42 @@ def validate_processes(
             f"got {processes!r}"
         )
     return p
+
+
+def validate_positive(value, *, flag: str = "value") -> int:
+    """Validate a strictly positive integer tuning knob (shared by CLI
+    flags and driver keywords).
+
+    Batch and shard sizes are part of an experiment's *definition* (they
+    shape RNG draw order), so a nonsensical value must fail loudly here
+    rather than flow into ``shard_counts``/``run_batch`` and surface as
+    an opaque complaint — the companion of :func:`validate_processes`.
+
+    Parameters
+    ----------
+    value:
+        The raw value from a caller or CLI flag.
+    flag:
+        Name used in the error message (e.g. ``"--batch-size"``), so the
+        complaint points at what the user actually typed.
+
+    Returns
+    -------
+    The value as a plain ``int`` (never a numpy scalar).
+    """
+    try:
+        v = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{flag} must be a positive integer, got {value!r}"
+        ) from None
+    if isinstance(value, bool) or v != value:
+        # a non-integral value >= 1 would otherwise get the misleading
+        # ">= 1" complaint (and bool True silently counts as 1)
+        raise ValueError(f"{flag} must be a positive integer, got {value!r}")
+    if v < 1:
+        raise ValueError(f"{flag} must be >= 1, got {value!r}")
+    return v
 
 
 def resolve_processes(

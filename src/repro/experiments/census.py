@@ -34,10 +34,15 @@ import numpy as np
 
 from ..core.bounds import lower_bound
 from ..core.diagonal import diagonal_dynamo
-from ..core.search import exhaustive_min_dynamo_size, random_dynamo_search
+from ..core.search import (
+    BackendSpec,
+    exhaustive_min_dynamo_size,
+    random_dynamo_search,
+)
 from ..core.verify import is_monotone_dynamo
+from ..engine.backends import resolve_backend_ref
 from ..engine.batch import DYNAMICS_VERSION
-from ..engine.parallel import kind_tag, validate_processes
+from ..engine.parallel import kind_tag, validate_positive, validate_processes
 from ..io.witnessdb import CensusCellRecord, WitnessDB
 from ..topology.base import Topology
 from ..topology.tori import make_torus
@@ -95,6 +100,7 @@ def _random_floor_scan(
     processes: Optional[int],
     shard_size: Optional[int],
     db: Optional[WitnessDB] = None,
+    backend: BackendSpec = None,
 ) -> Tuple[Optional[int], Optional[int], _CellWitness]:
     """Scan seed sizes downward from ``start_size`` by random search.
 
@@ -120,6 +126,7 @@ def _random_floor_scan(
             processes=processes,
             shard_size=shard_size,
             db=db,
+            backend=backend,
         )
         if out.found_monotone_dynamo:
             best = s
@@ -151,6 +158,7 @@ def below_bound_census(
     shard_size: Optional[int] = None,
     db: Union[WitnessDB, str, Path, None] = None,
     stats: Optional[dict] = None,
+    backend: BackendSpec = None,
 ) -> List[CensusRow]:
     """Run the audit; every returned witness size is re-verified.
 
@@ -169,8 +177,22 @@ def below_bound_census(
     cells store their witness and summary on the way out.  ``stats``
     (an optional dict, mutated in place) reports ``cells``,
     ``cache_hits``, and ``witnesses_recorded``.
+
+    ``backend`` selects the kernel backend
+    (:mod:`repro.engine.backends`) the searches run under.  Backends are
+    bitwise-interchangeable, so the census table, the witnesses, and the
+    cache definition are identical under every backend — the chosen name
+    is recorded in witness provenance only.
     """
-    validate_processes(processes)
+    nproc = validate_processes(processes)
+    validate_positive(batch_size, flag="batch_size")
+    if shard_size is not None:
+        validate_positive(shard_size, flag="shard_size")
+    # same sharded-instance rejection the searches apply, but *before*
+    # any cell runs — a mid-census failure would waste finished cells
+    backend_name, _ = resolve_backend_ref(
+        backend, sharded=nproc is None or nproc > 0
+    )
     store = _open_db(db)
     witnesses_before = len(store) if store is not None else 0
     definition = {
@@ -207,6 +229,7 @@ def below_bound_census(
                     max_seed_size=bound,
                     batch_size=batch_size,
                     db=store,
+                    backend=backend,
                 )
                 if size is not None:
                     witness = (outcomes[-1].witnesses[0][0], _EXHAUSTIVE_PALETTE, 0)
@@ -219,7 +242,7 @@ def below_bound_census(
                     ruled_out_below=size,
                 )
                 rows.append(row)
-                _record_cell(store, definition, row, witness)
+                _record_cell(store, definition, row, witness, backend_name)
                 continue
             # diagonal family first (cheap for cached mesh sizes)
             con = diagonal_dynamo(
@@ -238,6 +261,7 @@ def below_bound_census(
                     processes=processes,
                     shard_size=shard_size,
                     db=store,
+                    backend=backend,
                 )
                 if below is not None:
                     witness = probe_witness
@@ -252,7 +276,7 @@ def below_bound_census(
                     ruled_out_below=ruled_out,
                 )
                 rows.append(row)
-                _record_cell(store, definition, row, witness)
+                _record_cell(store, definition, row, witness, backend_name)
                 continue
             # fall back to random search just below the bound
             topo = make_torus(kind, n, n)
@@ -265,6 +289,7 @@ def below_bound_census(
                 processes=processes,
                 shard_size=shard_size,
                 db=store,
+                backend=backend,
             )
             row = CensusRow(
                 kind=kind,
@@ -275,7 +300,7 @@ def below_bound_census(
                 ruled_out_below=ruled_out,
             )
             rows.append(row)
-            _record_cell(store, definition, row, witness)
+            _record_cell(store, definition, row, witness, backend_name)
     if stats is not None:
         # count actual store growth: the searches themselves append
         # witnesses beyond the one-per-cell the census links to its row
@@ -291,9 +316,12 @@ def _record_cell(
     definition: dict,
     row: CensusRow,
     witness: _CellWitness,
+    backend_name: str,
 ) -> None:
     """Persist one freshly computed cell: its witness (when the searches
-    have not already recorded it) and the census-cell summary."""
+    have not already recorded it) and the census-cell summary.  The
+    backend name lands in provenance only — the cell's cache definition
+    stays backend-independent."""
     if store is None:
         return
     from .. import __version__
@@ -318,6 +346,7 @@ def _record_cell(
                 "census": definition,
                 "paper_bound": row.paper_bound,
                 "engine": __version__,
+                "backend": backend_name,
             },
         )
         store.add(record)

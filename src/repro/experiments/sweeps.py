@@ -32,7 +32,13 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..engine.parallel import run_sharded, shard_counts, shard_seed
+from ..engine.parallel import (
+    run_sharded,
+    shard_counts,
+    shard_seed,
+    validate_positive,
+    validate_processes,
+)
 
 __all__ = [
     "SweepPoint",
@@ -132,7 +138,7 @@ def _convergence_shard(shard: tuple) -> Tuple[int, int, int, int, int]:
     from ..topology.tori import make_torus
 
     (kind, m, n, rule_name, num_colors, count, shard_idx, seed, batch_size,
-     max_rounds) = shard
+     max_rounds, backend) = shard
     topo = make_torus(kind, m, n)
     rule = make_rule(rule_name, num_colors=num_colors)
     low, palette, target = replica_palette(rule_name, num_colors)
@@ -152,7 +158,10 @@ def _convergence_shard(shard: tuple) -> Tuple[int, int, int, int, int]:
         batch = rng.integers(
             low, low + palette, size=(b, topo.num_vertices)
         ).astype(np.int32)
-        res = run_batch(topo, batch, rule, max_rounds=cap, target_color=target)
+        res = run_batch(
+            topo, batch, rule, max_rounds=cap, target_color=target,
+            backend=backend,
+        )
         converged += int(res.converged.sum())
         monochromatic += int(res.k_monochromatic.sum())
         monotone += int(res.monotone.sum())
@@ -173,6 +182,7 @@ def convergence_sweep(
     seed: int = 0xD1CE,
     processes: Optional[int] = 0,
     shard_size: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Random-replica convergence statistics per grid point, sharded.
 
@@ -187,18 +197,31 @@ def convergence_sweep(
     ``processes`` pool workers; per-shard integer partials are reduced
     in shard order, so the records are bitwise-identical at any process
     count.
+
+    ``backend`` names the kernel backend
+    (:mod:`repro.engine.backends`) each worker resolves locally;
+    backends are bitwise-interchangeable, so records never depend on it.
     """
+    from ..engine.backends import resolve_backend_ref
     from ..rules import make_rule  # validate the rule name before forking
 
-    if replicas < 1:
-        raise ValueError("replicas must be >= 1")
-    if batch_size < 1:
-        raise ValueError("batch_size must be >= 1")
+    validate_positive(replicas, flag="replicas")
+    validate_positive(batch_size, flag="batch_size")
+    if shard_size is not None:
+        validate_positive(shard_size, flag="shard_size")
     make_rule(rule_name, num_colors=num_colors)
+    nproc = validate_processes(processes)
+    # shards carry the backend *name* whenever a pool could spin up
+    # (workers resolve it locally) and the instance itself only inline;
+    # unpicklable instances are rejected here, before forking
+    _, backend_ref = resolve_backend_ref(
+        backend, sharded=nproc is None or nproc > 0
+    )
     pts: List[SweepPoint] = list(points)
     counts = shard_counts(replicas, shard_size if shard_size is not None else batch_size)
     shards = [
-        (kind, m, n, rule_name, num_colors, count, si, seed, batch_size, max_rounds)
+        (kind, m, n, rule_name, num_colors, count, si, seed, batch_size,
+         max_rounds, backend_ref)
         for kind, m, n in pts
         for si, count in enumerate(counts)
     ]

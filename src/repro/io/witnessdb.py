@@ -28,7 +28,10 @@ Three record types share the file:
     A configuration + provenance + verification status
     (:class:`~repro.io.serialize.WitnessRecord`).  Provenance carries the
     *search definition* (mode, entropy words, trial counts, batch and
-    shard geometry) under which the configuration was first discovered.
+    shard geometry) under which the configuration was first discovered,
+    plus the kernel backend name it ran under — recorded for forensics
+    only, since backends are bitwise-interchangeable and therefore
+    deliberately excluded from every cache-definition key.
 
 ``"search"``
     One search invocation's summary: its definition, the ordered ids of
@@ -310,7 +313,7 @@ class WitnessVerification:
 
 
 def verify_witness(
-    record: WitnessRecord, *, max_rounds: Optional[int] = None
+    record: WitnessRecord, *, max_rounds: Optional[int] = None, backend=None
 ) -> WitnessVerification:
     """Replay a stored witness through :func:`repro.engine.batch.run_batch`.
 
@@ -328,6 +331,12 @@ def verify_witness(
     max_rounds:
         Round cap for the replay; defaults to the search drivers'
         ``4 * N + 16``.
+    backend:
+        Kernel backend for the replay
+        (:func:`repro.engine.backends.select_backend` spec).  Backends
+        are bitwise-interchangeable, so a witness verifies identically
+        under all of them — including witnesses whose provenance records
+        a *different* discovery backend.
 
     Returns
     -------
@@ -357,6 +366,7 @@ def verify_witness(
         max_rounds=max_rounds,
         target_color=record.k,
         detect_cycles=False,
+        backend=backend,
     )
     rounds = int(res.rounds[0])
     if not bool(res.k_monochromatic[0]):
@@ -599,6 +609,7 @@ class WitnessDB:
         *,
         max_rounds: Optional[int] = None,
         update: bool = True,
+        backend=None,
     ) -> WitnessVerification:
         """Re-verify one witness and (by default) stamp the outcome.
 
@@ -614,7 +625,7 @@ class WitnessDB:
             if isinstance(record_or_id, WitnessRecord)
             else self.resolve(record_or_id)
         )
-        outcome = verify_witness(record, max_rounds=max_rounds)
+        outcome = verify_witness(record, max_rounds=max_rounds, backend=backend)
         stored = record.id in self._records
         if update and stored and record.verified != outcome.ok:
             stamped = WitnessRecord(

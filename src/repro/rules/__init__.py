@@ -1,6 +1,6 @@
 """Recoloring rules: the SMP-Protocol and its baselines/generalizations."""
 
-from .base import Rule, as_color_array
+from .base import KernelSpec, Rule, as_color_array
 from .ordered import OrderedIncrementRule
 from .majority import BLACK, WHITE, ReverseSimpleMajority, ReverseStrongMajority
 from .plurality import GeneralizedPluralityRule, ceil_half, strong_threshold
@@ -74,6 +74,7 @@ def make_rule(name: str, *, num_colors: int = 4, tie: str = "prefer-black",
 
 
 __all__ = [
+    "KernelSpec",
     "Rule",
     "as_color_array",
     "make_rule",

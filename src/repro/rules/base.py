@@ -1,18 +1,30 @@
 """Recoloring-rule interface.
 
 A :class:`Rule` encapsulates one synchronous local update: given the current
-color vector and a topology, produce the next color vector.  Every rule
-provides two implementations:
+color vector and a topology, produce the next color vector.  There is exactly
+**one** kernel per rule:
 
-* :meth:`Rule.step` — the vectorized kernel used by the engine (no Python
-  loop over vertices; see the hpc-parallel notes in DESIGN.md),
+* :meth:`Rule.step_batch` — the vectorized kernel of the batched engine
+  (:mod:`repro.engine.batch`), advancing a ``(B, N)`` block of independent
+  replicas in one fused pass;
+* :meth:`Rule.step` — the scalar entry point used by the synchronous runner;
+  it is **not** a second implementation: the base class runs it as a
+  ``(1, N)`` view through :meth:`step_batch`, so the scalar and batched
+  dynamics cannot drift;
 * :meth:`Rule.update_vertex` — a scalar reference used as the correctness
   oracle in tests and by the asynchronous scheduler.
 
-Rules may additionally override :meth:`Rule.step_batch`, the kernel of the
-batched multi-replica engine (:mod:`repro.engine.batch`), which advances a
-``(B, N)`` block of independent replicas in one fused pass; the base class
-supplies a row-looping fallback so the batched engine works with any rule.
+A rule may override either :meth:`step_batch` (the five shipped rules do)
+or, for quick prototypes, just :meth:`step` — the base :meth:`step_batch`
+falls back to looping :meth:`step` over rows.  Overriding neither raises
+:class:`TypeError` at call time.
+
+Rules additionally publish a :class:`KernelSpec` via :meth:`Rule.kernel_spec`
+— a declarative description of their neighbor reduction (sorted gather,
+histogram, threshold count, ...) that the pluggable kernel backends in
+:mod:`repro.engine.backends` compile into optimized steppers.  A rule
+without a spec (``None``) still works everywhere: backends fall back to its
+:meth:`step_batch`.
 
 Colors are small non-negative integers stored in ``int32`` vectors (the
 paper's ``C = {1..k}``; 0 is also a legal color id — nothing in the engine
@@ -22,13 +34,14 @@ reserves it).
 from __future__ import annotations
 
 import abc
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
 from ..topology.base import Topology
 
-__all__ = ["Rule", "as_color_array"]
+__all__ = ["KernelSpec", "Rule", "as_color_array"]
 
 
 def as_color_array(colors: Sequence[int] | np.ndarray, num_vertices: int) -> np.ndarray:
@@ -41,6 +54,40 @@ def as_color_array(colors: Sequence[int] | np.ndarray, num_vertices: int) -> np.
     return np.ascontiguousarray(arr)
 
 
+@dataclass(eq=False)  # ndarray fields make generated __eq__ raise; identity
+# comparison is the meaningful one for per-(rule, topo) compile products
+class KernelSpec:
+    """Declarative description of a rule's neighbor reduction on one topology.
+
+    Backends (:mod:`repro.engine.backends`) dispatch on :attr:`kind` and
+    compile the spec into an optimized stepper; every field a kernel needs
+    beyond the topology's neighbor table is materialized here *once* (e.g.
+    the per-vertex threshold vector), so compiled plans never call back
+    into rule instance state.
+
+    The spec is built per ``(rule, topology)`` pair by
+    :meth:`Rule.kernel_spec` and is purely an in-process protocol — specs
+    are never pickled (pool workers rebuild them locally from the rule and
+    topology they already reconstruct).
+    """
+
+    #: dispatch tag: ``"smp"`` / ``"majority"`` / ``"strong-majority"`` /
+    #: ``"plurality"`` / ``"ordered"`` / ``"threshold"``
+    kind: str
+    #: exclusive palette bound (histogram width / top color), when the
+    #: kernel needs one
+    num_colors: Optional[int] = None
+    #: per-vertex adoption thresholds, already resolved against the
+    #: topology's (audible) degrees
+    thresholds: Optional[np.ndarray] = None
+    #: tie policy of the simple-majority kind
+    tie: Optional[str] = None
+    #: input validator invoked on every batch before the kernel runs; must
+    #: raise exactly the :class:`ValueError` the rule's own kernel would,
+    #: so backends are interchangeable down to their error behavior
+    validate: Optional[Callable[[np.ndarray], None]] = None
+
+
 class Rule(abc.ABC):
     """Abstract synchronous recoloring rule."""
 
@@ -50,7 +97,6 @@ class Rule(abc.ABC):
     #: other degrees.
     regular_degree: Optional[int] = None
 
-    @abc.abstractmethod
     def step(
         self,
         colors: np.ndarray,
@@ -59,9 +105,21 @@ class Rule(abc.ABC):
     ) -> np.ndarray:
         """Apply one synchronous round; return the next color vector.
 
-        ``out`` may alias a preallocated buffer (never ``colors`` itself) to
-        avoid per-round allocation in long runs.
+        This base implementation runs the coloring as a ``(1, N)`` view
+        through :meth:`step_batch` — the rule's one true kernel — so the
+        scalar and batched dynamics are the same code path by
+        construction.  ``out`` may alias a preallocated buffer (never
+        ``colors`` itself) to avoid per-round allocation in long runs.
         """
+        if type(self).step_batch is Rule.step_batch:
+            raise TypeError(
+                f"{type(self).__name__} overrides neither step_batch nor "
+                "step; implement one of them"
+            )
+        if out is None:
+            return self.step_batch(colors[None, :], topo)[0]
+        self.step_batch(colors[None, :], topo, out=out[None, :])
+        return out
 
     @abc.abstractmethod
     def update_vertex(self, current: int, neighbor_colors: Sequence[int]) -> int:
@@ -78,10 +136,20 @@ class Rule(abc.ABC):
 
         The batched engine (:mod:`repro.engine.batch`) drives simulations
         through this entry point.  This base implementation is the
-        correctness oracle: it loops :meth:`step` over rows, so every rule
-        works with the batched engine unchanged; rules override it with a
-        kernel vectorized over the batch axis (all five shipped rules do).
+        fallback for prototype rules that only implement :meth:`step`: it
+        loops the scalar kernel over rows, so every rule works with the
+        batched engine unchanged.  The five shipped rules override it with
+        a kernel vectorized over the batch axis (and :meth:`step` then
+        delegates here on a one-row view).  Calling this base
+        implementation *explicitly* on such a rule is still meaningful —
+        tests use it as a row-loop oracle (each row then runs through the
+        rule's own kernel on a one-row view).
         """
+        if type(self).step is Rule.step and type(self).step_batch is Rule.step_batch:
+            raise TypeError(
+                f"{type(self).__name__} overrides neither step_batch nor "
+                "step; implement one of them"
+            )
         if colors.ndim != 2:
             raise ValueError(f"expected a (B, N) batch, got shape {colors.shape}")
         if out is None:
@@ -89,6 +157,17 @@ class Rule(abc.ABC):
         for row in range(colors.shape[0]):
             self.step(colors[row], topo, out=out[row])
         return out
+
+    def kernel_spec(self, topo: Topology) -> Optional[KernelSpec]:
+        """Describe this rule's kernel on ``topo`` for the backend layer.
+
+        Returns ``None`` when no declarative description exists — for
+        custom rules, or when ``topo`` does not satisfy the rule's
+        structural requirements (backends then fall back to
+        :meth:`step_batch`, which raises the rule's own error).  The five
+        shipped rules override this.
+        """
+        return None
 
     def step_reference(self, colors: np.ndarray, topo: Topology) -> np.ndarray:
         """Pure-Python synchronous round via :meth:`update_vertex`.

@@ -30,7 +30,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..topology.base import Topology
-from .base import Rule
+from .base import KernelSpec, Rule
 
 __all__ = [
     "WHITE",
@@ -63,28 +63,6 @@ class ReverseSimpleMajority(Rule):
             raise ValueError(f"unknown tie policy {tie!r}")
         self.tie = tie
 
-    def step(
-        self,
-        colors: np.ndarray,
-        topo: Topology,
-        out: Optional[np.ndarray] = None,
-    ) -> np.ndarray:
-        if topo.neighbors.shape[1] != 4 or not topo.is_regular:
-            raise ValueError("ReverseSimpleMajority requires a 4-regular topology")
-        self._check_bicolored(colors)
-        black_count = (colors[topo.neighbors] == BLACK).sum(axis=1)
-        if self.tie == "prefer-black":
-            result = np.where(black_count >= 2, BLACK, WHITE)
-        else:  # prefer-current: strict majority flips, tie keeps
-            result = np.where(
-                black_count >= 3, BLACK, np.where(black_count <= 1, WHITE, colors)
-            )
-        result = result.astype(np.int32, copy=False)
-        if out is None:
-            return result
-        np.copyto(out, result)
-        return out
-
     def step_batch(
         self,
         colors: np.ndarray,
@@ -106,6 +84,13 @@ class ReverseSimpleMajority(Rule):
             return result
         np.copyto(out, result)
         return out
+
+    def kernel_spec(self, topo: Topology) -> Optional[KernelSpec]:
+        if topo.neighbors.shape[1] != 4 or not topo.is_regular:
+            return None  # step_batch fallback raises the rule's own error
+        return KernelSpec(
+            kind="majority", tie=self.tie, validate=self._check_bicolored
+        )
 
     def update_vertex(self, current: int, neighbor_colors: Sequence[int]) -> int:
         if len(neighbor_colors) != 4:
@@ -140,27 +125,6 @@ class ReverseStrongMajority(Rule):
 
     regular_degree = 4
 
-    def step(
-        self,
-        colors: np.ndarray,
-        topo: Topology,
-        out: Optional[np.ndarray] = None,
-    ) -> np.ndarray:
-        if topo.neighbors.shape[1] != 4 or not topo.is_regular:
-            raise ValueError("ReverseStrongMajority requires a 4-regular topology")
-        s = np.sort(colors[topo.neighbors], axis=1)
-        # A color reaching 3 of 4 sorted slots occupies s1 and s2; a low
-        # triple has s0==s1==s2, a high triple s1==s2==s3.  Either way the
-        # triple color equals s1 (== s2).
-        low3 = (s[:, 0] == s[:, 1]) & (s[:, 1] == s[:, 2])
-        high3 = (s[:, 1] == s[:, 2]) & (s[:, 2] == s[:, 3])
-        result = np.where(low3 | high3, s[:, 1], colors)
-        result = result.astype(np.int32, copy=False)
-        if out is None:
-            return result
-        np.copyto(out, result)
-        return out
-
     def step_batch(
         self,
         colors: np.ndarray,
@@ -169,6 +133,9 @@ class ReverseStrongMajority(Rule):
     ) -> np.ndarray:
         if topo.neighbors.shape[1] != 4 or not topo.is_regular:
             raise ValueError("ReverseStrongMajority requires a 4-regular topology")
+        # A color reaching 3 of 4 sorted slots occupies s1 and s2; a low
+        # triple has s0==s1==s2, a high triple s1==s2==s3.  Either way the
+        # triple color equals s1 (== s2).
         s = np.sort(colors[:, topo.neighbors], axis=2)
         low3 = (s[..., 0] == s[..., 1]) & (s[..., 1] == s[..., 2])
         high3 = (s[..., 1] == s[..., 2]) & (s[..., 2] == s[..., 3])
@@ -177,6 +144,11 @@ class ReverseStrongMajority(Rule):
             return result
         np.copyto(out, result)
         return out
+
+    def kernel_spec(self, topo: Topology) -> Optional[KernelSpec]:
+        if topo.neighbors.shape[1] != 4 or not topo.is_regular:
+            return None
+        return KernelSpec(kind="strong-majority")
 
     def update_vertex(self, current: int, neighbor_colors: Sequence[int]) -> int:
         if len(neighbor_colors) != 4:

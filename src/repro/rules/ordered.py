@@ -27,7 +27,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..topology.base import Topology
-from .base import Rule
+from .base import KernelSpec, Rule
 
 __all__ = ["OrderedIncrementRule"]
 
@@ -59,25 +59,9 @@ class OrderedIncrementRule(Rule):
         d = degrees.astype(np.int64)
         return (d + 1) // 2 if self.threshold == "simple" else d // 2 + 1
 
-    def step(
-        self,
-        colors: np.ndarray,
-        topo: Topology,
-        out: Optional[np.ndarray] = None,
-    ) -> np.ndarray:
+    def _validate_palette(self, colors: np.ndarray) -> None:
         if np.any(colors >= self.num_colors) or np.any(colors < 0):
             raise ValueError(f"colors must lie in [0, {self.num_colors})")
-        nb = topo.neighbors
-        mask = nb >= 0
-        neighbor_colors = colors[np.where(mask, nb, 0)]
-        greater = ((neighbor_colors > colors[:, None]) & mask).sum(axis=1)
-        thr = self._thresholds(topo.degrees)
-        bump = (greater >= thr) & (colors < self.num_colors - 1)
-        result = np.where(bump, colors + 1, colors).astype(np.int32, copy=False)
-        if out is None:
-            return result
-        np.copyto(out, result)
-        return out
 
     def step_batch(
         self,
@@ -85,8 +69,7 @@ class OrderedIncrementRule(Rule):
         topo: Topology,
         out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        if np.any(colors >= self.num_colors) or np.any(colors < 0):
-            raise ValueError(f"colors must lie in [0, {self.num_colors})")
+        self._validate_palette(colors)
         nb = topo.neighbors
         mask = nb >= 0
         neighbor_colors = colors[:, np.where(mask, nb, 0)]
@@ -98,6 +81,14 @@ class OrderedIncrementRule(Rule):
             return result
         np.copyto(out, result)
         return out
+
+    def kernel_spec(self, topo: Topology) -> Optional[KernelSpec]:
+        return KernelSpec(
+            kind="ordered",
+            num_colors=self.num_colors,
+            thresholds=self._thresholds(topo.degrees),
+            validate=self._validate_palette,
+        )
 
     def update_vertex(self, current: int, neighbor_colors: Sequence[int]) -> int:
         d = len(neighbor_colors)

@@ -27,7 +27,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from ..topology.base import Topology
-from .base import Rule
+from .base import KernelSpec, Rule
 
 __all__ = ["GeneralizedPluralityRule", "ceil_half", "strong_threshold"]
 
@@ -72,14 +72,12 @@ class GeneralizedPluralityRule(Rule):
         self.threshold_fn = threshold_fn
 
     # ------------------------------------------------------------------
-    def step(
-        self,
-        colors: np.ndarray,
-        topo: Topology,
-        out: Optional[np.ndarray] = None,
-    ) -> np.ndarray:
-        mask = topo.neighbors >= 0
-        return self.step_masked(colors, topo, mask, out=out)
+    def _validate_palette(self, colors: np.ndarray) -> None:
+        if np.any(colors >= self.num_colors) or np.any(colors < 0):
+            raise ValueError(
+                f"colors must lie in [0, {self.num_colors}); "
+                "construct the rule with the full palette size"
+            )
 
     def step_masked(
         self,
@@ -94,11 +92,7 @@ class GeneralizedPluralityRule(Rule):
         out by the caller (they are whenever the mask came from
         :class:`~repro.topology.temporal.AvailabilityProcess`).
         """
-        if np.any(colors >= self.num_colors) or np.any(colors < 0):
-            raise ValueError(
-                f"colors must lie in [0, {self.num_colors}); "
-                "construct the rule with the full palette size"
-            )
+        self._validate_palette(colors)
         nb = topo.neighbors
         n = nb.shape[0]
         counts = np.zeros((n, self.num_colors), dtype=np.int32)
@@ -128,11 +122,7 @@ class GeneralizedPluralityRule(Rule):
     ) -> np.ndarray:
         """Batched counting kernel: one ``(B, N, num_colors)`` histogram,
         accumulated with one fused scatter per neighbor slot."""
-        if np.any(colors >= self.num_colors) or np.any(colors < 0):
-            raise ValueError(
-                f"colors must lie in [0, {self.num_colors}); "
-                "construct the rule with the full palette size"
-            )
+        self._validate_palette(colors)
         nb = topo.neighbors
         mask = nb >= 0
         b, n = colors.shape
@@ -155,6 +145,23 @@ class GeneralizedPluralityRule(Rule):
             return result
         np.copyto(out, result)
         return out
+
+    def kernel_spec(self, topo: Topology) -> Optional[KernelSpec]:
+        audible = (topo.neighbors >= 0).sum(axis=1).astype(np.int64)
+        thresholds = np.asarray(self.threshold_fn(audible))
+        if not np.issubdtype(thresholds.dtype, np.integer) and not np.all(
+            thresholds == np.trunc(thresholds)
+        ):
+            # a fractional threshold_fn (counts >= 2.5) has no exact
+            # integer form; no spec — backends fall back to step_batch,
+            # which keeps them bitwise-identical
+            return None
+        return KernelSpec(
+            kind="plurality",
+            num_colors=self.num_colors,
+            thresholds=thresholds.astype(np.int64),
+            validate=self._validate_palette,
+        )
 
     def update_vertex(self, current: int, neighbor_colors: Sequence[int]) -> int:
         d = len(neighbor_colors)

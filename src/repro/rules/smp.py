@@ -40,7 +40,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..topology.base import Topology
-from .base import Rule
+from .base import KernelSpec, Rule
 
 __all__ = [
     "SMPRule",
@@ -129,32 +129,6 @@ class SMPRule(Rule):
 
     regular_degree = 4
 
-    def step(
-        self,
-        colors: np.ndarray,
-        topo: Topology,
-        out: Optional[np.ndarray] = None,
-    ) -> np.ndarray:
-        nb = topo.neighbors
-        if nb.shape[1] != 4 or not topo.is_regular:
-            raise ValueError(
-                "SMPRule.step requires a 4-regular topology; use "
-                "GeneralizedPluralityRule for arbitrary graphs"
-            )
-        s = np.sort(colors[nb], axis=1)
-        s0, s1, s2 = s[:, 0], s[:, 1], s[:, 2]
-        e1 = s0 == s1
-        e2 = s1 == s[:, 2]
-        e3 = s[:, 2] == s[:, 3]
-        adopt0 = e1 & (e2 | ~e3)
-        adopt1 = e2 & ~e1
-        adopt2 = e3 & ~e2 & ~e1
-        result = np.where(adopt0, s0, np.where(adopt1, s1, np.where(adopt2, s2, colors)))
-        if out is None:
-            return result.astype(np.int32, copy=False)
-        np.copyto(out, result)
-        return out
-
     def step_batch(
         self,
         colors: np.ndarray,
@@ -171,6 +145,11 @@ class SMPRule(Rule):
             return result
         np.copyto(out, result)
         return out
+
+    def kernel_spec(self, topo: Topology) -> Optional[KernelSpec]:
+        if topo.neighbors.shape[1] != 4 or not topo.is_regular:
+            return None  # step_batch fallback raises the rule's own error
+        return KernelSpec(kind="smp")
 
     def update_vertex(self, current: int, neighbor_colors: Sequence[int]) -> int:
         if len(neighbor_colors) != 4:

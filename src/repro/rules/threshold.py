@@ -16,12 +16,13 @@ Thresholds are per-vertex.  The classical settings from the literature
 
 from __future__ import annotations
 
+import weakref
 from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from ..topology.base import Topology
-from .base import Rule
+from .base import KernelSpec, Rule
 
 __all__ = ["LinearThresholdRule", "INACTIVE", "ACTIVE"]
 
@@ -37,11 +38,17 @@ class LinearThresholdRule(Rule):
     def __init__(self, thresholds: Union[str, Sequence[int], np.ndarray] = "simple"):
         self._spec = thresholds
         self._cached: Optional[np.ndarray] = None
-        self._cached_for: Optional[int] = None
+        self._cached_for = None  # weakref to the topology, not its id —
+        # id() values get reused after garbage collection, which would
+        # serve one topology's thresholds to another of the same size
 
     def thresholds_for(self, topo: Topology) -> np.ndarray:
         """Resolve the threshold spec against a topology's degree vector."""
-        if self._cached is not None and self._cached_for == id(topo):
+        if (
+            self._cached is not None
+            and self._cached_for is not None
+            and self._cached_for() is topo
+        ):
             return self._cached
         deg = topo.degrees.astype(np.int64)
         if isinstance(self._spec, str):
@@ -62,27 +69,22 @@ class LinearThresholdRule(Rule):
                 )
             if np.any(thr < 0):
                 raise ValueError("thresholds must be non-negative")
-        self._cached, self._cached_for = thr, id(topo)
+        self._cached, self._cached_for = thr, weakref.ref(topo)
         return thr
 
-    def step(
-        self,
-        colors: np.ndarray,
-        topo: Topology,
-        out: Optional[np.ndarray] = None,
-    ) -> np.ndarray:
+    def __getstate__(self):
+        # the lazy cache holds a weakref (unpicklable) and is
+        # per-process state anyway: pool workers rebuild their topology,
+        # so a shipped cache could never hit
+        state = dict(self.__dict__)
+        state["_cached"] = None
+        state["_cached_for"] = None
+        return state
+
+    @staticmethod
+    def _validate_states(colors: np.ndarray) -> None:
         if np.any((colors != INACTIVE) & (colors != ACTIVE)):
             raise ValueError("linear-threshold states must be 0 (inactive) or 1 (active)")
-        thr = self.thresholds_for(topo)
-        nb, mask = topo.neighbors, topo.neighbors >= 0
-        active_neighbors = ((colors[np.where(mask, nb, 0)] == ACTIVE) & mask).sum(axis=1)
-        result = np.where(
-            (colors == ACTIVE) | (active_neighbors >= thr), ACTIVE, INACTIVE
-        ).astype(np.int32, copy=False)
-        if out is None:
-            return result
-        np.copyto(out, result)
-        return out
 
     def step_batch(
         self,
@@ -90,8 +92,7 @@ class LinearThresholdRule(Rule):
         topo: Topology,
         out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        if np.any((colors != INACTIVE) & (colors != ACTIVE)):
-            raise ValueError("linear-threshold states must be 0 (inactive) or 1 (active)")
+        self._validate_states(colors)
         thr = self.thresholds_for(topo)
         nb, mask = topo.neighbors, topo.neighbors >= 0
         active_neighbors = (
@@ -104,6 +105,13 @@ class LinearThresholdRule(Rule):
             return result
         np.copyto(out, result)
         return out
+
+    def kernel_spec(self, topo: Topology) -> Optional[KernelSpec]:
+        return KernelSpec(
+            kind="threshold",
+            thresholds=self.thresholds_for(topo),
+            validate=self._validate_states,
+        )
 
     def update_vertex(self, current: int, neighbor_colors: Sequence[int]) -> int:
         if current == ACTIVE:

@@ -1,0 +1,557 @@
+"""Kernel-backend subsystem tests.
+
+The contract of :mod:`repro.engine.backends` is **bitwise
+interchangeability**: every registered backend must produce exactly the
+arrays the ``reference`` backend produces, for every rule, topology, and
+engine flag — that is what makes backend choice safe to exclude from
+witness-database cache keys.  The parity matrix below pins it; the
+seed-stability tests pin that searches and censuses (including their
+recorded witness ids) do not depend on ``backend``.
+
+The ``numba`` backend participates automatically when the optional
+package is installed (CI runs a dedicated leg with it); without numba the
+matrix covers the two NumPy backends and the unavailability error path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.search import random_dynamo_search
+from repro.engine import run_batch
+from repro.engine.backends import (
+    BackendUnavailableError,
+    KernelBackend,
+    available_backend_names,
+    backend_names,
+    fallback_stepper,
+    select_backend,
+)
+from repro.engine.backends.numba_backend import numba_available
+from repro.experiments import below_bound_census
+from repro.io.witnessdb import WitnessDB
+from repro.rules import (
+    GeneralizedPluralityRule,
+    LinearThresholdRule,
+    OrderedIncrementRule,
+    ReverseSimpleMajority,
+    ReverseStrongMajority,
+    Rule,
+    SMPRule,
+)
+from repro.topology import GraphTopology, ToroidalMesh
+
+from helpers import TORUS_KINDS
+
+#: the per-rule palettes of the parity matrix (name -> factory, low,
+#: palette size, target color), mirroring test_engine_batch.RULE_CASES
+RULE_CASES = {
+    "smp": (lambda: SMPRule(), 0, 4, 0),
+    "majority": (lambda: ReverseSimpleMajority("prefer-black"), 1, 2, 2),
+    "majority-pc": (lambda: ReverseSimpleMajority("prefer-current"), 1, 2, 2),
+    "strong-majority": (lambda: ReverseStrongMajority(), 0, 4, 0),
+    "plurality": (lambda: GeneralizedPluralityRule(5), 0, 5, 0),
+    "ordered": (lambda: OrderedIncrementRule(4), 0, 4, 3),
+    "threshold": (lambda: LinearThresholdRule("simple"), 0, 2, 1),
+}
+
+#: engine-flag variants of the parity matrix: cycle detection on/off,
+#: frozen vertices, and the irreversible-color mode
+VARIANTS = {
+    "plain": {},
+    "no-cycles": {"detect_cycles": False},
+    "frozen": {"frozen": [0, 3, 7]},
+    "irreversible": {},  # irreversible_color filled per-case (target)
+}
+
+RESULT_FIELDS = (
+    "final", "rounds", "converged", "cycle_length", "fixed_point_round",
+    "monotone",
+)
+
+
+@pytest.fixture(params=sorted(RULE_CASES))
+def rule_case(request):
+    return request.param
+
+
+@pytest.fixture(params=[n for n in available_backend_names() if n != "reference"])
+def fast_backend(request):
+    """Every registered non-reference backend that can run here."""
+    return request.param
+
+
+def _assert_results_equal(res, ref, context):
+    for field in RESULT_FIELDS:
+        a, b = getattr(res, field), getattr(ref, field)
+        if a is None or b is None:
+            assert a is b, (context, field)
+        else:
+            assert np.array_equal(a, b), (context, field)
+
+
+# ----------------------------------------------------------------------
+# the parity matrix: backends x rules x torus kinds x engine flags
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_backend_parity_matrix(rng, torus_kind, rule_case, fast_backend, variant):
+    topo = TORUS_KINDS[torus_kind](4, 5)
+    factory, low, palette, target = RULE_CASES[rule_case]
+    rule = factory()
+    batch = rng.integers(low, low + palette, size=(24, topo.num_vertices)).astype(
+        np.int32
+    )
+    kwargs = dict(VARIANTS[variant])
+    if variant == "irreversible":
+        kwargs["irreversible_color"] = target
+    ref = run_batch(
+        topo, batch, rule, max_rounds=100, target_color=target,
+        backend="reference", **kwargs,
+    )
+    res = run_batch(
+        topo, batch, rule, max_rounds=100, target_color=target,
+        backend=fast_backend, **kwargs,
+    )
+    _assert_results_equal(res, ref, (fast_backend, rule_case, variant))
+
+
+def test_backend_parity_on_padded_irregular_graph(rng, fast_backend):
+    """Padded neighbor tables (degrees 1/2) through the spec'd kernels."""
+    import networkx as nx
+
+    topo = GraphTopology(nx.path_graph(7))
+    for rule in (
+        GeneralizedPluralityRule(4),
+        OrderedIncrementRule(3),
+        LinearThresholdRule("strong"),
+    ):
+        palette = getattr(rule, "num_colors", 2)
+        batch = rng.integers(0, palette, size=(11, 7)).astype(np.int32)
+        stepper = select_backend(fast_backend).compile(rule, topo, 11)
+        assert np.array_equal(stepper(batch), rule.step_batch(batch, topo))
+
+
+def test_backend_steppers_tolerate_shrinking_batches(rng, fast_backend):
+    """run_batch retires rows, so steppers see shrinking widths; results
+    must not depend on the compile-time max_batch."""
+    topo = ToroidalMesh(4, 4)
+    rule = SMPRule()
+    stepper = select_backend(fast_backend).compile(rule, topo, 16)
+    for b in (16, 7, 1, 9):  # shrink and re-grow within capacity
+        batch = rng.integers(0, 4, size=(b, topo.num_vertices)).astype(np.int32)
+        assert np.array_equal(stepper(batch), rule.step_batch(batch, topo))
+
+
+def test_backend_validation_errors_match_reference(fast_backend):
+    """Domain validation raises the rule's own ValueError on every backend."""
+    topo = ToroidalMesh(3, 3)
+    bad = np.full((2, 9), 7, dtype=np.int32)
+    for rule in (
+        ReverseSimpleMajority("prefer-black"),
+        GeneralizedPluralityRule(4),
+        OrderedIncrementRule(4),
+        LinearThresholdRule("simple"),
+    ):
+        with pytest.raises(ValueError):
+            run_batch(topo, bad, rule, max_rounds=5, backend=fast_backend)
+
+
+def test_smp_on_irregular_topology_raises_on_every_backend(fast_backend):
+    import networkx as nx
+
+    star = GraphTopology(nx.star_graph(5))
+    batch = np.zeros((2, 6), dtype=np.int32)
+    with pytest.raises(ValueError):
+        run_batch(star, batch, SMPRule(), max_rounds=5, backend=fast_backend)
+
+
+def test_fractional_plurality_thresholds_fall_back(rng, fast_backend):
+    """A fractional threshold_fn (counts >= 2.5) has no exact integer
+    spec; the rule must publish none, so every backend runs the
+    reference kernel and stays bitwise-identical."""
+    topo = ToroidalMesh(4, 4)
+    rule = GeneralizedPluralityRule(4, threshold_fn=lambda d: d / 2 + 0.5)
+    assert rule.kernel_spec(topo) is None
+    batch = rng.integers(0, 4, size=(16, topo.num_vertices)).astype(np.int32)
+    stepper = select_backend(fast_backend).compile(rule, topo, 16)
+    assert np.array_equal(stepper(batch), rule.step_batch(batch, topo))
+    # integral-valued float thresholds are exact and keep the fast path
+    exact = GeneralizedPluralityRule(4, threshold_fn=lambda d: np.ceil(d / 2))
+    spec = exact.kernel_spec(topo)
+    assert spec is not None and spec.thresholds.dtype == np.int64
+    stepper = select_backend(fast_backend).compile(exact, topo, 16)
+    assert np.array_equal(stepper(batch), exact.step_batch(batch, topo))
+
+
+def test_subclassed_kernel_override_beats_inherited_spec(rng, fast_backend):
+    """A subclass overriding step_batch without republishing kernel_spec
+    must run its own kernel — the parent's spec is not authoritative."""
+
+    class NeverRecolor(SMPRule):
+        def step_batch(self, colors, topo, out=None):
+            if out is None:
+                return colors.copy()
+            np.copyto(out, colors)
+            return out
+
+    topo = ToroidalMesh(4, 4)
+    batch = rng.integers(0, 4, size=(8, topo.num_vertices)).astype(np.int32)
+    stepper = select_backend(fast_backend).compile(NeverRecolor(), topo, 8)
+    assert np.array_equal(stepper(batch), batch)
+    # a subclass that republishes its spec opts back into the fast path
+    from repro.rules import KernelSpec
+
+    class RepublishedSMP(SMPRule):
+        def step_batch(self, colors, topo, out=None):
+            return SMPRule.step_batch(self, colors, topo, out=out)
+
+        def kernel_spec(self, topo):
+            return KernelSpec(kind="smp")
+
+    stepper = select_backend(fast_backend).compile(RepublishedSMP(), topo, 8)
+    assert np.array_equal(stepper(batch), SMPRule().step_batch(batch, topo))
+
+
+def test_mixin_kernel_override_beats_inherited_spec(rng, fast_backend):
+    """A kernel supplied by a mixin (not a subclass of the spec's owner)
+    must also win over the inherited spec — MRO order decides."""
+
+    class IdentityMixin:
+        def step_batch(self, colors, topo, out=None):
+            if out is None:
+                return colors.copy()
+            np.copyto(out, colors)
+            return out
+
+    class MixedRule(IdentityMixin, SMPRule):
+        pass
+
+    topo = ToroidalMesh(4, 4)
+    batch = rng.integers(0, 4, size=(8, topo.num_vertices)).astype(np.int32)
+    for backend in ("reference", fast_backend):
+        stepper = select_backend(backend).compile(MixedRule(), topo, 8)
+        assert np.array_equal(stepper(batch), batch), backend
+
+
+def test_convergence_sweep_backend_instance_inline_only():
+    """convergence_sweep accepts an unregistered instance inline (the
+    shard carries the instance, not a dangling name) and rejects it
+    before forking when a pool could spin up."""
+    from repro.experiments import convergence_sweep
+
+    class Inline(KernelBackend):
+        name = "inline-only"
+
+        def compile(self, rule, topo, max_batch):
+            return fallback_stepper(rule, topo)
+
+    kwargs = dict(replicas=64, batch_size=32)
+    recs = convergence_sweep([("mesh", 4, 4)], processes=0,
+                             backend=Inline(), **kwargs)
+    assert np.array_equal(
+        recs, convergence_sweep([("mesh", 4, 4)], processes=0, **kwargs)
+    )
+    with pytest.raises(ValueError, match="cannot cross process boundaries"):
+        convergence_sweep([("mesh", 4, 4)], processes=2,
+                          backend=Inline(), **kwargs)
+
+
+def test_census_rejects_backend_instance_before_any_cell_runs(tmp_path):
+    """An unpicklable backend instance with a worker pool must fail
+    before the first cell, not mid-census after work (and db writes)."""
+
+    class Inline(KernelBackend):
+        name = "inline-only"
+
+        def compile(self, rule, topo, max_batch):
+            return fallback_stepper(rule, topo)
+
+    db = WitnessDB(tmp_path / "w.jsonl")
+    with pytest.raises(ValueError, match="cannot cross process boundaries"):
+        below_bound_census(
+            kinds=["mesh"], sizes=[3], random_trials=100,
+            processes=2, db=db, backend=Inline(),
+        )
+    assert len(db) == 0  # nothing was computed or recorded
+    # inline census accepts the instance
+    rows = below_bound_census(
+        kinds=["mesh"], sizes=[3], random_trials=100,
+        processes=0, backend=Inline(),
+    )
+    assert rows[0].method == "exhaustive"
+
+
+def test_threshold_cache_is_identity_safe_and_picklable():
+    """thresholds_for caches per live topology object (weakref, not id),
+    and a warm cache must not break shard pickling."""
+    import pickle
+
+    rule = LinearThresholdRule("simple")
+    topo = ToroidalMesh(4, 4)
+    thr = rule.thresholds_for(topo)
+    assert rule.thresholds_for(topo) is thr  # cache hit on same object
+    other = ToroidalMesh(2, 8)  # same vertex count, different degrees?
+    assert rule.thresholds_for(other) is not thr
+    clone = pickle.loads(pickle.dumps(rule))  # warm cache round-trips
+    assert np.array_equal(clone.thresholds_for(topo), thr)
+
+
+def test_custom_rule_without_spec_falls_back(rng, fast_backend):
+    """A rule with no kernel spec runs via its own step_batch everywhere."""
+
+    class Stubborn(Rule):
+        def step(self, colors, topo, out=None):
+            if out is None:
+                return colors.copy()
+            np.copyto(out, colors)
+            return out
+
+        def update_vertex(self, current, neighbor_colors):
+            return current
+
+    topo = ToroidalMesh(3, 3)
+    rule = Stubborn()
+    assert rule.kernel_spec(topo) is None
+    batch = rng.integers(0, 3, size=(4, 9)).astype(np.int32)
+    res = run_batch(topo, batch, rule, max_rounds=10, backend=fast_backend)
+    assert res.converged.all()
+    assert np.array_equal(res.final, batch)
+
+
+# ----------------------------------------------------------------------
+# registry / selection
+# ----------------------------------------------------------------------
+def test_registry_names():
+    assert backend_names() == ("reference", "stencil", "numba")
+    assert "reference" in available_backend_names()
+    assert "stencil" in available_backend_names()
+
+
+def test_select_backend_auto_is_stencil():
+    assert select_backend(None).name == "stencil"
+    assert select_backend("auto").name == "stencil"
+
+
+def test_select_backend_unknown_name_lists_choices():
+    with pytest.raises(ValueError, match="unknown kernel backend.*stencil"):
+        select_backend("cuda")
+
+
+def test_select_backend_instance_passthrough():
+    class Custom(KernelBackend):
+        name = "custom"
+
+        def compile(self, rule, topo, max_batch):
+            return fallback_stepper(rule, topo)
+
+    backend = Custom()
+    assert select_backend(backend) is backend
+    # an instance works end to end without registration
+    topo = ToroidalMesh(3, 3)
+    batch = np.zeros((2, 9), dtype=np.int32)
+    res = run_batch(topo, batch, SMPRule(), max_rounds=5, backend=backend)
+    assert res.converged.all()
+
+
+@pytest.mark.skipif(numba_available(), reason="numba is installed here")
+def test_numba_unavailable_raises_actionable_error():
+    with pytest.raises(BackendUnavailableError, match="pip install numba"):
+        select_backend("numba")
+    assert "numba" not in available_backend_names()
+    assert "numba" in backend_names()  # registered, just not runnable
+
+
+def test_third_party_backend_availability_hook():
+    """A custom backend reports its own unavailability through the same
+    hook the shipped numba backend uses."""
+
+    class Gated(KernelBackend):
+        name = "gated"
+
+        def __init__(self, error):
+            self._error = error
+
+        def availability_error(self):
+            return self._error
+
+        def compile(self, rule, topo, max_batch):
+            return fallback_stepper(rule, topo)
+
+    from repro.engine.backends import _REGISTRY, register_backend
+
+    register_backend(Gated("needs the frobnicator"))
+    try:
+        assert "gated" in backend_names()
+        assert "gated" not in available_backend_names()
+        with pytest.raises(BackendUnavailableError, match="frobnicator"):
+            select_backend("gated")
+        register_backend(Gated(None))
+        assert select_backend("gated").availability_error() is None
+    finally:
+        _REGISTRY.pop("gated", None)
+
+
+def test_backend_instance_cannot_cross_process_boundaries():
+    """Sharded searches take backend *names* only — an instance would be
+    pickled into pool workers, so it is rejected up front (inline runs
+    accept it)."""
+
+    class Inline(KernelBackend):
+        name = "inline-only"
+
+        def compile(self, rule, topo, max_batch):
+            return fallback_stepper(rule, topo)
+
+    topo = ToroidalMesh(4, 4)
+    out = random_dynamo_search(
+        topo, 3, 4, 64, 0xBEEF, processes=0, backend=Inline()
+    )
+    assert out.examined == 64
+    with pytest.raises(ValueError, match="cannot cross process boundaries"):
+        random_dynamo_search(
+            topo, 3, 4, 64, 0xBEEF, processes=2, backend=Inline()
+        )
+
+
+# ----------------------------------------------------------------------
+# seed stability: results and witness ids are backend-independent
+# ----------------------------------------------------------------------
+def test_random_search_is_backend_independent(fast_backend):
+    topo = ToroidalMesh(4, 4)
+    kwargs = dict(k=0, monotone_only=True, batch_size=128, processes=0)
+    ref = random_dynamo_search(topo, 3, 5, 4096, 0xBEEF,
+                              backend="reference", **kwargs)
+    out = random_dynamo_search(topo, 3, 5, 4096, 0xBEEF,
+                               backend=fast_backend, **kwargs)
+    assert out.examined == ref.examined
+    assert len(out.witnesses) == len(ref.witnesses)
+    for (ca, ma), (cb, mb) in zip(out.witnesses, ref.witnesses):
+        assert ma == mb and np.array_equal(ca, cb)
+    assert ref.found_monotone_dynamo  # the pin is meaningful: hits exist
+
+
+def test_census_rows_and_witness_ids_are_backend_independent(
+    tmp_path, fast_backend
+):
+    kwargs = dict(kinds=["mesh"], sizes=[3], random_trials=400)
+    dbs, rows = {}, {}
+    for name in ("reference", fast_backend):
+        db = WitnessDB(tmp_path / f"{name}.jsonl")
+        rows[name] = below_bound_census(db=db, backend=name, **kwargs)
+        dbs[name] = db
+    assert rows["reference"] == rows[fast_backend]
+    ref_ids = sorted(r.id for r in dbs["reference"])
+    assert ref_ids == sorted(r.id for r in dbs[fast_backend])
+    assert ref_ids  # witnesses were actually recorded
+    # the discovery backend lands in provenance (forensics), never the key
+    for name, db in dbs.items():
+        assert all(r.provenance.get("backend") == name for r in db)
+    assert (
+        sorted(c.id for c in dbs["reference"].cells)
+        == sorted(c.id for c in dbs[fast_backend].cells)
+    )
+
+
+def test_cached_census_serves_across_backends(tmp_path, fast_backend):
+    """A census computed under one backend serves cache hits to another —
+    the definition key is backend-independent by design."""
+    path = tmp_path / "w.jsonl"
+    kwargs = dict(kinds=["mesh"], sizes=[3], random_trials=400)
+    first = below_bound_census(db=WitnessDB(path), backend="reference", **kwargs)
+    stats = {}
+    second = below_bound_census(
+        db=WitnessDB(path), backend=fast_backend, stats=stats, **kwargs
+    )
+    assert first == second
+    assert stats["cache_hits"] == stats["cells"] == 1
+
+
+# ----------------------------------------------------------------------
+# CLI / driver validation (the --batch-size / --shard-size satellite)
+# ----------------------------------------------------------------------
+def test_validate_positive():
+    from repro.engine.parallel import validate_positive
+
+    assert validate_positive(8, flag="--batch-size") == 8
+    assert isinstance(validate_positive(np.int64(8)), int)
+    for bad in (0, -3, 2.5, "x", None, True):
+        with pytest.raises(ValueError, match="must be"):
+            validate_positive(bad, flag="--batch-size")
+    # a non-integral value >= 1 is called out as non-integral, not "< 1"
+    with pytest.raises(ValueError, match="positive integer"):
+        validate_positive(2.5, flag="--batch-size")
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["census", "--batch-size", "0"],
+        ["census", "--shard-size", "-4"],
+        ["census", "--batch-size", "x"],
+        ["sweep", "mesh", "4", "--convergence", "--batch-size", "-1"],
+        ["sweep", "mesh", "4", "--convergence", "--shard-size", "0"],
+        ["search", "mesh", "4", "4", "--seed-size", "3", "--batch-size", "0"],
+        ["search", "mesh", "4", "4", "--seed-size", "3", "--shard-size", "0"],
+        ["census", "--backend", "cuda"],
+    ],
+)
+def test_cli_rejects_bad_tuning_flags(capsys, argv):
+    from repro.cli import build_parser
+
+    with pytest.raises(SystemExit) as exc:
+        build_parser().parse_args(argv)
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert "must be" in err or "unknown kernel backend" in err
+
+
+def test_cli_accepts_backend_flag():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["census", "--backend", "stencil"])
+    assert args.backend == "stencil"
+    args = build_parser().parse_args(["census"])
+    assert args.backend is None
+
+
+def test_drivers_reject_nonpositive_sizes():
+    from repro.experiments import below_bound_census, convergence_sweep
+
+    with pytest.raises(ValueError, match="batch_size"):
+        below_bound_census(kinds=["mesh"], sizes=[3], batch_size=0)
+    with pytest.raises(ValueError, match="shard_size"):
+        below_bound_census(kinds=["mesh"], sizes=[3], shard_size=-1)
+    with pytest.raises(ValueError, match="shard_size"):
+        convergence_sweep([("mesh", 4, 4)], shard_size=0)
+    with pytest.raises(ValueError, match="shard_size"):
+        random_dynamo_search(ToroidalMesh(4, 4), 3, 4, 10, 0, shard_size=0)
+
+
+# ----------------------------------------------------------------------
+# the merged scalar/batched kernel (one kernel per rule)
+# ----------------------------------------------------------------------
+def test_scalar_step_is_the_batched_kernel(rng, rule_case):
+    """`step` runs `step_batch` on a (1, N) view — same values, out= honored."""
+    topo = ToroidalMesh(4, 5)
+    factory, low, palette, _ = RULE_CASES[rule_case]
+    rule = factory()
+    colors = rng.integers(low, low + palette, size=topo.num_vertices).astype(
+        np.int32
+    )
+    expect = rule.step_batch(colors[None, :], topo)[0]
+    assert np.array_equal(rule.step(colors, topo), expect)
+    out = np.empty_like(colors)
+    assert rule.step(colors, topo, out=out) is out
+    assert np.array_equal(out, expect)
+
+
+def test_rule_overriding_neither_kernel_raises():
+    class Broken(Rule):
+        def update_vertex(self, current, neighbor_colors):
+            return current
+
+    topo = ToroidalMesh(3, 3)
+    colors = np.zeros(9, dtype=np.int32)
+    with pytest.raises(TypeError, match="neither step_batch nor step"):
+        Broken().step(colors, topo)
+    with pytest.raises(TypeError, match="neither step_batch nor step"):
+        Broken().step_batch(colors[None, :], topo)
