@@ -1,0 +1,195 @@
+"""Execution-plan throughput: plans on vs off on search-shaped workloads.
+
+Two entry points, mirroring ``bench_backends.py``:
+
+* **pytest-benchmark suite** (``pytest benchmarks/bench_plans.py``) —
+  times the many-small-batch search workload (the regime ROADMAP named:
+  thousands of ``run_batch`` calls over small replica blocks, cycling
+  rows burning the Theorem-8 cap) with the default plan against the
+  legacy no-plan path, asserts the >= 1.5x acceptance floor (skipped
+  under ``REPRO_BENCH_RELAX``; bitwise parity asserted always), and
+  records every ratio in ``extra_info``;
+* **standalone emitter** (``python benchmarks/bench_plans.py
+  [--out BENCH_plans.json]``) — measures the same workloads plus the
+  census-sized block and writes the machine-readable comparison CI
+  archives and ``tools/compare_bench.py`` gates.  The JSON records,
+  never asserts (timings move with the hardware; the escalation parity
+  matrix in ``tests/test_engine_plans.py`` is the correctness gate).
+
+The headline numbers come from escalation: in the search regime
+(``detect_cycles=False``) two thirds of random rows cycle and — without
+plans — simulate every round to the ``4N + 64`` bound even though their
+period is 2.  Shadow detection retires them within a few rounds of the
+first escalation stage, bitwise-identically.  The stepper cache rides
+along, paying off on scalar loops and expensive-compile backends.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+#: wall-clock speedup floors are meaningless on loaded shared runners;
+#: CI's smoke step sets this to record ratios without asserting them
+_RELAX_SPEEDUP = os.environ.get("REPRO_BENCH_RELAX", "") not in ("", "0")
+
+from repro.engine import NO_PLAN, run_batch
+from repro.rules import GeneralizedPluralityRule, SMPRule
+from repro.topology import ToroidalMesh
+
+#: the search-shaped workloads: (label, rule factory, palette size)
+WORKLOADS = {
+    "smp": (lambda: SMPRule(), 5),
+    "plurality": (lambda: GeneralizedPluralityRule(5), 5),
+}
+
+#: many-small-batch geometry: a below-bound floor scan issues thousands
+#: of small run_batch calls against one torus
+TORUS_SIZE = 4
+SMALL_BATCH = 256
+CALLS = 64
+
+#: census geometry: one big block on the 6x6 cell
+CENSUS_TORUS = 6
+CENSUS_BATCH = 8192
+
+
+def _tmin(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _search_calls(topo, rule, palette, plan, *, calls=CALLS, batch=SMALL_BATCH,
+                  seed=0xBEEF):
+    """The many-small-batch search loop: fresh random blocks, search flags."""
+    rng = np.random.default_rng(seed)
+    cap = 4 * topo.num_vertices + 16
+    results = []
+    for _ in range(calls):
+        block = rng.integers(0, palette, size=(batch, topo.num_vertices)).astype(
+            np.int32
+        )
+        results.append(
+            run_batch(topo, block, rule, max_rounds=cap, target_color=0,
+                      detect_cycles=False, plan=plan)
+        )
+    return results
+
+
+def _assert_parity(on, off):
+    for a, b in zip(on, off):
+        assert np.array_equal(a.final, b.final)
+        assert np.array_equal(a.rounds, b.rounds)
+        assert np.array_equal(a.converged, b.converged)
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_plan_search_speedup(benchmark, workload):
+    """Plans on vs off on the many-small-batch search workload, parity
+    included.  This is the acceptance bar: >= 1.5x end-to-end."""
+    factory, palette = WORKLOADS[workload]
+    rule = factory()
+    topo = ToroidalMesh(TORUS_SIZE, TORUS_SIZE)
+    on = _search_calls(topo, rule, palette, None)  # warm the plan cache
+    off = _search_calls(topo, rule, palette, NO_PLAN)
+    _assert_parity(on, off)
+    t_off = _tmin(lambda: _search_calls(topo, rule, palette, NO_PLAN))
+    t_on = _tmin(lambda: _search_calls(topo, rule, palette, None))
+    speedup = t_off / t_on
+    benchmark.pedantic(
+        _search_calls, args=(topo, rule, palette, None), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        workload=workload,
+        calls=CALLS,
+        batch=SMALL_BATCH,
+        plan_speedup=round(speedup, 2),
+    )
+    if not _RELAX_SPEEDUP:
+        assert speedup >= 1.5, (
+            f"plans only {speedup:.2f}x over the no-plan path on the "
+            f"{workload} many-small-batch search workload"
+        )
+
+
+def collect_plan_timings(rounds: int = 5) -> dict:
+    """Measure plans on/off on the search workloads; the
+    ``BENCH_plans.json`` payload."""
+    payload = {
+        "workload": {
+            "search": f"mesh {TORUS_SIZE}x{TORUS_SIZE}, {CALLS} run_batch "
+            f"calls of ({SMALL_BATCH}, N) random rows, detect_cycles=False",
+            "census": f"mesh {CENSUS_TORUS}x{CENSUS_TORUS}, one "
+            f"({CENSUS_BATCH}, N) block, detect_cycles=False",
+            "note": "plans = stepper cache + adaptive round escalation; "
+            "results are bitwise-identical on/off (tests/test_engine_plans"
+            ".py), so these ratios are pure speed",
+        },
+        "results": {},
+    }
+    for label, (factory, palette) in sorted(WORKLOADS.items()):
+        rule = factory()
+        topo = ToroidalMesh(TORUS_SIZE, TORUS_SIZE)
+        _assert_parity(
+            _search_calls(topo, rule, palette, None),
+            _search_calls(topo, rule, palette, NO_PLAN),
+        )
+        t_off = _tmin(lambda: _search_calls(topo, rule, palette, NO_PLAN),
+                      repeats=rounds)
+        t_on = _tmin(lambda: _search_calls(topo, rule, palette, None),
+                     repeats=rounds)
+        big = ToroidalMesh(CENSUS_TORUS, CENSUS_TORUS)
+        block = np.random.default_rng(0xD1CE).integers(
+            0, palette, size=(CENSUS_BATCH, big.num_vertices)
+        ).astype(np.int32)
+        kw = dict(max_rounds=4 * big.num_vertices + 16, target_color=0,
+                  detect_cycles=False)
+        c_off = _tmin(lambda: run_batch(big, block, rule, plan=NO_PLAN, **kw),
+                      repeats=rounds)
+        c_on = _tmin(lambda: run_batch(big, block, rule, **kw), repeats=rounds)
+        payload["results"][label] = {
+            "search_seconds_plans_off": round(t_off, 3),
+            "search_seconds_plans_on": round(t_on, 3),
+            "search_plan_speedup": round(t_off / t_on, 2),
+            "census_seconds_plans_off": round(c_off, 3),
+            "census_seconds_plans_on": round(c_on, 3),
+            "census_plan_speedup": round(c_off / c_on, 2),
+        }
+    return payload
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="emit the execution-plan comparison JSON (BENCH_plans.json)"
+    )
+    parser.add_argument("--out", default="BENCH_plans.json", metavar="FILE")
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="timing repeats per measurement (best-of)")
+    args = parser.parse_args(argv)
+    payload = collect_plan_timings(rounds=args.rounds)
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for label, entry in sorted(payload["results"].items()):
+        print(
+            f"{label:10s} search {entry['search_seconds_plans_off']:6.3f}s -> "
+            f"{entry['search_seconds_plans_on']:6.3f}s "
+            f"({entry['search_plan_speedup']:4.2f}x)   census "
+            f"{entry['census_seconds_plans_off']:6.3f}s -> "
+            f"{entry['census_seconds_plans_on']:6.3f}s "
+            f"({entry['census_plan_speedup']:4.2f}x)"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

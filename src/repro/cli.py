@@ -127,6 +127,51 @@ def _check_backend_available(parser, args) -> None:
         parser.error(str(exc))
 
 
+def _add_plan_args(sp, what: str) -> None:
+    """``--plan-cache/--no-plan-cache`` and ``--initial-rounds``: the
+    execution-plan knobs (:mod:`repro.engine.plans`).  Plans are
+    bitwise-invisible — results, witness ids, and cached cells are
+    identical under every setting; the flags only trade compile reuse
+    and round escalation for speed."""
+    sp.add_argument(
+        "--plan-cache",
+        dest="plan_cache",
+        action="store_true",
+        default=True,
+        help=f"serve compiled kernel steppers for {what} from the "
+        "per-process plan cache (default)",
+    )
+    sp.add_argument(
+        "--no-plan-cache",
+        dest="plan_cache",
+        action="store_false",
+        help="compile a fresh stepper on every engine call",
+    )
+    sp.add_argument(
+        "--initial-rounds",
+        type=_positive_arg("--initial-rounds"),
+        default=None,
+        metavar="R",
+        help="first-stage round budget of the adaptive escalation "
+        "(default: N/4 + 8); budgets grow geometrically up to the "
+        "proven bound, and results are bitwise-identical whatever "
+        "the value",
+    )
+
+
+def _plan_from_args(args):
+    """Build the ExecutionPlan the plan flags describe (None = default)."""
+    from .engine.plans import ExecutionPlan
+
+    if getattr(args, "plan_cache", True) and getattr(
+        args, "initial_rounds", None
+    ) is None:
+        return None  # the default plan
+    return ExecutionPlan(
+        cache=args.plan_cache, initial_rounds=args.initial_rounds
+    )
+
+
 def _add_backend_arg(sp, what: str) -> None:
     from .engine.backends import backend_names
 
@@ -217,6 +262,7 @@ def build_parser() -> argparse.ArgumentParser:
         "count but depend on this value",
     )
     _add_backend_arg(sp, "--convergence replica blocks")
+    _add_plan_args(sp, "--convergence replica blocks")
 
     sp = sub.add_parser(
         "census",
@@ -254,6 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="random trials per process shard (default: the batch size)",
     )
     _add_backend_arg(sp, "the census searches")
+    _add_plan_args(sp, "the census searches")
     sp.add_argument(
         "--seed",
         type=int,
@@ -302,6 +349,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--shard-size", type=_positive_arg("--shard-size"),
                     default=None, metavar="S")
     _add_backend_arg(sp, "the search batches")
+    _add_plan_args(sp, "the search batches")
     sp.add_argument("--max-configs", type=int, default=20_000_000)
     sp.add_argument("--db", metavar="FILE",
                     help="witness database to consult and record into")
@@ -515,6 +563,8 @@ def _main(argv: Optional[List[str]] = None) -> int:
             "--batch-size": args.batch_size,
             "--shard-size": args.shard_size,
             "--backend": args.backend,
+            "--initial-rounds": args.initial_rounds,
+            "--no-plan-cache": None if args.plan_cache else True,
         }
         if args.convergence:
             if args.colors is not None:
@@ -592,6 +642,7 @@ def _main(argv: Optional[List[str]] = None) -> int:
                 processes=args.processes,
                 shard_size=args.shard_size,
                 backend=args.backend,
+                plan=_plan_from_args(args),
             )
             print(f"{'size':>8} {'rule':>15} {'conv':>6} {'mono':>6} "
                   f"{'monot':>6} {'rounds':>7}")
@@ -629,6 +680,7 @@ def _main(argv: Optional[List[str]] = None) -> int:
             db=_open_db(args.db) if args.db else None,
             stats=stats,
             backend=args.backend,
+            plan=_plan_from_args(args),
         )
         print(f"{'kind':>12} {'size':>6} {'bound':>6} {'found':>6} "
               f"{'below':>6} {'ruled<':>7} {'method':>11}")
@@ -657,6 +709,7 @@ def _main(argv: Optional[List[str]] = None) -> int:
         topo = _make_torus(args.kind, args.m, args.n)
         rule = make_rule(args.rule, num_colors=args.colors)
         db = _open_db(args.db) if args.db else None
+        plan = _plan_from_args(args)
         if args.exhaustive:
             out = exhaustive_dynamo_search(
                 topo,
@@ -669,6 +722,7 @@ def _main(argv: Optional[List[str]] = None) -> int:
                 batch_size=args.batch_size if args.batch_size is not None else 8192,
                 db=db,
                 backend=args.backend,
+                plan=plan,
             )
         else:
             out = random_dynamo_search(
@@ -685,6 +739,7 @@ def _main(argv: Optional[List[str]] = None) -> int:
                 shard_size=args.shard_size,
                 db=db,
                 backend=args.backend,
+                plan=plan,
             )
         mode = "exhaustive" if args.exhaustive else "random"
         mono = sum(1 for _, m in out.witnesses if m)

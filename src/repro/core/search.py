@@ -29,6 +29,7 @@ if TYPE_CHECKING:  # runtime import stays lazy: io.serialize imports core
 
 from ..engine.backends import KernelBackend, resolve_backend_ref
 from ..engine.batch import DYNAMICS_VERSION, run_batch
+from ..engine.plans import ExecutionPlan, resolve_plan
 from ..engine.parallel import (
     build_topology,
     run_sharded,
@@ -55,6 +56,12 @@ __all__ = [
 #: so the choice is recorded in witness provenance but never enters a
 #: search definition (cache keys are backend-independent).
 BackendSpec = Union[str, KernelBackend, None]
+
+#: how callers select an execution plan (:mod:`repro.engine.plans`):
+#: an :class:`~repro.engine.plans.ExecutionPlan` or ``None`` for the
+#: default.  Like backends, plans are bitwise-invisible — they never
+#: enter search definitions or witness ids.
+PlanSpec = Optional[ExecutionPlan]
 
 
 @dataclass
@@ -235,6 +242,7 @@ def exhaustive_dynamo_search(
     monotone_only: bool = False,
     db: Optional["WitnessDB"] = None,
     backend: BackendSpec = None,
+    plan: PlanSpec = None,
 ) -> SearchOutcome:
     """Enumerate every placement of an s-vertex k-seed together with every
     complement coloring over the remaining ``num_colors - 1`` colors.
@@ -242,7 +250,10 @@ def exhaustive_dynamo_search(
     ``backend`` selects the kernel backend batches run under
     (:mod:`repro.engine.backends`); backends are bitwise-interchangeable,
     so it affects speed only — the name lands in witness provenance but
-    never in the cached search definition.
+    never in the cached search definition.  ``plan`` selects the
+    execution plan (:mod:`repro.engine.plans`: stepper caching +
+    adaptive round escalation); plans are likewise bitwise-invisible and
+    excluded from the definition.
 
     ``k`` defaults to 0 and the other colors are ``1..num_colors-1``; by
     color symmetry of the SMP rule this loses no generality.  ``rule``
@@ -262,6 +273,7 @@ def exhaustive_dynamo_search(
     rule = rule if rule is not None else SMPRule()
     validate_positive(batch_size, flag="batch_size")
     backend_name, backend_ref = resolve_backend_ref(backend)
+    plan = resolve_plan(plan)
     n = topo.num_vertices
     total = count_configs(n, seed_size, num_colors)
     if total > max_configs:
@@ -313,6 +325,7 @@ def exhaustive_dynamo_search(
             target_color=k,
             detect_cycles=False,
             backend=backend_ref,
+            plan=plan,
         )
         hits = np.flatnonzero(
             res.k_monochromatic & (res.monotone if monotone_only else True)
@@ -366,6 +379,7 @@ def exhaustive_min_dynamo_size(
     batch_size: int = 8192,
     db: Optional["WitnessDB"] = None,
     backend: BackendSpec = None,
+    plan: PlanSpec = None,
 ) -> Tuple[Optional[int], List[SearchOutcome]]:
     """Smallest seed size admitting a (monotone) k-dynamo, by exhaustion.
 
@@ -391,6 +405,7 @@ def exhaustive_min_dynamo_size(
             batch_size=batch_size,
             db=db,
             backend=backend,
+            plan=plan,
         )
         outcomes.append(res)
         if res.found_dynamo:
@@ -433,6 +448,7 @@ def _random_trials(
     batch_size: int,
     monotone_only: bool,
     backend: BackendSpec = None,
+    plan: PlanSpec = None,
 ) -> List[Tuple[np.ndarray, bool]]:
     """Run ``trials`` random configurations; return the witnesses found.
 
@@ -458,6 +474,7 @@ def _random_trials(
             target_color=k,
             detect_cycles=False,
             backend=backend,
+            plan=plan,
         )
         hits = np.flatnonzero(
             res.k_monochromatic & (res.monotone if monotone_only else True)
@@ -473,7 +490,9 @@ def _random_search_shard(shard: tuple) -> List[Tuple[np.ndarray, bool]]:
     The shard is a small picklable tuple; the topology is rebuilt locally
     from its spec (tori), the kernel backend is resolved locally from its
     *name*, and the RNG is derived from the shard *index*, so any process
-    count draws identical streams.
+    count draws identical streams.  The execution plan travels as plain
+    settings (compiled steppers never cross process boundaries — each
+    worker fills its own plan cache).
     """
     (
         spec,
@@ -489,6 +508,7 @@ def _random_search_shard(shard: tuple) -> List[Tuple[np.ndarray, bool]]:
         batch_size,
         monotone_only,
         backend,
+        plan,
     ) = shard
     topo = build_topology(spec, topo_obj)
     rng = np.random.default_rng(np.random.SeedSequence([*entropy, shard_idx]))
@@ -504,6 +524,7 @@ def _random_search_shard(shard: tuple) -> List[Tuple[np.ndarray, bool]]:
         batch_size,
         monotone_only,
         backend=backend,
+        plan=plan,
     )
 
 
@@ -523,6 +544,7 @@ def random_dynamo_search(
     shard_size: Optional[int] = None,
     db: Optional["WitnessDB"] = None,
     backend: BackendSpec = None,
+    plan: PlanSpec = None,
 ) -> SearchOutcome:
     """Monte-Carlo falsification: random seeds + random complements.
 
@@ -564,6 +586,7 @@ def random_dynamo_search(
     if shard_size is not None:
         validate_positive(shard_size, flag="shard_size")
     nproc = validate_processes(processes)
+    plan = resolve_plan(plan)
     n = topo.num_vertices
     if max_rounds is None:
         max_rounds = 4 * n + 16
@@ -586,6 +609,7 @@ def random_dynamo_search(
             _random_trials(
                 topo, rng, trials, seed_size, others, k, rule,
                 max_rounds, batch_size, monotone_only, backend=backend_ref,
+                plan=plan,
             )
         )
         outcome.examined = trials
@@ -636,6 +660,7 @@ def random_dynamo_search(
             batch_size,
             monotone_only,
             backend_ref,
+            plan,
         )
         for i, count in enumerate(counts)
     ]

@@ -15,6 +15,17 @@ from .backends import (
     select_backend,
 )
 from .batch import BatchRunResult, as_color_batch, run_batch
+from .plans import (
+    DEFAULT_PLAN,
+    NO_PLAN,
+    ExecutionPlan,
+    PlanCacheStats,
+    clear_plan_cache,
+    default_initial_rounds,
+    escalation_budgets,
+    plan_cache_stats,
+    resolve_plan,
+)
 from .parallel import (
     kind_tag,
     resolve_processes,
@@ -25,7 +36,7 @@ from .parallel import (
     validate_processes,
 )
 from .result import RunResult
-from .runner import default_round_cap, run_synchronous
+from .runner import default_round_cap, run_synchronous, validate_round_cap
 from .schedulers import run_asynchronous
 from .temporal import run_temporal
 
@@ -50,7 +61,17 @@ __all__ = [
     "backend_names",
     "register_backend",
     "select_backend",
+    "ExecutionPlan",
+    "PlanCacheStats",
+    "DEFAULT_PLAN",
+    "NO_PLAN",
+    "plan_cache_stats",
+    "clear_plan_cache",
+    "default_initial_rounds",
+    "escalation_budgets",
+    "resolve_plan",
     "default_round_cap",
+    "validate_round_cap",
     "adoption_curve",
     "wavefront_speed",
     "frontier_perimeter",

@@ -47,9 +47,10 @@ import numpy as np
 
 from ..rules.base import Rule
 from ..topology.base import Topology
-from .backends import KernelBackend, select_backend
+from .backends import KernelBackend
+from .plans import ExecutionPlan, resolve_plan
 from .result import RunResult
-from .runner import default_round_cap, parse_frozen
+from .runner import parse_frozen, validate_round_cap
 
 __all__ = ["BatchRunResult", "DYNAMICS_VERSION", "run_batch", "as_color_batch"]
 
@@ -156,6 +157,7 @@ def run_batch(
     irreversible_color: Optional[int] = None,
     detect_cycles: bool = True,
     backend: Union[str, KernelBackend, None] = None,
+    plan: Optional[ExecutionPlan] = None,
 ) -> BatchRunResult:
     """Run every row of ``batch`` to fixed point, cycle, or round cap.
 
@@ -164,74 +166,175 @@ def run_batch(
     cycling rows run to the cap (cheaper for searches that only consume
     converged outcomes).  ``backend`` selects how rule kernels execute
     (a name, a :class:`~repro.engine.backends.KernelBackend` instance,
-    or ``None``/``"auto"`` for the default) — backends are
-    bitwise-interchangeable, so this only affects speed.
+    or ``None``/``"auto"`` for the default) and ``plan`` selects the
+    :class:`~repro.engine.plans.ExecutionPlan` (stepper caching +
+    adaptive round escalation; ``None`` uses the default plan with both
+    enabled) — backends and plans are bitwise-interchangeable, so they
+    only affect speed.
+
+    Execution walks a *compact* working set: retired rows leave it, so a
+    batch costs (rounds of the slowest member) x (live rows).  Under an
+    escalating plan, ``detect_cycles=False`` runs additionally arm
+    shadow cycle detection once the plan's initial budget is spent:
+    a row whose state digest repeats is snapshot-verified over one
+    period and, if genuinely cycling, retires with its state
+    fast-forwarded to the cap — bitwise what full simulation would
+    report, at a fraction of the rounds (see :mod:`repro.engine.plans`).
     """
     colors = as_color_batch(batch, topo.num_vertices).copy()
     b = colors.shape[0]
-    stepper = select_backend(backend).compile(rule, topo, max_batch=b)
-    if max_rounds is None:
-        max_rounds = default_round_cap(topo)
-    if max_rounds < 0:
-        raise ValueError("max_rounds must be >= 0")
+    plan = resolve_plan(plan)
+    stepper = plan.stepper_for(rule, topo, b, backend)
+    max_rounds = validate_round_cap(max_rounds, topo)
+    n = topo.num_vertices
 
     frozen_idx = parse_frozen(frozen, topo.num_vertices)
     frozen_values = colors[:, frozen_idx].copy() if frozen_idx is not None else None
 
-    live = np.ones(b, dtype=bool)
     converged = np.zeros(b, dtype=bool)
     rounds = np.zeros(b, dtype=np.int32)
     cycle_length = np.zeros(b, dtype=np.int32)
     fixed_point_round = np.full(b, -1, dtype=np.int32)
     monotone = np.ones(b, dtype=bool) if target_color is not None else None
 
-    seen: Optional[list] = None
+    # Compact working set: ``work[j]`` is the current state of original
+    # row ``ids[j]``.  A retiring row's final state is written to
+    # ``colors`` as it leaves; survivors flush at loop exit.
+    ids = np.arange(b)
+    work = colors  # rebound to a fresh compact array every round
+
     mult: Optional[np.ndarray] = None
+    seen: Optional[list] = None  # per-work-row digest dicts (real detection)
     if detect_cycles:
-        mult = _digest_multipliers(topo.num_vertices)
-        d0 = _digest_rows(colors, mult)
+        mult = _digest_multipliers(n)
+        d0 = _digest_rows(work, mult)
         seen = [{(int(d0[i, 0]), int(d0[i, 1])): 0} for i in range(b)]
 
+    # Shadow detection (escalation): armed at the plan's first stage
+    # boundary for detect_cycles=False runs, re-armed (flushed) at each
+    # later boundary so its memory is bounded by one stage's rounds.
+    budgets = plan.budgets(topo, max_rounds)
+    shadow_seen: Optional[list] = None  # per-work-row digest dicts
+    pending: Optional[list] = None  # per-work-row [t0, L, e, snap, final]
+    boundary_iter = (
+        iter(budgets[:-1]) if not detect_cycles and len(budgets) > 1 else iter(())
+    )
+    next_boundary = next(boundary_iter, None)
+
     for t in range(1, max_rounds + 1):
-        live_idx = np.flatnonzero(live)
-        if not live_idx.size:
+        if not ids.size:
             break
-        sub = colors[live_idx]
-        new = stepper(sub)
+        new = stepper(work)
         if frozen_idx is not None and frozen_idx.size:
-            new[:, frozen_idx] = frozen_values[live_idx]
+            new[:, frozen_idx] = frozen_values[ids]
         if irreversible_color is not None:
-            np.copyto(new, irreversible_color, where=sub == irreversible_color)
-        changed = new != sub
+            np.copyto(new, irreversible_color, where=work == irreversible_color)
+        changed = new != work
         changed_rows = changed.any(axis=1)
-        rounds[live_idx] = np.where(changed_rows, t, t - 1)
-        done = live_idx[~changed_rows]
-        converged[done] = True
-        cycle_length[done] = 1
-        fixed_point_round[done] = t - 1
-        live[done] = False
+        rounds[ids] = np.where(changed_rows, t, t - 1)
         if monotone is not None:
-            left = (changed & (sub == target_color)).any(axis=1)
-            monotone[live_idx[left]] = False
-        active = live_idx[changed_rows]
-        if active.size:
-            colors[active] = new[changed_rows]
-            if detect_cycles:
-                # Digests are computed vectorized over the batch; the
-                # remaining per-row work is one dict lookup each (tolist()
-                # converts the whole block to Python ints in one C pass).
-                # Per-row dicts keep detection O(1) per round regardless of
-                # how long a run gets, unlike an all-history comparison
-                # matrix whose per-round cost grows with the round number.
-                digests = _digest_rows(new[changed_rows], mult).tolist()
-                for j, i in enumerate(active.tolist()):
-                    key = (digests[j][0], digests[j][1])
-                    prev = seen[i].get(key)
-                    if prev is not None:
-                        cycle_length[i] = t - prev
-                        live[i] = False
-                    else:
-                        seen[i][key] = t
+            left = (changed & (work == target_color)).any(axis=1)
+            monotone[ids[left]] = False
+        if changed_rows.all():
+            work = new.copy()  # the scratch is reused by the next call
+        else:
+            # fixed-point retirement: the state did not change, so the
+            # pre-step row is already the final state
+            done = ids[~changed_rows]
+            converged[done] = True
+            cycle_length[done] = 1
+            fixed_point_round[done] = t - 1
+            colors[done] = work[~changed_rows]
+            ids = ids[changed_rows]
+            work = new[changed_rows]  # copies out of the stepper scratch
+            keep = changed_rows.tolist()
+            if seen is not None:
+                seen = [s for s, k in zip(seen, keep) if k]
+            if shadow_seen is not None:
+                shadow_seen = [s for s, k in zip(shadow_seen, keep) if k]
+                pending = [p for p, k in zip(pending, keep) if k]
+        retired: list = []
+        if seen is not None and ids.size:
+            # Digests are computed vectorized over the batch; the
+            # remaining per-row work is one dict lookup each (tolist()
+            # converts the whole block to Python ints in one C pass).
+            # Per-row dicts keep detection O(1) per round regardless of
+            # how long a run gets, unlike an all-history comparison
+            # matrix whose per-round cost grows with the round number.
+            digests = _digest_rows(work, mult).tolist()
+            for j in range(len(seen)):
+                key = (digests[j][0], digests[j][1])
+                prev = seen[j].get(key)
+                if prev is not None:
+                    i = ids[j]
+                    cycle_length[i] = t - prev
+                    colors[i] = work[j]
+                    retired.append(j)
+                else:
+                    seen[j][key] = t
+        elif shadow_seen is not None and ids.size:
+            digests = _digest_rows(work, mult).tolist()
+            for j in range(len(shadow_seen)):
+                p = pending[j]
+                if p is not None:
+                    # verification in flight: one period after the
+                    # suspected repeat, compare states exactly — the
+                    # digest is a trigger, never a verdict
+                    t0, period, offset, snap = p[0], p[1], p[2], p[3]
+                    k = t - t0
+                    if k == offset:
+                        p[4] = work[j].copy()
+                    if k == period:
+                        if np.array_equal(work[j], snap):
+                            # genuine cycle: the row changes every round
+                            # through the cap, so its final state is the
+                            # cycle state (cap - t0) mod period past the
+                            # snapshot and its round count is the cap —
+                            # bitwise what full simulation reports
+                            i = ids[j]
+                            colors[i] = snap if offset == 0 else p[4]
+                            rounds[i] = max_rounds
+                            retired.append(j)
+                        else:
+                            pending[j] = None  # digest collision: resume
+                    continue
+                key = (digests[j][0], digests[j][1])
+                prev = shadow_seen[j].get(key)
+                if prev is not None:
+                    period = t - prev
+                    pending[j] = [
+                        t, period, (max_rounds - t) % period, work[j].copy(), None,
+                    ]
+                else:
+                    shadow_seen[j][key] = t
+        if retired:
+            keep2 = np.ones(ids.size, dtype=bool)
+            keep2[retired] = False
+            ids = ids[keep2]
+            work = work[keep2]
+            keep = keep2.tolist()
+            if seen is not None:
+                seen = [s for s, k in zip(seen, keep) if k]
+            if shadow_seen is not None:
+                shadow_seen = [s for s, k in zip(shadow_seen, keep) if k]
+                pending = [p for p, k in zip(pending, keep) if k]
+        if next_boundary is not None and t == next_boundary:
+            # stage boundary: (re)arm shadow detection over the
+            # survivors; in-flight verifications carry across (their
+            # snapshots are exact, not digest-dependent)
+            next_boundary = next(boundary_iter, None)
+            if ids.size:
+                if mult is None:
+                    mult = _digest_multipliers(n)
+                d = _digest_rows(work, mult)
+                shadow_seen = [
+                    {(int(d[j, 0]), int(d[j, 1])): t} for j in range(ids.size)
+                ]
+                if pending is None:
+                    pending = [None] * ids.size
+
+    if ids.size and work is not colors:
+        colors[ids] = work
 
     return BatchRunResult(
         final=colors,

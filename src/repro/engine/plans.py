@@ -1,0 +1,390 @@
+"""Execution plans: compiled-stepper caching + adaptive round escalation.
+
+Two engine-wide costs named in ROADMAP.md live here:
+
+**Stepper recompilation.**  Every :func:`~repro.engine.batch.run_batch`
+call used to compile its kernel backend stepper from scratch — harmless
+for one census-sized block, real money for many-small-batch search loops
+that issue thousands of calls against the same ``(rule, topology)``.
+:class:`ExecutionPlan` routes compilation through a bounded, process-local
+LRU registry keyed by ``(backend name, rule identity, topology identity,
+max_batch)``.  Rule identity is ``(type, plan_token())`` — rules publish a
+:meth:`~repro.rules.base.Rule.plan_token` that changes whenever any state
+their compiled kernel depends on changes (tie policy, palette size,
+threshold spec), so mutating a rule invalidates its cache entries on the
+next call.  Rules that publish no token (custom rules, subclasses whose
+kernel overrides are not covered by their inherited token) are simply
+compiled fresh every call — caching is an opt-in contract, never a guess.
+
+**The Theorem-8 worst-case round bound.**  ``run_batch`` caps runs at
+:func:`~repro.engine.runner.default_round_cap` (``4N + 64``).  Rows that
+reach a fixed point retire early, but search workloads run with
+``detect_cycles=False`` and their *cycling* rows (two thirds of random
+configurations in the census regime) pay the full bound.  With
+escalation enabled, rows first run under a small initial budget
+(:func:`default_initial_rounds`, ``N/4 + 8``); survivors are compacted
+and escalated through geometrically growing budgets
+(:func:`escalation_budgets`) up to the proven bound, and from the first
+escalation onward the engine arms *shadow cycle detection*: row digests
+are tracked, a repeat triggers an exact snapshot verification over one
+period, and a verified cycling row retires immediately with its state
+**fast-forwarded to the cap** (``final = S[t + (cap - t) mod L]``, one
+extra simulated period at most).  Because the fast-forward is
+snapshot-verified (never trusted to the hash) and a cycling row changes
+every round, the retired row's ``final``, ``rounds`` (= the cap),
+``converged``, ``cycle_length`` and ``monotone`` fields are *bitwise*
+what full simulation to the cap would produce — escalation is a pure
+optimization, proven by the parity matrix in
+``tests/test_engine_plans.py``.
+
+Determinism contract: plans never change results.  Witness ids, census
+rows, and per-row round counts are identical under any cache/escalation
+setting, so plan settings — like backend names — are excluded from
+witness-database cache definitions.
+
+Process model: the stepper registry is **process-local** (module state).
+:class:`ExecutionPlan` itself is a small frozen dataclass of settings —
+safe to pickle into pool shards — and workers resolve compilations
+against their own local registry, so nothing compiled ever crosses a
+process boundary (the plan analogue of names-only backend pickling).
+Steppers own preallocated scratch, so a cached stepper must not be
+driven from two threads at once; use ``ExecutionPlan(cache=False)`` for
+thread-per-engine setups.
+"""
+
+from __future__ import annotations
+
+import itertools
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional, Union
+
+from ..rules.base import Rule
+from ..topology.base import Topology
+from .backends import KernelBackend, Stepper, select_backend
+from .backends.base import _definer
+from .parallel import topology_spec
+from .runner import validate_round_cap  # noqa: F401  (re-exported: the
+# shared budget validator lives next to default_round_cap and is part of
+# this module's public face)
+
+__all__ = [
+    "ExecutionPlan",
+    "PlanCacheStats",
+    "DEFAULT_PLAN",
+    "NO_PLAN",
+    "clear_plan_cache",
+    "default_initial_rounds",
+    "escalation_budgets",
+    "plan_cache_stats",
+    "resolve_plan",
+    "rule_plan_token",
+    "stepper_cache_key",
+    "topology_token",
+    "validate_round_cap",
+]
+
+
+# ----------------------------------------------------------------------
+# cache keys
+# ----------------------------------------------------------------------
+def rule_plan_token(rule: Rule) -> Optional[Hashable]:
+    """Cache-key component identifying ``rule``'s compiled kernel, or
+    ``None`` when the rule is not safely cacheable.
+
+    Wraps :meth:`~repro.rules.base.Rule.plan_token` with the same
+    MRO-authority check :func:`~repro.engine.backends.base.rule_spec`
+    applies to kernel specs: a subclass (or mixin) that overrides
+    ``step_batch`` or ``kernel_spec`` without republishing
+    ``plan_token`` inherits a token that describes *another class's*
+    kernel — serving a cached stepper under that token could silently
+    run the wrong dynamics, so the token is withheld and every call
+    compiles fresh.  The rule's concrete type is folded into the
+    returned token, so equal tokens from unrelated classes never
+    collide.
+    """
+    token = rule.plan_token()
+    if token is None:
+        return None
+    mro = type(rule).__mro__
+    owner = _definer(rule, "plan_token")
+    for attr in ("step_batch", "kernel_spec"):
+        other = _definer(rule, attr)
+        if (
+            owner is not None
+            and other is not None
+            and mro.index(other) < mro.index(owner)
+        ):
+            return None
+    cls = type(rule)
+    full = (cls.__module__, cls.__qualname__, token)
+    try:
+        hash(full)
+    except TypeError:
+        return None  # unhashable token (e.g. an unhashable callable field)
+    return full
+
+
+#: identity tokens for non-registry topologies: weak-keyed so entries die
+#: with their topology, counter-valued so a token is never reused after
+#: garbage collection (unlike raw ``id()``)
+_TOPO_TOKENS: "weakref.WeakKeyDictionary[Topology, int]" = (
+    weakref.WeakKeyDictionary()
+)
+_TOPO_COUNTER = itertools.count()
+
+
+def topology_token(topo: Topology) -> Optional[Hashable]:
+    """Cache-key component identifying ``topo``'s neighbor table.
+
+    Registry tori are keyed *structurally* (``(kind, m, n)`` — two
+    equal-shaped instances share compiled steppers, exactly as pool
+    workers rebuilding a torus locally expect).  Any other topology is
+    keyed by *object identity* via a weak, never-reused serial, so a
+    cached stepper is only ever served back to the very instance it was
+    compiled against.  Returns ``None`` (uncacheable) for objects that
+    cannot be weak-referenced.
+    """
+    spec = topology_spec(topo)
+    if spec is not None:
+        return ("torus",) + spec
+    try:
+        serial = _TOPO_TOKENS.get(topo)
+        if serial is None:
+            serial = next(_TOPO_COUNTER)
+            _TOPO_TOKENS[topo] = serial
+    except TypeError:
+        return None
+    return ("obj", serial)
+
+
+def stepper_cache_key(
+    backend_name: str, rule: Rule, topo: Topology, max_batch: int
+) -> Optional[tuple]:
+    """The registry key for one compiled stepper, or ``None`` when any
+    component is uncacheable (the caller then compiles fresh)."""
+    rtok = rule_plan_token(rule)
+    if rtok is None:
+        return None
+    ttok = topology_token(topo)
+    if ttok is None:
+        return None
+    return (backend_name, rtok, ttok, int(max_batch))
+
+
+# ----------------------------------------------------------------------
+# the bounded stepper registry (process-local)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlanCacheStats:
+    """Snapshot of the stepper registry's counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+
+class _StepperCache:
+    """A plain LRU over compiled steppers.  Not thread-safe by design —
+    steppers own scratch buffers, so sharing them across threads is
+    already unsound; see the module docstring."""
+
+    def __init__(self, maxsize: int):
+        self.maxsize = int(maxsize)
+        self._data: "OrderedDict[tuple, Stepper]" = OrderedDict()
+        self.hits = self.misses = self.evictions = 0
+
+    def get(self, key: tuple) -> Optional[Stepper]:
+        stepper = self._data.get(key)
+        if stepper is None:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return stepper
+
+    def put(self, key: tuple, stepper: Stepper) -> None:
+        self._data[key] = stepper
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> PlanCacheStats:
+        return PlanCacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            size=len(self._data),
+            maxsize=self.maxsize,
+        )
+
+
+#: compiled steppers cached per process.  32 entries comfortably covers
+#: a census (3 kinds x 4 sizes x a couple of batch geometries) while
+#: bounding pinned scratch: each stencil stepper preallocates
+#: O(max_batch x N) buffers (tens of MB at census size), so the bound is
+#: deliberately small — resize with ``clear_plan_cache(maxsize=...)``
+#: for workloads juggling more (rule, topology, geometry) combinations
+_DEFAULT_CACHE_SIZE = 32
+_STEPPER_CACHE = _StepperCache(_DEFAULT_CACHE_SIZE)
+
+
+def plan_cache_stats() -> PlanCacheStats:
+    """Counters of this process's stepper registry (hits/misses/...)."""
+    return _STEPPER_CACHE.stats()
+
+
+def clear_plan_cache(maxsize: Optional[int] = None) -> None:
+    """Drop every cached stepper and reset counters.
+
+    ``maxsize`` resizes the registry (tests use tiny sizes to exercise
+    eviction); ``None`` keeps the current bound.
+    """
+    global _STEPPER_CACHE
+    _STEPPER_CACHE = _StepperCache(
+        _STEPPER_CACHE.maxsize if maxsize is None else maxsize
+    )
+
+
+# ----------------------------------------------------------------------
+# round budgets
+# ----------------------------------------------------------------------
+def default_initial_rounds(topo: Topology) -> int:
+    """First-stage round budget: ``N/4 + 8``.
+
+    Census/search batches overwhelmingly settle (or enter their cycle)
+    within a few rounds; a quarter of the vertex count plus slack keeps
+    the first stage detection-free for them while staying tiny next to
+    the ``4N + 64`` worst case.
+    """
+    return topo.num_vertices // 4 + 8
+
+
+def escalation_budgets(initial: int, cap: int, growth: int = 4) -> list:
+    """The stage schedule: strictly increasing round budgets ending at
+    ``cap``.
+
+    ``[b0, b0*g, b0*g^2, ..., cap]`` with ``b0 = min(initial, cap)``.
+    Stage boundaries are where the batched engine compacts survivors and
+    (re)arms shadow cycle detection; flushing detection state at each
+    boundary bounds its memory to one stage's rounds, and a missed
+    detection only ever falls back to full (exact) simulation.
+    """
+    if initial < 1:
+        raise ValueError(f"initial budget must be >= 1, got {initial}")
+    if growth < 2:
+        raise ValueError(f"growth must be >= 2, got {growth}")
+    if cap <= 0:
+        return [cap] if cap == 0 else []
+    budgets = []
+    b = min(initial, cap)
+    while b < cap:
+        budgets.append(b)
+        b = min(b * growth, cap)
+    budgets.append(cap)
+    return budgets
+
+
+# ----------------------------------------------------------------------
+# the plan
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """How the batched engine executes a run: stepper caching + round
+    escalation.  Results are bitwise-identical under every setting; a
+    plan only chooses how fast they arrive.
+
+    Parameters
+    ----------
+    cache:
+        Serve compiled steppers from the process-local registry when the
+        rule/topology pair is cacheable (see :func:`stepper_cache_key`).
+    escalate:
+        Enable staged round budgets with shadow cycle detection for
+        ``detect_cycles=False`` runs (see the module docstring).
+    initial_rounds:
+        First-stage budget; ``None`` uses :func:`default_initial_rounds`.
+    growth:
+        Geometric factor between stage budgets (>= 2).
+
+    Plans are small frozen settings objects: pickle them into pool
+    shards freely — compiled steppers live in each process's own
+    registry and never travel.
+    """
+
+    cache: bool = True
+    escalate: bool = True
+    initial_rounds: Optional[int] = None
+    growth: int = 4
+
+    def __post_init__(self):
+        if self.initial_rounds is not None and int(self.initial_rounds) < 1:
+            raise ValueError(
+                f"initial_rounds must be >= 1 or None, got {self.initial_rounds!r}"
+            )
+        if int(self.growth) < 2:
+            raise ValueError(f"growth must be >= 2, got {self.growth!r}")
+
+    # ------------------------------------------------------------------
+    def stepper_for(
+        self,
+        rule: Rule,
+        topo: Topology,
+        max_batch: int,
+        backend: Union[str, KernelBackend, None] = None,
+    ) -> Stepper:
+        """A compiled stepper for ``(rule, topo)``, served from the
+        registry when allowed and possible.
+
+        Never cached: ``cache=False`` plans, :class:`KernelBackend`
+        *instances* passed by object (their name may not identify them),
+        rules without an authoritative :func:`rule_plan_token`, and
+        topologies without a :func:`topology_token`.
+        """
+        resolved = select_backend(backend)
+        if not self.cache or isinstance(backend, KernelBackend):
+            return resolved.compile(rule, topo, max_batch)
+        key = stepper_cache_key(resolved.name, rule, topo, max_batch)
+        if key is None:
+            return resolved.compile(rule, topo, max_batch)
+        stepper = _STEPPER_CACHE.get(key)
+        if stepper is None:
+            stepper = resolved.compile(rule, topo, max_batch)
+            _STEPPER_CACHE.put(key, stepper)
+        return stepper
+
+    def budgets(self, topo: Topology, cap: int) -> list:
+        """Stage schedule for one run (``[cap]`` when not escalating)."""
+        if not self.escalate:
+            return [cap]
+        initial = (
+            default_initial_rounds(topo)
+            if self.initial_rounds is None
+            else int(self.initial_rounds)
+        )
+        return escalation_budgets(initial, cap, self.growth)
+
+
+#: the plan every engine entry point resolves when none is given:
+#: caching and escalation on — both are bitwise-invisible
+DEFAULT_PLAN = ExecutionPlan()
+
+#: the legacy behaviour: compile fresh every call, run every row under
+#: the full cap (useful as the parity baseline and for thread-per-engine
+#: setups that must not share scratch)
+NO_PLAN = ExecutionPlan(cache=False, escalate=False)
+
+
+def resolve_plan(plan: Union[ExecutionPlan, None]) -> ExecutionPlan:
+    """Normalize a ``plan=`` argument (``None`` means :data:`DEFAULT_PLAN`)."""
+    if plan is None:
+        return DEFAULT_PLAN
+    if isinstance(plan, ExecutionPlan):
+        return plan
+    raise TypeError(
+        f"plan must be an ExecutionPlan or None, got {type(plan).__name__}"
+    )

@@ -30,12 +30,43 @@ from ..rules.base import Rule, as_color_array
 from ..topology.base import Topology
 from .result import RunResult
 
-__all__ = ["run_synchronous", "default_round_cap", "parse_frozen"]
+__all__ = [
+    "run_synchronous",
+    "default_round_cap",
+    "parse_frozen",
+    "validate_round_cap",
+]
 
 
 def default_round_cap(topo: Topology) -> int:
     """Round budget comfortably above the paper's worst-case bound."""
     return 4 * topo.num_vertices + 64
+
+
+def validate_round_cap(
+    max_rounds: Optional[int], topo: Topology, *, flag: str = "max_rounds"
+) -> int:
+    """Resolve and validate a round budget in the one place every driver
+    shares.
+
+    ``None`` means :func:`default_round_cap`; ``0`` is a legal budget
+    (the run reports its initial state); negatives and non-integers
+    raise :class:`ValueError` with a message naming ``flag``.  The
+    scalar runner, the batched engine, and the temporal driver all
+    route their caps through here, so "how many rounds is a run allowed"
+    has exactly one answer and one failure mode.
+    """
+    if max_rounds is None:
+        return default_round_cap(topo)
+    try:
+        cap = int(max_rounds)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{flag} must be an integer >= 0 or None, got {max_rounds!r}"
+        ) from None
+    if cap != max_rounds or cap < 0:
+        raise ValueError(f"{flag} must be >= 0, got {max_rounds!r}")
+    return cap
 
 
 def _state_digest(colors: np.ndarray) -> bytes:
@@ -71,6 +102,8 @@ def run_synchronous(
     track_changes: bool = True,
     detect_cycles: bool = True,
     record: bool = False,
+    backend=None,
+    plan=None,
 ) -> RunResult:
     """Run the synchronous dynamics to a fixed point, cycle, or round cap.
 
@@ -101,12 +134,25 @@ def run_synchronous(
         benchmarks.
     record:
         Keep a copy of every state in ``result.trajectory`` (index = round).
+    backend, plan:
+        Kernel backend and :class:`~repro.engine.plans.ExecutionPlan`
+        for the per-round kernel, exactly as in
+        :func:`~repro.engine.batch.run_batch` (the compiled stepper runs
+        on a ``(1, N)`` view and is served from the plan's cache, so
+        repeated scalar runs skip recompilation too).  Both are honored
+        only while the rule's scalar :meth:`~repro.rules.base.Rule.step`
+        is the stock batched delegation — a rule overriding ``step``
+        keeps its own kernel, mirroring how inherited kernel specs are
+        withheld from backends.
     """
+    # lazy import: plans imports this module for the shared validators
+    from .plans import resolve_plan
+
     colors = as_color_array(initial, topo.num_vertices).copy()
-    if max_rounds is None:
-        max_rounds = default_round_cap(topo)
-    if max_rounds < 0:
-        raise ValueError("max_rounds must be >= 0")
+    max_rounds = validate_round_cap(max_rounds, topo)
+    stepper = None
+    if type(rule).step is Rule.step:
+        stepper = resolve_plan(plan).stepper_for(rule, topo, 1, backend)
 
     frozen_idx = parse_frozen(frozen, topo.num_vertices)
     frozen_values = colors[frozen_idx].copy() if frozen_idx is not None else None
@@ -133,7 +179,12 @@ def run_synchronous(
     rounds = 0
 
     for t in range(1, max_rounds + 1):
-        rule.step(colors, topo, out=buf)
+        if stepper is None:
+            rule.step(colors, topo, out=buf)
+        else:
+            # the stepper may return internal scratch; copy into the
+            # double buffer before the swap
+            np.copyto(buf, stepper(colors[None, :])[0])
         if frozen_idx is not None and frozen_idx.size:
             buf[frozen_idx] = frozen_values
         if irreversible_color is not None:

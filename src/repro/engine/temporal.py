@@ -22,6 +22,7 @@ from ..rules.plurality import GeneralizedPluralityRule
 from ..rules.base import as_color_array
 from ..topology.temporal import TemporalTopology
 from .result import RunResult
+from .runner import validate_round_cap
 
 __all__ = ["run_temporal"]
 
@@ -31,12 +32,21 @@ def run_temporal(
     initial: Sequence[int] | np.ndarray,
     rule: GeneralizedPluralityRule,
     *,
-    max_rounds: int = 10_000,
+    max_rounds: Optional[int] = None,
     target_color: Optional[int] = None,
     record: bool = False,
 ) -> RunResult:
-    """Run masked plurality dynamics; stop on monochromatic or round cap."""
+    """Run masked plurality dynamics; stop on monochromatic or round cap.
+
+    ``max_rounds`` defaults to the same
+    :func:`~repro.engine.runner.default_round_cap` budget the static
+    drivers use (callers with slow availability processes pass their own
+    cap) and is validated by the shared
+    :func:`~repro.engine.runner.validate_round_cap` — no more magic
+    ``10_000`` and no silently accepted negative caps.
+    """
     topo = ttopo.base
+    max_rounds = validate_round_cap(max_rounds, topo)
     colors = as_color_array(initial, topo.num_vertices).copy()
     n = topo.num_vertices
     last_change = np.zeros(n, dtype=np.int32)

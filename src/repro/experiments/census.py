@@ -36,6 +36,7 @@ from ..core.bounds import lower_bound
 from ..core.diagonal import diagonal_dynamo
 from ..core.search import (
     BackendSpec,
+    PlanSpec,
     exhaustive_min_dynamo_size,
     random_dynamo_search,
 )
@@ -101,6 +102,7 @@ def _random_floor_scan(
     shard_size: Optional[int],
     db: Optional[WitnessDB] = None,
     backend: BackendSpec = None,
+    plan: PlanSpec = None,
 ) -> Tuple[Optional[int], Optional[int], _CellWitness]:
     """Scan seed sizes downward from ``start_size`` by random search.
 
@@ -127,6 +129,7 @@ def _random_floor_scan(
             shard_size=shard_size,
             db=db,
             backend=backend,
+            plan=plan,
         )
         if out.found_monotone_dynamo:
             best = s
@@ -159,6 +162,7 @@ def below_bound_census(
     db: Union[WitnessDB, str, Path, None] = None,
     stats: Optional[dict] = None,
     backend: BackendSpec = None,
+    plan: PlanSpec = None,
 ) -> List[CensusRow]:
     """Run the audit; every returned witness size is re-verified.
 
@@ -182,8 +186,14 @@ def below_bound_census(
     (:mod:`repro.engine.backends`) the searches run under.  Backends are
     bitwise-interchangeable, so the census table, the witnesses, and the
     cache definition are identical under every backend — the chosen name
-    is recorded in witness provenance only.
+    is recorded in witness provenance only.  ``plan`` selects the
+    execution plan (:mod:`repro.engine.plans`) the searches run under;
+    plans are bitwise-invisible too, so cached cells serve identically
+    whatever the plan settings.
     """
+    from ..engine.plans import resolve_plan
+
+    plan = resolve_plan(plan)  # reject junk before any cell runs
     nproc = validate_processes(processes)
     validate_positive(batch_size, flag="batch_size")
     if shard_size is not None:
@@ -230,6 +240,7 @@ def below_bound_census(
                     batch_size=batch_size,
                     db=store,
                     backend=backend,
+                    plan=plan,
                 )
                 if size is not None:
                     witness = (outcomes[-1].witnesses[0][0], _EXHAUSTIVE_PALETTE, 0)
@@ -262,6 +273,7 @@ def below_bound_census(
                     shard_size=shard_size,
                     db=store,
                     backend=backend,
+                    plan=plan,
                 )
                 if below is not None:
                     witness = probe_witness
@@ -290,6 +302,7 @@ def below_bound_census(
                 shard_size=shard_size,
                 db=store,
                 backend=backend,
+                plan=plan,
             )
             row = CensusRow(
                 kind=kind,

@@ -138,7 +138,7 @@ def _convergence_shard(shard: tuple) -> Tuple[int, int, int, int, int]:
     from ..topology.tori import make_torus
 
     (kind, m, n, rule_name, num_colors, count, shard_idx, seed, batch_size,
-     max_rounds, backend) = shard
+     max_rounds, backend, plan) = shard
     topo = make_torus(kind, m, n)
     rule = make_rule(rule_name, num_colors=num_colors)
     low, palette, target = replica_palette(rule_name, num_colors)
@@ -160,7 +160,7 @@ def _convergence_shard(shard: tuple) -> Tuple[int, int, int, int, int]:
         ).astype(np.int32)
         res = run_batch(
             topo, batch, rule, max_rounds=cap, target_color=target,
-            backend=backend,
+            backend=backend, plan=plan,
         )
         converged += int(res.converged.sum())
         monochromatic += int(res.k_monochromatic.sum())
@@ -183,6 +183,7 @@ def convergence_sweep(
     processes: Optional[int] = 0,
     shard_size: Optional[int] = None,
     backend: Optional[str] = None,
+    plan=None,
 ) -> np.ndarray:
     """Random-replica convergence statistics per grid point, sharded.
 
@@ -201,10 +202,15 @@ def convergence_sweep(
     ``backend`` names the kernel backend
     (:mod:`repro.engine.backends`) each worker resolves locally;
     backends are bitwise-interchangeable, so records never depend on it.
+    ``plan`` is the :class:`~repro.engine.plans.ExecutionPlan` each
+    worker executes under (settings travel; compiled steppers stay
+    per-process) — plans are likewise bitwise-invisible.
     """
     from ..engine.backends import resolve_backend_ref
+    from ..engine.plans import resolve_plan
     from ..rules import make_rule  # validate the rule name before forking
 
+    plan = resolve_plan(plan)
     validate_positive(replicas, flag="replicas")
     validate_positive(batch_size, flag="batch_size")
     if shard_size is not None:
@@ -221,7 +227,7 @@ def convergence_sweep(
     counts = shard_counts(replicas, shard_size if shard_size is not None else batch_size)
     shards = [
         (kind, m, n, rule_name, num_colors, count, si, seed, batch_size,
-         max_rounds, backend_ref)
+         max_rounds, backend_ref, plan)
         for kind, m, n in pts
         for si, count in enumerate(counts)
     ]

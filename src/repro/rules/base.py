@@ -169,6 +169,25 @@ class Rule(abc.ABC):
         """
         return None
 
+    def plan_token(self) -> Optional[object]:
+        """Hashable token identifying this rule's compiled-kernel state.
+
+        The execution-plan layer (:mod:`repro.engine.plans`) caches
+        compiled steppers across ``run_batch`` calls keyed on
+        ``(backend, rule type + this token, topology, batch width)``.
+        Publishing a token is a *contract*: two instances of the same
+        class with equal tokens must produce bitwise-identical dynamics,
+        and the token must change whenever any state the kernel depends
+        on changes (tie policy, palette size, threshold spec, ...) — a
+        mutation then simply misses the cache and recompiles.
+
+        The base implementation returns ``None`` — unknown state, never
+        cached — so custom rules are always compiled fresh unless they
+        opt in.  The five shipped rules override this with their
+        spec-relevant fields.
+        """
+        return None
+
     def step_reference(self, colors: np.ndarray, topo: Topology) -> np.ndarray:
         """Pure-Python synchronous round via :meth:`update_vertex`.
 

@@ -92,6 +92,9 @@ class ReverseSimpleMajority(Rule):
             kind="majority", tie=self.tie, validate=self._check_bicolored
         )
 
+    def plan_token(self):
+        return (self.tie,)  # the tie policy is the kernel's only state
+
     def update_vertex(self, current: int, neighbor_colors: Sequence[int]) -> int:
         if len(neighbor_colors) != 4:
             raise ValueError("rule defined on degree-4 neighborhoods")
@@ -149,6 +152,9 @@ class ReverseStrongMajority(Rule):
         if topo.neighbors.shape[1] != 4 or not topo.is_regular:
             return None
         return KernelSpec(kind="strong-majority")
+
+    def plan_token(self):
+        return ()  # stateless: every instance compiles the same kernel
 
     def update_vertex(self, current: int, neighbor_colors: Sequence[int]) -> int:
         if len(neighbor_colors) != 4:

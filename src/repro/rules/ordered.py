@@ -90,6 +90,12 @@ class OrderedIncrementRule(Rule):
             validate=self._validate_palette,
         )
 
+    def plan_token(self):
+        # palette size and threshold policy fully determine the kernel;
+        # mutating either on a live instance misses the cache and
+        # recompiles, as the plan-token contract requires
+        return (self.num_colors, self.threshold)
+
     def update_vertex(self, current: int, neighbor_colors: Sequence[int]) -> int:
         d = len(neighbor_colors)
         if d == 0 or current >= self.num_colors - 1:

@@ -163,6 +163,13 @@ class GeneralizedPluralityRule(Rule):
             validate=self._validate_palette,
         )
 
+    def plan_token(self):
+        # the threshold callable itself joins the token (callables hash
+        # by identity): swapping in a different function — or a fresh
+        # lambda — invalidates cached steppers, while reusing the same
+        # function object keeps serving them
+        return (self.num_colors, self.threshold_fn)
+
     def update_vertex(self, current: int, neighbor_colors: Sequence[int]) -> int:
         d = len(neighbor_colors)
         if d == 0:

@@ -151,6 +151,9 @@ class SMPRule(Rule):
             return None  # step_batch fallback raises the rule's own error
         return KernelSpec(kind="smp")
 
+    def plan_token(self):
+        return ()  # stateless: every instance compiles the same kernel
+
     def update_vertex(self, current: int, neighbor_colors: Sequence[int]) -> int:
         if len(neighbor_colors) != 4:
             raise ValueError("SMP rule is defined on degree-4 neighborhoods")

@@ -113,6 +113,14 @@ class LinearThresholdRule(Rule):
             validate=self._validate_states,
         )
 
+    def plan_token(self):
+        if isinstance(self._spec, str):
+            return (self._spec,)
+        # explicit vectors: token by value, so two rules built from equal
+        # vectors share cached steppers and a replaced vector misses
+        arr = np.asarray(self._spec, dtype=np.int64)
+        return ("vector", arr.shape, arr.tobytes())
+
     def update_vertex(self, current: int, neighbor_colors: Sequence[int]) -> int:
         if current == ACTIVE:
             return ACTIVE

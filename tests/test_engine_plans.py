@@ -1,0 +1,528 @@
+"""Execution-plan subsystem tests (:mod:`repro.engine.plans`).
+
+Two contracts are pinned here:
+
+* **bitwise invisibility** — caching and escalation never change any
+  result: the escalation parity matrix runs plans on/off x backends x
+  torus kinds x engine-flag variants and compares every
+  :class:`BatchRunResult` field, and the seed-stability tests pin that
+  witnesses, census rows, and stored ids are identical under any plan;
+* **cache correctness** — hits/misses/evictions behave, a mutated rule
+  misses (plan tokens change with spec-relevant state), non-authoritative
+  tokens are withheld (subclassed kernels), and compiled steppers stay
+  process-local (pool workers fill their own cache).
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.search import random_dynamo_search
+from repro.engine import (
+    DEFAULT_PLAN,
+    NO_PLAN,
+    ExecutionPlan,
+    clear_plan_cache,
+    default_initial_rounds,
+    default_round_cap,
+    escalation_budgets,
+    plan_cache_stats,
+    resolve_plan,
+    run_batch,
+    run_synchronous,
+    run_temporal,
+    validate_round_cap,
+)
+from repro.engine.backends import available_backend_names
+from repro.engine.plans import rule_plan_token, stepper_cache_key, topology_token
+from repro.experiments import below_bound_census, convergence_sweep
+from repro.io.witnessdb import WitnessDB
+from repro.rules import (
+    GeneralizedPluralityRule,
+    LinearThresholdRule,
+    OrderedIncrementRule,
+    ReverseSimpleMajority,
+    Rule,
+    SMPRule,
+)
+from repro.topology import (
+    AlwaysAvailable,
+    BernoulliAvailability,
+    TemporalTopology,
+    ToroidalMesh,
+)
+
+from helpers import TORUS_KINDS
+
+RESULT_FIELDS = (
+    "final", "rounds", "converged", "cycle_length", "fixed_point_round",
+    "monotone",
+)
+
+#: rule cases of the escalation parity matrix (factory, low, palette, target)
+RULE_CASES = {
+    "smp": (lambda: SMPRule(), 0, 4, 0),
+    "majority": (lambda: ReverseSimpleMajority("prefer-black"), 1, 2, 2),
+    "plurality": (lambda: GeneralizedPluralityRule(5), 0, 5, 0),
+    "ordered": (lambda: OrderedIncrementRule(4), 0, 4, 3),
+    "threshold": (lambda: LinearThresholdRule("simple"), 0, 2, 1),
+}
+
+#: engine-flag variants: cycle detection on/off x frozen/irreversible
+VARIANTS = {
+    "plain": {},
+    "no-cycles": {"detect_cycles": False},
+    "frozen": {"frozen": [0, 3, 7], "detect_cycles": False},
+    "irreversible": {"detect_cycles": False},  # irreversible_color per-case
+}
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    """Each test starts from an empty stepper registry."""
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+def _assert_results_equal(res, ref, context):
+    for field in RESULT_FIELDS:
+        a, b = getattr(res, field), getattr(ref, field)
+        if a is None or b is None:
+            assert a is b, (context, field)
+        else:
+            assert np.array_equal(a, b), (context, field)
+
+
+# ----------------------------------------------------------------------
+# the escalation parity matrix: plans on/off x backends x kinds x flags
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", available_backend_names())
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+@pytest.mark.parametrize("case", sorted(RULE_CASES))
+def test_escalation_parity_matrix(rng, torus_kind, case, variant, backend):
+    topo = TORUS_KINDS[torus_kind](4, 5)
+    factory, low, palette, target = RULE_CASES[case]
+    rule = factory()
+    batch = rng.integers(low, low + palette, size=(32, topo.num_vertices)).astype(
+        np.int32
+    )
+    kwargs = dict(VARIANTS[variant])
+    if variant == "irreversible":
+        kwargs["irreversible_color"] = target
+    ref = run_batch(
+        topo, batch, rule, max_rounds=100, target_color=target,
+        backend=backend, plan=NO_PLAN, **kwargs,
+    )
+    res = run_batch(
+        topo, batch, rule, max_rounds=100, target_color=target,
+        backend=backend, plan=DEFAULT_PLAN, **kwargs,
+    )
+    _assert_results_equal(res, ref, (backend, case, variant))
+
+
+def test_escalation_parity_across_round_caps(rng):
+    """Sweep the cap through every phase of the shadow fast-forward
+    (before arming, mid-verification, deep cycling) — the modular
+    arithmetic of the cap state must hold at every value."""
+    topo = ToroidalMesh(4, 4)
+    rule = SMPRule()
+    batch = rng.integers(0, 5, size=(48, 16)).astype(np.int32)
+    plan = ExecutionPlan(initial_rounds=3, growth=2)
+    for cap in list(range(0, 24)) + [33, 48, 80, 101]:
+        ref = run_batch(topo, batch, rule, max_rounds=cap, target_color=0,
+                        detect_cycles=False, plan=NO_PLAN)
+        res = run_batch(topo, batch, rule, max_rounds=cap, target_color=0,
+                        detect_cycles=False, plan=plan)
+        _assert_results_equal(res, ref, cap)
+        assert not res.converged.all()  # the pin is meaningful: rows cycle
+
+
+def test_escalation_retires_cycling_rows_early(rng):
+    """The point of the exercise: a cycling-heavy search batch under an
+    escalating plan must not simulate every row to the cap.  Proxy: the
+    escalated run is must faster in rounds actually stepped — asserted
+    through a counting stepper."""
+    calls = {"on": 0, "off": 0}
+
+    class CountingSMP(SMPRule):
+        def __init__(self, key):
+            self._key = key
+
+        def step_batch(self, colors, topo, out=None):
+            calls[self._key] += colors.shape[0]  # row-rounds simulated
+            return SMPRule.step_batch(self, colors, topo, out=out)
+
+    topo = ToroidalMesh(4, 4)
+    batch = rng.integers(0, 5, size=(128, 16)).astype(np.int32)
+    kw = dict(max_rounds=80, target_color=0, detect_cycles=False)
+    ref = run_batch(topo, batch, CountingSMP("off"), plan=NO_PLAN, **kw)
+    res = run_batch(topo, batch, CountingSMP("on"), plan=DEFAULT_PLAN, **kw)
+    _assert_results_equal(res, ref, "counting")
+    assert not ref.converged.all()
+    # cycling rows retire after verification instead of running to 80
+    assert calls["on"] < calls["off"] / 2, calls
+
+
+# ----------------------------------------------------------------------
+# seed stability: witnesses / census rows / ids are plan-independent
+# ----------------------------------------------------------------------
+def test_random_search_is_plan_independent():
+    topo = ToroidalMesh(4, 4)
+    kwargs = dict(k=0, monotone_only=True, batch_size=128, processes=0)
+    ref = random_dynamo_search(topo, 3, 5, 4096, 0xBEEF, plan=NO_PLAN, **kwargs)
+    out = random_dynamo_search(
+        topo, 3, 5, 4096, 0xBEEF, plan=ExecutionPlan(initial_rounds=4), **kwargs
+    )
+    assert out.examined == ref.examined
+    assert len(out.witnesses) == len(ref.witnesses)
+    for (ca, ma), (cb, mb) in zip(out.witnesses, ref.witnesses):
+        assert ma == mb and np.array_equal(ca, cb)
+    assert ref.found_monotone_dynamo  # the pin is meaningful: hits exist
+
+
+def test_census_rows_and_witness_ids_are_plan_independent(tmp_path):
+    kwargs = dict(kinds=["mesh"], sizes=[3, 4], random_trials=400)
+    dbs, rows = {}, {}
+    for name, plan in (("off", NO_PLAN), ("on", DEFAULT_PLAN)):
+        db = WitnessDB(tmp_path / f"{name}.jsonl")
+        rows[name] = below_bound_census(db=db, plan=plan, **kwargs)
+        dbs[name] = db
+    assert rows["off"] == rows["on"]
+    ids_off = sorted(r.id for r in dbs["off"])
+    assert ids_off == sorted(r.id for r in dbs["on"])
+    assert ids_off  # witnesses were actually recorded
+    assert (
+        sorted(c.id for c in dbs["off"].cells)
+        == sorted(c.id for c in dbs["on"].cells)
+    )
+
+
+def test_cached_census_serves_across_plans(tmp_path):
+    """A census computed under one plan serves cache hits to another —
+    plan settings never enter the cell definition."""
+    path = tmp_path / "w.jsonl"
+    kwargs = dict(kinds=["mesh"], sizes=[3], random_trials=400)
+    first = below_bound_census(db=WitnessDB(path), plan=NO_PLAN, **kwargs)
+    stats = {}
+    second = below_bound_census(
+        db=WitnessDB(path), plan=ExecutionPlan(initial_rounds=2), stats=stats,
+        **kwargs,
+    )
+    assert first == second
+    assert stats["cache_hits"] == stats["cells"] == 1
+
+
+def test_convergence_sweep_is_plan_independent():
+    pts = [("mesh", 4, 4), ("cordalis", 5, 5)]
+    kwargs = dict(replicas=128, batch_size=64, processes=0)
+    assert np.array_equal(
+        convergence_sweep(pts, plan=NO_PLAN, **kwargs),
+        convergence_sweep(pts, plan=ExecutionPlan(initial_rounds=3), **kwargs),
+    )
+
+
+def test_run_synchronous_backend_and_plan_are_bitwise_invisible(rng):
+    topo = ToroidalMesh(4, 5)
+    for case in sorted(RULE_CASES):
+        factory, low, palette, target = RULE_CASES[case]
+        rule = factory()
+        colors = rng.integers(low, low + palette, size=20).astype(np.int32)
+        ref = run_synchronous(topo, colors, rule, target_color=target,
+                              plan=NO_PLAN)
+        for backend in available_backend_names():
+            res = run_synchronous(topo, colors, rule, target_color=target,
+                                  backend=backend)
+            assert np.array_equal(res.final, ref.final), (case, backend)
+            assert res.rounds == ref.rounds
+            assert res.converged == ref.converged
+            assert res.cycle_length == ref.cycle_length
+            assert res.monotone == ref.monotone
+
+
+def test_run_synchronous_custom_scalar_step_keeps_its_kernel():
+    """A rule overriding `step` keeps its own kernel — the plan/backend
+    fast path only applies to the stock batched delegation."""
+
+    class FreezeRule(SMPRule):
+        def step(self, colors, topo, out=None):
+            if out is None:
+                return colors.copy()
+            np.copyto(out, colors)
+            return out
+
+    topo = ToroidalMesh(3, 3)
+    colors = np.arange(9, dtype=np.int32) % 3
+    res = run_synchronous(topo, colors, FreezeRule(), max_rounds=10)
+    assert res.converged and np.array_equal(res.final, colors)
+
+
+# ----------------------------------------------------------------------
+# stepper cache behaviour
+# ----------------------------------------------------------------------
+def test_plan_cache_hit_miss_and_eviction(rng):
+    clear_plan_cache(maxsize=2)
+    topo = ToroidalMesh(4, 4)
+    batch = rng.integers(0, 4, size=(8, 16)).astype(np.int32)
+    run_batch(topo, batch, SMPRule(), max_rounds=5)
+    s = plan_cache_stats()
+    assert (s.hits, s.misses, s.size) == (0, 1, 1)
+    run_batch(topo, batch, SMPRule(), max_rounds=5)  # same key, new instance
+    s = plan_cache_stats()
+    assert (s.hits, s.misses) == (1, 1)
+    # a different batch width is a different key
+    run_batch(topo, batch[:4], SMPRule(), max_rounds=5)
+    assert plan_cache_stats().misses == 2
+    # third distinct key evicts the least-recently-used entry
+    run_batch(topo, batch, OrderedIncrementRule(4), max_rounds=5)
+    s = plan_cache_stats()
+    assert s.evictions == 1 and s.size == 2 and s.maxsize == 2
+    clear_plan_cache()
+    assert plan_cache_stats().size == 0
+
+
+def test_plan_cache_respects_cache_flag(rng):
+    topo = ToroidalMesh(4, 4)
+    batch = rng.integers(0, 4, size=(8, 16)).astype(np.int32)
+    run_batch(topo, batch, SMPRule(), max_rounds=5, plan=NO_PLAN)
+    s = plan_cache_stats()
+    assert (s.hits, s.misses, s.size) == (0, 0, 0)
+
+
+def test_mutated_rule_state_invalidates_cached_stepper(rng):
+    """The plan-token contract: mutating spec-relevant state must miss
+    the cache and recompile — never serve the stale kernel."""
+    topo = ToroidalMesh(4, 4)
+    batch = rng.integers(0, 4, size=(16, 16)).astype(np.int32)
+    rule = OrderedIncrementRule(4, threshold="simple")
+    first = run_batch(topo, batch, rule, max_rounds=30)
+    assert plan_cache_stats().misses == 1
+    rule.threshold = "strong"  # spec-relevant mutation
+    mutated = run_batch(topo, batch, rule, max_rounds=30)
+    assert plan_cache_stats().misses == 2  # recompiled, not served
+    fresh = run_batch(
+        topo, batch, OrderedIncrementRule(4, threshold="strong"),
+        max_rounds=30, plan=NO_PLAN,
+    )
+    _assert_results_equal(mutated, fresh, "mutated rule")
+    rule.threshold = "simple"  # mutating back re-serves the first entry
+    again = run_batch(topo, batch, rule, max_rounds=30)
+    _assert_results_equal(again, first, "restored rule")
+    assert plan_cache_stats().hits >= 1
+
+
+def test_tie_policy_and_threshold_vector_tokens():
+    assert rule_plan_token(ReverseSimpleMajority("prefer-black")) != (
+        rule_plan_token(ReverseSimpleMajority("prefer-current"))
+    )
+    a = LinearThresholdRule([1, 2, 1, 2])
+    b = LinearThresholdRule([1, 2, 1, 2])
+    c = LinearThresholdRule([2, 2, 2, 2])
+    assert rule_plan_token(a) == rule_plan_token(b) != rule_plan_token(c)
+    # the plurality threshold callable joins the token by identity
+    fn = lambda d: d // 2 + 1  # noqa: E731
+    assert rule_plan_token(GeneralizedPluralityRule(4, fn)) == rule_plan_token(
+        GeneralizedPluralityRule(4, fn)
+    )
+    assert rule_plan_token(
+        GeneralizedPluralityRule(4, fn)
+    ) != rule_plan_token(GeneralizedPluralityRule(4, lambda d: d // 2 + 1))
+
+
+def test_subclassed_kernel_withholds_inherited_token(rng):
+    """A subclass overriding step_batch without republishing plan_token
+    must not share cache entries keyed by the parent's token — and must
+    run its own kernel under a caching plan."""
+
+    class NeverRecolor(SMPRule):
+        def step_batch(self, colors, topo, out=None):
+            if out is None:
+                return colors.copy()
+            np.copyto(out, colors)
+            return out
+
+    assert rule_plan_token(NeverRecolor()) is None
+    topo = ToroidalMesh(4, 4)
+    batch = rng.integers(0, 4, size=(8, 16)).astype(np.int32)
+    run_batch(topo, batch, SMPRule(), max_rounds=5)  # warm the SMP entry
+    res = run_batch(topo, batch, NeverRecolor(), max_rounds=5)
+    assert res.converged.all()
+    assert np.array_equal(res.final, batch)  # its own kernel, not SMP's
+
+
+def test_unhashable_plan_token_is_withheld():
+    class Unhashable(list):
+        __hash__ = None
+
+    class WeirdRule(SMPRule):
+        def step_batch(self, colors, topo, out=None):
+            return SMPRule.step_batch(self, colors, topo, out=out)
+
+        def kernel_spec(self, topo):
+            return SMPRule.kernel_spec(self, topo)
+
+        def plan_token(self):
+            return (Unhashable(),)
+
+    assert rule_plan_token(WeirdRule()) is None
+
+
+def test_custom_rule_without_token_is_never_cached(rng):
+    class Stubborn(Rule):
+        def step(self, colors, topo, out=None):
+            if out is None:
+                return colors.copy()
+            np.copyto(out, colors)
+            return out
+
+        def update_vertex(self, current, neighbor_colors):
+            return current
+
+    topo = ToroidalMesh(3, 3)
+    assert rule_plan_token(Stubborn()) is None
+    batch = rng.integers(0, 3, size=(4, 9)).astype(np.int32)
+    run_batch(topo, batch, Stubborn(), max_rounds=5)
+    assert plan_cache_stats().size == 0
+
+
+def test_topology_token_structural_for_tori_identity_otherwise():
+    import networkx as nx
+
+    from repro.topology import GraphTopology
+
+    assert topology_token(ToroidalMesh(4, 5)) == topology_token(
+        ToroidalMesh(4, 5)
+    )
+    assert topology_token(ToroidalMesh(4, 5)) != topology_token(
+        ToroidalMesh(5, 4)
+    )
+    g1 = GraphTopology(nx.path_graph(5))
+    g2 = GraphTopology(nx.path_graph(5))
+    assert topology_token(g1) == topology_token(g1)
+    assert topology_token(g1) != topology_token(g2)
+
+    class MeshSubclass(ToroidalMesh):
+        pass
+
+    # subclasses never share the registry-torus structural key
+    assert topology_token(MeshSubclass(4, 5)) != topology_token(
+        ToroidalMesh(4, 5)
+    )
+
+
+def test_stepper_cache_key_components():
+    topo = ToroidalMesh(4, 4)
+    key = stepper_cache_key("stencil", SMPRule(), topo, 64)
+    assert key is not None and key[0] == "stencil" and key[-1] == 64
+    # uncacheable rule -> no key
+
+    class Custom(SMPRule):
+        def step_batch(self, colors, topo, out=None):
+            return SMPRule.step_batch(self, colors, topo, out=out)
+
+    assert stepper_cache_key("stencil", Custom(), topo, 64) is None
+
+
+# ----------------------------------------------------------------------
+# per-worker isolation and plan pickling
+# ----------------------------------------------------------------------
+def test_plans_pickle_as_settings_only():
+    plan = ExecutionPlan(cache=True, escalate=False, initial_rounds=7, growth=3)
+    clone = pickle.loads(pickle.dumps(plan))
+    assert clone == plan
+
+
+def test_sharded_search_keeps_parent_cache_untouched():
+    """Pool workers fill their own process-local registries; the parent's
+    counters must not move while shards run elsewhere."""
+    topo = ToroidalMesh(4, 4)
+    before = plan_cache_stats()
+    out = random_dynamo_search(
+        topo, 3, 5, 512, 0xBEEF, monotone_only=True, batch_size=64,
+        shard_size=128, processes=2,
+    )
+    assert out.examined == 512
+    after = plan_cache_stats()
+    assert (after.hits, after.misses) == (before.hits, before.misses)
+    # and the sharded outcome matches the inline one bitwise
+    inline = random_dynamo_search(
+        topo, 3, 5, 512, 0xBEEF, monotone_only=True, batch_size=64,
+        shard_size=128, processes=0,
+    )
+    assert len(out.witnesses) == len(inline.witnesses)
+    for (ca, ma), (cb, mb) in zip(out.witnesses, inline.witnesses):
+        assert ma == mb and np.array_equal(ca, cb)
+
+
+# ----------------------------------------------------------------------
+# plan settings validation and budgets
+# ----------------------------------------------------------------------
+def test_execution_plan_validates_settings():
+    with pytest.raises(ValueError, match="initial_rounds"):
+        ExecutionPlan(initial_rounds=0)
+    with pytest.raises(ValueError, match="growth"):
+        ExecutionPlan(growth=1)
+    with pytest.raises(TypeError, match="ExecutionPlan"):
+        resolve_plan("fast")
+    assert resolve_plan(None) is DEFAULT_PLAN
+
+
+def test_escalation_budgets_schedule():
+    assert escalation_budgets(8, 100) == [8, 32, 100]
+    assert escalation_budgets(8, 100, growth=2) == [8, 16, 32, 64, 100]
+    assert escalation_budgets(50, 20) == [20]  # clamped to the cap
+    assert escalation_budgets(8, 8) == [8]
+    assert escalation_budgets(8, 0) == [0]
+    with pytest.raises(ValueError):
+        escalation_budgets(0, 100)
+    with pytest.raises(ValueError):
+        escalation_budgets(8, 100, growth=1)
+    topo = ToroidalMesh(6, 6)
+    assert default_initial_rounds(topo) == 36 // 4 + 8
+    assert DEFAULT_PLAN.budgets(topo, default_round_cap(topo))[-1] == (
+        default_round_cap(topo)
+    )
+    assert NO_PLAN.budgets(topo, 50) == [50]
+
+
+# ----------------------------------------------------------------------
+# the shared round-cap validator (batch / scalar / temporal agree)
+# ----------------------------------------------------------------------
+def test_validate_round_cap_shared_semantics():
+    topo = ToroidalMesh(3, 3)
+    assert validate_round_cap(None, topo) == default_round_cap(topo)
+    assert validate_round_cap(0, topo) == 0
+    for bad in (-1, 2.5, "x"):
+        with pytest.raises(ValueError, match="max_rounds"):
+            validate_round_cap(bad, topo)
+
+
+def test_all_drivers_reject_negative_caps_and_accept_zero(rng):
+    topo = ToroidalMesh(3, 3)
+    colors = rng.integers(0, 3, size=9).astype(np.int32)
+    batch = colors[None, :]
+    ttopo = TemporalTopology(topo, AlwaysAvailable())
+    plurality = GeneralizedPluralityRule(3)
+    for call in (
+        lambda mr: run_batch(topo, batch, SMPRule(), max_rounds=mr),
+        lambda mr: run_synchronous(topo, colors, SMPRule(), max_rounds=mr),
+        lambda mr: run_temporal(ttopo, colors, plurality, max_rounds=mr),
+    ):
+        with pytest.raises(ValueError, match="max_rounds"):
+            call(-1)
+        res = call(0)
+        final = res.final if res.final.ndim == 1 else res.final[0]
+        assert np.array_equal(final, colors)
+
+
+def test_temporal_default_cap_is_the_shared_budget():
+    """run_temporal's magic 10_000 is gone: a never-converging run under
+    the default cap stops at default_round_cap(topo)."""
+    topo = ToroidalMesh(4, 4)
+    rng = np.random.default_rng(3)
+    ttopo = TemporalTopology(topo, BernoulliAvailability(0.0, rng))
+    colors = (np.arange(16) % 3).astype(np.int32)
+    res = run_temporal(ttopo, colors, GeneralizedPluralityRule(3))
+    assert not res.converged
+    assert res.rounds == default_round_cap(topo)

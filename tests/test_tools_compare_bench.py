@@ -1,0 +1,127 @@
+"""Unit tests for the benchmark-regression gate (tools/compare_bench.py)."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+from compare_bench import collect_ratios, compare_ratios, main  # noqa: E402
+
+
+def _payload(smp_step=2.6, smp_run=2.26, plan=2.5):
+    """A miniature BENCH_backends/BENCH_plans-shaped payload."""
+    return {
+        "workload": {"torus": "mesh 6x6", "batch": 8192, "note": "test"},
+        "results": {
+            "smp": {
+                "reference": {
+                    "step_ms_per_round": 19.4,
+                    "step_speedup_vs_reference": 1.0,
+                },
+                "stencil": {
+                    "step_ms_per_round": 7.5,
+                    "step_speedup_vs_reference": smp_step,
+                    "run_batch_speedup_vs_reference": smp_run,
+                },
+            },
+            "plans": {"search_plan_speedup": plan,
+                      "search_seconds_plans_on": 0.2},
+        },
+    }
+
+
+def test_collect_ratios_finds_only_speedup_leaves():
+    ratios = collect_ratios(_payload())
+    assert ratios == {
+        "results.smp.reference.step_speedup_vs_reference": 1.0,
+        "results.smp.stencil.step_speedup_vs_reference": 2.6,
+        "results.smp.stencil.run_batch_speedup_vs_reference": 2.26,
+        "results.plans.search_plan_speedup": 2.5,
+    }
+    # raw timings and workload metadata never enter the comparison
+    assert not any("_ms" in k or "seconds" in k or "workload." in k
+                   for k in ratios)
+
+
+def test_collect_ratios_walks_lists():
+    ratios = collect_ratios({"runs": [{"plan_speedup": 2.0},
+                                      {"plan_speedup": 3.0}]})
+    assert ratios == {"runs[0].plan_speedup": 2.0, "runs[1].plan_speedup": 3.0}
+
+
+def test_identical_payloads_pass():
+    ratios = collect_ratios(_payload())
+    failures, notes = compare_ratios(ratios, ratios)
+    assert failures == [] and notes == []
+
+
+def test_within_tolerance_passes_beyond_fails():
+    committed = collect_ratios(_payload(smp_step=2.0))
+    ok = collect_ratios(_payload(smp_step=1.5))  # 25% drop < 30%
+    failures, _ = compare_ratios(committed, ok)
+    assert failures == []
+    bad = collect_ratios(_payload(smp_step=1.3))  # 35% drop > 30%
+    failures, _ = compare_ratios(committed, bad)
+    assert len(failures) == 1
+    assert "step_speedup_vs_reference" in failures[0]
+    # a tighter tolerance flips the first case too
+    failures, _ = compare_ratios(committed, ok, max_slowdown=0.10)
+    assert len(failures) == 1
+
+
+def test_missing_committed_ratio_fails_new_ratio_is_noted():
+    committed = collect_ratios(_payload())
+    fresh = dict(committed)
+    del fresh["results.plans.search_plan_speedup"]
+    fresh["results.new.thing_speedup"] = 9.0
+    failures, notes = compare_ratios(committed, fresh)
+    assert len(failures) == 1 and "missing" in failures[0]
+    assert len(notes) == 1 and "no baseline" in notes[0]
+
+
+def test_compare_ratios_validates_tolerance():
+    with pytest.raises(ValueError, match="max_slowdown"):
+        compare_ratios({}, {}, max_slowdown=1.5)
+
+
+def _write(path, payload):
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    committed = _write(tmp_path / "committed.json", _payload())
+    fresh_ok = _write(tmp_path / "ok.json", _payload(smp_run=2.0))
+    fresh_bad = _write(tmp_path / "bad.json", _payload(plan=0.9))
+    assert main([committed, fresh_ok]) == 0
+    assert "4/4 recorded ratios" in capsys.readouterr().out
+    assert main([committed, fresh_bad]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out and "search_plan_speedup" in out
+    # a generous tolerance lets the same drop through
+    assert main([committed, fresh_bad, "--max-slowdown", "0.8"]) == 0
+
+
+def test_main_rejects_unreadable_and_ratio_free_inputs(tmp_path, capsys):
+    committed = _write(tmp_path / "committed.json", _payload())
+    assert main([committed, str(tmp_path / "missing.json")]) == 2
+    broken = tmp_path / "broken.json"
+    broken.write_text("{not json")
+    assert main([str(broken), committed]) == 2
+    empty = _write(tmp_path / "empty.json", {"workload": {"batch": 1}})
+    assert main([empty, committed]) == 2
+    assert "no recorded ratios" in capsys.readouterr().err
+
+
+def test_gate_holds_on_the_shipped_baselines():
+    """The committed BENCH files must gate against themselves — the CI
+    wiring depends on their ratios being discoverable."""
+    root = Path(__file__).resolve().parent.parent
+    for name in ("BENCH_backends.json", "BENCH_plans.json"):
+        ratios = collect_ratios(json.loads((root / name).read_text()))
+        assert ratios, name
+        failures, notes = compare_ratios(ratios, ratios)
+        assert failures == [] and notes == []
