@@ -15,6 +15,14 @@ Subcommands
                ``--db``, witnesses persist and cached cells skip the pool
 ``search``     one dynamo search (random or ``--exhaustive``) on a torus,
                recording witnesses into ``--db``
+``scale-free`` takeover census on Barabási–Albert graphs: a grid of
+               (strategy, seed-fraction) cells, one BA graph per process
+               shard, replicas advanced as batched blocks; with ``--db``,
+               cells cache as ``scale-free-cell`` records
+``async``      update-order robustness of a packaged construction: many
+               random sequential schedules as one batch (``--engine
+               scalar`` replays the bitwise-identical scalar loop); with
+               ``--db``, summaries cache as ``async-summary`` records
 ``witness``    query the witness database: ``list`` / ``show`` /
                ``verify`` / ``export``
 
@@ -32,6 +40,10 @@ Examples
     repro-dynamo census --sizes 3 4 --backend stencil
     repro-dynamo census --db results/witnesses.jsonl
     repro-dynamo search mesh 4 4 --seed-size 3 --colors 5 --trials 20000
+    repro-dynamo scale-free --n 300 --graphs 4 --replicas 32 --processes 4
+    repro-dynamo scale-free --db results/witnesses.jsonl
+    repro-dynamo async mesh 9 9 --trials 50 --seed 42
+    repro-dynamo async serpentinus 7 7 --engine scalar --db results/witnesses.jsonl
     repro-dynamo witness list
     repro-dynamo witness verify --all
 """
@@ -355,6 +367,92 @@ def build_parser() -> argparse.ArgumentParser:
                     help="witness database to consult and record into")
     sp.add_argument("--render", action="store_true",
                     help="render the first witness found")
+
+    sp = sub.add_parser(
+        "scale-free",
+        help="takeover census on Barabási–Albert scale-free graphs",
+    )
+    from .ext.scale_free import SCALE_FREE_STRATEGIES
+
+    sp.add_argument("--n", type=_positive_arg("--n"), default=300,
+                    help="vertices per BA graph (default: 300)")
+    sp.add_argument("--m-attach", type=_positive_arg("--m-attach"),
+                    default=2, metavar="M",
+                    help="BA attachment parameter (default: 2)")
+    sp.add_argument("--colors", type=_positive_arg("--colors"), default=4,
+                    metavar="C", help="palette size (default: 4)")
+    sp.add_argument(
+        "--strategies",
+        nargs="+",
+        choices=list(SCALE_FREE_STRATEGIES),
+        default=list(SCALE_FREE_STRATEGIES),
+        help="seeding strategies to sweep (default: all)",
+    )
+    sp.add_argument(
+        "--fractions",
+        type=float,
+        nargs="+",
+        default=[0.02, 0.05, 0.10],
+        metavar="F",
+        help="seed fractions to sweep (default: 0.02 0.05 0.10)",
+    )
+    sp.add_argument("--graphs", type=_positive_arg("--graphs"), default=4,
+                    help="independent BA graphs per cell (default: 4)")
+    sp.add_argument("--replicas", type=_positive_arg("--replicas"),
+                    default=32, metavar="R",
+                    help="random replicas per graph, advanced as one "
+                    "batched block (default: 32)")
+    sp.add_argument("--max-rounds", type=_positive_arg("--max-rounds"),
+                    default=None, help="round cap (default: 4n + 64)")
+    sp.add_argument("--seed", type=int, default=0x5CA1E,
+                    help="RNG root; shard streams derive from cell/graph "
+                    "coordinates, so results are identical at any "
+                    "--processes count")
+    sp.add_argument(
+        "--processes",
+        type=_processes_arg,
+        default=0,
+        metavar="P",
+        help="worker processes, one BA graph per shard (0 runs inline)",
+    )
+    _add_backend_arg(sp, "the replica blocks")
+    sp.add_argument(
+        "--db",
+        metavar="FILE",
+        help="witness database: record each cell as a scale-free-cell "
+        "row and serve already-stored definitions without re-running",
+    )
+
+    sp = sub.add_parser(
+        "async",
+        help="update-order robustness of a construction (random "
+        "sequential schedules)",
+    )
+    sp.add_argument("kind", choices=["mesh", "cordalis", "serpentinus"])
+    sp.add_argument("m", type=int)
+    sp.add_argument("n", type=int)
+    sp.add_argument("--target-color", type=int, default=1, metavar="K")
+    sp.add_argument("--trials", type=_positive_arg("--trials"), default=20,
+                    help="random schedules, trial i seeded (root, i) "
+                    "(default: 20)")
+    sp.add_argument("--max-sweeps", type=_positive_arg("--max-sweeps"),
+                    default=None, help="sweep cap (default: 4N + 64)")
+    sp.add_argument("--seed", type=int, default=None,
+                    help="schedule root (default: derived from a fixed "
+                    "RNG, so runs are reproducible)")
+    sp.add_argument(
+        "--engine",
+        choices=["batch", "scalar"],
+        default="batch",
+        help="batched schedule engine or the scalar sweep loop; the two "
+        "are bitwise-identical, this only affects speed",
+    )
+    sp.add_argument(
+        "--db",
+        metavar="FILE",
+        help="witness database: cache the summary as an async-summary "
+        "record keyed by the full experiment definition",
+    )
 
     sp = sub.add_parser(
         "witness",
@@ -758,6 +856,66 @@ def _main(argv: Optional[List[str]] = None) -> int:
             cfg, _ = out.witnesses[0]
             print(render_grid(topo, cfg, args.target_color))
         return 0 if out.found_dynamo else 1
+
+    if args.command == "scale-free":
+        from .ext.scale_free import scale_free_takeover_census
+
+        stats = {} if args.db else None
+        census = scale_free_takeover_census(
+            n=args.n,
+            m_attach=args.m_attach,
+            num_colors=args.colors,
+            strategies=tuple(args.strategies),
+            seed_fractions=tuple(args.fractions),
+            graphs=args.graphs,
+            replicas=args.replicas,
+            max_rounds=args.max_rounds,
+            seed=args.seed,
+            db=_open_db(args.db) if args.db else None,
+            processes=args.processes,
+            backend=args.backend,
+            stats=stats,
+        )
+        print(f"{'strategy':>16} {'frac':>6} {'takeover':>9} {'conv':>6} "
+              f"{'k-frac':>7} {'rounds':>7}")
+        for c in census.cells:
+            print(f"{c.strategy:>16} {c.seed_fraction:>6.2f} "
+                  f"{c.takeover_rate:>9.3f} {c.converged_rate:>6.2f} "
+                  f"{c.mean_final_k_fraction:>7.3f} {c.mean_rounds:>7.1f}")
+        if stats is not None:
+            # stderr keeps census stdout bitwise-identical across runs
+            print(
+                f"witness db {args.db}: {stats['cache_hits']}/{stats['cells']} "
+                f"cells from cache, {stats['recorded']} recorded",
+                file=sys.stderr,
+            )
+        return 0
+
+    if args.command == "async":
+        from .ext.asynchrony import async_robustness
+
+        con = build_minimum_dynamo(args.kind, args.m, args.n, k=args.target_color)
+        stats = {} if args.db else None
+        summary = async_robustness(
+            con,
+            trials=args.trials,
+            max_sweeps=args.max_sweeps,
+            seed=args.seed,
+            engine=args.engine,
+            db=_open_db(args.db) if args.db else None,
+            label=con.name,
+            stats=stats,
+        )
+        print(f"{con.name}: {summary.trials} random sequential schedules")
+        print(f"takeover rate: {summary.takeover_rate:.3f}")
+        print(f"monotone rate: {summary.monotone_rate:.3f}")
+        print(f"sweeps: min {summary.min_sweeps}, max {summary.max_sweeps}, "
+              f"mean {summary.mean_sweeps:.2f}")
+        if stats is not None:
+            outcome = ("served from cache" if stats["cache_hit"]
+                       else "recorded" if stats["recorded"] else "unchanged")
+            print(f"witness db {args.db}: summary {outcome}", file=sys.stderr)
+        return 0 if summary.takeover_rate == 1.0 else 1
 
     if args.command == "witness":
         return _witness_main(args)

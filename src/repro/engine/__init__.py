@@ -37,8 +37,8 @@ from .parallel import (
 )
 from .result import RunResult
 from .runner import default_round_cap, run_synchronous, validate_round_cap
-from .schedulers import run_asynchronous
-from .temporal import run_temporal
+from .schedulers import AsyncSchedule, run_asynchronous, run_asynchronous_batch
+from .temporal import run_temporal, run_temporal_batch
 
 __all__ = [
     "RunResult",
@@ -46,8 +46,11 @@ __all__ = [
     "run_batch",
     "as_color_batch",
     "run_synchronous",
+    "AsyncSchedule",
     "run_asynchronous",
+    "run_asynchronous_batch",
     "run_temporal",
+    "run_temporal_batch",
     "run_sharded",
     "shard_counts",
     "shard_seed",

@@ -16,9 +16,12 @@ thousands of rounds across batches) the allocator and the generic
   sorted values, an order of magnitude less per-element overhead;
 * replaces the histogram's ``np.add.at`` scatter (notoriously slow: one
   non-fused scatter per neighbor slot) with one fused equality-reduce per
-  color;
-* writes results with masked ``np.copyto`` into a persistent output
-  buffer — **zero allocations per round** once compiled.
+  color on regular tables — and, on padded irregular tables where a hub
+  makes ``O(N * max_degree)`` gathers pathological, with an ``O(edges)``
+  CSR gather + one ``np.bincount`` over precomputed flat offsets;
+* writes results with masked ``np.copyto`` into persistent buffers —
+  **zero allocations per round** once compiled (the CSR histogram's one
+  ``bincount`` output is the sole exception).
 
 Every plan reproduces its reference kernel bit for bit: all operations
 are exact integer/boolean arithmetic, sorted values do not depend on the
@@ -180,7 +183,21 @@ class _MajorityPlan(_Plan):
 
 
 class _PluralityPlan(_Plan):
-    """Unique-plurality histogram kernel, one fused reduce per color."""
+    """Unique-plurality histogram kernel, two shapes:
+
+    * **dense** (regular tables, no padding) — one fused equality-reduce
+      per color over the ``(B, N, d)`` gather;
+    * **CSR** (padded irregular tables) — the dense gather is
+      ``O(N * max_degree)`` and a scale-free hub inflates ``max_degree``
+      far past the mean, so instead gather only the real edges (row-major
+      ``nb[mask]`` keeps them grouped by vertex) and histogram them with
+      one ``np.bincount`` over precomputed ``(replica, vertex, color)``
+      flat offsets: ``O(E)`` work per round, no per-slot scatter.
+
+    Both shapes produce the exact same integer ``counts`` tensor, so the
+    threshold/argmax/adopt tail — and the bitwise contract with the
+    reference kernel — is shared.
+    """
 
     def __init__(self, spec: KernelSpec, topo: Topology):
         super().__init__(topo, spec.validate)
@@ -188,34 +205,68 @@ class _PluralityPlan(_Plan):
         self._d = nb.shape[1]
         self._colors = int(spec.num_colors)
         mask = nb >= 0
-        self._mask = np.ascontiguousarray(mask)
-        self._flat_idx = np.ascontiguousarray(
-            np.where(mask, nb, 0).reshape(-1), dtype=np.intp
-        )
+        self._dense = bool(mask.all())
         self._thr = np.asarray(spec.thresholds)[:, None]  # (N, 1) over colors
-        self._audible_pos = mask.sum(axis=1) > 0
+        audible = (
+            np.asarray(spec.degrees, dtype=np.int64)
+            if spec.degrees is not None
+            else mask.sum(axis=1)
+        )
+        self._audible_pos = audible > 0
+        if self._dense:
+            self._mask = np.ascontiguousarray(mask)
+            self._flat_idx = np.ascontiguousarray(
+                np.where(mask, nb, 0).reshape(-1), dtype=np.intp
+            )
+        else:
+            # CSR arrays: audible neighbor ids grouped by vertex, plus the
+            # owning vertex's color-plane offset for the flat histogram
+            self._csr_idx = np.ascontiguousarray(nb[mask], dtype=np.intp)
+            owner = np.repeat(np.arange(self._n, dtype=np.int64), audible)
+            self._owner_off = owner * self._colors  # (E,)
 
     def _alloc(self, b: int) -> None:
         n, d, c = self._n, self._d, self._colors
-        self._g = np.empty((b, n * d), np.int32)
-        self._eq = np.empty((b, n, d), bool)
-        self._counts = np.empty((b, n, c), np.int32)
+        if self._dense:
+            self._g = np.empty((b, n * d), np.int32)
+            self._eq = np.empty((b, n, d), bool)
+            self._counts = np.empty((b, n, c), np.int32)
+        else:
+            e = self._csr_idx.size
+            self._g = np.empty((b, e), np.int32)
+            # per-(replica, vertex) bin offsets, hoisted out of the loop
+            self._bins = np.empty((b, e), np.int64)
+            self._addend = (
+                np.arange(b, dtype=np.int64)[:, None] * (n * c)
+                + self._owner_off[None, :]
+            )
         self._reach = np.empty((b, n, c), bool)
         self._nreach = np.empty((b, n), np.int32)
         self._winner = np.empty((b, n), np.intp)
         self._adopt = np.empty((b, n), bool)
         self._out = np.empty((b, n), np.int32)
 
-    def _step(self, colors: np.ndarray, b: int) -> np.ndarray:
-        n, d = self._n, self._d
+    def _counts_for(self, colors: np.ndarray, b: int) -> np.ndarray:
+        n, d, c = self._n, self._d, self._colors
         g = self._g[:b]
-        np.take(colors, self._flat_idx, axis=1, out=g, mode="clip")
-        g3 = g.reshape(b, n, d)
-        eq, counts = self._eq[:b], self._counts[:b]
-        for c in range(self._colors):
-            np.equal(g3, c, out=eq)
-            np.logical_and(eq, self._mask, out=eq)
-            eq.sum(axis=2, dtype=np.int32, out=counts[..., c])
+        if self._dense:
+            np.take(colors, self._flat_idx, axis=1, out=g, mode="clip")
+            g3 = g.reshape(b, n, d)
+            eq, counts = self._eq[:b], self._counts[:b]
+            for color in range(c):
+                np.equal(g3, color, out=eq)
+                np.logical_and(eq, self._mask, out=eq)
+                eq.sum(axis=2, dtype=np.int32, out=counts[..., color])
+            return counts
+        np.take(colors, self._csr_idx, axis=1, out=g)
+        bins = self._bins[:b]
+        np.add(g, self._addend[:b], out=bins)
+        return np.bincount(bins.reshape(-1), minlength=b * n * c).reshape(
+            b, n, c
+        )
+
+    def _step(self, colors: np.ndarray, b: int) -> np.ndarray:
+        counts = self._counts_for(colors, b)
         reach, nreach = self._reach[:b], self._nreach[:b]
         np.greater_equal(counts, self._thr, out=reach)
         reach.sum(axis=2, dtype=np.int32, out=nreach)

@@ -158,6 +158,7 @@ def run_batch(
     detect_cycles: bool = True,
     backend: Union[str, KernelBackend, None] = None,
     plan: Optional[ExecutionPlan] = None,
+    schedule: Optional["AsyncSchedule"] = None,
 ) -> BatchRunResult:
     """Run every row of ``batch`` to fixed point, cycle, or round cap.
 
@@ -172,6 +173,16 @@ def run_batch(
     enabled) — backends and plans are bitwise-interchangeable, so they
     only affect speed.
 
+    ``schedule`` switches the *update model*: instead of synchronous
+    lockstep rounds, each row evolves under its own sequential
+    activation schedule (see :class:`~repro.engine.schedulers.
+    AsyncSchedule`), with ``max_rounds`` counting sweeps.  Schedule mode
+    delegates to :func:`~repro.engine.schedulers.run_asynchronous_batch`
+    — the backend name is still validated (a typo should not pass
+    silently), but kernels are compiled by the scheduler's own
+    vectorizer, and the frozen / irreversible / cycle-detection features
+    of the synchronous engine are not available.
+
     Execution walks a *compact* working set: retired rows leave it, so a
     batch costs (rounds of the slowest member) x (live rows).  Under an
     escalating plan, ``detect_cycles=False`` runs additionally arm
@@ -181,6 +192,24 @@ def run_batch(
     fast-forwarded to the cap — bitwise what full simulation would
     report, at a fraction of the rounds (see :mod:`repro.engine.plans`).
     """
+    if schedule is not None:
+        if frozen is not None or irreversible_color is not None:
+            raise ValueError(
+                "frozen / irreversible vertices are a synchronous-engine "
+                "feature; schedule mode does not support them"
+            )
+        from .backends import select_backend
+        from .schedulers import run_asynchronous_batch
+
+        select_backend(backend)  # validate the name, nothing else
+        return run_asynchronous_batch(
+            topo,
+            batch,
+            rule,
+            schedule,
+            max_sweeps=max_rounds,
+            target_color=target_color,
+        )
     colors = as_color_batch(batch, topo.num_vertices).copy()
     b = colors.shape[0]
     plan = resolve_plan(plan)

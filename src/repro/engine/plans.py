@@ -140,15 +140,26 @@ def topology_token(topo: Topology) -> Optional[Hashable]:
 
     Registry tori are keyed *structurally* (``(kind, m, n)`` — two
     equal-shaped instances share compiled steppers, exactly as pool
-    workers rebuilding a torus locally expect).  Any other topology is
-    keyed by *object identity* via a weak, never-reused serial, so a
-    cached stepper is only ever served back to the very instance it was
-    compiled against.  Returns ``None`` (uncacheable) for objects that
-    cannot be weak-referenced.
+    workers rebuilding a torus locally expect).  Topologies publishing a
+    :meth:`~repro.topology.base.Topology.structure_token` (e.g.
+    :class:`~repro.topology.graph.GraphTopology`'s degree/neighbor-table
+    hash) are keyed by that content token — equal structures share
+    compiled steppers across instances and across plan-cache lifetimes.
+    Any other topology is keyed by *object identity* via a weak,
+    never-reused serial, so a cached stepper is only ever served back to
+    the very instance it was compiled against.  Returns ``None``
+    (uncacheable) for objects that cannot be weak-referenced.
     """
     spec = topology_spec(topo)
     if spec is not None:
         return ("torus",) + spec
+    structural = topo.structure_token()
+    if structural is not None:
+        try:
+            hash(structural)
+        except TypeError:
+            return None  # malformed token: refuse to cache rather than crash
+        return ("structure", structural)
     try:
         serial = _TOPO_TOKENS.get(topo)
         if serial is None:

@@ -24,7 +24,7 @@ from ..topology.temporal import TemporalTopology
 from .result import RunResult
 from .runner import validate_round_cap
 
-__all__ = ["run_temporal"]
+__all__ = ["run_temporal", "run_temporal_batch"]
 
 
 def run_temporal(
@@ -87,4 +87,84 @@ def run_temporal(
         monotone=monotone,
         target_color=target_color,
         trajectory=trajectory,
+    )
+
+
+def run_temporal_batch(
+    ttopo: TemporalTopology,
+    batch: Sequence | np.ndarray,
+    rule: GeneralizedPluralityRule,
+    *,
+    max_rounds: Optional[int] = None,
+    target_color: Optional[int] = None,
+) -> "BatchRunResult":
+    """Masked plurality dynamics for a ``(B, N)`` block under one mask trace.
+
+    Every row experiences the *same* link-failure history: the
+    availability process is sampled once per round and applied to the
+    whole block (one :meth:`~repro.rules.plurality.GeneralizedPluralityRule.
+    step_masked_batch` pass), so B replicas cost one mask draw per round
+    instead of B.  Row ``i`` therefore evolves exactly as
+    :func:`run_temporal` would under that shared trace — a ``(1, N)``
+    batch is bitwise the scalar run (pinned in
+    ``tests/test_engine_temporal.py``).
+
+    Rows retire on reaching a monochromatic state (absorbing under
+    plurality regardless of masks); masks keep being drawn while any row
+    is live.  ``rounds``/``fixed_point_round`` report the round the row
+    became monochromatic; ``cycle_length`` is 1 for converged rows.
+    """
+    from .batch import BatchRunResult, as_color_batch  # avoid module cycle
+
+    topo = ttopo.base
+    max_rounds = validate_round_cap(max_rounds, topo)
+    colors = as_color_batch(batch, topo.num_vertices).copy()
+    b = colors.shape[0]
+
+    converged = np.zeros(b, dtype=bool)
+    rounds = np.zeros(b, dtype=np.int32)
+    cycle_length = np.zeros(b, dtype=np.int32)
+    fixed_point_round = np.full(b, -1, dtype=np.int32)
+    monotone = np.ones(b, dtype=bool) if target_color is not None else None
+
+    mono = (colors == colors[:, :1]).all(axis=1)
+    converged[mono] = True
+    cycle_length[mono] = 1
+    fixed_point_round[mono] = 0
+
+    ids = np.flatnonzero(~mono)
+    work = colors[ids].copy() if ids.size != b else colors
+
+    for t in range(1, max_rounds + 1):
+        if not ids.size:
+            break
+        mask = ttopo.mask_for_round(t - 1)
+        new = rule.step_masked_batch(work, topo, mask)
+        rounds[ids] = t
+        if monotone is not None:
+            left = ((new != work) & (work == target_color)).any(axis=1)
+            if left.any():
+                monotone[ids[left]] = False
+        work = new
+        mono = (work == work[:, :1]).all(axis=1)
+        if mono.any():
+            done = ids[mono]
+            converged[done] = True
+            cycle_length[done] = 1
+            fixed_point_round[done] = t
+            colors[done] = work[mono]
+            ids = ids[~mono]
+            work = work[~mono]  # fancy indexing copies
+
+    if ids.size:
+        colors[ids] = work
+
+    return BatchRunResult(
+        final=colors,
+        rounds=rounds,
+        converged=converged,
+        cycle_length=cycle_length,
+        fixed_point_round=fixed_point_round,
+        monotone=monotone,
+        target_color=target_color,
     )

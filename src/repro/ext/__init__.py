@@ -1,30 +1,51 @@
 """Future-work extensions: scale-free SMP, Deffuant comparison, temporal tori."""
 
-from .asynchrony import AsyncRobustness, async_robustness, order_sensitivity
+from .asynchrony import (
+    AsyncRobustness,
+    async_robustness,
+    derive_schedule_root,
+    order_sensitivity,
+)
 from .deffuant import DeffuantResult, compare_with_smp, opinion_clusters, run_deffuant
 from .scale_free import (
+    SCALE_FREE_STRATEGIES,
+    ScaleFreeCell,
+    ScaleFreeCensus,
     ScaleFreeOutcome,
     barabasi_albert_topology,
     run_scale_free_experiment,
+    scale_free_takeover_census,
     seed_vertices,
 )
 from .stubborn import StubbornOutcome, stubborn_blockade, stubborn_core_experiment
-from .temporal_experiments import TemporalOutcome, run_temporal_dynamo
+from .temporal_experiments import (
+    TemporalBatchOutcome,
+    TemporalOutcome,
+    run_temporal_dynamo,
+    run_temporal_dynamo_batch,
+)
 
 __all__ = [
+    "SCALE_FREE_STRATEGIES",
+    "ScaleFreeCell",
+    "ScaleFreeCensus",
     "ScaleFreeOutcome",
     "AsyncRobustness",
     "async_robustness",
+    "derive_schedule_root",
     "order_sensitivity",
     "barabasi_albert_topology",
     "seed_vertices",
     "run_scale_free_experiment",
+    "scale_free_takeover_census",
     "DeffuantResult",
     "run_deffuant",
     "opinion_clusters",
     "compare_with_smp",
+    "TemporalBatchOutcome",
     "TemporalOutcome",
     "run_temporal_dynamo",
+    "run_temporal_dynamo_batch",
     "StubbornOutcome",
     "stubborn_blockade",
     "stubborn_core_experiment",

@@ -12,6 +12,16 @@ measure it:
 * :func:`order_sensitivity` — spread of sweep counts across schedules
   (how much the adversary controls the clock, if not the outcome).
 
+Both experiments fan their trials out as one
+:class:`~repro.engine.schedulers.AsyncSchedule` batch — every trial is an
+independent row of a ``(trials, N)`` block advanced by
+:func:`~repro.engine.batch.run_batch`'s schedule mode.  Trial ``i``'s
+permutation stream is seeded ``(root, i)``, so trials are independent of
+each other's sweep counts and individually reproducible;
+``engine="scalar"`` replays the same trials through the scalar
+:func:`~repro.engine.schedulers.run_asynchronous` loop (the two engines
+are bitwise-identical, pinned in ``tests/test_ext_asynchrony.py``).
+
 Finding: the paper's constructions are schedule-robust (their seeds are
 protected by k-blocks or by *rainbow* neighborhoods, both of which survive
 any interleaving), but the below-bound diagonal/floor witnesses are
@@ -25,16 +35,23 @@ question than the paper posed.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
 from ..core.constructions import Construction
-from ..engine.schedulers import run_asynchronous
+from ..engine.batch import DYNAMICS_VERSION, run_batch
+from ..engine.schedulers import AsyncSchedule, run_asynchronous
 from ..rules.smp import SMPRule
 
-__all__ = ["AsyncRobustness", "async_robustness", "order_sensitivity"]
+__all__ = [
+    "AsyncRobustness",
+    "async_robustness",
+    "derive_schedule_root",
+    "order_sensitivity",
+]
 
 
 @dataclass
@@ -48,55 +65,193 @@ class AsyncRobustness:
     max_sweeps: int
     mean_sweeps: float
 
+    def as_row(self) -> dict:
+        return {
+            "trials": self.trials,
+            "takeover_rate": self.takeover_rate,
+            "monotone_rate": self.monotone_rate,
+            "min_sweeps": self.min_sweeps,
+            "max_sweeps": self.max_sweeps,
+            "mean_sweeps": self.mean_sweeps,
+        }
+
+    @classmethod
+    def from_row(cls, row: dict) -> "AsyncRobustness":
+        return cls(
+            trials=int(row["trials"]),
+            takeover_rate=float(row["takeover_rate"]),
+            monotone_rate=float(row["monotone_rate"]),
+            min_sweeps=int(row["min_sweeps"]),
+            max_sweeps=int(row["max_sweeps"]),
+            mean_sweeps=float(row["mean_sweeps"]),
+        )
+
+
+def derive_schedule_root(
+    seed: Optional[int], rng: Optional[np.random.Generator], default_seed: int
+) -> int:
+    """The root seed of a schedule batch.
+
+    An explicit ``seed`` wins; otherwise one 63-bit draw from ``rng``
+    (defaulting to ``default_rng(default_seed)``) becomes the root, so
+    legacy callers that passed only ``rng`` still get a reproducible —
+    and schedule-independent — trial set.
+    """
+    if seed is not None:
+        return int(seed)
+    rng = rng if rng is not None else np.random.default_rng(default_seed)
+    return int(rng.integers(0, 2**63 - 1))
+
+
+def _configuration_digest(con: Construction) -> str:
+    """Content hash pinning exactly what a cached summary was computed on."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.ascontiguousarray(con.topo.neighbors).tobytes())
+    h.update(np.ascontiguousarray(con.colors).tobytes())
+    h.update(int(con.k).to_bytes(4, "little"))
+    return h.hexdigest()
+
+
+def _summarize(res, trials: int) -> AsyncRobustness:
+    sweeps = res.rounds.astype(np.int64)
+    return AsyncRobustness(
+        trials=trials,
+        takeover_rate=float(res.k_monochromatic.sum()) / trials,
+        monotone_rate=float(res.monotone.sum()) / trials,
+        min_sweeps=int(sweeps.min()),
+        max_sweeps=int(sweeps.max()),
+        mean_sweeps=float(sweeps.mean()),
+    )
+
+
+def _run_trials(
+    con: Construction,
+    schedule: AsyncSchedule,
+    *,
+    max_sweeps: Optional[int],
+    engine: str,
+):
+    """One BatchRunResult for the whole trial set, by either engine."""
+    trials = schedule.batch_size
+    if engine == "batch":
+        block = np.tile(np.asarray(con.colors, dtype=np.int32), (trials, 1))
+        return run_batch(
+            con.topo,
+            block,
+            SMPRule(),
+            schedule=schedule,
+            max_rounds=max_sweeps,
+            target_color=con.k,
+        )
+    if engine != "scalar":
+        raise ValueError(f"unknown engine {engine!r}; expected 'batch' or 'scalar'")
+    n = con.topo.num_vertices
+    final = np.empty((trials, n), dtype=np.int32)
+    rounds = np.zeros(trials, dtype=np.int32)
+    converged = np.zeros(trials, dtype=bool)
+    cycle_length = np.zeros(trials, dtype=np.int32)
+    fixed_point_round = np.full(trials, -1, dtype=np.int32)
+    monotone = np.ones(trials, dtype=bool)
+    for i in range(trials):
+        res = run_asynchronous(
+            con.topo,
+            con.colors,
+            SMPRule(),
+            order=schedule.order,
+            rng=schedule.row_rng(i) if schedule.order == "random" else None,
+            target_color=con.k,
+            max_sweeps=max_sweeps,
+        )
+        final[i] = res.final
+        rounds[i] = res.rounds
+        converged[i] = res.converged
+        cycle_length[i] = res.cycle_length or 0
+        fixed_point_round[i] = (
+            -1 if res.fixed_point_round is None else res.fixed_point_round
+        )
+        monotone[i] = bool(res.monotone)
+    from ..engine.batch import BatchRunResult
+
+    return BatchRunResult(
+        final=final,
+        rounds=rounds,
+        converged=converged,
+        cycle_length=cycle_length,
+        fixed_point_round=fixed_point_round,
+        monotone=monotone,
+        target_color=con.k,
+    )
+
 
 def async_robustness(
     con: Construction,
     trials: int = 20,
     rng: Optional[np.random.Generator] = None,
     max_sweeps: Optional[int] = None,
+    *,
+    seed: Optional[int] = None,
+    engine: str = "batch",
+    db=None,
+    label: Optional[str] = None,
+    stats: Optional[dict] = None,
 ) -> AsyncRobustness:
-    """Random-order sequential runs of a construction."""
-    rng = rng if rng is not None else np.random.default_rng(0xA5C)
-    sweeps: List[int] = []
-    takeovers = 0
-    monotones = 0
-    for _ in range(trials):
-        res = run_asynchronous(
-            con.topo,
-            con.colors,
-            SMPRule(),
-            order="random",
-            rng=rng,
-            target_color=con.k,
-            max_sweeps=max_sweeps,
+    """Random-order sequential runs of a construction.
+
+    Trial ``i`` runs under the schedule seeded ``(root, i)`` where the
+    root comes from ``seed`` (or one draw from ``rng``); ``engine``
+    selects the batched schedule engine (default) or the scalar loop —
+    they are bitwise-identical, so the choice only affects speed.  With
+    ``db``, the summary is cached as an ``async-summary`` record keyed
+    by the full experiment definition (including a content hash of the
+    configuration) and later identical invocations skip the sweeps
+    entirely; ``stats`` (mutated in place) reports the cache outcome.
+    """
+    root = derive_schedule_root(seed, rng, 0xA5C)
+    if stats is None:
+        stats = {}
+    stats.update({"cache_hit": False, "recorded": False})
+    record_label = label if label is not None else getattr(con, "name", "construction")
+    definition = None
+    if db is not None:
+        definition = {
+            "experiment": "async-robustness",
+            "dynamics": DYNAMICS_VERSION,
+            "configuration": _configuration_digest(con),
+            "root": root,
+            "trials": int(trials),
+            "max_sweeps": None if max_sweeps is None else int(max_sweeps),
+        }
+        cached = db.find_async_summary(record_label, definition)
+        if cached is not None:
+            stats["cache_hit"] = True
+            return AsyncRobustness.from_row(cached.row)
+    schedule = AsyncSchedule.derive(root, trials)
+    res = _run_trials(con, schedule, max_sweeps=max_sweeps, engine=engine)
+    summary = _summarize(res, trials)
+    if db is not None:
+        from ..io.witnessdb import AsyncSummaryRecord
+
+        db.add_async_summary(
+            AsyncSummaryRecord(
+                label=record_label,
+                definition=definition,
+                row=summary.as_row(),
+            )
         )
-        if res.converged and res.monochromatic and res.final[0] == con.k:
-            takeovers += 1
-        if res.monotone:
-            monotones += 1
-        sweeps.append(res.rounds)
-    return AsyncRobustness(
-        trials=trials,
-        takeover_rate=takeovers / trials,
-        monotone_rate=monotones / trials,
-        min_sweeps=min(sweeps),
-        max_sweeps=max(sweeps),
-        mean_sweeps=float(np.mean(sweeps)),
-    )
+        stats["recorded"] = True
+    return summary
 
 
 def order_sensitivity(
     con: Construction,
     trials: int = 50,
     rng: Optional[np.random.Generator] = None,
+    *,
+    seed: Optional[int] = None,
+    engine: str = "batch",
 ) -> np.ndarray:
     """Sweep counts per schedule (the clock-control distribution)."""
-    rng = rng if rng is not None else np.random.default_rng(0x5EED)
-    out = np.empty(trials, dtype=np.int64)
-    for i in range(trials):
-        res = run_asynchronous(
-            con.topo, con.colors, SMPRule(), order="random", rng=rng,
-            target_color=con.k,
-        )
-        out[i] = res.rounds
-    return out
+    root = derive_schedule_root(seed, rng, 0x5EED)
+    schedule = AsyncSchedule.derive(root, trials)
+    res = _run_trials(con, schedule, max_sweeps=None, engine=engine)
+    return res.rounds.astype(np.int64)

@@ -8,7 +8,13 @@ models of social influence".  This module provides:
   :class:`~repro.topology.graph.GraphTopology`),
 * hub-, random-, and degree-weighted seeding strategies,
 * :func:`run_scale_free_experiment` — seed a fraction of vertices with the
-  target color, run the generalized plurality rule, report takeover.
+  target color, run the generalized plurality rule, report takeover,
+* :func:`scale_free_takeover_census` — the production-scale version: a
+  grid of (strategy, seed fraction) cells, each averaging many replicas
+  over many independent BA graphs, sharded per graph across a process
+  pool and executed as ``(R, N)`` blocks through
+  :func:`~repro.engine.batch.run_batch`, with per-cell results cached in
+  the witness database.
 
 Because hubs dominate plurality counts, a small hub seed converts far more
 of a BA graph than a random seed of equal size — the scale-free analogue of
@@ -17,16 +23,29 @@ of a BA graph than a random seed of equal size — the scale-free analogue of
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..engine.runner import run_synchronous
+from ..engine.batch import DYNAMICS_VERSION, run_batch
+from ..engine.parallel import kind_tag, run_sharded, validate_positive
 from ..rules.plurality import GeneralizedPluralityRule
 from ..topology.graph import GraphTopology
 
-__all__ = ["ScaleFreeOutcome", "barabasi_albert_topology", "seed_vertices", "run_scale_free_experiment"]
+__all__ = [
+    "ScaleFreeOutcome",
+    "ScaleFreeCell",
+    "ScaleFreeCensus",
+    "SCALE_FREE_STRATEGIES",
+    "barabasi_albert_topology",
+    "seed_vertices",
+    "run_scale_free_experiment",
+    "scale_free_takeover_census",
+]
+
+#: the seeding strategies the census sweeps by default
+SCALE_FREE_STRATEGIES = ("hubs", "degree-weighted", "random")
 
 
 @dataclass
@@ -82,11 +101,18 @@ def run_scale_free_experiment(
     num_colors: int = 4,
     rng: Optional[np.random.Generator] = None,
     max_rounds: int = 400,
+    backend=None,
+    plan=None,
 ) -> ScaleFreeOutcome:
     """Seed color-k vertices on a BA graph, run plurality SMP, report.
 
     Non-seed vertices get uniform random colors from the rest of the
-    palette (the multi-colored analogue of the torus experiments).
+    palette (the multi-colored analogue of the torus experiments).  The
+    run executes as a one-row block through
+    :func:`~repro.engine.batch.run_batch` — backends and plans are
+    bitwise-interchangeable, so ``backend``/``plan`` only affect speed,
+    and the RNG draw order (graph, then colors, then seeds) is exactly
+    the historical one.
     """
     rng = rng if rng is not None else np.random.default_rng()
     topo = barabasi_albert_topology(n, m_attach, rng)
@@ -98,15 +124,261 @@ def run_scale_free_experiment(
     seeds = seed_vertices(topo, max(1, int(round(seed_fraction * n))), strategy, rng)
     colors[seeds] = k
     rule = GeneralizedPluralityRule(num_colors=num_colors)
-    res = run_synchronous(
-        topo, colors, rule, max_rounds=max_rounds, target_color=k, track_changes=False
+    res = run_batch(
+        topo,
+        colors[None, :],
+        rule,
+        max_rounds=max_rounds,
+        target_color=k,
+        backend=backend,
+        plan=plan,
     )
+    final = res.final[0]
     return ScaleFreeOutcome(
         num_vertices=topo.num_vertices,
         seed_size=int(seeds.size),
         strategy=strategy,
-        final_k_fraction=float((res.final == k).mean()),
-        rounds=res.rounds,
-        converged=res.converged,
-        monochromatic=res.monochromatic,
+        final_k_fraction=float((final == k).mean()),
+        rounds=int(res.rounds[0]),
+        converged=bool(res.converged[0]),
+        monochromatic=bool(res.converged[0] and (final == final[0]).all()),
     )
+
+
+# ----------------------------------------------------------------------
+# the sharded takeover census
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ScaleFreeCell:
+    """Aggregated statistics for one (strategy, seed-fraction) cell."""
+
+    strategy: str
+    seed_fraction: float
+    graphs: int
+    replicas: int
+    #: fraction of all replicas that converged to all-k
+    takeover_rate: float
+    #: mean final k-fraction over all replicas
+    mean_final_k_fraction: float
+    #: mean rounds over all replicas
+    mean_rounds: float
+    #: fraction of replicas that reached any fixed point
+    converged_rate: float
+    #: the row was served from the witness database, not recomputed
+    from_cache: bool = False
+
+    def as_row(self) -> dict:
+        """The cached payload (everything except the cache flag)."""
+        return {
+            "strategy": self.strategy,
+            "seed_fraction": self.seed_fraction,
+            "graphs": self.graphs,
+            "replicas": self.replicas,
+            "takeover_rate": self.takeover_rate,
+            "mean_final_k_fraction": self.mean_final_k_fraction,
+            "mean_rounds": self.mean_rounds,
+            "converged_rate": self.converged_rate,
+        }
+
+    @classmethod
+    def from_row(cls, row: dict, *, from_cache: bool = False) -> "ScaleFreeCell":
+        return cls(
+            strategy=str(row["strategy"]),
+            seed_fraction=float(row["seed_fraction"]),
+            graphs=int(row["graphs"]),
+            replicas=int(row["replicas"]),
+            takeover_rate=float(row["takeover_rate"]),
+            mean_final_k_fraction=float(row["mean_final_k_fraction"]),
+            mean_rounds=float(row["mean_rounds"]),
+            converged_rate=float(row["converged_rate"]),
+            from_cache=from_cache,
+        )
+
+
+@dataclass
+class ScaleFreeCensus:
+    """All cells of one census invocation plus execution statistics."""
+
+    cells: List[ScaleFreeCell]
+    stats: dict = field(default_factory=dict)
+
+
+def _fraction_tag(seed_fraction: float) -> int:
+    """Integer seed material for a seed fraction (micro-units)."""
+    return int(round(float(seed_fraction) * 1_000_000))
+
+
+#: one shard = one BA graph of one cell:
+#: (seed, n, m_attach, num_colors, strategy, fraction, graph, replicas,
+#:  max_rounds, backend_name)
+_GraphShard = Tuple[int, int, int, int, str, float, int, int, int, Optional[str]]
+
+
+def _scale_free_graph_worker(shard: _GraphShard) -> dict:
+    """Run every replica of one graph as a single ``(R, N)`` block.
+
+    The shard RNG derives from cell/graph *coordinates*
+    (``SeedSequence([seed, kind_tag(strategy), fraction_tag, graph])``),
+    never from execution order, so any process count draws identical
+    streams.  Per replica the draws are colors first, then seeds — the
+    scalar experiment's order.
+    """
+    (
+        seed, n, m_attach, num_colors, strategy, fraction,
+        graph, replicas, max_rounds, backend,
+    ) = shard
+    rng = np.random.default_rng(
+        np.random.SeedSequence(
+            [int(seed), kind_tag(strategy), _fraction_tag(fraction), int(graph)]
+        )
+    )
+    topo = barabasi_albert_topology(n, m_attach, rng)
+    k = 0
+    others = np.arange(1, num_colors)
+    count = max(1, int(round(fraction * n)))
+    block = np.empty((replicas, topo.num_vertices), dtype=np.int32)
+    for r in range(replicas):
+        colors = others[
+            rng.integers(0, others.size, size=topo.num_vertices)
+        ].astype(np.int32)
+        colors[seed_vertices(topo, count, strategy, rng)] = k
+        block[r] = colors
+    rule = GeneralizedPluralityRule(num_colors=num_colors)
+    res = run_batch(
+        topo,
+        block,
+        rule,
+        max_rounds=max_rounds,
+        target_color=k,
+        detect_cycles=False,
+        backend=backend,
+    )
+    return {
+        "takeovers": int(res.k_monochromatic.sum()),
+        "converged": int(res.converged.sum()),
+        "k_fraction_sum": float((res.final == k).mean(axis=1).sum()),
+        "rounds_sum": int(res.rounds.sum()),
+    }
+
+
+def scale_free_takeover_census(
+    *,
+    n: int = 300,
+    m_attach: int = 2,
+    num_colors: int = 4,
+    strategies: Sequence[str] = SCALE_FREE_STRATEGIES,
+    seed_fractions: Sequence[float] = (0.02, 0.05, 0.10),
+    graphs: int = 4,
+    replicas: int = 32,
+    max_rounds: Optional[int] = None,
+    seed: int = 0x5CA1E,
+    db=None,
+    processes: Optional[int] = 0,
+    backend=None,
+    stats: Optional[dict] = None,
+) -> ScaleFreeCensus:
+    """Sweep (strategy x seed fraction), averaging replicas over BA graphs.
+
+    Each cell runs ``graphs`` independent Barabási–Albert graphs with
+    ``replicas`` random initial configurations each; a graph is one
+    shard (its replicas advance as one ``(R, N)`` block), so cells fan
+    out over the pool via :func:`~repro.engine.parallel.run_sharded`.
+    Shard RNGs derive from coordinates, so the census is
+    **bitwise-identical at any process count** — and the kernel
+    ``backend`` / ``processes`` are therefore excluded from the cell
+    definition (they cannot change outcomes, only speed).
+
+    With ``db`` (a :class:`~repro.io.witnessdb.WitnessDB`), every
+    computed cell is recorded as a ``scale-free-cell`` row and later
+    invocations with the same definition are served from the cache
+    without running a single replica; ``stats`` (mutated in place when
+    given) reports ``cells`` / ``cache_hits`` / ``recorded``.
+    """
+    from ..io.witnessdb import ScaleFreeCellRecord
+
+    n = validate_positive(n, flag="n")
+    graphs = validate_positive(graphs, flag="graphs")
+    replicas = validate_positive(replicas, flag="replicas")
+    if num_colors < 2:
+        raise ValueError("the census needs at least 2 colors")
+    if max_rounds is None:
+        max_rounds = 4 * n + 64
+    for strategy in strategies:
+        if strategy not in SCALE_FREE_STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; expected one of "
+                f"{sorted(SCALE_FREE_STRATEGIES)}"
+            )
+    backend_name = None
+    if backend is not None:
+        from ..engine.backends import select_backend
+
+        backend_name = select_backend(backend).name
+
+    if stats is None:
+        stats = {}
+    stats.update({"cells": 0, "cache_hits": 0, "recorded": 0})
+
+    cells: List[ScaleFreeCell] = []
+    for strategy in strategies:
+        for fraction in seed_fractions:
+            fraction = float(fraction)
+            stats["cells"] += 1
+            definition = {
+                "experiment": "scale-free-takeover",
+                "dynamics": DYNAMICS_VERSION,
+                "seed": int(seed),
+                "n": n,
+                "m_attach": int(m_attach),
+                "num_colors": int(num_colors),
+                "strategy": strategy,
+                "seed_fraction": fraction,
+                "graphs": graphs,
+                "replicas": replicas,
+                "max_rounds": int(max_rounds),
+            }
+            if db is not None:
+                cached = db.find_scale_free_cell(strategy, fraction, definition)
+                if cached is not None:
+                    cells.append(
+                        ScaleFreeCell.from_row(cached.row, from_cache=True)
+                    )
+                    stats["cache_hits"] += 1
+                    continue
+            shards: List[_GraphShard] = [
+                (
+                    int(seed), n, int(m_attach), int(num_colors), strategy,
+                    fraction, g, replicas, int(max_rounds), backend_name,
+                )
+                for g in range(graphs)
+            ]
+            partials = run_sharded(
+                _scale_free_graph_worker, shards, processes=processes
+            )
+            total = graphs * replicas
+            cell = ScaleFreeCell(
+                strategy=strategy,
+                seed_fraction=fraction,
+                graphs=graphs,
+                replicas=replicas,
+                takeover_rate=sum(p["takeovers"] for p in partials) / total,
+                mean_final_k_fraction=(
+                    sum(p["k_fraction_sum"] for p in partials) / total
+                ),
+                mean_rounds=sum(p["rounds_sum"] for p in partials) / total,
+                converged_rate=sum(p["converged"] for p in partials) / total,
+            )
+            cells.append(cell)
+            if db is not None:
+                db.add_scale_free_cell(
+                    ScaleFreeCellRecord(
+                        strategy=strategy,
+                        seed_fraction=fraction,
+                        definition=definition,
+                        row=cell.as_row(),
+                    )
+                )
+                stats["recorded"] += 1
+    return ScaleFreeCensus(cells=cells, stats=stats)

@@ -22,7 +22,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..core.constructions import Construction
-from ..engine.runner import run_synchronous
+from ..engine.batch import run_batch
 from ..rules.smp import SMPRule
 
 __all__ = ["StubbornOutcome", "stubborn_blockade", "stubborn_core_experiment"]
@@ -59,14 +59,17 @@ def stubborn_blockade(
     colors = con.colors.copy()
     if repaint_color is not None:
         colors[frozen] = repaint_color
-    res = run_synchronous(
-        con.topo, colors, SMPRule(), frozen=frozen, target_color=con.k
+    res = run_batch(
+        con.topo, colors[None, :], SMPRule(), frozen=frozen, target_color=con.k
     )
+    final = res.final[0]
     return StubbornOutcome(
         stubborn_count=count,
-        reached_monochromatic=bool(res.converged and res.monochromatic),
-        final_k_fraction=float((res.final == con.k).mean()),
-        rounds=res.rounds,
+        reached_monochromatic=bool(
+            res.converged[0] and (final == final[0]).all()
+        ),
+        final_k_fraction=float((final == con.k).mean()),
+        rounds=int(res.rounds[0]),
     )
 
 
@@ -83,13 +86,14 @@ def stubborn_core_experiment(
     """
     others = [c for c in con.palette if c != con.k]
     seed_ids = np.flatnonzero(con.seed)
-    fractions: List[float] = []
-    for _ in range(trials):
-        colors = con.colors.copy()
-        complement = np.flatnonzero(~con.seed)
-        colors[complement] = rng.choice(others, size=complement.size)
-        res = run_synchronous(
-            con.topo, colors, SMPRule(), frozen=seed_ids, target_color=con.k
-        )
-        fractions.append(float((res.final == con.k).mean()))
-    return fractions
+    complement = np.flatnonzero(~con.seed)
+    # the runs consume no randomness, so all complements can be drawn up
+    # front (in the historical per-trial order) and advanced as one
+    # frozen (trials, N) block — bitwise the sequential loop
+    block = np.tile(np.asarray(con.colors, dtype=np.int32), (trials, 1))
+    for i in range(trials):
+        block[i, complement] = rng.choice(others, size=complement.size)
+    res = run_batch(
+        con.topo, block, SMPRule(), frozen=seed_ids, target_color=con.k
+    )
+    return [float((res.final[i] == con.k).mean()) for i in range(trials)]

@@ -25,11 +25,16 @@ from typing import Optional
 import numpy as np
 
 from ..core.constructions import Construction
-from ..engine.temporal import run_temporal
+from ..engine.temporal import run_temporal, run_temporal_batch
 from ..rules.plurality import GeneralizedPluralityRule
 from ..topology.temporal import BernoulliAvailability, TemporalTopology
 
-__all__ = ["TemporalOutcome", "run_temporal_dynamo"]
+__all__ = [
+    "TemporalOutcome",
+    "TemporalBatchOutcome",
+    "run_temporal_dynamo",
+    "run_temporal_dynamo_batch",
+]
 
 
 @dataclass
@@ -72,4 +77,59 @@ def run_temporal_dynamo(
         reached_monochromatic=bool(reached),
         rounds=res.rounds,
         static_rounds=con.empirical_rounds or con.predicted_rounds,
+    )
+
+
+@dataclass
+class TemporalBatchOutcome:
+    """One shared-trace replica block: which rows reached all-``k``."""
+
+    availability: float
+    replicas: int
+    #: per-row: converged to the k-monochromatic state
+    reached: np.ndarray
+    #: per-row rounds (monochromatic round, or the cap)
+    rounds: np.ndarray
+
+    @property
+    def reached_rate(self) -> float:
+        return float(self.reached.mean())
+
+
+def run_temporal_dynamo_batch(
+    con: Construction,
+    availability: float,
+    replicas: int = 8,
+    rng: Optional[np.random.Generator] = None,
+    max_rounds: int = 50_000,
+) -> TemporalBatchOutcome:
+    """The crafted complement vs. random ones under *one* failure trace.
+
+    Row 0 is the construction as packaged; rows ``1..replicas-1`` keep
+    its seed but redraw the complement uniformly from the rest of the
+    palette.  All rows experience the same Bernoulli link-failure
+    history (one mask draw per round via
+    :func:`~repro.engine.temporal.run_temporal_batch`), so differences
+    between rows isolate the *initial configuration* — how special is
+    the theorem's complement when links flap? — with the trace held
+    fixed.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    ttopo = TemporalTopology(con.topo, BernoulliAvailability(availability, rng))
+    palette_size = max(int(con.colors.max()), con.k) + 1
+    rule = GeneralizedPluralityRule(num_colors=palette_size)
+    others = [c for c in con.palette if c != con.k]
+    complement = np.flatnonzero(~con.seed)
+    block = np.tile(np.asarray(con.colors, dtype=np.int32), (replicas, 1))
+    for i in range(1, replicas):
+        block[i, complement] = rng.choice(others, size=complement.size)
+    res = run_temporal_batch(
+        ttopo, block, rule, max_rounds=max_rounds, target_color=con.k
+    )
+    reached = res.converged & (res.final == con.k).all(axis=1)
+    return TemporalBatchOutcome(
+        availability=availability,
+        replicas=replicas,
+        reached=reached,
+        rounds=res.rounds.copy(),
     )

@@ -14,7 +14,9 @@ from .serialize import (
     witness_to_dict,
 )
 from .witnessdb import (
+    AsyncSummaryRecord,
     CensusCellRecord,
+    ScaleFreeCellRecord,
     WitnessDB,
     WitnessVerification,
     rule_registry_name,
@@ -33,7 +35,9 @@ __all__ = [
     "witness_id",
     "witness_to_dict",
     "witness_from_dict",
+    "AsyncSummaryRecord",
     "CensusCellRecord",
+    "ScaleFreeCellRecord",
     "WitnessDB",
     "WitnessVerification",
     "rule_registry_name",

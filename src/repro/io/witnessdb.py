@@ -81,7 +81,9 @@ from .serialize import (
 )
 
 __all__ = [
+    "AsyncSummaryRecord",
     "CensusCellRecord",
+    "ScaleFreeCellRecord",
     "SearchRecord",
     "WitnessDB",
     "WitnessVerification",
@@ -228,6 +230,147 @@ def _cell_from_dict(payload: dict) -> CensusCellRecord:
             f"stored census-cell id {stored!r} does not match {cell.id!r}"
         )
     return cell
+
+
+def _scale_free_cell_id(strategy: str, seed_fraction: float, definition: dict) -> str:
+    return _tagged_id(
+        "scale-free-cell", str(strategy), float(seed_fraction), _canonical(definition)
+    )
+
+
+def _async_summary_id(label: str, definition: dict) -> str:
+    return _tagged_id("async-summary", str(label), _canonical(definition))
+
+
+@dataclass
+class ScaleFreeCellRecord:
+    """One cached scale-free takeover-census cell.
+
+    A cell is one ``(strategy, seed_fraction)`` point of
+    :func:`repro.ext.scale_free.scale_free_takeover_census`: its
+    aggregated takeover statistics (``row``) plus the exact experiment
+    definition they were computed under.  Like census cells, hits
+    require an exact definition match, and the kernel backend / plan /
+    process count are recorded in provenance only — they are
+    bitwise-invisible to outcomes, so they never join the cache key.
+    """
+
+    strategy: str
+    seed_fraction: float
+    #: the cell's experiment definition (seed, graph/replica counts,
+    #: dynamics version, ...) — cache hits require an exact match
+    definition: dict
+    #: aggregated statistics for the cell, as a plain dict
+    row: dict
+    schema: int = WITNESS_SCHEMA
+    id: str = ""
+
+    def __post_init__(self):
+        self.strategy = str(self.strategy)
+        self.seed_fraction = float(self.seed_fraction)
+        self.definition = _canonical(self.definition)
+        self.row = _canonical(self.row)
+        if not self.id:
+            self.id = _scale_free_cell_id(
+                self.strategy, self.seed_fraction, self.definition
+            )
+
+
+def _scale_free_cell_to_dict(cell: ScaleFreeCellRecord) -> dict:
+    return {
+        "type": "scale-free-cell",
+        "schema": int(cell.schema),
+        "id": cell.id,
+        "strategy": cell.strategy,
+        "seed_fraction": cell.seed_fraction,
+        "definition": cell.definition,
+        "row": cell.row,
+    }
+
+
+def _scale_free_cell_from_dict(payload: dict) -> ScaleFreeCellRecord:
+    schema = payload.get("schema")
+    if not isinstance(schema, int) or schema > WITNESS_SCHEMA:
+        raise WitnessFormatError(f"bad scale-free-cell schema {schema!r}")
+    try:
+        cell = ScaleFreeCellRecord(
+            strategy=str(payload["strategy"]),
+            seed_fraction=float(payload["seed_fraction"]),
+            definition=payload["definition"],
+            row=payload["row"],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WitnessFormatError(
+            f"malformed scale-free-cell record: {exc}"
+        ) from None
+    if not isinstance(cell.definition, dict) or not isinstance(cell.row, dict):
+        raise WitnessFormatError("scale-free-cell definition/row must be objects")
+    stored = payload.get("id", "")
+    if stored and stored != cell.id:
+        raise WitnessFormatError(
+            f"stored scale-free-cell id {stored!r} does not match {cell.id!r}"
+        )
+    return cell
+
+
+@dataclass
+class AsyncSummaryRecord:
+    """One cached async-robustness summary.
+
+    ``label`` names the configuration under test (a construction name);
+    ``definition`` pins everything that influences the outcome — the
+    schedule root seed, trial count, sweep cap, and dynamics version —
+    so a hit reproduces the :class:`repro.ext.asynchrony.AsyncRobustness`
+    statistics bitwise without re-running a single sweep.
+    """
+
+    label: str
+    #: the experiment definition — cache hits require an exact match
+    definition: dict
+    #: the AsyncRobustness fields, as a plain dict
+    row: dict
+    schema: int = WITNESS_SCHEMA
+    id: str = ""
+
+    def __post_init__(self):
+        self.label = str(self.label)
+        self.definition = _canonical(self.definition)
+        self.row = _canonical(self.row)
+        if not self.id:
+            self.id = _async_summary_id(self.label, self.definition)
+
+
+def _async_summary_to_dict(rec: AsyncSummaryRecord) -> dict:
+    return {
+        "type": "async-summary",
+        "schema": int(rec.schema),
+        "id": rec.id,
+        "label": rec.label,
+        "definition": rec.definition,
+        "row": rec.row,
+    }
+
+
+def _async_summary_from_dict(payload: dict) -> AsyncSummaryRecord:
+    schema = payload.get("schema")
+    if not isinstance(schema, int) or schema > WITNESS_SCHEMA:
+        raise WitnessFormatError(f"bad async-summary schema {schema!r}")
+    try:
+        rec = AsyncSummaryRecord(
+            label=str(payload["label"]),
+            definition=payload["definition"],
+            row=payload["row"],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WitnessFormatError(f"malformed async-summary record: {exc}") from None
+    if not isinstance(rec.definition, dict) or not isinstance(rec.row, dict):
+        raise WitnessFormatError("async-summary definition/row must be objects")
+    stored = payload.get("id", "")
+    if stored and stored != rec.id:
+        raise WitnessFormatError(
+            f"stored async-summary id {stored!r} does not match {rec.id!r}"
+        )
+    return rec
 
 
 @dataclass
@@ -404,6 +547,10 @@ class WitnessDB:
         self._records: Dict[str, WitnessRecord] = {}
         #: census-cell records by id
         self._cells: Dict[str, CensusCellRecord] = {}
+        #: scale-free census cells by id
+        self._scale_free_cells: Dict[str, ScaleFreeCellRecord] = {}
+        #: async-robustness summaries by id
+        self._async_summaries: Dict[str, AsyncSummaryRecord] = {}
         #: search summaries by id
         self._searches: Dict[str, SearchRecord] = {}
         #: index: (rule, kind, m, n, colors) -> [witness ids]
@@ -431,6 +578,18 @@ class WitnessDB:
                 if isinstance(payload, dict) and payload.get("type") == "census-cell":
                     cell = _cell_from_dict(payload)
                     self._cells[cell.id] = cell
+                elif (
+                    isinstance(payload, dict)
+                    and payload.get("type") == "scale-free-cell"
+                ):
+                    sf = _scale_free_cell_from_dict(payload)
+                    self._scale_free_cells[sf.id] = sf
+                elif (
+                    isinstance(payload, dict)
+                    and payload.get("type") == "async-summary"
+                ):
+                    asum = _async_summary_from_dict(payload)
+                    self._async_summaries[asum.id] = asum
                 elif isinstance(payload, dict) and payload.get("type") == "search":
                     rec = _search_from_dict(payload)
                     self._searches[rec.id] = rec
@@ -492,6 +651,28 @@ class WitnessDB:
         self._append(_cell_to_dict(cell))
         return True
 
+    def add_scale_free_cell(self, cell: ScaleFreeCellRecord) -> bool:
+        """Record a scale-free cell; identical cells are not re-appended."""
+        existing = self._scale_free_cells.get(cell.id)
+        if existing is not None and _scale_free_cell_to_dict(
+            existing
+        ) == _scale_free_cell_to_dict(cell):
+            return False
+        self._scale_free_cells[cell.id] = cell
+        self._append(_scale_free_cell_to_dict(cell))
+        return True
+
+    def add_async_summary(self, rec: AsyncSummaryRecord) -> bool:
+        """Record an async summary; identical summaries are not re-appended."""
+        existing = self._async_summaries.get(rec.id)
+        if existing is not None and _async_summary_to_dict(
+            existing
+        ) == _async_summary_to_dict(rec):
+            return False
+        self._async_summaries[rec.id] = rec
+        self._append(_async_summary_to_dict(rec))
+        return True
+
     def add_search(self, rec: SearchRecord) -> bool:
         """Record a search summary; identical summaries are not re-appended."""
         existing = self._searches.get(rec.id)
@@ -511,6 +692,14 @@ class WitnessDB:
     @property
     def cells(self) -> List[CensusCellRecord]:
         return list(self._cells.values())
+
+    @property
+    def scale_free_cells(self) -> List[ScaleFreeCellRecord]:
+        return list(self._scale_free_cells.values())
+
+    @property
+    def async_summaries(self) -> List[AsyncSummaryRecord]:
+        return list(self._async_summaries.values())
 
     @property
     def searches(self) -> List[SearchRecord]:
@@ -601,6 +790,20 @@ class WitnessDB:
     ) -> Optional[CensusCellRecord]:
         """Census-cell cache probe (exact experiment-definition match)."""
         return self._cells.get(_cell_id(kind, n, definition))
+
+    def find_scale_free_cell(
+        self, strategy: str, seed_fraction: float, definition: dict
+    ) -> Optional[ScaleFreeCellRecord]:
+        """Scale-free-cell cache probe (exact definition match)."""
+        return self._scale_free_cells.get(
+            _scale_free_cell_id(strategy, seed_fraction, definition)
+        )
+
+    def find_async_summary(
+        self, label: str, definition: dict
+    ) -> Optional[AsyncSummaryRecord]:
+        """Async-summary cache probe (exact definition match)."""
+        return self._async_summaries.get(_async_summary_id(label, definition))
 
     # -- verification --------------------------------------------------
     def verify(

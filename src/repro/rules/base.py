@@ -80,6 +80,13 @@ class KernelSpec:
     #: per-vertex adoption thresholds, already resolved against the
     #: topology's (audible) degrees
     thresholds: Optional[np.ndarray] = None
+    #: per-vertex audible degrees (``(neighbors >= 0).sum(axis=1)``) for
+    #: kernels whose adoption depends on degree on irregular graphs;
+    #: ``None`` for kernels that never consult it (the regular-torus
+    #: fast paths).  Backends use this instead of re-deriving the
+    #: padding mask's column sums, and the batched async scheduler
+    #: consults it for per-vertex updates.
+    degrees: Optional[np.ndarray] = None
     #: tie policy of the simple-majority kind
     tie: Optional[str] = None
     #: input validator invoked on every batch before the kernel runs; must

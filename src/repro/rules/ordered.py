@@ -57,7 +57,11 @@ class OrderedIncrementRule(Rule):
 
     def _thresholds(self, degrees: np.ndarray) -> np.ndarray:
         d = degrees.astype(np.int64)
-        return (d + 1) // 2 if self.threshold == "simple" else d // 2 + 1
+        thr = (d + 1) // 2 if self.threshold == "simple" else d // 2 + 1
+        # an isolated vertex never increments: ceil(0/2) = 0 would be
+        # vacuously reached, so clamp its threshold out of reach (the
+        # scalar update_vertex guards d == 0 explicitly)
+        return np.maximum(thr, 1)
 
     def _validate_palette(self, colors: np.ndarray) -> None:
         if np.any(colors >= self.num_colors) or np.any(colors < 0):
@@ -87,6 +91,7 @@ class OrderedIncrementRule(Rule):
             kind="ordered",
             num_colors=self.num_colors,
             thresholds=self._thresholds(topo.degrees),
+            degrees=np.asarray(topo.degrees, dtype=np.int64),
             validate=self._validate_palette,
         )
 

@@ -90,23 +90,51 @@ class GeneralizedPluralityRule(Rule):
 
         ``mask`` has the neighbor-table shape; padding slots must be masked
         out by the caller (they are whenever the mask came from
-        :class:`~repro.topology.temporal.AvailabilityProcess`).
+        :class:`~repro.topology.temporal.AvailabilityProcess`).  Runs as a
+        one-row view through :meth:`step_masked_batch` — one masked kernel,
+        no scalar/batched drift.
+        """
+        if out is None:
+            return self.step_masked_batch(colors[None, :], topo, mask)[0]
+        self.step_masked_batch(colors[None, :], topo, mask, out=out[None, :])
+        return out
+
+    def step_masked_batch(
+        self,
+        colors: np.ndarray,
+        topo: Topology,
+        mask: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Masked round for a ``(B, N)`` replica block under one shared mask.
+
+        The replica-batched analogue of :meth:`step_masked`: every row
+        hears the same availability mask (a shared link-failure trace),
+        and the adoption threshold is computed from the *audible* degree.
+        This is the kernel of :func:`repro.engine.temporal.run_temporal_batch`.
         """
         self._validate_palette(colors)
         nb = topo.neighbors
-        n = nb.shape[0]
-        counts = np.zeros((n, self.num_colors), dtype=np.int32)
-        rows = np.arange(n)
+        if mask.shape != nb.shape:
+            raise ValueError(
+                f"mask shape {mask.shape} does not match the neighbor "
+                f"table {nb.shape}"
+            )
+        b, n = colors.shape
+        counts = np.zeros((b, n, self.num_colors), dtype=np.int32)
+        b_idx = np.arange(b)[:, None]
         # One vectorized scatter per neighbor slot; max_degree is small.
         safe_nb = np.where(mask, nb, 0)  # masked slots counted then discarded
         for s in range(nb.shape[1]):
-            live = mask[:, s]
-            np.add.at(counts, (rows[live], colors[safe_nb[live, s]]), 1)
+            cols = np.flatnonzero(mask[:, s])
+            np.add.at(
+                counts, (b_idx, cols[None, :], colors[:, safe_nb[cols, s]]), 1
+            )
         audible_degree = mask.sum(axis=1).astype(np.int64)
         thresholds = self.threshold_fn(audible_degree)
-        reaching = counts >= thresholds[:, None]
-        n_reaching = reaching.sum(axis=1)
-        winner = np.argmax(counts, axis=1).astype(np.int32)
+        reaching = counts >= thresholds[None, :, None]
+        n_reaching = reaching.sum(axis=2)
+        winner = np.argmax(counts, axis=2).astype(np.int32)
         adopt = (n_reaching == 1) & (audible_degree > 0)
         result = np.where(adopt, winner, colors).astype(np.int32, copy=False)
         if out is None:
@@ -160,6 +188,7 @@ class GeneralizedPluralityRule(Rule):
             kind="plurality",
             num_colors=self.num_colors,
             thresholds=thresholds.astype(np.int64),
+            degrees=audible,
             validate=self._validate_palette,
         )
 

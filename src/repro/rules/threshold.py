@@ -110,6 +110,7 @@ class LinearThresholdRule(Rule):
         return KernelSpec(
             kind="threshold",
             thresholds=self.thresholds_for(topo),
+            degrees=np.asarray(topo.degrees, dtype=np.int64),
             validate=self._validate_states,
         )
 

@@ -63,6 +63,23 @@ class Topology(abc.ABC):
         """True when every vertex has the same degree."""
         return bool(np.all(self.degrees == self.degrees[0]))
 
+    def structure_token(self):
+        """Hashable token identifying this topology's *structure*, or ``None``.
+
+        Two topologies with equal tokens must have bitwise-identical
+        neighbor tables (same shape, same entries, same padding), because
+        the execution-plan layer (:mod:`repro.engine.plans`) serves
+        compiled steppers across instances keyed on this token — exactly
+        how pool workers rebuilding the same graph share compilations.
+        The base implementation returns ``None`` (unknown structure,
+        keyed by object identity instead); registry tori are tokenized
+        by :func:`repro.engine.parallel.topology_spec` upstream, and
+        :class:`~repro.topology.graph.GraphTopology` publishes a content
+        hash of its degree/neighbor tables.  Subclasses that mutate their
+        table after construction must not publish a token.
+        """
+        return None
+
     # ------------------------------------------------------------------
     # Structural queries
     # ------------------------------------------------------------------

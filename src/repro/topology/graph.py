@@ -35,14 +35,21 @@ class GraphTopology(Topology):
 
     def __init__(self, graph: EdgeLike, num_vertices: int | None = None):
         edges, n = self._normalize(graph, num_vertices)
-        adj: list[list[int]] = [[] for _ in range(n)]
+        # adjacency sets, not lists: the duplicate-edge probe is O(1)
+        # instead of O(deg), so dense graphs build in O(E) not O(E * deg)
+        adj: list[set[int]] = [set() for _ in range(n)]
         for u, v in edges:
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError(
+                    f"edge ({u}, {v}) references a vertex id outside "
+                    f"[0, {n}); vertex ids must be 0-based integers"
+                )
             if u == v:
                 raise ValueError(f"self-loop at vertex {u} not supported")
             if v in adj[u]:
                 continue  # ignore duplicate edges
-            adj[u].append(v)
-            adj[v].append(u)
+            adj[u].add(v)
+            adj[v].add(u)
         degrees = np.array([len(a) for a in adj], dtype=np.int32)
         max_deg = int(degrees.max(initial=0))
         table = np.full((n, max(max_deg, 1)), -1, dtype=np.int32)
@@ -52,6 +59,28 @@ class GraphTopology(Topology):
         self.degrees = degrees
         #: mapping original node label -> vertex id (identity for int input)
         self.labels = self._labels
+        self._structure_token: "tuple | None" = None
+
+    def structure_token(self):
+        """Content hash of the degree/neighbor tables (computed once).
+
+        Equal tokens imply bitwise-equal tables, so the plan layer's
+        stepper cache (:mod:`repro.engine.plans`) is shared between
+        instances built from the same graph — e.g. pool workers that
+        each rebuild one BA topology from the same seed.  Distinct
+        graphs (different edges, vertex counts, or table widths) hash
+        differently, so a cached stepper is never served across
+        structures.
+        """
+        if self._structure_token is None:
+            import hashlib
+
+            h = hashlib.blake2b(digest_size=16)
+            h.update(np.asarray(self.neighbors.shape, dtype=np.int64).tobytes())
+            h.update(self.degrees.tobytes())
+            h.update(self.neighbors.tobytes())
+            self._structure_token = ("graph", h.hexdigest())
+        return self._structure_token
 
     def _normalize(self, graph: EdgeLike, num_vertices: int | None):
         try:

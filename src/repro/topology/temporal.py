@@ -149,5 +149,15 @@ class TemporalTopology:
     def num_vertices(self) -> int:
         return self.base.num_vertices
 
+    def structure_token(self):
+        """Structural token of the *base* graph (masks are per-round state).
+
+        Steppers compile against the static neighbor table only — the
+        availability mask is a per-round input, never baked into a
+        compiled kernel — so the temporal wrapper shares the base
+        topology's token (``None`` when the base publishes none).
+        """
+        return self.base.structure_token()
+
     def mask_for_round(self, t: int) -> np.ndarray:
         return self.availability.mask_for_round(self.base, t)

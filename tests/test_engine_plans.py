@@ -386,10 +386,11 @@ def test_custom_rule_without_token_is_never_cached(rng):
     assert plan_cache_stats().size == 0
 
 
-def test_topology_token_structural_for_tori_identity_otherwise():
+def test_topology_token_structural_for_tori_and_graphs_identity_otherwise():
     import networkx as nx
 
     from repro.topology import GraphTopology
+    from repro.topology.base import Topology
 
     assert topology_token(ToroidalMesh(4, 5)) == topology_token(
         ToroidalMesh(4, 5)
@@ -397,10 +398,29 @@ def test_topology_token_structural_for_tori_identity_otherwise():
     assert topology_token(ToroidalMesh(4, 5)) != topology_token(
         ToroidalMesh(5, 4)
     )
+    # graphs are content-addressed via structure_token(): equal structures
+    # share cached steppers across instances, distinct structures never do
     g1 = GraphTopology(nx.path_graph(5))
     g2 = GraphTopology(nx.path_graph(5))
-    assert topology_token(g1) == topology_token(g1)
-    assert topology_token(g1) != topology_token(g2)
+    assert topology_token(g1) == topology_token(g2)
+    assert topology_token(g1) != topology_token(GraphTopology(nx.path_graph(6)))
+
+    # a topology with no structural token falls back to identity serials
+    class Opaque(Topology):
+        def __init__(self):
+            self._nb = np.array([[1], [0]], dtype=np.int64)
+
+        @property
+        def num_vertices(self):
+            return 2
+
+        @property
+        def neighbors(self):
+            return self._nb
+
+    o1, o2 = Opaque(), Opaque()
+    assert topology_token(o1) == topology_token(o1)
+    assert topology_token(o1) != topology_token(o2)
 
     class MeshSubclass(ToroidalMesh):
         pass

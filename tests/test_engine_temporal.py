@@ -106,3 +106,80 @@ def test_temporal_outcome_helper(rng):
     out_low = run_temporal_dynamo(con, availability=0.7, rng=rng, max_rounds=5000)
     if out_low.reached_monochromatic:
         assert out_low.slowdown >= 1.0
+
+
+# ----------------------------------------------------------------------
+# the batched temporal driver (shared mask trace)
+# ----------------------------------------------------------------------
+def test_temporal_batch_single_row_matches_scalar():
+    from repro.engine import run_temporal_batch
+
+    con = _construction()
+    rule = GeneralizedPluralityRule(num_colors=max(con.palette) + 1)
+    # identically seeded availability processes -> identical mask traces
+    scalar = run_temporal(
+        TemporalTopology(con.topo, BernoulliAvailability(0.8, np.random.default_rng(7))),
+        con.colors, rule, max_rounds=5000, target_color=con.k,
+    )
+    batched = run_temporal_batch(
+        TemporalTopology(con.topo, BernoulliAvailability(0.8, np.random.default_rng(7))),
+        con.colors[None, :], rule, max_rounds=5000, target_color=con.k,
+    )
+    assert np.array_equal(batched.final[0], scalar.final)
+    assert int(batched.rounds[0]) == scalar.rounds
+    assert bool(batched.converged[0]) == scalar.converged
+    assert bool(batched.monotone[0]) == bool(scalar.monotone)
+
+
+def test_temporal_batch_rows_share_one_trace(rng):
+    """Identical rows under the shared trace stay identical; a periodic
+    (deterministic) trace reproduces the scalar run for every row."""
+    from repro.engine import run_temporal_batch
+
+    con = _construction(4, 4)
+    rule = GeneralizedPluralityRule(num_colors=max(con.palette) + 1)
+    avail = PeriodicAvailability(period=3, duty=2)
+    block = np.tile(con.colors, (5, 1))
+    res = run_temporal_batch(
+        TemporalTopology(con.topo, avail), block, rule,
+        max_rounds=5000, target_color=con.k,
+    )
+    scalar = run_temporal(
+        TemporalTopology(con.topo, avail), con.colors, rule,
+        max_rounds=5000, target_color=con.k,
+    )
+    for i in range(5):
+        assert np.array_equal(res.final[i], scalar.final)
+        assert int(res.rounds[i]) == scalar.rounds
+
+
+def test_temporal_batch_monochromatic_rows_retire_immediately(rng):
+    from repro.engine import run_temporal_batch
+
+    topo = ToroidalMesh(4, 4)
+    ttopo = TemporalTopology(topo, AlwaysAvailable())
+    rule = GeneralizedPluralityRule(num_colors=3)
+    block = rng.integers(0, 3, size=(4, 16)).astype(np.int32)
+    block[1] = 2  # monochromatic from the start
+    res = run_temporal_batch(ttopo, block, rule, max_rounds=100)
+    assert res.converged[1] and res.rounds[1] == 0
+    assert res.cycle_length[1] == 1 and res.fixed_point_round[1] == 0
+    assert (res.final[1] == 2).all()
+
+
+def test_step_masked_batch_validates_mask_shape(rng):
+    topo = ToroidalMesh(3, 3)
+    rule = GeneralizedPluralityRule(num_colors=3)
+    block = rng.integers(0, 3, size=(2, 9)).astype(np.int32)
+    with pytest.raises(ValueError, match="does not match the neighbor table"):
+        rule.step_masked_batch(block, topo, np.ones((9, 3), dtype=bool))
+
+
+def test_temporal_batch_dynamo_experiment(rng):
+    from repro.ext import run_temporal_dynamo_batch
+
+    con = _construction()
+    out = run_temporal_dynamo_batch(con, 1.0, replicas=4, rng=rng, max_rounds=5000)
+    assert out.replicas == 4 and out.reached.shape == (4,)
+    assert out.reached[0]  # the crafted complement always wins at p = 1
+    assert 0.0 <= out.reached_rate <= 1.0

@@ -51,3 +51,68 @@ def test_sweep_cap_respected():
     )
     assert out.takeover_rate == 0.0
     assert out.max_sweeps == 1
+
+
+# ----------------------------------------------------------------------
+# the batched rewiring: engine equivalence, seeding, and db caching
+# ----------------------------------------------------------------------
+def test_engines_bitwise_identical(torus_kind):
+    con = build_minimum_dynamo(torus_kind, 5, 5)
+    batch = async_robustness(con, trials=8, seed=0xFACE, engine="batch")
+    scalar = async_robustness(con, trials=8, seed=0xFACE, engine="scalar")
+    assert batch == scalar
+    with_rng = async_robustness(
+        con, trials=8, rng=np.random.default_rng(2), engine="batch"
+    )
+    assert with_rng == async_robustness(
+        con, trials=8, rng=np.random.default_rng(2), engine="scalar"
+    )
+
+
+def test_unknown_engine_rejected():
+    con = build_minimum_dynamo("mesh", 5, 5)
+    import pytest
+
+    with pytest.raises(ValueError, match="unknown engine"):
+        async_robustness(con, trials=2, seed=1, engine="quantum")
+
+
+def test_explicit_seed_reproducible_and_independent_of_rng():
+    con = build_minimum_dynamo("mesh", 5, 5)
+    a = async_robustness(con, trials=6, seed=77)
+    b = async_robustness(con, trials=6, seed=77, rng=np.random.default_rng(5))
+    assert a == b  # explicit seed wins over rng
+    assert a == async_robustness(con, trials=6, seed=77)
+
+
+def test_order_sensitivity_seeded_and_engine_invariant():
+    con = build_minimum_dynamo("cordalis", 5, 5)
+    a = order_sensitivity(con, trials=12, seed=3, engine="batch")
+    b = order_sensitivity(con, trials=12, seed=3, engine="scalar")
+    assert np.array_equal(a, b)
+    assert np.array_equal(a, order_sensitivity(con, trials=12, seed=3))
+
+
+def test_db_caches_summary(tmp_path):
+    from repro.io import WitnessDB
+
+    path = tmp_path / "w.jsonl"
+    con = build_minimum_dynamo("mesh", 5, 5)
+    stats = {}
+    first = async_robustness(con, trials=5, seed=9, db=WitnessDB(path),
+                             stats=stats)
+    assert stats == {"cache_hit": False, "recorded": True}
+    stats = {}
+    second = async_robustness(con, trials=5, seed=9, db=WitnessDB(path),
+                              stats=stats)
+    assert stats == {"cache_hit": True, "recorded": False}
+    assert first == second
+    # trial count is part of the definition: no false hit
+    stats = {}
+    async_robustness(con, trials=6, seed=9, db=WitnessDB(path), stats=stats)
+    assert stats["cache_hit"] is False
+    # a different configuration (digest) misses too
+    stats = {}
+    async_robustness(build_minimum_dynamo("mesh", 7, 7), trials=5, seed=9,
+                     db=WitnessDB(path), stats=stats)
+    assert stats["cache_hit"] is False

@@ -59,3 +59,102 @@ def test_hub_seeding_beats_random_on_average():
             n=200, seed_fraction=0.05, strategy="random", rng=rng
         ).final_k_fraction
     assert hub_total > rand_total
+
+
+# ----------------------------------------------------------------------
+# the batched rewiring: bitwise pins and the sharded census
+# ----------------------------------------------------------------------
+def test_experiment_bitwise_matches_prerefactor_scalar_path():
+    """run_scale_free_experiment now executes through run_batch; at a
+    fixed seed it must reproduce the historical scalar run_synchronous
+    path bit for bit, on the default and stencil backends, with the
+    plan cache warm."""
+    from repro.engine import clear_plan_cache, plan_cache_stats, run_synchronous
+    from repro.rules import GeneralizedPluralityRule
+
+    n, num_colors, frac, strategy = 150, 4, 0.05, "degree-weighted"
+    # the historical implementation, hand-rolled: same rng draw order
+    rng = np.random.default_rng(0x5EED5)
+    topo = barabasi_albert_topology(n, 2, rng)
+    k = 0
+    others = np.arange(1, num_colors)
+    colors = others[rng.integers(0, others.size, size=topo.num_vertices)].astype(
+        np.int32
+    )
+    seeds = seed_vertices(topo, max(1, int(round(frac * n))), strategy, rng)
+    colors[seeds] = k
+    legacy = run_synchronous(
+        topo, colors, GeneralizedPluralityRule(num_colors=num_colors),
+        max_rounds=400, target_color=k,
+    )
+    clear_plan_cache()
+    try:
+        for backend in (None, "stencil", "reference"):
+            out = run_scale_free_experiment(
+                n=n, seed_fraction=frac, strategy=strategy,
+                rng=np.random.default_rng(0x5EED5), backend=backend,
+            )
+            assert out.rounds == legacy.rounds, backend
+            assert out.converged == legacy.converged, backend
+            assert out.final_k_fraction == float((legacy.final == k).mean())
+            assert out.monochromatic == bool(
+                legacy.converged and (legacy.final == legacy.final[0]).all()
+            )
+        assert plan_cache_stats().misses >= 1  # batched path compiled a stepper
+    finally:
+        clear_plan_cache()
+
+
+def test_census_bitwise_identical_at_any_process_count():
+    from repro.ext import scale_free_takeover_census
+
+    kwargs = dict(n=60, graphs=2, replicas=8, seed_fractions=(0.05,),
+                  strategies=("hubs", "random"), seed=17)
+    inline = scale_free_takeover_census(processes=0, **kwargs)
+    pooled = scale_free_takeover_census(processes=2, **kwargs)
+    assert inline.cells == pooled.cells
+
+
+def test_census_backend_invariant():
+    from repro.ext import scale_free_takeover_census
+
+    kwargs = dict(n=60, graphs=2, replicas=8, seed_fractions=(0.05,),
+                  strategies=("hubs",), seed=17)
+    assert (scale_free_takeover_census(backend="reference", **kwargs).cells
+            == scale_free_takeover_census(backend="stencil", **kwargs).cells)
+
+
+def test_census_db_cache_round_trip(tmp_path):
+    from repro.ext import scale_free_takeover_census
+    from repro.io import WitnessDB
+
+    path = tmp_path / "w.jsonl"
+    kwargs = dict(n=60, graphs=2, replicas=8, seed_fractions=(0.05, 0.1),
+                  strategies=("hubs",), seed=17)
+    stats = {}
+    first = scale_free_takeover_census(db=WitnessDB(path), stats=stats, **kwargs)
+    assert stats == {"cells": 2, "cache_hits": 0, "recorded": 2}
+    stats = {}
+    second = scale_free_takeover_census(db=WitnessDB(path), stats=stats, **kwargs)
+    assert stats == {"cells": 2, "cache_hits": 2, "recorded": 0}
+    assert all(c.from_cache for c in second.cells)
+    for a, b in zip(first.cells, second.cells):
+        assert a.as_row() == b.as_row()
+    # a different definition key misses the cache
+    stats = {}
+    scale_free_takeover_census(
+        db=WitnessDB(path), stats=stats,
+        **{**kwargs, "seed": 18},
+    )
+    assert stats["cache_hits"] == 0 and stats["recorded"] == 2
+
+
+def test_census_validates_inputs():
+    from repro.ext import scale_free_takeover_census
+
+    with pytest.raises(ValueError, match="unknown strategy"):
+        scale_free_takeover_census(n=20, strategies=("psychic",))
+    with pytest.raises(ValueError, match="at least 2 colors"):
+        scale_free_takeover_census(n=20, num_colors=1)
+    with pytest.raises(ValueError, match="must be"):
+        scale_free_takeover_census(n=0)

@@ -405,3 +405,127 @@ def test_cli_search_records_and_caches(tmp_path, capsys):
     assert code == 0 and "witness(es)" in out and "served" not in out
     code, out, _ = _run_cli(argv, capsys)
     assert code == 0 and "served from witness db" in out
+
+
+# ----------------------------------------------------------------------
+# scale-free-cell / async-summary record kinds
+# ----------------------------------------------------------------------
+def test_scale_free_cell_roundtrip_idempotence_and_probes(tmp_path):
+    from repro.io import ScaleFreeCellRecord
+
+    path = tmp_path / "w.jsonl"
+    db = WitnessDB(path)
+    rec = ScaleFreeCellRecord(
+        strategy="hubs",
+        seed_fraction=0.05,
+        definition={"experiment": "scale-free-takeover", "seed": 1},
+        row={"strategy": "hubs", "seed_fraction": 0.05, "takeover_rate": 0.5},
+    )
+    assert db.add_scale_free_cell(rec) is True
+    assert db.add_scale_free_cell(rec) is False  # idempotent
+    back = WitnessDB(path)
+    hit = back.find_scale_free_cell(
+        "hubs", 0.05, {"experiment": "scale-free-takeover", "seed": 1}
+    )
+    assert hit is not None and hit.row == rec.row and hit.id == rec.id
+    assert back.find_scale_free_cell(
+        "hubs", 0.05, {"experiment": "scale-free-takeover", "seed": 2}
+    ) is None
+    assert back.find_scale_free_cell(
+        "random", 0.05, {"experiment": "scale-free-takeover", "seed": 1}
+    ) is None
+    assert len(back.scale_free_cells) == 1
+
+
+def test_async_summary_roundtrip_idempotence_and_probes(tmp_path):
+    from repro.io import AsyncSummaryRecord
+
+    path = tmp_path / "w.jsonl"
+    db = WitnessDB(path)
+    rec = AsyncSummaryRecord(
+        label="theorem2_mesh",
+        definition={"experiment": "async-robustness", "root": 7, "trials": 5},
+        row={"trials": 5, "takeover_rate": 1.0},
+    )
+    assert db.add_async_summary(rec) is True
+    assert db.add_async_summary(rec) is False
+    back = WitnessDB(path)
+    hit = back.find_async_summary(
+        "theorem2_mesh",
+        {"experiment": "async-robustness", "root": 7, "trials": 5},
+    )
+    assert hit is not None and hit.row == rec.row
+    assert back.find_async_summary("other", rec.definition) is None
+    assert back.find_async_summary("theorem2_mesh", {"root": 8}) is None
+    assert len(back.async_summaries) == 1
+
+
+def test_new_record_kind_ids_are_seed_stable():
+    """Content-derived ids pin the cache-key derivation: a change to the
+    canonicalization or tag layout shows up as an id drift here."""
+    from repro.io import AsyncSummaryRecord, ScaleFreeCellRecord
+
+    cell = ScaleFreeCellRecord(
+        strategy="hubs", seed_fraction=0.05,
+        definition={"experiment": "scale-free-takeover", "seed": 1},
+        row={},
+    )
+    assert cell.id == "1220f5146a57"
+    # key-order-insensitive (canonical JSON) and fraction-exact
+    reordered = ScaleFreeCellRecord(
+        strategy="hubs", seed_fraction=0.05,
+        definition={"seed": 1, "experiment": "scale-free-takeover"},
+        row={"extra": "row content is not part of the key"},
+    )
+    assert reordered.id == cell.id
+    summary = AsyncSummaryRecord(
+        label="theorem2_mesh",
+        definition={"experiment": "async-robustness", "root": 7},
+        row={},
+    )
+    assert summary.id == "1254bc6d9790"
+
+
+def test_new_record_kinds_reject_tampering(tmp_path):
+    from repro.io import ScaleFreeCellRecord
+
+    path = tmp_path / "w.jsonl"
+    WitnessDB(path).add_scale_free_cell(
+        ScaleFreeCellRecord(
+            strategy="hubs", seed_fraction=0.05,
+            definition={"seed": 1}, row={},
+        )
+    )
+    line = json.loads(path.read_text())
+    line["strategy"] = "random"  # id no longer matches the content
+    path.write_text(json.dumps(line) + "\n")
+    back = WitnessDB(path)
+    assert len(back.scale_free_cells) == 0
+    assert back.corrupt and "does not match" in back.corrupt[0][1]
+
+
+def test_cli_scale_free_census_served_bitwise_from_cache(tmp_path, capsys):
+    dbpath = str(tmp_path / "w.jsonl")
+    argv = ["scale-free", "--n", "60", "--graphs", "2", "--replicas", "4",
+            "--fractions", "0.05", "--strategies", "hubs", "--db", dbpath]
+    code, out1, err1 = _run_cli(argv, capsys)
+    assert code == 0 and "0/1 cells from cache, 1 recorded" in err1
+    code, out2, err2 = _run_cli(argv, capsys)
+    assert code == 0 and "1/1 cells from cache, 0 recorded" in err2
+    assert out1 == out2  # stdout bitwise-identical across runs
+
+
+def test_cli_async_summary_cached(tmp_path, capsys):
+    dbpath = str(tmp_path / "w.jsonl")
+    argv = ["async", "mesh", "5", "5", "--trials", "5", "--seed", "3",
+            "--db", dbpath]
+    code, out1, err1 = _run_cli(argv, capsys)
+    assert code == 0 and "summary recorded" in err1
+    code, out2, err2 = _run_cli(argv, capsys)
+    assert code == 0 and "served from cache" in err2
+    assert out1 == out2
+    # the scalar engine replays the identical numbers (no db)
+    code, out3, _ = _run_cli(
+        ["async", "mesh", "5", "5", "--trials", "5", "--seed", "3",
+         "--engine", "scalar"], capsys)
+    assert code == 0 and out3 == out1
