@@ -127,7 +127,7 @@ def select_backend(
 
 def resolve_backend_ref(
     spec: Union[str, KernelBackend, None], *, sharded: bool = False
-):
+) -> Tuple[str, Union[str, KernelBackend]]:
     """Resolve a backend request once, up front, for a driver.
 
     Returns ``(name, ref)``: the canonical backend name for provenance,

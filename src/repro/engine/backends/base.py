@@ -54,7 +54,7 @@ class BackendUnavailableError(RuntimeError):
     """A backend's optional dependency is not installed."""
 
 
-def _definer(rule: Rule, attr: str):
+def _definer(rule: Rule, attr: str) -> "type | None":
     """The MRO class providing ``attr`` for this rule instance."""
     for cls in type(rule).__mro__:
         if attr in cls.__dict__:

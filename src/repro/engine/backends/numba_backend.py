@@ -70,7 +70,15 @@ def _build_kernels() -> dict:
         raise BackendUnavailableError(_MISSING_NUMBA) from exc
 
     @njit(parallel=True, cache=True)
-    def sort4(colors, n0, n1, n2, n3, strong, out):
+    def sort4(
+        colors: np.ndarray,
+        n0: np.ndarray,
+        n1: np.ndarray,
+        n2: np.ndarray,
+        n3: np.ndarray,
+        strong: bool,
+        out: np.ndarray,
+    ) -> None:
         rows, n = colors.shape
         for i in prange(rows):
             for v in range(n):
@@ -101,7 +109,15 @@ def _build_kernels() -> dict:
                     out[i, v] = cur
 
     @njit(parallel=True, cache=True)
-    def majority(colors, n0, n1, n2, n3, prefer_black, out):
+    def majority(
+        colors: np.ndarray,
+        n0: np.ndarray,
+        n1: np.ndarray,
+        n2: np.ndarray,
+        n3: np.ndarray,
+        prefer_black: bool,
+        out: np.ndarray,
+    ) -> None:
         rows, n = colors.shape
         for i in prange(rows):
             for v in range(n):
@@ -124,7 +140,13 @@ def _build_kernels() -> dict:
                     out[i, v] = colors[i, v]
 
     @njit(parallel=True, cache=True)
-    def plurality(colors, nb, thr, num_colors, out):
+    def plurality(
+        colors: np.ndarray,
+        nb: np.ndarray,
+        thr: np.ndarray,
+        num_colors: int,
+        out: np.ndarray,
+    ) -> None:
         rows, n = colors.shape
         d = nb.shape[1]
         for i in prange(rows):
@@ -151,7 +173,13 @@ def _build_kernels() -> dict:
                     out[i, v] = colors[i, v]
 
     @njit(parallel=True, cache=True)
-    def ordered(colors, nb, thr, top, out):
+    def ordered(
+        colors: np.ndarray,
+        nb: np.ndarray,
+        thr: np.ndarray,
+        top: int,
+        out: np.ndarray,
+    ) -> None:
         rows, n = colors.shape
         d = nb.shape[1]
         for i in prange(rows):
@@ -166,7 +194,12 @@ def _build_kernels() -> dict:
                 out[i, v] = cur + 1 if bump else cur
 
     @njit(parallel=True, cache=True)
-    def threshold(colors, nb, thr, out):
+    def threshold(
+        colors: np.ndarray,
+        nb: np.ndarray,
+        thr: np.ndarray,
+        out: np.ndarray,
+    ) -> None:
         rows, n = colors.shape
         d = nb.shape[1]
         for i in prange(rows):
@@ -194,7 +227,7 @@ def _build_kernels() -> dict:
 class _NumbaPlan:
     """Bind a jitted kernel to its per-topology arguments + out buffer."""
 
-    def __init__(self, call: Callable, validate, n: int):
+    def __init__(self, call: Callable, validate: Optional[Callable], n: int):
         self._call = call
         self._validate = validate
         self._n = n
@@ -216,7 +249,7 @@ class NumbaBackend(KernelBackend):
 
     name = "numba"
 
-    def availability_error(self):
+    def availability_error(self) -> Optional[str]:
         return None if numba_available() else _MISSING_NUMBA
 
     def compile(self, rule: Rule, topo: Topology, max_batch: int) -> Stepper:

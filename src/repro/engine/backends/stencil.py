@@ -51,7 +51,13 @@ def _cmpswap(a: np.ndarray, b: np.ndarray, tmp: np.ndarray) -> None:
     np.copyto(a, tmp)
 
 
-def _sort4(c0, c1, c2, c3, tmp) -> None:
+def _sort4(
+    c0: np.ndarray,
+    c1: np.ndarray,
+    c2: np.ndarray,
+    c3: np.ndarray,
+    tmp: np.ndarray,
+) -> None:
     """In-place 4-element sorting network (5 comparators) across planes."""
     _cmpswap(c0, c1, tmp)
     _cmpswap(c2, c3, tmp)

@@ -94,7 +94,7 @@ def validate_processes(
     return p
 
 
-def validate_positive(value, *, flag: str = "value") -> int:
+def validate_positive(value: object, *, flag: str = "value") -> int:
     """Validate a strictly positive integer tuning knob (shared by CLI
     flags and driver keywords).
 

@@ -332,7 +332,7 @@ class ExecutionPlan:
     initial_rounds: Optional[int] = None
     growth: int = 4
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.initial_rounds is not None and int(self.initial_rounds) < 1:
             raise ValueError(
                 f"initial_rounds must be >= 1 or None, got {self.initial_rounds!r}"

@@ -17,9 +17,12 @@ run without re-simulating:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # import cycle: topology imports nothing from engine,
+    from ..topology.base import Topology  # but keep runtime deps one-way
 
 __all__ = ["RunResult"]
 
@@ -70,7 +73,7 @@ class RunResult:
         """
         return self.converged and self.monochromatic and self.final[0] == k
 
-    def recoloring_matrix(self, topo) -> np.ndarray:
+    def recoloring_matrix(self, topo: "Topology") -> np.ndarray:
         """Per-vertex adoption rounds as an ``(m, n)`` grid (Figures 5/6).
 
         Requires a grid topology and ``last_change`` tracking (on by

@@ -22,13 +22,17 @@ otherwise; callers can always override.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 import numpy as np
 
 from ..rules.base import Rule, as_color_array
 from ..topology.base import Topology
 from .result import RunResult
+
+if TYPE_CHECKING:  # type-only: runner must stay importable before plans
+    from .backends import KernelBackend
+    from .plans import ExecutionPlan
 
 __all__ = [
     "run_synchronous",
@@ -102,8 +106,8 @@ def run_synchronous(
     track_changes: bool = True,
     detect_cycles: bool = True,
     record: bool = False,
-    backend=None,
-    plan=None,
+    backend: "str | KernelBackend | None" = None,
+    plan: "ExecutionPlan | None" = None,
 ) -> RunResult:
     """Run the synchronous dynamics to a fixed point, cycle, or round cap.
 

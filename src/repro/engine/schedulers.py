@@ -151,7 +151,7 @@ class AsyncSchedule:
     #: :class:`numpy.random.SeedSequence`
     seeds: Optional[Tuple[Tuple[int, ...], ...]] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.order not in ("fixed", "random"):
             raise ValueError(f"unknown schedule order {self.order!r}")
         if self.order == "random":

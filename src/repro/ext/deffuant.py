@@ -25,6 +25,9 @@ from ..topology.base import Topology
 
 __all__ = ["DeffuantResult", "run_deffuant", "opinion_clusters", "compare_with_smp"]
 
+#: Fixed default seed: omitting ``rng`` must still be reproducible.
+_DEFAULT_SEED = 0xDEFF
+
 
 @dataclass
 class DeffuantResult:
@@ -56,7 +59,7 @@ def run_deffuant(
     """
     if not 0.0 < epsilon <= 1.0 or not 0.0 < mu <= 0.5:
         raise ValueError("need 0 < epsilon <= 1 and 0 < mu <= 0.5")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(_DEFAULT_SEED)
     n = topo.num_vertices
     x = (
         rng.random(n)
@@ -123,7 +126,7 @@ def compare_with_smp(
     from ..engine.runner import run_synchronous
     from ..rules.plurality import GeneralizedPluralityRule
 
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(_DEFAULT_SEED)
     n = topo.num_vertices
     opinions0 = rng.random(n)
     deff = run_deffuant(topo, epsilon, rng=rng, initial=opinions0.copy())

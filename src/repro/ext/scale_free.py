@@ -33,6 +33,9 @@ from ..engine.parallel import kind_tag, run_sharded, validate_positive
 from ..rules.plurality import GeneralizedPluralityRule
 from ..topology.graph import GraphTopology
 
+#: Fixed default seed: omitting ``rng`` must still be reproducible.
+_DEFAULT_SEED = 0x5CA1E
+
 __all__ = [
     "ScaleFreeOutcome",
     "ScaleFreeCell",
@@ -114,7 +117,7 @@ def run_scale_free_experiment(
     and the RNG draw order (graph, then colors, then seeds) is exactly
     the historical one.
     """
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(_DEFAULT_SEED)
     topo = barabasi_albert_topology(n, m_attach, rng)
     k = 0
     others = np.arange(1, num_colors)

@@ -29,6 +29,9 @@ from ..engine.temporal import run_temporal, run_temporal_batch
 from ..rules.plurality import GeneralizedPluralityRule
 from ..topology.temporal import BernoulliAvailability, TemporalTopology
 
+#: Fixed default seed: omitting ``rng`` must still be reproducible.
+_DEFAULT_SEED = 0x7E39
+
 __all__ = [
     "TemporalOutcome",
     "TemporalBatchOutcome",
@@ -64,7 +67,7 @@ def run_temporal_dynamo(
     The rule is the generalized plurality rule with the audible-degree
     threshold; at p = 1 it coincides with the SMP rule on the torus.
     """
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(_DEFAULT_SEED)
     ttopo = TemporalTopology(con.topo, BernoulliAvailability(availability, rng))
     palette_size = max(int(con.colors.max()), con.k) + 1
     rule = GeneralizedPluralityRule(num_colors=palette_size)
@@ -114,7 +117,7 @@ def run_temporal_dynamo_batch(
     the theorem's complement when links flap? — with the trace held
     fixed.
     """
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(_DEFAULT_SEED)
     ttopo = TemporalTopology(con.topo, BernoulliAvailability(availability, rng))
     palette_size = max(int(con.colors.max()), con.k) + 1
     rule = GeneralizedPluralityRule(num_colors=palette_size)

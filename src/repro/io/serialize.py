@@ -31,7 +31,7 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Tuple, Union
+from typing import Any, Iterable, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -81,7 +81,7 @@ def save_configuration(
     topo: GridTopology,
     colors: np.ndarray,
     k: Optional[int] = None,
-    **metadata,
+    **metadata: Any,
 ) -> None:
     """Write a coloring (and optional metadata) as JSON.
 
@@ -227,7 +227,13 @@ class WitnessFormatError(ValueError):
 
 
 def witness_id(
-    rule: str, kind: str, m: int, n: int, colors: int, k: int, configuration
+    rule: str,
+    kind: str,
+    m: int,
+    n: int,
+    colors: int,
+    k: int,
+    configuration: Iterable[int],
 ) -> str:
     """Deterministic 12-hex-digit identity of a witness.
 
@@ -285,7 +291,7 @@ class WitnessRecord:
     #: deterministic identity hash; computed when left empty
     id: str = ""
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.configuration = tuple(int(c) for c in self.configuration)
         self.m, self.n = int(self.m), int(self.n)
         self.colors, self.k = int(self.colors), int(self.k)
@@ -339,7 +345,7 @@ _REQUIRED_WITNESS_FIELDS = (
 )
 
 
-def witness_from_dict(payload) -> WitnessRecord:
+def witness_from_dict(payload: Mapping[str, Any]) -> WitnessRecord:
     """Deserialize (and validate) one witness payload.
 
     Accepts the current schema and upgrades *legacy* payloads — the
@@ -411,8 +417,17 @@ def witness_from_dict(payload) -> WitnessRecord:
 
 
 def _build_record(
-    payload, *, configuration, num_colors, method, rule, monotone,
-    provenance, verified, seed_size, stored_id,
+    payload: Mapping[str, Any],
+    *,
+    configuration: Iterable[int],
+    num_colors: int,
+    method: str,
+    rule: str,
+    monotone: bool,
+    provenance: Any,
+    verified: bool,
+    seed_size: Optional[int],
+    stored_id: str,
 ) -> WitnessRecord:
     """Shared validation tail of :func:`witness_from_dict`."""
     try:

@@ -64,13 +64,16 @@ import dataclasses
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..engine.batch import run_batch
 from ..rules import make_rule
 from ..rules.base import Rule
+
+if TYPE_CHECKING:  # type-only: keep io importable without the backends
+    from ..engine.backends import KernelBackend
 from ..topology.tori import make_torus
 from .serialize import (
     WITNESS_SCHEMA,
@@ -155,7 +158,7 @@ def _canonical(definition: Optional[dict]) -> Optional[dict]:
     return json.loads(json.dumps(definition, sort_keys=True))
 
 
-def _tagged_id(tag: str, *parts) -> str:
+def _tagged_id(tag: str, *parts: object) -> str:
     import hashlib
 
     identity = json.dumps([tag, *parts], sort_keys=True, separators=(",", ":"))
@@ -187,7 +190,7 @@ class CensusCellRecord:
     schema: int = WITNESS_SCHEMA
     id: str = ""
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.n = int(self.n)
         self.definition = _canonical(self.definition)
         self.row = _canonical(self.row)
@@ -265,7 +268,7 @@ class ScaleFreeCellRecord:
     schema: int = WITNESS_SCHEMA
     id: str = ""
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.strategy = str(self.strategy)
         self.seed_fraction = float(self.seed_fraction)
         self.definition = _canonical(self.definition)
@@ -332,7 +335,7 @@ class AsyncSummaryRecord:
     schema: int = WITNESS_SCHEMA
     id: str = ""
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.label = str(self.label)
         self.definition = _canonical(self.definition)
         self.row = _canonical(self.row)
@@ -398,7 +401,7 @@ class SearchRecord:
     schema: int = WITNESS_SCHEMA
     id: str = ""
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.definition = _canonical(self.definition)
         self.witness_ids = [str(w) for w in self.witness_ids]
         self.examined = int(self.examined)
@@ -456,7 +459,10 @@ class WitnessVerification:
 
 
 def verify_witness(
-    record: WitnessRecord, *, max_rounds: Optional[int] = None, backend=None
+    record: WitnessRecord,
+    *,
+    max_rounds: Optional[int] = None,
+    backend: "str | KernelBackend | None" = None,
 ) -> WitnessVerification:
     """Replay a stored witness through :func:`repro.engine.batch.run_batch`.
 
@@ -812,7 +818,7 @@ class WitnessDB:
         *,
         max_rounds: Optional[int] = None,
         update: bool = True,
-        backend=None,
+        backend: "str | KernelBackend | None" = None,
     ) -> WitnessVerification:
         """Re-verify one witness and (by default) stamp the outcome.
 

@@ -19,9 +19,12 @@ degree.  The hot simulation loop then reduces to a single vectorized gather
 from __future__ import annotations
 
 import abc
-from typing import Iterator, Tuple
+from typing import TYPE_CHECKING, Hashable, Iterator, Optional, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # type-only: networkx stays a lazy runtime import
+    import networkx
 
 __all__ = ["Topology", "GridTopology"]
 
@@ -63,7 +66,7 @@ class Topology(abc.ABC):
         """True when every vertex has the same degree."""
         return bool(np.all(self.degrees == self.degrees[0]))
 
-    def structure_token(self):
+    def structure_token(self) -> Optional[Hashable]:
         """Hashable token identifying this topology's *structure*, or ``None``.
 
         Two topologies with equal tokens must have bitwise-identical
@@ -103,7 +106,7 @@ class Topology(abc.ABC):
         """Number of undirected edges."""
         return int(self.degrees.sum()) // 2
 
-    def to_networkx(self):
+    def to_networkx(self) -> "networkx.Graph":
         """Export the topology as an undirected :class:`networkx.Graph`."""
         import networkx as nx
 

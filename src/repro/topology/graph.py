@@ -8,7 +8,7 @@ irregular rows with ``-1``.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Tuple, Union
+from typing import Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -61,7 +61,7 @@ class GraphTopology(Topology):
         self.labels = self._labels
         self._structure_token: "tuple | None" = None
 
-    def structure_token(self):
+    def structure_token(self) -> Optional[Hashable]:
         """Content hash of the degree/neighbor tables (computed once).
 
         Equal tokens imply bitwise-equal tables, so the plan layer's
@@ -82,7 +82,9 @@ class GraphTopology(Topology):
             self._structure_token = ("graph", h.hexdigest())
         return self._structure_token
 
-    def _normalize(self, graph: EdgeLike, num_vertices: int | None):
+    def _normalize(
+        self, graph: EdgeLike, num_vertices: int | None
+    ) -> Tuple[List[Tuple[int, int]], int]:
         try:
             import networkx as nx
         except ImportError:  # pragma: no cover - networkx is a hard dep

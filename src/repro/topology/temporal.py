@@ -19,11 +19,14 @@ Two availability processes are provided:
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Hashable, Optional
 
 import numpy as np
 
 from .base import Topology
+
+#: Fixed default seed: omitting ``rng`` must still be reproducible.
+_DEFAULT_SEED = 0xBE27
 
 __all__ = [
     "AvailabilityProcess",
@@ -87,7 +90,7 @@ class BernoulliAvailability(AvailabilityProcess):
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"p must be in [0, 1], got {p}")
         self.p = float(p)
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else np.random.default_rng(_DEFAULT_SEED)
         self._slot_ids: Optional[np.ndarray] = None
 
     def mask_for_round(self, topo: Topology, t: int) -> np.ndarray:
@@ -149,7 +152,7 @@ class TemporalTopology:
     def num_vertices(self) -> int:
         return self.base.num_vertices
 
-    def structure_token(self):
+    def structure_token(self) -> Optional[Hashable]:
         """Structural token of the *base* graph (masks are per-round state).
 
         Steppers compile against the static neighbor table only — the

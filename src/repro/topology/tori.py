@@ -34,7 +34,7 @@ from .base import GridTopology
 __all__ = ["ToroidalMesh", "TorusCordalis", "TorusSerpentinus", "TORUS_CLASSES", "make_torus"]
 
 
-def _row_major_lattice(m: int, n: int):
+def _row_major_lattice(m: int, n: int) -> "tuple[np.ndarray, np.ndarray]":
     """Return ``(I, J)`` coordinate arrays for the flattened row-major grid."""
     idx = np.arange(m * n)
     return idx // n, idx % n

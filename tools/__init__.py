@@ -1,0 +1,6 @@
+"""Repository tooling: static checks, benchmark gates, doc smoke tests.
+
+Installed as a top-level package (see ``[tool.setuptools]`` in
+pyproject.toml) so ``python -m tools.reprolint`` and the ``reprolint``
+console script work from any checkout or editable install.
+"""

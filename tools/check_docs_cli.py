@@ -1,12 +1,12 @@
 #!/usr/bin/env python
 """Smoke-check every ``repro-dynamo`` invocation in the docs.
 
-Scans fenced code blocks in README.md and docs/*.md, joins
-backslash-continued lines, and runs each ``repro-dynamo ...`` command
-line through the real argument parser (`repro.cli.build_parser`) —
-parse only, nothing executes.  A flag that was renamed or removed makes
-the corresponding doc line fail here, so stale CLI documentation cannot
-survive CI.
+Compatibility shim: the extraction and parse-check logic moved into the
+``docs`` checker family of :mod:`tools.reprolint` (rule RPL-C003), which
+CI runs via ``python -m tools.reprolint``.  This entry point keeps the
+original standalone interface — and re-exports ``iter_doc_files`` /
+``extract_invocations`` / ``check_invocation`` — for scripts and tests
+that target it directly.
 
 Usage: ``python tools/check_docs_cli.py [repo_root]`` — exits non-zero
 on the first unparseable invocation, listing every failure.
@@ -14,76 +14,24 @@ on the first unparseable invocation, listing every failure.
 
 from __future__ import annotations
 
-import contextlib
-import io
-import re
-import shlex
 import sys
 from pathlib import Path
 
-_FENCE = re.compile(r"^```")
-#: shell operators that end the repro-dynamo argument list on a doc line
-_SHELL_BREAK = re.compile(r"\s(?:\|\||\||&&|>|2>|<)\s")
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT) not in sys.path:  # direct script / importlib-by-path runs
+    sys.path.insert(0, str(_ROOT))
 
+from tools.reprolint.docs import (  # noqa: E402
+    check_invocation,
+    extract_invocations,
+    iter_doc_files,
+)
 
-def iter_doc_files(root: Path):
-    yield root / "README.md"
-    docs = root / "docs"
-    if docs.is_dir():
-        yield from sorted(docs.glob("*.md"))
-
-
-def extract_invocations(text: str):
-    """Yield (line_number, command_string) for repro-dynamo doc lines."""
-    in_block = False
-    pending: str = ""
-    pending_line = 0
-    for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = raw.rstrip()
-        if _FENCE.match(line.strip()):
-            in_block = not in_block
-            pending = ""
-            continue
-        if not in_block:
-            continue
-        if pending:
-            line = pending + " " + line.strip()
-            lineno = pending_line
-            pending = ""
-        stripped = line.strip()
-        if stripped.startswith("$ "):
-            stripped = stripped[2:]
-        if not stripped.startswith("repro-dynamo"):
-            continue
-        if stripped.endswith("\\"):
-            pending = stripped[:-1].rstrip()
-            pending_line = lineno
-            continue
-        # cut at shell operators and inline comments
-        stripped = _SHELL_BREAK.split(stripped)[0]
-        stripped = stripped.split(" #")[0].rstrip()
-        yield lineno, stripped
-
-
-def check_invocation(parser, command: str):
-    """Parse one command; returns an error string or None."""
-    try:
-        argv = shlex.split(command)[1:]
-    except ValueError as exc:
-        return f"unparseable shell syntax: {exc}"
-    # argparse prints usage to stderr and raises SystemExit on bad args
-    sink = io.StringIO()
-    try:
-        with contextlib.redirect_stderr(sink), contextlib.redirect_stdout(sink):
-            parser.parse_args(argv)
-    except SystemExit as exc:
-        if exc.code not in (0, None):
-            return sink.getvalue().strip().splitlines()[-1]
-    return None
+__all__ = ["iter_doc_files", "extract_invocations", "check_invocation", "main"]
 
 
 def main(argv=None) -> int:
-    root = Path(argv[1]) if argv and len(argv) > 1 else Path(__file__).parent.parent
+    root = Path(argv[1]) if argv and len(argv) > 1 else _ROOT
     sys.path.insert(0, str(root / "src"))
     from repro.cli import build_parser
 

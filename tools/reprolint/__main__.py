@@ -1,0 +1,125 @@
+"""Command-line entry point: ``python -m tools.reprolint`` / ``reprolint``.
+
+Exit status: 0 clean, 1 findings, 2 bad usage.  Findings print as
+``path:line:col RULE-ID message`` (one per line, sorted); ``--json``
+emits a machine-readable report instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .core import CHECKERS, all_rules, family_names, lint_project
+
+#: Linted when no paths are given (docs checks always run repo-wide).
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "tools", "examples")
+
+
+def find_repo_root(start: Path) -> Path:
+    """Nearest ancestor carrying pyproject.toml (fallback: start)."""
+    for candidate in (start, *start.parents):
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return start
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "Static checks for this repo's determinism and kernel "
+            "contracts (see docs/ARCHITECTURE.md, 'static contract layer')."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--root",
+        help="repository root (default: nearest pyproject.toml above cwd)",
+    )
+    parser.add_argument(
+        "--select",
+        nargs="+",
+        metavar="FAMILY",
+        help=(
+            "only run these checker families "
+            f"(available: {', '.join(sorted({c.family for c in CHECKERS}))})"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a JSON report instead of one finding per line",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:  # |head closed stdout; die quietly like a filter
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 1
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule, description in sorted(all_rules().items()):
+            print(f"{rule}  {description}")
+        return 0
+
+    if args.select:
+        unknown = set(args.select) - set(family_names())
+        if unknown:
+            print(
+                f"reprolint: unknown checker families: {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+
+    root = Path(args.root).resolve() if args.root else find_repo_root(Path.cwd())
+    paths = args.paths or [p for p in DEFAULT_PATHS if (root / p).exists()]
+    findings, scanned = lint_project(root, paths, select=args.select)
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "root": str(root),
+                    "paths": list(paths),
+                    "files_scanned": scanned,
+                    "findings": [f.to_dict() for f in findings],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        summary = (
+            f"reprolint: {len(findings)} finding(s) in {scanned} file(s)"
+            if findings
+            else f"reprolint: clean ({scanned} file(s) scanned)"
+        )
+        print(summary, file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,317 @@
+"""Core machinery for reprolint: findings, modules, suppressions, registry.
+
+Everything here is stdlib-only.  A :class:`Module` wraps one parsed
+source file (AST + tokenize-level ``# reprolint: disable=...``
+suppressions); a :class:`Project` bundles the modules plus the repo
+root so project-wide checkers (class hierarchies, docs) can see across
+files; :func:`lint_project` / :func:`lint_source` drive the registered
+checkers and return sorted, suppression-filtered findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+#: Directories never descended into when collecting files.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules", ".pytest_cache"}
+
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_\-,\s]+)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored at ``path:line:col``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col} {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+class Module:
+    """A single parsed source file plus its suppression directives.
+
+    ``relpath`` is the repo-root-relative POSIX path; it determines the
+    dotted module name (``src/repro/engine/plans.py`` ->
+    ``repro.engine.plans``) and whether library-scoped rules apply.
+    """
+
+    def __init__(self, relpath: str, source: str):
+        self.relpath = relpath.replace("\\", "/")
+        self.source = source
+        self.tree: Optional[ast.AST] = None
+        self.syntax_error: Optional[SyntaxError] = None
+        try:
+            self.tree = ast.parse(source)
+        except SyntaxError as exc:
+            self.syntax_error = exc
+        self.file_suppressions: Set[str] = set()
+        self.line_suppressions: Dict[int, Set[str]] = {}
+        self._collect_suppressions()
+
+    # -- identity ------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Dotted module name derived from the path (best effort)."""
+        parts = self.relpath.split("/")
+        if parts and parts[0] == "src":
+            parts = parts[1:]
+        if parts and parts[-1].endswith(".py"):
+            parts[-1] = parts[-1][:-3]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
+    @property
+    def is_library(self) -> bool:
+        """True for shipped-package code (``src/``), where the strict
+        plan-token / backend / typing families apply."""
+        return self.relpath.startswith("src/")
+
+    # -- suppressions --------------------------------------------------
+
+    def _collect_suppressions(self) -> None:
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
+            for tok in tokens:
+                if tok.type != tokenize.COMMENT:
+                    continue
+                match = _SUPPRESS_RE.search(tok.string)
+                if not match:
+                    continue
+                rules = {
+                    r.strip()
+                    for r in match.group(1).replace(",", " ").split()
+                    if r.strip()
+                }
+                line_no = tok.start[0]
+                prefix = self.source.splitlines()[line_no - 1][: tok.start[1]]
+                if prefix.strip():
+                    # trailing comment: suppress on this line only
+                    self.line_suppressions.setdefault(line_no, set()).update(rules)
+                else:
+                    # standalone comment: suppress for the whole file
+                    self.file_suppressions.update(rules)
+        except (tokenize.TokenError, IndentationError, IndexError):
+            pass  # unparseable files are reported via syntax_error instead
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        for active in (
+            self.file_suppressions,
+            self.line_suppressions.get(line, set()),
+        ):
+            if rule in active or "all" in active:
+                return True
+        return False
+
+
+class Project:
+    """All modules under lint plus the repo root (None for fixtures)."""
+
+    def __init__(self, modules: Sequence[Module], root: Optional[Path] = None):
+        self.modules: List[Module] = list(modules)
+        self.root = root
+        self.by_path: Dict[str, Module] = {m.relpath: m for m in self.modules}
+
+    def library_modules(self) -> Iterator[Module]:
+        for module in self.modules:
+            if module.is_library and module.tree is not None:
+                yield module
+
+
+class Checker:
+    """Base class for one rule family.
+
+    Subclasses set ``family`` (the ``--select`` key), ``rules`` (id ->
+    one-line description) and implement :meth:`check`.  Checkers that
+    read real files from disk (docs cross-references) set
+    ``requires_root`` and are skipped for in-memory fixtures.
+    """
+
+    family: str = "?"
+    rules: Dict[str, str] = {}
+    requires_root: bool = False
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+#: The pluggable registry: importing a checker module appends to this.
+CHECKERS: List[Type[Checker]] = []
+
+
+def register_checker(cls: Type[Checker]) -> Type[Checker]:
+    CHECKERS.append(cls)
+    return cls
+
+
+def all_rules() -> Dict[str, str]:
+    """Rule id -> description across every registered family."""
+    catalog: Dict[str, str] = {}
+    for cls in CHECKERS:
+        catalog.update(cls.rules)
+    return catalog
+
+
+def family_names() -> List[str]:
+    return [cls.family for cls in CHECKERS]
+
+
+# -- shared AST helpers -------------------------------------------------
+
+
+class ImportMap:
+    """Resolve local names to dotted origins (``np`` -> ``numpy``)."""
+
+    def __init__(self, tree: ast.AST):
+        self.aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted origin of a Name/Attribute chain, or None."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.aliases.get(node.id, node.id)
+        return ".".join([base, *reversed(parts)])
+
+
+def attach_parents(tree: ast.AST) -> None:
+    """Annotate every node with a ``_reprolint_parent`` backlink."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._reprolint_parent = node  # type: ignore[attr-defined]
+
+
+def parent_of(node: ast.AST) -> Optional[ast.AST]:
+    return getattr(node, "_reprolint_parent", None)
+
+
+def dotted_parts(node: ast.AST) -> Optional[str]:
+    """Render a Name/Attribute chain as written (no alias resolution)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    return ".".join([node.id, *reversed(parts)])
+
+
+# -- drivers ------------------------------------------------------------
+
+
+def collect_files(root: Path, paths: Sequence[str]) -> List[Path]:
+    """Python files under ``paths`` (files or directories), sorted."""
+    out: List[Path] = []
+    for entry in paths:
+        target = (root / entry) if not Path(entry).is_absolute() else Path(entry)
+        if target.is_file() and target.suffix == ".py":
+            out.append(target)
+        elif target.is_dir():
+            for sub in sorted(target.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in sub.parts):
+                    out.append(sub)
+    seen: Set[Path] = set()
+    unique = []
+    for path in out:
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
+def _run_checkers(
+    project: Project, select: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    wanted = set(select) if select is not None else None
+    findings: List[Finding] = []
+    for module in project.modules:
+        if module.syntax_error is not None:
+            exc = module.syntax_error
+            findings.append(
+                Finding(
+                    module.relpath,
+                    exc.lineno or 1,
+                    (exc.offset or 1),
+                    "RPL-E001",
+                    f"syntax error: {exc.msg}",
+                )
+            )
+    for cls in CHECKERS:
+        if wanted is not None and cls.family not in wanted:
+            continue
+        if cls.requires_root and project.root is None:
+            continue
+        for finding in cls().check(project):
+            module = project.by_path.get(finding.path)
+            if module is not None and module.suppressed(finding.rule, finding.line):
+                continue
+            findings.append(finding)
+    return sorted(set(findings))
+
+
+def lint_project(
+    root: Path,
+    paths: Sequence[str],
+    select: Optional[Iterable[str]] = None,
+) -> Tuple[List[Finding], int]:
+    """Lint ``paths`` under ``root``; returns (findings, files scanned)."""
+    files = collect_files(root, paths)
+    modules = []
+    for path in files:
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        modules.append(Module(rel, path.read_text(encoding="utf-8")))
+    project = Project(modules, root=root)
+    return _run_checkers(project, select=select), len(files)
+
+
+def lint_source(
+    source: str,
+    path: str = "src/repro/_fixture.py",
+    select: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint one in-memory snippet as if it lived at ``path``.
+
+    Docs-family checkers (which need real files) are skipped; pass a
+    ``src/repro/...`` path to exercise the library-scoped families.
+    """
+    project = Project([Module(path, source)], root=None)
+    return _run_checkers(project, select=select)

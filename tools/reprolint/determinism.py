@@ -1,0 +1,199 @@
+"""Determinism family (RPL-D): no unseeded or wall-clock randomness.
+
+Every random draw in this repo must descend from an explicit
+``numpy.random.SeedSequence`` whose entropy is spelled out in code
+(typically the per-shard ``SeedSequence([seed, kind_tag, m, n, shard])``
+derivation in ``repro.engine.parallel``).  Anything else — the stdlib
+``random`` module, global numpy seeding, argument-less ``default_rng()``,
+seeds derived from the clock or the OS entropy pool — silently breaks
+the bitwise-reproducibility contract.  RPL-D005 additionally guards the
+witness-id/serialization paths against iterating bare ``set``s, whose
+order is salted per process.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from .core import (
+    Checker,
+    Finding,
+    ImportMap,
+    Module,
+    Project,
+    attach_parents,
+    parent_of,
+    register_checker,
+)
+
+#: Call targets that consume seed material (checked by D002/D003/D004).
+_SEED_SINKS = {
+    "numpy.random.default_rng",
+    "numpy.random.SeedSequence",
+    "numpy.random.Generator",
+    "numpy.random.RandomState",
+    "numpy.random.seed",
+}
+
+#: Dotted origins whose values are wall-clock / OS-entropy derived.
+_ENTROPY_SOURCES = (
+    "time.",
+    "datetime.",
+    "os.urandom",
+    "os.getpid",
+    "secrets.",
+    "uuid.",
+)
+
+#: Modules where iteration order feeds persisted ids (RPL-D005 scope).
+_ORDER_SENSITIVE_MODULES = {"repro.io.serialize", "repro.io.witnessdb"}
+
+
+@register_checker
+class DeterminismChecker(Checker):
+    family = "determinism"
+    rules = {
+        "RPL-D001": (
+            "stdlib `random` import — use numpy SeedSequence-derived "
+            "generators so results are reproducible bit-for-bit"
+        ),
+        "RPL-D002": (
+            "global numpy seeding (`np.random.seed` / legacy "
+            "`RandomState`) — global state leaks across shards; derive a "
+            "local Generator from an explicit SeedSequence"
+        ),
+        "RPL-D003": (
+            "argument-less `default_rng()` / `SeedSequence()` pulls OS "
+            "entropy — pass explicit seed material"
+        ),
+        "RPL-D004": (
+            "seed material derived from wall clock / OS entropy "
+            "(time, datetime, os.urandom, secrets, uuid, getpid)"
+        ),
+        "RPL-D005": (
+            "iteration over an unordered set in a serialization / "
+            "witness-id path — wrap in sorted() so persisted ids are "
+            "order-independent"
+        ),
+    }
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules:
+            if module.tree is None:
+                continue
+            yield from self._check_module(module)
+
+    def _check_module(self, module: Module) -> Iterable[Finding]:
+        imports = ImportMap(module.tree)
+        yield from self._check_imports(module)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, imports, node)
+        if module.name in _ORDER_SENSITIVE_MODULES or module.relpath.startswith(
+            "tests/fixtures/"
+        ):
+            yield from self._check_set_iteration(module, imports)
+
+    # -- D001 ----------------------------------------------------------
+
+    def _check_imports(self, module: Module) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self._finding(module, node, "RPL-D001")
+            elif isinstance(node, ast.ImportFrom):
+                if not node.level and node.module and (
+                    node.module == "random" or node.module.startswith("random.")
+                ):
+                    yield self._finding(module, node, "RPL-D001")
+
+    # -- D002/D003/D004 ------------------------------------------------
+
+    def _check_call(
+        self, module: Module, imports: ImportMap, node: ast.Call
+    ) -> Iterable[Finding]:
+        target = imports.resolve(node.func)
+        if target is None:
+            return
+        if target in ("numpy.random.seed", "numpy.random.RandomState"):
+            yield self._finding(module, node, "RPL-D002")
+        if (
+            target in ("numpy.random.default_rng", "numpy.random.SeedSequence")
+            and not node.args
+            and not any(kw.arg in (None, "seed", "entropy") for kw in node.keywords)
+        ):
+            yield self._finding(module, node, "RPL-D003")
+        if target in _SEED_SINKS:
+            source = self._entropy_source(imports, node)
+            if source is not None:
+                yield self._finding(
+                    module,
+                    node,
+                    "RPL-D004",
+                    suffix=f" (found `{source}`)",
+                )
+
+    def _entropy_source(
+        self, imports: ImportMap, call: ast.Call
+    ) -> Optional[str]:
+        for arg in [*call.args, *[kw.value for kw in call.keywords]]:
+            for sub in ast.walk(arg):
+                if not isinstance(sub, (ast.Name, ast.Attribute)):
+                    continue
+                origin = imports.resolve(sub)
+                if origin is None:
+                    continue
+                for bad in _ENTROPY_SOURCES:
+                    if origin == bad.rstrip(".") or origin.startswith(bad):
+                        return origin
+        return None
+
+    # -- D005 ----------------------------------------------------------
+
+    def _check_set_iteration(
+        self, module: Module, imports: ImportMap
+    ) -> Iterable[Finding]:
+        attach_parents(module.tree)
+        for node in ast.walk(module.tree):
+            if not self._is_set_expr(imports, node):
+                continue
+            parent = parent_of(node)
+            if isinstance(parent, ast.For) and parent.iter is node:
+                yield self._finding(module, node, "RPL-D005")
+            elif isinstance(parent, ast.comprehension) and parent.iter is node:
+                holder = parent_of(parent)
+                # {x for x in {...}} re-enters a set: only ordered sinks
+                # (list/generator comprehensions) leak the order
+                if isinstance(holder, (ast.ListComp, ast.GeneratorExp)):
+                    yield self._finding(module, node, "RPL-D005")
+            elif (
+                isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id in ("list", "tuple", "enumerate", "iter")
+                and node in parent.args
+            ):
+                yield self._finding(module, node, "RPL-D005")
+
+    @staticmethod
+    def _is_set_expr(imports: ImportMap, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            target = imports.resolve(node.func)
+            return target in ("set", "frozenset")
+        return False
+
+    # -- helpers -------------------------------------------------------
+
+    def _finding(
+        self, module: Module, node: ast.AST, rule: str, suffix: str = ""
+    ) -> Finding:
+        return Finding(
+            module.relpath,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0) + 1,
+            rule,
+            self.rules[rule].split(" — ")[0] + suffix,
+        )

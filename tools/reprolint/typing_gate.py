@@ -1,0 +1,86 @@
+"""Typing-gate family (RPL-T): annotation coverage for strict packages.
+
+The authoritative gate is mypy with the per-module strictness table in
+pyproject.toml (``disallow_untyped_defs`` + ``disallow_incomplete_defs``
+over ``repro.engine``, ``repro.io``, ``repro.topology``) — CI runs it
+blocking.  mypy is not installable in the offline dev container, so
+this checker mirrors the *presence* half of that contract locally:
+every ``def`` in a strict package must annotate all parameters and its
+return type (``__init__`` may omit the return, matching mypy).  It
+catches the regressions developers can actually introduce offline;
+CI's real mypy run still checks annotation *correctness*.
+
+Keep :data:`STRICT_PREFIXES` in sync with the
+``[[tool.mypy.overrides]]`` table in pyproject.toml.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from .core import Checker, Finding, Module, Project, register_checker
+
+#: Dotted-module prefixes under the mypy strictness table.
+STRICT_PREFIXES = ("repro.engine", "repro.io", "repro.topology")
+
+
+def _in_strict_package(module: Module) -> bool:
+    return any(
+        module.name == p or module.name.startswith(p + ".") for p in STRICT_PREFIXES
+    )
+
+
+@register_checker
+class TypingGateChecker(Checker):
+    family = "typing"
+    rules = {
+        "RPL-T001": (
+            "untyped or incompletely-typed def in a mypy-strict package "
+            "(repro.engine / repro.io / repro.topology) — annotate all "
+            "parameters and the return type"
+        ),
+    }
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.library_modules():
+            if not _in_strict_package(module):
+                continue
+            for node in ast.walk(module.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    missing = self._missing_annotations(node)
+                    if missing:
+                        yield Finding(
+                            module.relpath,
+                            node.lineno,
+                            node.col_offset + 1,
+                            "RPL-T001",
+                            (
+                                f"def {node.name} is missing annotations: "
+                                + ", ".join(missing)
+                            ),
+                        )
+
+    @staticmethod
+    def _missing_annotations(node: ast.AST) -> List[str]:
+        args = node.args
+        ordered = [*args.posonlyargs, *args.args]
+        missing: List[str] = []
+        # first parameter of a method (self/cls) needs no annotation;
+        # static detection of "method" is overkill — mypy itself keys on
+        # the literal names
+        for index, arg in enumerate(ordered):
+            if index == 0 and arg.arg in ("self", "cls"):
+                continue
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        for arg in args.kwonlyargs:
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append("*" + args.vararg.arg)
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append("**" + args.kwarg.arg)
+        if node.returns is None and node.name != "__init__":
+            missing.append("return type")
+        return missing
