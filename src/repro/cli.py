@@ -39,6 +39,8 @@ Examples
     repro-dynamo census --sizes 3 4 --batch-size 4096 --processes 4
     repro-dynamo census --sizes 3 4 --backend stencil
     repro-dynamo census --db results/witnesses.jsonl
+    repro-dynamo census --sizes 3 4 --run-ledger results/census.ledger
+    repro-dynamo census --sizes 3 4 --run-ledger results/census.ledger --resume
     repro-dynamo search mesh 4 4 --seed-size 3 --colors 5 --trials 20000
     repro-dynamo scale-free --n 300 --graphs 4 --replicas 32 --processes 4
     repro-dynamo scale-free --db results/witnesses.jsonl
@@ -61,6 +63,7 @@ from .core.constructions import build_minimum_dynamo
 from .core.verify import verify_dynamo
 from .engine.runner import run_synchronous
 from .experiments.sweeps import convergence_sweep, square_points, sweep_rounds
+from .io.ledger import LedgerError
 from .io.serialize import load_configuration, save_configuration
 from .rules import RULE_NAMES
 from .rules.smp import SMPRule
@@ -184,6 +187,35 @@ def _plan_from_args(args):
     )
 
 
+def _add_ledger_args(sp, what: str) -> None:
+    """``--run-ledger/--resume``: the crash-safe run ledger
+    (:mod:`repro.io.ledger`).  Every completed shard commits durably as
+    it finishes; rerunning the same invocation with ``--resume`` replays
+    committed shards and computes only the rest, bitwise-identically at
+    any ``--processes`` count."""
+    sp.add_argument(
+        "--run-ledger",
+        metavar="FILE",
+        default=None,
+        help=f"run ledger (JSON lines) committing each completed shard "
+        f"of {what} durably; a killed run restarted with --resume "
+        "replays committed shards instead of recomputing them",
+    )
+    sp.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume the run recorded in --run-ledger (results are "
+        "bitwise-identical to an uninterrupted run at any --processes "
+        "count)",
+    )
+
+
+def _check_ledger_args(parser, args) -> None:
+    """``--resume`` is meaningless without a ledger to resume from."""
+    if getattr(args, "resume", False) and getattr(args, "run_ledger", None) is None:
+        parser.error("--resume requires --run-ledger")
+
+
 def _add_backend_arg(sp, what: str) -> None:
     from .engine.backends import backend_names
 
@@ -275,6 +307,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_arg(sp, "--convergence replica blocks")
     _add_plan_args(sp, "--convergence replica blocks")
+    _add_ledger_args(sp, "--convergence sweeps")
 
     sp = sub.add_parser(
         "census",
@@ -326,6 +359,7 @@ def build_parser() -> argparse.ArgumentParser:
         "and serve cells whose experiment definition is already stored "
         "without re-running the pool",
     )
+    _add_ledger_args(sp, "the census")
 
     sp = sub.add_parser(
         "search",
@@ -365,6 +399,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--max-configs", type=int, default=20_000_000)
     sp.add_argument("--db", metavar="FILE",
                     help="witness database to consult and record into")
+    _add_ledger_args(sp, "the search")
     sp.add_argument("--render", action="store_true",
                     help="render the first witness found")
 
@@ -422,6 +457,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="witness database: record each cell as a scale-free-cell "
         "row and serve already-stored definitions without re-running",
     )
+    _add_ledger_args(sp, "the census")
 
     sp = sub.add_parser(
         "async",
@@ -638,6 +674,11 @@ def _configuration(args):
 def main(argv: Optional[List[str]] = None) -> int:
     try:
         return _main(argv)
+    except LedgerError as exc:
+        # wrong --resume usage, stale dynamics, conflicting records:
+        # operator errors, reported cleanly instead of as tracebacks
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # downstream pager/head closed the pipe mid-table; exit quietly
         # (dup stderr over stdout so interpreter shutdown doesn't re-raise)
@@ -651,6 +692,7 @@ def _main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     _check_backend_available(parser, args)
+    _check_ledger_args(parser, args)
 
     if args.command == "sweep":
         # surface flag combinations that would otherwise be silently ignored
@@ -663,6 +705,8 @@ def _main(argv: Optional[List[str]] = None) -> int:
             "--backend": args.backend,
             "--initial-rounds": args.initial_rounds,
             "--no-plan-cache": None if args.plan_cache else True,
+            "--run-ledger": args.run_ledger,
+            "--resume": True if args.resume else None,
         }
         if args.convergence:
             if args.colors is not None:
@@ -741,6 +785,8 @@ def _main(argv: Optional[List[str]] = None) -> int:
                 shard_size=args.shard_size,
                 backend=args.backend,
                 plan=_plan_from_args(args),
+                ledger=args.run_ledger,
+                resume=args.resume,
             )
             print(f"{'size':>8} {'rule':>15} {'conv':>6} {'mono':>6} "
                   f"{'monot':>6} {'rounds':>7}")
@@ -779,6 +825,8 @@ def _main(argv: Optional[List[str]] = None) -> int:
             stats=stats,
             backend=args.backend,
             plan=_plan_from_args(args),
+            ledger=args.run_ledger,
+            resume=args.resume,
         )
         print(f"{'kind':>12} {'size':>6} {'bound':>6} {'found':>6} "
               f"{'below':>6} {'ruled<':>7} {'method':>11}")
@@ -821,6 +869,8 @@ def _main(argv: Optional[List[str]] = None) -> int:
                 db=db,
                 backend=args.backend,
                 plan=plan,
+                ledger=args.run_ledger,
+                resume=args.resume,
             )
         else:
             out = random_dynamo_search(
@@ -838,6 +888,8 @@ def _main(argv: Optional[List[str]] = None) -> int:
                 db=db,
                 backend=args.backend,
                 plan=plan,
+                ledger=args.run_ledger,
+                resume=args.resume,
             )
         mode = "exhaustive" if args.exhaustive else "random"
         mono = sum(1 for _, m in out.witnesses if m)
@@ -875,6 +927,8 @@ def _main(argv: Optional[List[str]] = None) -> int:
             processes=args.processes,
             backend=args.backend,
             stats=stats,
+            ledger=args.run_ledger,
+            resume=args.resume,
         )
         print(f"{'strategy':>16} {'frac':>6} {'takeover':>9} {'conv':>6} "
               f"{'k-frac':>7} {'rounds':>7}")

@@ -25,12 +25,14 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 if TYPE_CHECKING:  # runtime import stays lazy: io.serialize imports core
+    from ..io.ledger import LedgerScope, RunLedger
     from ..io.witnessdb import WitnessDB
 
 from ..engine.backends import KernelBackend, resolve_backend_ref
 from ..engine.batch import DYNAMICS_VERSION, run_batch
 from ..engine.plans import ExecutionPlan, resolve_plan
 from ..engine.parallel import (
+    DEFAULT_SHARD_RETRIES,
     build_topology,
     run_sharded,
     shard_counts,
@@ -62,6 +64,66 @@ BackendSpec = Union[str, KernelBackend, None]
 #: default.  Like backends, plans are bitwise-invisible — they never
 #: enter search definitions or witness ids.
 PlanSpec = Optional[ExecutionPlan]
+
+#: how callers name a run ledger (:mod:`repro.io.ledger`): a live
+#: :class:`~repro.io.ledger.RunLedger` or a path to one.  Like the
+#: witness db, the ledger never changes results — only whether completed
+#: work is replayed or recomputed.
+LedgerSpec = Union["RunLedger", str, "Path", None]
+
+
+def _open_top_ledger(
+    ledger: LedgerSpec,
+    resume: bool,
+    definition: Optional[dict],
+) -> Optional["LedgerScope"]:
+    """Open a driver-level run ledger and begin/resume its run.
+
+    Returns the run's root :class:`~repro.io.ledger.LedgerScope`, or
+    ``None`` when no ledger was requested.  Raises when the topology has
+    no registry spec (``definition is None``) — a run the ledger cannot
+    re-identify cannot be resumed.
+    """
+    if ledger is None:
+        return None
+    if definition is None:
+        raise ValueError(
+            "a run ledger requires a registry torus (the run definition "
+            "must identify the topology to be resumable)"
+        )
+    from ..io.ledger import LedgerScope, open_ledger
+
+    led = open_ledger(ledger)
+    rid = led.begin(definition, resume=resume)
+    return LedgerScope(led, rid)
+
+
+def _outcome_payload(outcome: "SearchOutcome") -> dict:
+    """A ledger payload capturing a fresh outcome bitwise."""
+    return {
+        "seed_size": int(outcome.seed_size),
+        "examined": int(outcome.examined),
+        "exhaustive": bool(outcome.exhaustive),
+        "witnesses": [
+            (np.asarray(cfg), bool(mono)) for cfg, mono in outcome.witnesses
+        ],
+    }
+
+
+def _outcome_from_payload(payload: dict) -> "SearchOutcome":
+    """Replay a ledgered outcome as if the search had just run.
+
+    ``cached`` stays ``False``: unlike a witness-db hit (capped witness
+    list, separate provenance), a ledger replay restores the *full*
+    fresh result, so downstream printing and recording behave exactly as
+    in the uninterrupted run.
+    """
+    return SearchOutcome(
+        seed_size=int(payload["seed_size"]),
+        examined=int(payload["examined"]),
+        witnesses=[(cfg, bool(mono)) for cfg, mono in payload["witnesses"]],
+        exhaustive=bool(payload["exhaustive"]),
+    )
 
 
 @dataclass
@@ -243,9 +305,19 @@ def exhaustive_dynamo_search(
     db: Optional["WitnessDB"] = None,
     backend: BackendSpec = None,
     plan: PlanSpec = None,
+    ledger: LedgerSpec = None,
+    resume: bool = False,
+    ledger_scope: Optional["LedgerScope"] = None,
 ) -> SearchOutcome:
     """Enumerate every placement of an s-vertex k-seed together with every
     complement coloring over the remaining ``num_colors - 1`` colors.
+
+    ``ledger`` opens a :class:`~repro.io.ledger.RunLedger` run for this
+    search (``resume=True`` re-opens a previous run); the whole
+    enumeration is one unit of work, committed on completion and
+    replayed bitwise on resume.  ``ledger_scope`` is the nested form a
+    parent driver (the census) passes instead — mutually exclusive with
+    ``ledger``.
 
     ``backend`` selects the kernel backend batches run under
     (:mod:`repro.engine.backends`); backends are bitwise-interchangeable,
@@ -283,7 +355,10 @@ def exhaustive_dynamo_search(
         )
     if max_rounds is None:
         max_rounds = 4 * n + 16
-    spec = topology_spec(topo) if db is not None else None
+    if ledger is not None and ledger_scope is not None:
+        raise ValueError("pass either ledger or ledger_scope, not both")
+    needs_spec = db is not None or ledger is not None
+    spec = topology_spec(topo) if needs_spec else None
     definition = None
     if spec is not None:
         from ..io.witnessdb import rule_registry_name
@@ -303,11 +378,47 @@ def exhaustive_dynamo_search(
             "batch_size": int(batch_size),
             "max_rounds": int(max_rounds),
         }
+    top_scope = _open_top_ledger(ledger, resume, definition)
+    if top_scope is not None:
+        ledger_scope = top_scope
+    if db is not None and definition is not None:
         hit = _db_cached_outcome(db, definition, seed_size)
         if hit is not None:
+            if top_scope is not None:
+                top_scope.ledger.finish(top_scope.run_id)
             return hit
+    if ledger_scope is not None:
+        stored = ledger_scope.get("outcome")
+        if stored is not None:
+            replayed = _outcome_from_payload(stored)
+            # converge the witness db even when the crash landed between
+            # the db writes and the ledger commit (both are idempotent)
+            _db_record_outcome(
+                db, definition, spec, rule, num_colors, k, replayed,
+                "exhaustive", backend=backend_name,
+            )
+            if top_scope is not None:
+                top_scope.ledger.finish(top_scope.run_id)
+            return replayed
     others = [c for c in range(num_colors) if c != k][: num_colors - 1]
     outcome = SearchOutcome(seed_size=seed_size, examined=0, exhaustive=True)
+
+    def commit(finished: SearchOutcome) -> SearchOutcome:
+        """Record the fresh outcome: db first, then the ledger commit.
+
+        The ledger record is the commit point — replay only ever serves
+        outcomes whose db writes already landed, so a resumed run's db
+        appends happen in the same order as an uninterrupted run's.
+        """
+        _db_record_outcome(
+            db, definition, spec, rule, num_colors, k, finished,
+            "exhaustive", backend=backend_name,
+        )
+        if ledger_scope is not None:
+            ledger_scope.put(_outcome_payload(finished), "outcome")
+            if top_scope is not None:
+                top_scope.ledger.finish(top_scope.run_id)
+        return finished
 
     buf: List[np.ndarray] = []
 
@@ -351,20 +462,12 @@ def exhaustive_dynamo_search(
                     # is still complete when this batch happened to be the
                     # final one (total an exact multiple of batch_size)
                     outcome.exhaustive = outcome.examined == total
-                    _db_record_outcome(
-                        db, definition, spec, rule, num_colors, k, outcome,
-                        "exhaustive", backend=backend_name,
-                    )
-                    return outcome
+                    return commit(outcome)
     # The enumeration loop completed, so every configuration was buffered
     # and this final flush examines the rest — the search is exhaustive
     # whether or not a witness lands in the last (or only) batch.
     flush()
-    _db_record_outcome(
-        db, definition, spec, rule, num_colors, k, outcome, "exhaustive",
-        backend=backend_name,
-    )
-    return outcome
+    return commit(outcome)
 
 
 def exhaustive_min_dynamo_size(
@@ -380,6 +483,7 @@ def exhaustive_min_dynamo_size(
     db: Optional["WitnessDB"] = None,
     backend: BackendSpec = None,
     plan: PlanSpec = None,
+    ledger_scope: Optional["LedgerScope"] = None,
 ) -> Tuple[Optional[int], List[SearchOutcome]]:
     """Smallest seed size admitting a (monotone) k-dynamo, by exhaustion.
 
@@ -406,6 +510,9 @@ def exhaustive_min_dynamo_size(
             db=db,
             backend=backend,
             plan=plan,
+            ledger_scope=(
+                None if ledger_scope is None else ledger_scope.child("size", s)
+            ),
         )
         outcomes.append(res)
         if res.found_dynamo:
@@ -545,8 +652,22 @@ def random_dynamo_search(
     db: Optional["WitnessDB"] = None,
     backend: BackendSpec = None,
     plan: PlanSpec = None,
+    ledger: LedgerSpec = None,
+    resume: bool = False,
+    ledger_scope: Optional["LedgerScope"] = None,
 ) -> SearchOutcome:
     """Monte-Carlo falsification: random seeds + random complements.
+
+    ``ledger`` opens a :class:`~repro.io.ledger.RunLedger` run for this
+    search (``resume=True`` re-opens a previous run): every completed
+    shard is durably committed, completed shards replay bitwise on
+    resume, and worker death is retried up to
+    :data:`~repro.engine.parallel.DEFAULT_SHARD_RETRIES` times before a
+    structured :class:`~repro.engine.parallel.ShardError` surfaces.
+    ``ledger_scope`` is the nested form a parent driver (the census)
+    passes instead — mutually exclusive with ``ledger``.  Both require
+    the deterministic seed-material path (a ``Generator`` stream is not
+    reconstructible after a crash).
 
     ``backend`` selects the kernel backend (a registry name resolved
     locally by each pool worker); bitwise-interchangeable by contract, so
@@ -598,7 +719,15 @@ def random_dynamo_search(
     backend_name, backend_ref = resolve_backend_ref(
         backend, sharded=entropy is not None and (nproc is None or nproc > 0)
     )
+    if ledger is not None and ledger_scope is not None:
+        raise ValueError("pass either ledger or ledger_scope, not both")
     if entropy is None:
+        if ledger is not None or ledger_scope is not None:
+            raise ValueError(
+                "a run ledger needs reconstructible seed material — a "
+                "Generator stream cannot be replayed after a crash; pass "
+                "an int, a sequence of ints, or a SeedSequence"
+            )
         if nproc is None or nproc > 0:
             raise ValueError(
                 "a Generator cannot be split deterministically across "
@@ -620,7 +749,7 @@ def random_dynamo_search(
         return outcome
 
     definition = None
-    if db is not None and spec is not None:
+    if spec is not None and (db is not None or ledger is not None):
         from ..io.witnessdb import rule_registry_name
 
         definition = {
@@ -640,8 +769,14 @@ def random_dynamo_search(
             "shard_size": int(shard_size if shard_size is not None else batch_size),
             "max_rounds": int(max_rounds),
         }
+    top_scope = _open_top_ledger(ledger, resume, definition)
+    if top_scope is not None:
+        ledger_scope = top_scope
+    if db is not None and definition is not None:
         hit = _db_cached_outcome(db, definition, seed_size)
         if hit is not None:
+            if top_scope is not None:
+                top_scope.ledger.finish(top_scope.run_id)
             return hit
 
     counts = shard_counts(trials, shard_size if shard_size is not None else batch_size)
@@ -664,9 +799,24 @@ def random_dynamo_search(
         )
         for i, count in enumerate(counts)
     ]
+    checkpoint = None
+    max_retries = 0
+    if ledger_scope is not None:
+        # each shard commits to the run ledger as it completes; a
+        # resumed run replays committed shards bitwise, and worker
+        # death gets the standard bounded retry (coordinate-derived
+        # shard RNGs make recomputation bitwise-safe)
+        checkpoint = ledger_scope.checkpoint(len(counts))
+        max_retries = DEFAULT_SHARD_RETRIES
     shard_of: List[int] = []
     for i, partial in enumerate(
-        run_sharded(_random_search_shard, shards, processes=nproc)
+        run_sharded(
+            _random_search_shard,
+            shards,
+            processes=nproc,
+            checkpoint=checkpoint,
+            max_retries=max_retries,
+        )
     ):
         outcome.witnesses.extend(partial)
         shard_of.extend([i] * len(partial))
@@ -675,4 +825,6 @@ def random_dynamo_search(
         db, definition, spec, rule, num_colors, k, outcome, "random",
         shard_of=shard_of, backend=backend_name,
     )
+    if top_scope is not None:
+        top_scope.ledger.finish(top_scope.run_id)
     return outcome

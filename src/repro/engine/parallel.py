@@ -29,14 +29,29 @@ calling process, ``None`` uses one worker per core.
 from __future__ import annotations
 
 import multiprocessing as mp
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 import numpy as np
 
 from ..topology.base import Topology
 from ..topology.tori import TORUS_CLASSES, make_torus
 
+if TYPE_CHECKING:  # type-only: avoid a runtime engine -> io import cycle
+    from ..io.ledger import ShardCheckpoint
+
 __all__ = [
+    "DEFAULT_SHARD_RETRIES",
+    "ShardError",
     "build_topology",
     "kind_tag",
     "resolve_processes",
@@ -53,6 +68,30 @@ R = TypeVar("R")
 
 #: picklable torus description carried by shards: ``(kind, m, n)``
 TopologySpec = Tuple[str, int, int]
+
+#: retry budget ledger-checkpointed drivers use for worker death: each
+#: shard may be recomputed this many times beyond its first attempt
+#: before :class:`ShardError` surfaces.  Retries are bitwise-safe — a
+#: shard's RNG derives from its coordinates (:func:`shard_seed`), never
+#: from the attempt count or the process that runs it.
+DEFAULT_SHARD_RETRIES = 2
+
+
+class ShardError(RuntimeError):
+    """A shard kept failing after its bounded retries were exhausted.
+
+    Structured so drivers/tests can name the work unit: :attr:`key` is
+    the shard's ledger key (or its index when no checkpoint is in play)
+    and :attr:`attempts` counts every execution tried.  The last worker
+    exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, key: object, attempts: int, cause: BaseException):
+        super().__init__(
+            f"shard {key!r} failed after {attempts} attempt(s): {cause!r}"
+        )
+        self.key = key
+        self.attempts = attempts
 
 
 def validate_processes(
@@ -160,6 +199,8 @@ def run_sharded(
     processes: Optional[int] = None,
     chunksize: Optional[int] = None,
     flag: str = "processes",
+    checkpoint: Optional["ShardCheckpoint"] = None,
+    max_retries: int = 0,
 ) -> List[R]:
     """Map ``worker`` over ``shards``, optionally across a process pool.
 
@@ -185,26 +226,171 @@ def run_sharded(
         Pool size per :func:`validate_processes`.
     chunksize:
         Shards handed to a worker per pool dispatch; defaults to
-        ``len(shards) / (4 * pool)`` so stragglers rebalance.
+        ``len(shards) / (4 * pool)`` so stragglers rebalance.  Only the
+        plain (non-checkpointed, non-retrying) path batches dispatches;
+        the fault-tolerant path submits shards individually.
     flag:
         Flag name used in validation errors.
+    checkpoint:
+        A :class:`repro.io.ledger.ShardCheckpoint` (keys parallel to the
+        shard list).  Shards already committed in the run ledger are
+        *replayed* — their recorded payloads returned without running
+        ``worker`` — and every freshly computed shard is durably
+        committed, in shard order, as its result is consumed.
+    max_retries:
+        Extra executions allowed per shard after a failure (a raising
+        worker or a worker killed hard enough to break the pool).
+        Retries run the same shard description, hence the same derived
+        ``SeedSequence`` and bitwise-identical output; once the budget
+        is exhausted a :class:`ShardError` naming the shard's key is
+        raised.  The default ``0`` preserves fail-fast semantics.
 
     Returns
     -------
     ``[worker(shard) for shard in shards]`` — exactly, whatever the
-    process count.
+    process count, whether shards were replayed, and however many
+    retries were spent.
     """
     units = list(shards)
-    nproc = resolve_processes(processes, len(units), flag=flag)
-    if nproc <= 1 or len(units) <= 1:
-        return [worker(u) for u in units]
-    # fork keeps the warm import; spawn platforms re-import lazily
-    with mp.get_context().Pool(nproc) as pool:
-        return pool.map(
-            worker,
-            units,
-            chunksize=chunksize or max(1, len(units) // (4 * nproc)),
+    if checkpoint is None and max_retries == 0:
+        nproc = resolve_processes(processes, len(units), flag=flag)
+        if nproc <= 1 or len(units) <= 1:
+            return [worker(u) for u in units]
+        # fork keeps the warm import; spawn platforms re-import lazily
+        with mp.get_context().Pool(nproc) as pool:
+            return pool.map(
+                worker,
+                units,
+                chunksize=chunksize or max(1, len(units) // (4 * nproc)),
+            )
+    return _run_sharded_resumable(
+        worker,
+        units,
+        processes=processes,
+        flag=flag,
+        checkpoint=checkpoint,
+        max_retries=max_retries,
+    )
+
+
+def _shard_key(checkpoint: Optional["ShardCheckpoint"], index: int) -> object:
+    return index if checkpoint is None else checkpoint.key_of(index)
+
+
+def _attempt_shard(
+    worker: Callable[[S], R],
+    unit: S,
+    key: object,
+    max_retries: int,
+    first_exc: Optional[BaseException],
+) -> R:
+    """Run ``unit`` inline honouring the retry budget.
+
+    ``first_exc`` is a failure already spent by a pool execution (so it
+    counts against the budget); ``None`` means no attempt has run yet.
+    """
+    attempts = 0 if first_exc is None else 1
+    last_exc = first_exc
+    while attempts <= max_retries:
+        try:
+            return worker(unit)
+        except Exception as exc:
+            last_exc = exc
+            attempts += 1
+    assert last_exc is not None
+    raise ShardError(key, attempts, last_exc) from last_exc
+
+
+def _run_sharded_resumable(
+    worker: Callable[[S], R],
+    units: List[S],
+    *,
+    processes: Optional[int],
+    flag: str,
+    checkpoint: Optional["ShardCheckpoint"],
+    max_retries: int,
+) -> List[R]:
+    """The ledger-aware / fault-tolerant fan-out behind :func:`run_sharded`.
+
+    Uses :class:`concurrent.futures.ProcessPoolExecutor` rather than
+    ``multiprocessing.Pool`` because a hard-killed pool worker hangs
+    ``Pool.map`` forever, while the executor surfaces
+    :class:`~concurrent.futures.BrokenExecutor` — which this loop turns
+    into an inline retry of the interrupted shard plus a fresh executor
+    for whatever remains.  Results are consumed, committed, and returned
+    in shard order regardless of completion order.
+    """
+    if checkpoint is not None and len(checkpoint) != len(units):
+        raise ValueError(
+            f"checkpoint carries {len(checkpoint)} keys for "
+            f"{len(units)} shards"
         )
+    results: List[Optional[R]] = [None] * len(units)
+    pending: List[int] = []
+    for i in range(len(units)):
+        if checkpoint is not None:
+            found, value = checkpoint.lookup(i)
+            if found:
+                results[i] = value
+                continue
+        pending.append(i)
+    nproc = resolve_processes(processes, len(pending), flag=flag)
+    if nproc <= 1 or len(pending) <= 1:
+        for i in pending:
+            results[i] = _attempt_shard(
+                worker, units[i], _shard_key(checkpoint, i), max_retries, None
+            )
+            if checkpoint is not None:
+                checkpoint.store(i, results[i])
+        return results  # type: ignore[return-value]
+    queue = pending
+    while queue:
+        consumed: List[int] = []
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(nproc, len(queue))
+            ) as pool:
+                futures: List[Tuple[int, "Future[R]"]] = [
+                    (i, pool.submit(worker, units[i])) for i in queue
+                ]
+                for i, future in futures:
+                    try:
+                        value = future.result()
+                    except BrokenExecutor:
+                        raise  # handled below: retry inline + fresh pool
+                    except Exception as exc:
+                        value = _attempt_shard(
+                            worker,
+                            units[i],
+                            _shard_key(checkpoint, i),
+                            max_retries,
+                            exc,
+                        )
+                    results[i] = value
+                    if checkpoint is not None:
+                        checkpoint.store(i, value)
+                    consumed.append(i)
+            return results  # type: ignore[return-value]
+        except BrokenExecutor as exc:
+            # A worker died hard (e.g. SIGKILL/os._exit) and took the
+            # executor with it.  Charge the attempt to the first
+            # unconsumed shard and finish it inline, then rebuild a
+            # fresh pool for the remainder — recomputation is
+            # bitwise-safe and completed shards are already committed.
+            remaining = [i for i in queue if i not in set(consumed)]
+            first = remaining[0]
+            value = _attempt_shard(
+                worker,
+                units[first],
+                _shard_key(checkpoint, first),
+                max_retries,
+                exc,
+            )
+            results[first] = value
+            if checkpoint is not None:
+                checkpoint.store(first, value)
+            queue = remaining[1:]
+    return results  # type: ignore[return-value]
 
 
 def shard_counts(total: int, shard_size: int) -> List[int]:

@@ -44,6 +44,7 @@ from ..core.verify import is_monotone_dynamo
 from ..engine.backends import resolve_backend_ref
 from ..engine.batch import DYNAMICS_VERSION
 from ..engine.parallel import kind_tag, validate_positive, validate_processes
+from ..io.ledger import LedgerScope, RunLedger, open_ledger
 from ..io.witnessdb import CensusCellRecord, WitnessDB
 from ..topology.base import Topology
 from ..topology.tori import make_torus
@@ -103,6 +104,7 @@ def _random_floor_scan(
     db: Optional[WitnessDB] = None,
     backend: BackendSpec = None,
     plan: PlanSpec = None,
+    ledger_scope: Optional[LedgerScope] = None,
 ) -> Tuple[Optional[int], Optional[int], _CellWitness]:
     """Scan seed sizes downward from ``start_size`` by random search.
 
@@ -130,6 +132,9 @@ def _random_floor_scan(
             db=db,
             backend=backend,
             plan=plan,
+            ledger_scope=(
+                None if ledger_scope is None else ledger_scope.child("size", s)
+            ),
         )
         if out.found_monotone_dynamo:
             best = s
@@ -163,6 +168,8 @@ def below_bound_census(
     stats: Optional[dict] = None,
     backend: BackendSpec = None,
     plan: PlanSpec = None,
+    ledger: Union[RunLedger, str, Path, None] = None,
+    resume: bool = False,
 ) -> List[CensusRow]:
     """Run the audit; every returned witness size is re-verified.
 
@@ -190,6 +197,18 @@ def below_bound_census(
     execution plan (:mod:`repro.engine.plans`) the searches run under;
     plans are bitwise-invisible too, so cached cells serve identically
     whatever the plan settings.
+
+    ``ledger`` (a :class:`~repro.io.ledger.RunLedger` or a path) makes
+    the census crash-safe: the run — identified by a digest of this
+    definition plus the ``kinds``/``sizes`` grid — commits every
+    completed search shard and every finished cell to the ledger with
+    durable appends.  After a kill, rerunning the same invocation with
+    ``resume=True`` replays completed work bitwise and continues
+    mid-grid; the resumed run's rows, witness ids, and db contents are
+    identical to an uninterrupted run at any process count.  Worker
+    death inside the sharded searches is retried (bounded) before a
+    structured error surfaces.  ``processes``/``backend``/``plan`` stay
+    excluded from the run identity — they are bitwise-invisible.
     """
     from ..engine.plans import resolve_plan
 
@@ -217,15 +236,53 @@ def below_bound_census(
         "palette": _RANDOM_PALETTE,
         "exhaustive_colors": _EXHAUSTIVE_PALETTE,
     }
+    scope: Optional[LedgerScope] = None
+    if ledger is not None:
+        led = open_ledger(ledger)
+        run_definition = {
+            **definition,
+            "kinds": [str(kind) for kind in kinds],
+            "sizes": [int(s) for s in sizes],
+        }
+        scope = LedgerScope(led, led.begin(run_definition, resume=resume))
     cache_hits = 0
     rows: List[CensusRow] = []
+
+    def commit_cell(
+        row: CensusRow, witness: _CellWitness, cell_scope: Optional[LedgerScope]
+    ) -> None:
+        """One cell is done: db writes first, ledger commit last.
+
+        Ordering is the resume contract — a cell replayed from the
+        ledger is guaranteed to have finished its db appends, so a
+        resumed census appends to the witness db in exactly the order
+        an uninterrupted run would.
+        """
+        rows.append(row)
+        _record_cell(store, definition, row, witness, backend_name)
+        if cell_scope is not None:
+            cell_scope.put({"row": asdict(row), "witness": witness}, "cell")
+
     for kind in kinds:
         for n in sizes:
+            cell_scope = scope.child(str(kind), int(n)) if scope else None
             if store is not None:
                 cell = store.find_cell(kind, n, definition)
                 if cell is not None:
                     rows.append(_row_from_cell(cell))
                     cache_hits += 1
+                    continue
+            if cell_scope is not None:
+                stored = cell_scope.get("cell")
+                if stored is not None:
+                    # replay the committed cell; _record_cell converges
+                    # a db the crash left behind the ledger (idempotent
+                    # when the writes already landed)
+                    row = CensusRow(**stored["row"])
+                    rows.append(row)
+                    _record_cell(
+                        store, definition, row, stored["witness"], backend_name
+                    )
                     continue
             bound = lower_bound(kind, n, n)
             cell_entropy = (int(seed), kind_tag(kind), int(n))
@@ -241,6 +298,7 @@ def below_bound_census(
                     db=store,
                     backend=backend,
                     plan=plan,
+                    ledger_scope=cell_scope,
                 )
                 if size is not None:
                     witness = (outcomes[-1].witnesses[0][0], _EXHAUSTIVE_PALETTE, 0)
@@ -252,8 +310,7 @@ def below_bound_census(
                     method="exhaustive",
                     ruled_out_below=size,
                 )
-                rows.append(row)
-                _record_cell(store, definition, row, witness, backend_name)
+                commit_cell(row, witness, cell_scope)
                 continue
             # diagonal family first (cheap for cached mesh sizes)
             con = diagonal_dynamo(
@@ -274,6 +331,7 @@ def below_bound_census(
                     db=store,
                     backend=backend,
                     plan=plan,
+                    ledger_scope=cell_scope,
                 )
                 if below is not None:
                     witness = probe_witness
@@ -287,8 +345,7 @@ def below_bound_census(
                     method="diagonal" if below is None else "random",
                     ruled_out_below=ruled_out,
                 )
-                rows.append(row)
-                _record_cell(store, definition, row, witness, backend_name)
+                commit_cell(row, witness, cell_scope)
                 continue
             # fall back to random search just below the bound
             topo = make_torus(kind, n, n)
@@ -303,6 +360,7 @@ def below_bound_census(
                 db=store,
                 backend=backend,
                 plan=plan,
+                ledger_scope=cell_scope,
             )
             row = CensusRow(
                 kind=kind,
@@ -312,8 +370,9 @@ def below_bound_census(
                 method="random",
                 ruled_out_below=ruled_out,
             )
-            rows.append(row)
-            _record_cell(store, definition, row, witness, backend_name)
+            commit_cell(row, witness, cell_scope)
+    if scope is not None:
+        scope.ledger.finish(scope.run_id)
     if stats is not None:
         # count actual store growth: the searches themselves append
         # witnesses beyond the one-per-cell the census links to its row

@@ -28,17 +28,20 @@ or platforms without fork); ``None`` uses one worker per core.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..engine.parallel import (
+    DEFAULT_SHARD_RETRIES,
     run_sharded,
     shard_counts,
     shard_seed,
     validate_positive,
     validate_processes,
 )
+from ..io.ledger import LedgerScope, RunLedger, open_ledger
 
 __all__ = [
     "SweepPoint",
@@ -184,6 +187,8 @@ def convergence_sweep(
     shard_size: Optional[int] = None,
     backend: Optional[str] = None,
     plan=None,
+    ledger: Union[RunLedger, str, Path, None] = None,
+    resume: bool = False,
 ) -> np.ndarray:
     """Random-replica convergence statistics per grid point, sharded.
 
@@ -205,7 +210,16 @@ def convergence_sweep(
     ``plan`` is the :class:`~repro.engine.plans.ExecutionPlan` each
     worker executes under (settings travel; compiled steppers stay
     per-process) — plans are likewise bitwise-invisible.
+
+    ``ledger`` (a :class:`~repro.io.ledger.RunLedger` or a path) commits
+    each ``(point, shard)`` partial durably as it completes; rerunning
+    the same sweep with ``resume=True`` replays committed shards and
+    computes only the rest, bitwise-identically at any process count.
+    The run identity pins the sweep definition (rule, grid, replicas,
+    seed, batch/shard geometry, ``max_rounds``, dynamics version) and
+    excludes ``processes``/``backend``/``plan``.
     """
+    from ..engine.batch import DYNAMICS_VERSION
     from ..engine.backends import resolve_backend_ref
     from ..engine.plans import resolve_plan
     from ..rules import make_rule  # validate the rule name before forking
@@ -231,7 +245,38 @@ def convergence_sweep(
         for kind, m, n in pts
         for si, count in enumerate(counts)
     ]
-    partials = run_sharded(_convergence_shard, shards, processes=processes)
+    checkpoint = None
+    max_retries = 0
+    if ledger is not None:
+        led = open_ledger(ledger)
+        definition = {
+            "experiment": "convergence-sweep",
+            "dynamics": DYNAMICS_VERSION,
+            "rule": str(rule_name),
+            "colors": int(num_colors),
+            "replicas": int(replicas),
+            "batch_size": int(batch_size),
+            "shard_size": None if shard_size is None else int(shard_size),
+            "seed": int(seed),
+            "max_rounds": None if max_rounds is None else int(max_rounds),
+            "points": [[str(kind), int(m), int(n)] for kind, m, n in pts],
+        }
+        scope = LedgerScope(led, led.begin(definition, resume=resume))
+        checkpoint = scope.checkpoint_for(
+            [(kind, int(m), int(n), si)
+             for kind, m, n in pts
+             for si in range(len(counts))]
+        )
+        max_retries = DEFAULT_SHARD_RETRIES
+    partials = run_sharded(
+        _convergence_shard,
+        shards,
+        processes=processes,
+        checkpoint=checkpoint,
+        max_retries=max_retries,
+    )
+    if ledger is not None:
+        scope.ledger.finish(scope.run_id)
 
     rows = []
     per_point = len(counts)

@@ -29,7 +29,13 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..engine.batch import DYNAMICS_VERSION, run_batch
-from ..engine.parallel import kind_tag, run_sharded, validate_positive
+from ..engine.parallel import (
+    DEFAULT_SHARD_RETRIES,
+    kind_tag,
+    run_sharded,
+    validate_positive,
+)
+from ..io.ledger import LedgerScope, RunLedger, open_ledger
 from ..rules.plurality import GeneralizedPluralityRule
 from ..topology.graph import GraphTopology
 
@@ -281,6 +287,8 @@ def scale_free_takeover_census(
     processes: Optional[int] = 0,
     backend=None,
     stats: Optional[dict] = None,
+    ledger=None,
+    resume: bool = False,
 ) -> ScaleFreeCensus:
     """Sweep (strategy x seed fraction), averaging replicas over BA graphs.
 
@@ -298,6 +306,13 @@ def scale_free_takeover_census(
     invocations with the same definition are served from the cache
     without running a single replica; ``stats`` (mutated in place when
     given) reports ``cells`` / ``cache_hits`` / ``recorded``.
+
+    ``ledger`` (a :class:`~repro.io.ledger.RunLedger` or a path) commits
+    every completed graph shard durably under the census's run id;
+    ``resume=True`` replays committed shards after a crash and computes
+    only the rest, bitwise-identically at any process count.  The run
+    identity pins the census definition (grid, seed, dynamics version)
+    and excludes ``processes``/``backend``.
     """
     from ..io.witnessdb import ScaleFreeCellRecord
 
@@ -323,6 +338,24 @@ def scale_free_takeover_census(
     if stats is None:
         stats = {}
     stats.update({"cells": 0, "cache_hits": 0, "recorded": 0})
+
+    scope: Optional[LedgerScope] = None
+    if ledger is not None:
+        led = open_ledger(ledger)
+        run_definition = {
+            "experiment": "scale-free-takeover-census",
+            "dynamics": DYNAMICS_VERSION,
+            "seed": int(seed),
+            "n": n,
+            "m_attach": int(m_attach),
+            "num_colors": int(num_colors),
+            "strategies": [str(s) for s in strategies],
+            "seed_fractions": [float(f) for f in seed_fractions],
+            "graphs": graphs,
+            "replicas": replicas,
+            "max_rounds": int(max_rounds),
+        }
+        scope = LedgerScope(led, led.begin(run_definition, resume=resume))
 
     cells: List[ScaleFreeCell] = []
     for strategy in strategies:
@@ -357,8 +390,17 @@ def scale_free_takeover_census(
                 )
                 for g in range(graphs)
             ]
+            checkpoint = None
+            if scope is not None:
+                checkpoint = scope.child(
+                    strategy, _fraction_tag(fraction)
+                ).checkpoint(graphs, label="graph")
             partials = run_sharded(
-                _scale_free_graph_worker, shards, processes=processes
+                _scale_free_graph_worker,
+                shards,
+                processes=processes,
+                checkpoint=checkpoint,
+                max_retries=DEFAULT_SHARD_RETRIES if checkpoint is not None else 0,
             )
             total = graphs * replicas
             cell = ScaleFreeCell(
@@ -384,4 +426,6 @@ def scale_free_takeover_census(
                     )
                 )
                 stats["recorded"] += 1
+    if scope is not None:
+        scope.ledger.finish(scope.run_id)
     return ScaleFreeCensus(cells=cells, stats=stats)

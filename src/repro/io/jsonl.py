@@ -1,0 +1,164 @@
+"""Crash-safe append-only JSON-lines files.
+
+Both persistent stores in :mod:`repro.io` — the witness database and the
+run ledger — are JSON-lines files that only ever grow by whole-line
+appends.  This module owns the two crash-safety properties they share:
+
+* **Durable appends.**  :meth:`JsonlStore.append` writes the record as a
+  single line, then ``flush()`` + ``os.fsync()`` before returning, so a
+  record that a caller saw committed survives a subsequent ``kill -9``
+  (modulo the filesystem's own ordering guarantees).
+* **Torn-tail recovery.**  A crash *during* an append can leave a
+  partial final line.  :meth:`JsonlStore.scan` classifies that case
+  separately from interior corruption: the torn tail is remembered (byte
+  offset of the last good line end) and silently healed — truncated away
+  — immediately before the next append.  Interior lines that fail to
+  parse are reported to the caller, never dropped from disk.
+
+The store never rewrites committed bytes: healing only truncates a
+*partial trailing* line that no reader ever accepted as a record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator, List, Optional, Tuple, Union
+
+__all__ = ["JsonlStore", "ScannedLine", "canonical_json"]
+
+PathLike = Union[str, Path]
+
+
+def canonical_json(payload: object) -> str:
+    """The canonical single-line JSON text for ``payload``.
+
+    Sorted keys and fixed separators so equal payloads always produce
+    equal bytes — the property record digests and run ids rely on.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class ScannedLine:
+    """One physical line of the file, classified by :meth:`JsonlStore.scan`."""
+
+    #: 1-based line number in the file
+    lineno: int
+    #: the decoded JSON payload, or ``None`` when the line failed to parse
+    payload: Optional[object]
+    #: parse failure message, or ``None`` when the line parsed
+    error: Optional[str]
+
+
+class JsonlStore:
+    """Byte-offset-aware reader/appender for one JSON-lines file.
+
+    The store is stateless about record *meaning* — callers interpret
+    payloads.  It tracks exactly enough byte geometry to (a) distinguish
+    a torn final line from interior corruption and (b) heal the tail
+    before the next append.
+    """
+
+    def __init__(self, path: PathLike):
+        self.path = Path(path)
+        #: byte offset just past the last complete line (a torn tail
+        #: starts here; interior corrupt lines are complete and kept)
+        self._good_end = 0
+        #: (lineno, message) of a partial final line, or ``None``
+        self.torn_tail: Optional[Tuple[int, str]] = None
+        #: the final line parsed but the file lacks a trailing newline
+        self._needs_newline = False
+
+    # -- reading -------------------------------------------------------
+    def scan(self) -> Iterator[ScannedLine]:
+        """Yield every non-blank line, classifying parse failures.
+
+        A parse failure on the *final* non-blank line (with nothing but
+        whitespace after it) is a torn tail: it is recorded in
+        :attr:`torn_tail` for healing and **not** yielded as an error —
+        a crash mid-append is an expected artifact, not corruption.
+        Interior failures are yielded with :attr:`ScannedLine.error` set
+        and their bytes are preserved.
+        """
+        self.torn_tail = None
+        self._needs_newline = False
+        self._good_end = 0
+        if not self.path.exists():
+            return
+        raw = self.path.read_bytes()
+        lines = raw.split(b"\n")
+        # index of the last line holding any content: a parse failure
+        # there is a torn tail, anywhere earlier it is corruption
+        last_content = max(
+            (i for i, bline in enumerate(lines) if bline.strip()), default=-1
+        )
+        offset = 0
+        pending: List[ScannedLine] = []
+        for idx, bline in enumerate(lines):
+            start = offset
+            has_newline = idx < len(lines) - 1
+            offset = start + len(bline) + (1 if has_newline else 0)
+            if not bline.strip():
+                continue
+            lineno = idx + 1
+            try:
+                payload = json.loads(bline.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                if idx == last_content:
+                    self.torn_tail = (lineno, f"torn final line: {exc}")
+                    # the tail is healed at the next append; never
+                    # advance _good_end past the last whole record
+                    break
+                pending.append(
+                    ScannedLine(lineno, None, f"not valid JSON: {exc}")
+                )
+                self._good_end = offset
+                continue
+            pending.append(ScannedLine(lineno, payload, None))
+            self._good_end = offset
+            self._needs_newline = not has_newline
+        yield from pending
+
+    def read_all(self) -> List[ScannedLine]:
+        """Eager :meth:`scan` (convenience for small files)."""
+        return list(self.scan())
+
+    # -- writing -------------------------------------------------------
+    def append(
+        self,
+        payload: object,
+        *,
+        dumps: Callable[[object], str] = canonical_json,
+    ) -> None:
+        """Durably append one record, healing any torn tail first.
+
+        The record is written as one line of ``dumps(payload)`` followed
+        by ``flush()`` + ``os.fsync()``; when this method returns the
+        record is on disk.  If the previous process died mid-append the
+        partial trailing line is truncated away first, and a final line
+        that parsed but lost its newline is completed before the new
+        record starts.  ``dumps`` lets each store keep its established
+        on-disk formatting (the witness db predates this module).
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = (dumps(payload) + "\n").encode("utf-8")
+        if self.torn_tail is not None:
+            with self.path.open("r+b") as fh:
+                fh.truncate(self._good_end)
+                fh.seek(0, os.SEEK_END)
+                fh.write(line)
+                fh.flush()
+                os.fsync(fh.fileno())
+            self.torn_tail = None
+        else:
+            with self.path.open("ab") as fh:
+                if self._needs_newline:
+                    fh.write(b"\n")
+                fh.write(line)
+                fh.flush()
+                os.fsync(fh.fileno())
+        self._needs_newline = False
+        self._good_end = self.path.stat().st_size

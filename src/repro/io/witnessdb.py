@@ -7,8 +7,12 @@ search.  :class:`WitnessDB` persists them:
 
 * **storage** is a JSON-lines file (one record per line, plain JSON
   types, diffable, checked into ``results/witnesses.jsonl``); writes only
-  ever *append*, so a crashed run loses at most its unflushed line and
-  the file history is the discovery history;
+  ever *append*, and every append is flushed and fsynced (via
+  :class:`repro.io.jsonl.JsonlStore`), so a record a caller saw recorded
+  survives a ``kill -9`` and the file history is the discovery history.
+  A crash *mid*-append leaves a partial final line; that torn tail is
+  reported via :attr:`WitnessDB.torn_tail` (never as corruption) and is
+  truncated away by the next append;
 * **versioning** is two-fold: every line carries the serializer's
   ``schema`` number (legacy lines are upgraded on load, see
   :func:`repro.io.serialize.witness_from_dict`), and a record appended
@@ -75,6 +79,7 @@ from ..rules.base import Rule
 if TYPE_CHECKING:  # type-only: keep io importable without the backends
     from ..engine.backends import KernelBackend
 from ..topology.tori import make_torus
+from .jsonl import JsonlStore
 from .serialize import (
     WITNESS_SCHEMA,
     WitnessFormatError,
@@ -549,6 +554,7 @@ class WitnessDB:
     def __init__(self, path: PathLike, *, strict: bool = False):
         self.path = Path(path)
         self.strict = strict
+        self._store = JsonlStore(self.path)
         #: witness records by id, last-appended-wins
         self._records: Dict[str, WitnessRecord] = {}
         #: census-cell records by id
@@ -569,17 +575,23 @@ class WitnessDB:
             self._load()
 
     # -- loading -------------------------------------------------------
+    @property
+    def torn_tail(self) -> Optional[Tuple[int, str]]:
+        """A partial final line left by a crash mid-append, or ``None``.
+
+        Unlike :attr:`corrupt` this is not an error in strict mode: the
+        torn bytes never formed a committed record and are truncated
+        away by the next append.
+        """
+        return self._store.torn_tail
+
     def _load(self) -> None:
-        for lineno, line in enumerate(
-            self.path.read_text().splitlines(), start=1
-        ):
-            if not line.strip():
+        for scanned in self._store.read_all():
+            lineno = scanned.lineno
+            if scanned.error is not None:
+                self._corrupt_line(lineno, scanned.error)
                 continue
-            try:
-                payload = json.loads(line)
-            except json.JSONDecodeError as exc:
-                self._corrupt_line(lineno, f"not valid JSON: {exc}")
-                continue
+            payload = scanned.payload
             try:
                 if isinstance(payload, dict) and payload.get("type") == "census-cell":
                     cell = _cell_from_dict(payload)
@@ -620,9 +632,12 @@ class WitnessDB:
 
     # -- writing -------------------------------------------------------
     def _append(self, payload: dict) -> None:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a") as fh:
-            fh.write(json.dumps(payload, sort_keys=True) + "\n")
+        # Durable append (flush + fsync) with torn-tail healing; keeps
+        # the store's historical formatting (sorted keys, spaced
+        # separators) so existing files grow byte-consistently.
+        self._store.append(
+            payload, dumps=lambda p: json.dumps(p, sort_keys=True)
+        )
 
     def add(self, record: WitnessRecord, *, replace: bool = False) -> bool:
         """Record a witness; returns ``True`` when a line was appended.

@@ -1,0 +1,217 @@
+"""Reusable fault-injection harness for crash-safety tests.
+
+The run-ledger contract ("a killed run resumed with ``--resume`` is
+bitwise-identical to an uninterrupted one") is only worth anything if
+tests can *kill* runs at every interesting boundary.  This module owns
+the killing:
+
+* :func:`kill_after` — die immediately before ledger commit ``n + 1``,
+  either by raising :class:`HarnessKilled` (in-process tests) or via
+  ``os._exit(137)`` (the ``kill -9`` analogue: no cleanup, no atexit,
+  buffered stdout lost).
+* :func:`run_cli_killed` — run the real CLI in a subprocess wired to die
+  the same way, for end-to-end crash/resume tests.
+* :func:`tear_tail` — chop bytes off a JSON-lines file's final line,
+  simulating a crash *during* an append rather than between appends.
+* :class:`FlakyWorker` — a picklable worker wrapper that fails the first
+  ``fail`` attempts of every shard (by raising, or by killing its own
+  worker process), with file-based attempt counters that survive fork.
+* :func:`run_cli` — in-process CLI runner capturing stdout for the
+  byte-comparisons the resume tests are built on.
+
+Import from test modules as ``from faults import ...`` (the tests
+directory is on ``sys.path`` under pytest's default import mode).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import subprocess
+import sys
+from contextlib import contextmanager, redirect_stdout
+from pathlib import Path
+from typing import Iterable, Tuple
+
+from repro.io.ledger import RunLedger
+
+__all__ = [
+    "HarnessKilled",
+    "FlakyWorker",
+    "kill_after",
+    "run_cli",
+    "run_cli_killed",
+    "tear_tail",
+]
+
+_TESTS_DIR = Path(__file__).resolve().parent
+_SRC_DIR = _TESTS_DIR.parent / "src"
+
+
+class HarnessKilled(BaseException):
+    """The simulated crash raised by :func:`kill_after`.
+
+    Derives from ``BaseException`` so no retry loop or broad
+    ``except Exception`` in driver code can swallow it — a real
+    ``kill -9`` is not catchable either.
+    """
+
+
+@contextmanager
+def kill_after(commits: int, *, mode: str = "raise"):
+    """Let ``commits`` ledger commits succeed, then die at the next one.
+
+    Patches :meth:`RunLedger.record_shard` for the duration of the
+    block: the first ``commits`` calls commit durably as usual; the
+    call after that dies *before* touching the file, exactly like a
+    process killed between appends.  ``commits=0`` dies at the very
+    first commit.
+
+    ``mode="raise"`` raises :class:`HarnessKilled` (in-process tests
+    assert against the ledger state afterwards); ``mode="exit"`` calls
+    ``os._exit(137)`` — the ``kill -9`` analogue for subprocess tests.
+    Yields a dict whose ``"committed"`` entry counts successful commits.
+    """
+    if mode not in ("raise", "exit"):
+        raise ValueError(f"unknown kill mode {mode!r}")
+    original = RunLedger.record_shard
+    state = {"committed": 0}
+
+    def dying_record_shard(self, rid, key, payload):
+        if state["committed"] >= commits:
+            if mode == "exit":
+                os._exit(137)
+            raise HarnessKilled(
+                f"simulated crash before ledger commit {commits + 1}"
+            )
+        result = original(self, rid, key, payload)
+        state["committed"] += 1
+        return result
+
+    RunLedger.record_shard = dying_record_shard
+    try:
+        yield state
+    finally:
+        RunLedger.record_shard = original
+
+
+def tear_tail(path, drop: int = 5) -> None:
+    """Truncate ``drop`` bytes off the end of ``path``.
+
+    With ``drop`` smaller than the final line this leaves a torn tail —
+    the on-disk state of a process killed mid-append (the final line is
+    no longer valid JSON).  Ledger and witness-db records are far longer
+    than the default, so the cut always lands inside the last record.
+    """
+    p = Path(path)
+    size = p.stat().st_size
+    if drop <= 0 or drop >= size:
+        raise ValueError(f"drop must be in (0, {size}), got {drop}")
+    with p.open("r+b") as fh:
+        fh.truncate(size - drop)
+
+
+def _counter_path(counter_dir: str, unit: object) -> str:
+    digest = hashlib.sha256(repr(unit).encode("utf-8")).hexdigest()[:16]
+    return os.path.join(counter_dir, digest)
+
+
+class FlakyWorker:
+    """Wrap a shard worker so every shard fails its first ``fail`` attempts.
+
+    Attempt counts live in one file per shard under ``counter_dir``
+    (keyed by a digest of the unit's repr), appended with ``O_APPEND``
+    so they are correct across forked pool workers.  Failure modes:
+
+    * ``"raise"`` — raise ``RuntimeError`` (exercises the bounded
+      in-pool retry path of :func:`repro.engine.parallel.run_sharded`);
+    * ``"exit"`` — ``os._exit(1)`` from inside a *pool worker* process,
+      breaking the pool (exercises the pool-rebuild recovery path).
+      When the engine retries the shard inline in the parent process,
+      the failure downgrades to a raise — killing the test runner is
+      not part of any contract.
+
+    Instances are picklable: they carry only the wrapped worker (a
+    module-level callable), a directory path, and scalars.
+    """
+
+    def __init__(self, worker, counter_dir, *, fail: int = 1, mode: str = "raise"):
+        if mode not in ("raise", "exit"):
+            raise ValueError(f"unknown failure mode {mode!r}")
+        self.worker = worker
+        self.counter_dir = str(counter_dir)
+        self.fail = int(fail)
+        self.mode = mode
+        #: pid of the process that built the harness (the test runner)
+        self.parent_pid = os.getpid()
+
+    def __call__(self, unit):
+        with open(_counter_path(self.counter_dir, unit), "ab") as fh:
+            fh.write(b"x")
+            fh.flush()
+            attempts = os.fstat(fh.fileno()).st_size
+        if attempts <= self.fail:
+            if self.mode == "exit" and os.getpid() != self.parent_pid:
+                os._exit(1)
+            raise RuntimeError(
+                f"flaky failure {attempts}/{self.fail} for unit {unit!r}"
+            )
+        return self.worker(unit)
+
+
+def run_cli(argv: Iterable[str]) -> Tuple[int, str]:
+    """Run ``repro.cli.main`` in-process; return ``(exit_code, stdout)``."""
+    from repro.cli import main
+
+    buf = io.StringIO()
+    with redirect_stdout(buf):
+        code = main(list(argv))
+    return code, buf.getvalue()
+
+
+#: subprocess driver: install kill_after(mode="exit"), then run the CLI.
+_KILLED_CLI_DRIVER = """\
+import json, os, sys
+spec = json.loads(os.environ["FAULTS_SPEC"])
+sys.path[:0] = spec["path"]
+from faults import kill_after
+from repro.cli import main
+with kill_after(spec["commits"], mode="exit"):
+    code = main(spec["argv"])
+os._exit(code)
+"""
+
+
+def run_cli_killed(
+    argv: Iterable[str],
+    commits: int,
+    *,
+    cwd=None,
+    timeout: float = 300.0,
+) -> "subprocess.CompletedProcess[str]":
+    """Run the CLI in a subprocess that dies before commit ``commits + 1``.
+
+    The child ``os._exit(137)``s with no cleanup — the closest
+    in-python analogue of ``kill -9`` (atexit skipped, buffered stdout
+    lost, file left exactly as the last fsync'd append wrote it).  If
+    the run needs fewer than ``commits + 1`` commits it completes and
+    the child exits with the CLI's own return code instead.
+    """
+    env = dict(os.environ)
+    env["FAULTS_SPEC"] = json.dumps(
+        {
+            "argv": list(argv),
+            "commits": int(commits),
+            "path": [str(_TESTS_DIR), str(_SRC_DIR)],
+        }
+    )
+    return subprocess.run(
+        [sys.executable, "-c", _KILLED_CLI_DRIVER],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env=env,
+        timeout=timeout,
+    )

@@ -1,0 +1,357 @@
+"""Run-ledger unit tests (repro.io.ledger + repro.io.jsonl).
+
+The contract under test: run identity is a pure function of the
+experiment definition, shard commits are durable and idempotent, a torn
+final line is a healed crash artifact (never corruption), and resume
+refuses to lie — conflicting records, stale dynamics versions, and
+newer-schema files all fail loudly instead of replaying wrong bits.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from faults import tear_tail
+from repro.io.jsonl import JsonlStore, canonical_json
+from repro.io.ledger import (
+    LEDGER_SCHEMA,
+    LedgerError,
+    LedgerScope,
+    RunLedger,
+    StaleRunError,
+    decode_payload,
+    encode_payload,
+    open_ledger,
+    run_id,
+)
+
+
+def make_def(**overrides):
+    base = {
+        "experiment": "unit-test",
+        "dynamics": "test-dynamics-1",
+        "seed": 7,
+        "sizes": [3, 4],
+    }
+    base.update(overrides)
+    return base
+
+
+# ----------------------------------------------------------------------
+# run identity
+# ----------------------------------------------------------------------
+def test_run_id_is_deterministic_and_order_insensitive():
+    a = {"dynamics": "d1", "seed": 1, "sizes": [3]}
+    b = {"sizes": [3], "dynamics": "d1", "seed": 1}
+    assert run_id(a) == run_id(b)
+    assert len(run_id(a)) == 16
+
+
+def test_run_id_sensitive_to_every_field():
+    base = make_def()
+    assert run_id(base) != run_id(make_def(seed=8))
+    assert run_id(base) != run_id(make_def(sizes=[3, 5]))
+    assert run_id(base) != run_id(make_def(dynamics="test-dynamics-2"))
+    assert run_id(base) != run_id(make_def(extra=None))
+
+
+def test_run_id_canonicalizes_tuples_to_lists():
+    assert run_id(make_def(sizes=(3, 4))) == run_id(make_def(sizes=[3, 4]))
+
+
+# ----------------------------------------------------------------------
+# payload codec
+# ----------------------------------------------------------------------
+def test_codec_roundtrips_numpy_arrays_bitwise():
+    arr = np.array([[1, 2], [3, 4]], dtype=np.int32)
+    out = decode_payload(json.loads(canonical_json(encode_payload(arr))))
+    assert isinstance(out, np.ndarray)
+    assert out.dtype == np.int32
+    assert out.shape == (2, 2)
+    assert np.array_equal(out, arr)
+
+
+def test_codec_roundtrips_float64_bitwise():
+    vals = np.array([0.1, 1 / 3, 1e-300, np.pi], dtype=np.float64)
+    out = decode_payload(json.loads(canonical_json(encode_payload(vals))))
+    assert out.tobytes() == vals.tobytes()
+
+
+def test_codec_roundtrips_tuples_and_nesting():
+    payload = {"witnesses": [(np.array([1, 2], dtype=np.int32), True)],
+               "count": np.int64(3), "frac": np.float64(0.5),
+               "flag": np.bool_(True), "none": None}
+    out = decode_payload(json.loads(canonical_json(encode_payload(payload))))
+    assert isinstance(out["witnesses"][0], tuple)
+    cfg, mono = out["witnesses"][0]
+    assert cfg.dtype == np.int32 and mono is True
+    assert out["count"] == 3 and isinstance(out["count"], int)
+    assert out["flag"] is True and out["none"] is None
+
+
+def test_codec_rejects_non_string_keys_and_unknown_types():
+    with pytest.raises(LedgerError, match="keys must be str"):
+        encode_payload({1: "x"})
+    with pytest.raises(LedgerError, match="unsupported"):
+        encode_payload(object())
+
+
+# ----------------------------------------------------------------------
+# begin / record / replay
+# ----------------------------------------------------------------------
+def test_begin_record_replay_roundtrip(tmp_path):
+    path = tmp_path / "led.jsonl"
+    led = RunLedger(path)
+    rid = led.begin(make_def())
+    assert led.record_shard(rid, ["size", 3], {"result": (1, 2)}) is True
+    assert led.record_shard(rid, ["size", 4],
+                            np.array([5, 6], dtype=np.int64)) is True
+    led.finish(rid)
+
+    fresh = RunLedger(path)
+    assert fresh.runs == [rid]
+    assert fresh.definition(rid) == led.definition(rid)
+    assert fresh.finished(rid) and fresh.shard_count(rid) == 2
+    assert fresh.has_shard(rid, ["size", 3])
+    assert fresh.get_shard(rid, ["size", 3]) == {"result": (1, 2)}
+    replayed = fresh.get_shard(rid, ["size", 4])
+    assert replayed.dtype == np.int64 and np.array_equal(replayed, [5, 6])
+
+
+def test_begin_requires_dynamics_pin(tmp_path):
+    led = RunLedger(tmp_path / "led.jsonl")
+    with pytest.raises(LedgerError, match="dynamics"):
+        led.begin({"experiment": "x", "seed": 1})
+
+
+def test_begin_existing_run_without_resume_raises(tmp_path):
+    path = tmp_path / "led.jsonl"
+    RunLedger(path).begin(make_def())
+    led = RunLedger(path)
+    with pytest.raises(LedgerError, match="--resume"):
+        led.begin(make_def())
+    assert led.begin(make_def(), resume=True) == run_id(make_def())
+
+
+def test_resume_with_stale_dynamics_refused(tmp_path):
+    path = tmp_path / "led.jsonl"
+    RunLedger(path).begin(make_def(dynamics="old-engine"))
+    led = RunLedger(path)
+    with pytest.raises(StaleRunError, match="old-engine"):
+        led.begin(make_def(dynamics="new-engine"), resume=True)
+    # a definition differing in more than dynamics is just a new run
+    other = led.begin(make_def(dynamics="new-engine", seed=99), resume=True)
+    assert other in led.runs
+
+
+def test_duplicate_identical_record_is_idempotent(tmp_path):
+    path = tmp_path / "led.jsonl"
+    led = RunLedger(path)
+    rid = led.begin(make_def())
+    assert led.record_shard(rid, ["s", 0], {"v": 1}) is True
+    before = path.read_bytes()
+    assert led.record_shard(rid, ["s", 0], {"v": 1}) is False
+    assert path.read_bytes() == before  # no second append
+
+
+def test_conflicting_record_raises(tmp_path):
+    led = RunLedger(tmp_path / "led.jsonl")
+    rid = led.begin(make_def())
+    led.record_shard(rid, ["s", 0], {"v": 1})
+    with pytest.raises(LedgerError, match="different payload"):
+        led.record_shard(rid, ["s", 0], {"v": 2})
+
+
+def test_record_and_finish_require_begun_run(tmp_path):
+    led = RunLedger(tmp_path / "led.jsonl")
+    with pytest.raises(LedgerError, match="begin"):
+        led.record_shard("deadbeefdeadbeef", ["s", 0], {})
+    with pytest.raises(LedgerError, match="begin"):
+        led.finish("deadbeefdeadbeef")
+    rid = led.begin(make_def())
+    assert led.finish(rid) is True
+    assert led.finish(rid) is False
+
+
+def test_get_shard_raises_when_absent(tmp_path):
+    led = RunLedger(tmp_path / "led.jsonl")
+    rid = led.begin(make_def())
+    assert not led.has_shard(rid, ["missing"])
+    with pytest.raises(LedgerError, match="no shard"):
+        led.get_shard(rid, ["missing"])
+
+
+def test_open_ledger_coerces_paths(tmp_path):
+    path = tmp_path / "led.jsonl"
+    led = open_ledger(path)
+    assert isinstance(led, RunLedger)
+    assert open_ledger(led) is led
+
+
+# ----------------------------------------------------------------------
+# crash artifacts on disk
+# ----------------------------------------------------------------------
+def test_torn_tail_is_recoverable_not_corrupt(tmp_path):
+    path = tmp_path / "led.jsonl"
+    led = RunLedger(path)
+    rid = led.begin(make_def())
+    led.record_shard(rid, ["s", 0], {"v": 1})
+    led.record_shard(rid, ["s", 1], {"v": 2})
+    tear_tail(path, drop=7)
+
+    torn = RunLedger(path)
+    assert torn.torn_tail is not None
+    assert torn.corrupt == []
+    assert torn.shard_count(rid) == 1  # the torn record never committed
+    assert torn.get_shard(rid, ["s", 0]) == {"v": 1}
+
+
+def test_torn_tail_healed_by_next_append(tmp_path):
+    path = tmp_path / "led.jsonl"
+    led = RunLedger(path)
+    rid = led.begin(make_def())
+    led.record_shard(rid, ["s", 0], {"v": 1})
+    tear_tail(path, drop=4)
+
+    healed = RunLedger(path)
+    healed.begin(make_def(), resume=True)
+    healed.record_shard(rid, ["s", 0], {"v": 1})  # re-commit the torn shard
+    final = RunLedger(path)
+    assert final.torn_tail is None and final.corrupt == []
+    assert final.shard_count(rid) == 1
+    # every remaining line is whole, parseable JSON
+    for line in path.read_bytes().splitlines():
+        json.loads(line)
+
+
+def test_interior_corruption_is_collected_with_line_numbers(tmp_path):
+    path = tmp_path / "led.jsonl"
+    led = RunLedger(path)
+    rid = led.begin(make_def())
+    led.record_shard(rid, ["s", 0], {"v": 1})
+    lines = path.read_bytes().splitlines(keepends=True)
+    lines.insert(1, b"{this is not json\n")
+    path.write_bytes(b"".join(lines))
+
+    loaded = RunLedger(path)
+    assert loaded.torn_tail is None
+    assert [lineno for lineno, _ in loaded.corrupt] == [2]
+    assert loaded.shard_count(rid) == 1  # good records still load
+
+
+def test_strict_mode_raises_on_interior_corruption(tmp_path):
+    path = tmp_path / "led.jsonl"
+    led = RunLedger(path)
+    led.begin(make_def())
+    lines = path.read_bytes().splitlines(keepends=True)
+    lines.insert(0, b"{broken\n")
+    path.write_bytes(b"".join(lines))
+    with pytest.raises(LedgerError, match=":1:"):
+        RunLedger(path, strict=True)
+
+
+def test_newer_schema_records_are_refused(tmp_path):
+    path = tmp_path / "led.jsonl"
+    led = RunLedger(path)
+    rid = led.begin(make_def())
+    record = {"type": "shard", "schema": LEDGER_SCHEMA + 1, "run_id": rid,
+              "key": ["s", 0], "digest": "0" * 16, "payload": {}}
+    with path.open("a") as fh:
+        fh.write(canonical_json(record) + "\n")
+    loaded = RunLedger(path)
+    assert any("newer" in msg for _, msg in loaded.corrupt)
+    assert loaded.shard_count(rid) == 0
+
+
+def test_tampered_payload_digest_is_rejected(tmp_path):
+    path = tmp_path / "led.jsonl"
+    led = RunLedger(path)
+    rid = led.begin(make_def())
+    led.record_shard(rid, ["s", 0], {"v": 1})
+    raw = path.read_text()
+    assert '"v":1' in raw
+    path.write_text(raw.replace('"v":1', '"v":9'))
+    loaded = RunLedger(path)
+    assert any("digest" in msg for _, msg in loaded.corrupt)
+    assert loaded.shard_count(rid) == 0
+
+
+def test_shard_record_before_its_run_is_corrupt(tmp_path):
+    path = tmp_path / "led.jsonl"
+    body = {"v": 1}
+    from repro.io.ledger import _digest  # the module-internal digest
+
+    record = {"type": "shard", "schema": LEDGER_SCHEMA,
+              "run_id": "f" * 16, "key": ["s", 0],
+              "digest": _digest(canonical_json(body)), "payload": body}
+    path.write_text(canonical_json(record) + "\n")
+    loaded = RunLedger(path)
+    assert any("unknown run" in msg for _, msg in loaded.corrupt)
+
+
+# ----------------------------------------------------------------------
+# JsonlStore byte geometry
+# ----------------------------------------------------------------------
+def test_jsonl_missing_newline_is_completed_on_append(tmp_path):
+    path = tmp_path / "x.jsonl"
+    store = JsonlStore(path)
+    store.append({"a": 1})
+    # simulate a crash that lost only the trailing newline
+    with path.open("r+b") as fh:
+        fh.truncate(path.stat().st_size - 1)
+    fresh = JsonlStore(path)
+    assert [line.payload for line in fresh.read_all()] == [{"a": 1}]
+    assert fresh.torn_tail is None
+    fresh.append({"b": 2})
+    assert [line.payload for line in JsonlStore(path).read_all()] == [
+        {"a": 1}, {"b": 2}
+    ]
+
+
+def test_jsonl_append_after_torn_tail_truncates_exactly_once(tmp_path):
+    path = tmp_path / "x.jsonl"
+    store = JsonlStore(path)
+    store.append({"a": 1})
+    store.append({"bb": 22})
+    tear_tail(path, drop=3)
+    fresh = JsonlStore(path)
+    assert [line.payload for line in fresh.read_all()] == [{"a": 1}]
+    assert fresh.torn_tail is not None
+    fresh.append({"c": 3})
+    assert [line.payload for line in JsonlStore(path).read_all()] == [
+        {"a": 1}, {"c": 3}
+    ]
+
+
+# ----------------------------------------------------------------------
+# scopes and checkpoints
+# ----------------------------------------------------------------------
+def test_ledger_scope_threads_prefixes(tmp_path):
+    led = RunLedger(tmp_path / "led.jsonl")
+    rid = led.begin(make_def())
+    root = LedgerScope(led, rid)
+    cell = root.child("mesh", 3)
+    size = cell.child("size", 2)
+    assert size.key("outcome") == ["mesh", 3, "size", 2, "outcome"]
+    size.put({"v": 1}, "outcome")
+    assert size.get("outcome") == {"v": 1}
+    assert size.has("outcome")
+    assert cell.get("cell") is None  # absent is None, not an error
+    assert led.has_shard(rid, ["mesh", 3, "size", 2, "outcome"])
+
+
+def test_shard_checkpoint_lookup_store(tmp_path):
+    led = RunLedger(tmp_path / "led.jsonl")
+    rid = led.begin(make_def())
+    scope = LedgerScope(led, rid, prefix=("cell",))
+    ckpt = scope.checkpoint(3)
+    assert len(ckpt) == 3
+    assert ckpt.key_of(1) == ["cell", "shard", 1]
+    assert ckpt.lookup(1) == (False, None)
+    ckpt.store(1, (4, 5))
+    found, value = ckpt.lookup(1)
+    assert found and value == (4, 5)
+    # explicit keys mirror the generated ones
+    explicit = scope.checkpoint_for([("shard", i) for i in range(3)])
+    assert explicit.lookup(1) == (True, (4, 5))

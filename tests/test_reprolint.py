@@ -84,6 +84,39 @@ class TestDeterminism:
         )
         assert rules_of(lint_source(src, path=LIB)) == ["RPL-D004"]
 
+    def test_d004_time_stamp_in_run_digest(self):
+        """A run id salted with the clock is unreachable after a crash —
+        the exact failure the run ledger exists to prevent."""
+        src = (
+            "import hashlib\nimport time\n"
+            "rid = hashlib.sha256(str(time.time()).encode()).hexdigest()\n"
+        )
+        findings = lint_source(src, path=LIB)
+        assert rules_of(findings) == ["RPL-D004"]
+        assert findings[0].line == 3
+        assert "time.time" in findings[0].message
+
+    def test_d004_getpid_in_digest(self):
+        src = (
+            "import hashlib\nimport os\n"
+            "tag = hashlib.md5(str(os.getpid()).encode()).hexdigest()\n"
+        )
+        assert rules_of(lint_source(src, path=LIB)) == ["RPL-D004"]
+
+    def test_d004_digest_of_canonical_definition_is_clean(self):
+        src = (
+            "import hashlib\nimport json\n"
+            "def run_id(definition):\n"
+            "    text = json.dumps(definition, sort_keys=True)\n"
+            "    return hashlib.sha256(text.encode()).hexdigest()[:16]\n"
+        )
+        assert lint_source(src, path=LIB) == []
+
+    def test_d005_set_iteration_in_ledger_path(self):
+        src = "keys = [k for k in {('s', 1), ('s', 0)}]\n"
+        findings = lint_source(src, path="src/repro/io/ledger.py")
+        assert rules_of(findings) == ["RPL-D005"]
+
     def test_d005_set_iteration_in_serialize_path(self):
         src = "ids = [x for x in {3, 1, 2}]\n"
         findings = lint_source(src, path="src/repro/io/serialize.py")

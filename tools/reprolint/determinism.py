@@ -6,9 +6,12 @@ Every random draw in this repo must descend from an explicit
 derivation in ``repro.engine.parallel``).  Anything else — the stdlib
 ``random`` module, global numpy seeding, argument-less ``default_rng()``,
 seeds derived from the clock or the OS entropy pool — silently breaks
-the bitwise-reproducibility contract.  RPL-D005 additionally guards the
-witness-id/serialization paths against iterating bare ``set``s, whose
-order is salted per process.
+the bitwise-reproducibility contract.  The same ban covers ``hashlib``
+digests that mint persisted identities (run ids, witness ids): a run id
+stamped with ``time.time()`` makes the "same" run unreachable after a
+crash, so ``--resume`` can never find it.  RPL-D005 additionally guards
+the witness-id/serialization/ledger paths against iterating bare
+``set``s, whose order is salted per process.
 """
 
 from __future__ import annotations
@@ -36,6 +39,21 @@ _SEED_SINKS = {
     "numpy.random.seed",
 }
 
+#: Digest constructors that mint persisted identities — run ids, witness
+#: ids, shard-record digests.  Wall-clock material here is as fatal as
+#: in a seed: a run id salted with ``time.time()`` makes the "same" run
+#: unreachable after a crash, so ``--resume`` can never find it
+#: (checked by D004 alongside the seed sinks).
+_DIGEST_SINKS = {
+    "hashlib.blake2b",
+    "hashlib.blake2s",
+    "hashlib.md5",
+    "hashlib.new",
+    "hashlib.sha1",
+    "hashlib.sha256",
+    "hashlib.sha512",
+}
+
 #: Dotted origins whose values are wall-clock / OS-entropy derived.
 _ENTROPY_SOURCES = (
     "time.",
@@ -47,7 +65,12 @@ _ENTROPY_SOURCES = (
 )
 
 #: Modules where iteration order feeds persisted ids (RPL-D005 scope).
-_ORDER_SENSITIVE_MODULES = {"repro.io.serialize", "repro.io.witnessdb"}
+_ORDER_SENSITIVE_MODULES = {
+    "repro.io.jsonl",
+    "repro.io.ledger",
+    "repro.io.serialize",
+    "repro.io.witnessdb",
+}
 
 
 @register_checker
@@ -68,8 +91,8 @@ class DeterminismChecker(Checker):
             "entropy — pass explicit seed material"
         ),
         "RPL-D004": (
-            "seed material derived from wall clock / OS entropy "
-            "(time, datetime, os.urandom, secrets, uuid, getpid)"
+            "seed or digest material derived from wall clock / OS "
+            "entropy (time, datetime, os.urandom, secrets, uuid, getpid)"
         ),
         "RPL-D005": (
             "iteration over an unordered set in a serialization / "
@@ -125,7 +148,7 @@ class DeterminismChecker(Checker):
             and not any(kw.arg in (None, "seed", "entropy") for kw in node.keywords)
         ):
             yield self._finding(module, node, "RPL-D003")
-        if target in _SEED_SINKS:
+        if target in _SEED_SINKS or target in _DIGEST_SINKS:
             source = self._entropy_source(imports, node)
             if source is not None:
                 yield self._finding(
