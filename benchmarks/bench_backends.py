@@ -22,7 +22,9 @@ sorted-gather (SMP) and histogram (plurality) kernels.
 
 import json
 import os
+import tempfile
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -31,7 +33,9 @@ import pytest
 #: CI's smoke step sets this to record ratios without asserting them
 _RELAX_SPEEDUP = os.environ.get("REPRO_BENCH_RELAX", "") not in ("", "0")
 
+from repro import obs
 from repro.engine import available_backend_names, run_batch, select_backend
+from repro.obs.report import summarize_stream
 from repro.rules import GeneralizedPluralityRule, SMPRule
 from repro.topology import ToroidalMesh
 
@@ -53,6 +57,16 @@ def _tmin(fn, repeats=5):
         fn()
         best = min(best, time.perf_counter() - t0)
     return best
+
+
+def _plan_cache_counters(fn) -> dict:
+    """Run ``fn`` under a throwaway telemetry session and return the
+    plan-cache counter block of its stream (hits / misses / hit_rate)."""
+    with tempfile.TemporaryDirectory() as tmp:
+        stream = Path(tmp) / "bench.tel"
+        with obs.telemetry_session(stream, level="basic", command="bench"):
+            fn()
+        return summarize_stream(stream)["plan_cache"]
 
 
 def _census_batch(rng, topo, palette, batch=BATCH):
@@ -154,9 +168,23 @@ def collect_backend_timings(rounds: int = 20) -> dict:
                 topo, small, rule, max_rounds=160, target_color=0,
                 detect_cycles=False, backend=name,
             )
+            run_seconds = time.perf_counter() - t0
+            # cache effectiveness: the timed call above compiled and
+            # cached this (rule, backend) stepper, so a repeat must be
+            # served entirely from the plan cache — compare_bench.py
+            # gates the hit rate against the committed baseline
+            cache = _plan_cache_counters(
+                lambda: run_batch(
+                    topo, small, rule, max_rounds=160, target_color=0,
+                    detect_cycles=False, backend=name,
+                )
+            )
             entry[name] = {
                 "step_ms_per_round": round(step_ms, 3),
-                "run_batch_seconds": round(time.perf_counter() - t0, 3),
+                "run_batch_seconds": round(run_seconds, 3),
+                "plan_cache_hits": cache["hits"],
+                "plan_cache_misses": cache["misses"],
+                "plan_cache_hit_rate": cache["hit_rate"],
             }
             del reference
         ref_entry = entry["reference"]

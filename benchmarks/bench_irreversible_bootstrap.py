@@ -13,7 +13,6 @@ import pytest
 from repro.core import (
     CACHED_FLOOR_WITNESSES,
     bootstrap_closure,
-    bootstrap_percolates,
     floor_dynamo,
     is_monotone_dynamo,
     min_bootstrap_percolating_size,

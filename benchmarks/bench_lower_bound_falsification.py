@@ -13,7 +13,6 @@ Recorded per torus: the true exhaustive minimum (tiny sizes) or the
 random-search witness counts per seed size.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import (

@@ -26,7 +26,9 @@ along, paying off on scalar loops and expensive-compile backends.
 
 import json
 import os
+import tempfile
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -35,7 +37,9 @@ import pytest
 #: CI's smoke step sets this to record ratios without asserting them
 _RELAX_SPEEDUP = os.environ.get("REPRO_BENCH_RELAX", "") not in ("", "0")
 
+from repro import obs
 from repro.engine import NO_PLAN, run_batch
+from repro.obs.report import summarize_stream
 from repro.rules import GeneralizedPluralityRule, SMPRule
 from repro.topology import ToroidalMesh
 
@@ -54,6 +58,16 @@ CALLS = 64
 #: census geometry: one big block on the 6x6 cell
 CENSUS_TORUS = 6
 CENSUS_BATCH = 8192
+
+
+def _plan_cache_counters(fn) -> dict:
+    """Run ``fn`` under a throwaway telemetry session and return the
+    plan-cache counter block of its stream (hits / misses / hit_rate)."""
+    with tempfile.TemporaryDirectory() as tmp:
+        stream = Path(tmp) / "bench.tel"
+        with obs.telemetry_session(stream, level="basic", command="bench"):
+            fn()
+        return summarize_stream(stream)["plan_cache"]
 
 
 def _tmin(fn, repeats=3):
@@ -153,6 +167,13 @@ def collect_plan_timings(rounds: int = 5) -> dict:
         c_off = _tmin(lambda: run_batch(big, block, rule, plan=NO_PLAN, **kw),
                       repeats=rounds)
         c_on = _tmin(lambda: run_batch(big, block, rule, **kw), repeats=rounds)
+        # cache effectiveness, from the telemetry counters: by now the
+        # cache is warm, so every one of the CALLS engine calls must be
+        # served from it — a hit-rate collapse means cache identity broke
+        # (an unstable plan token, say), which compare_bench.py gates
+        cache = _plan_cache_counters(
+            lambda: _search_calls(topo, rule, palette, None)
+        )
         payload["results"][label] = {
             "search_seconds_plans_off": round(t_off, 3),
             "search_seconds_plans_on": round(t_on, 3),
@@ -160,6 +181,9 @@ def collect_plan_timings(rounds: int = 5) -> dict:
             "census_seconds_plans_off": round(c_off, 3),
             "census_seconds_plans_on": round(c_on, 3),
             "census_plan_speedup": round(c_off / c_on, 2),
+            "plan_cache_hits": cache["hits"],
+            "plan_cache_misses": cache["misses"],
+            "plan_cache_hit_rate": cache["hit_rate"],
         }
     return payload
 

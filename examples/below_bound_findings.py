@@ -18,7 +18,6 @@ import numpy as np
 
 from repro import SMPRule, ToroidalMesh, run_synchronous
 from repro.core import (
-    CACHED_FLOOR_WITNESSES,
     CACHED_MESH_DIAGONAL_WITNESSES,
     bootstrap_percolates,
     diagonal_dynamo,

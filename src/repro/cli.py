@@ -25,6 +25,9 @@ Subcommands
                ``--db``, summaries cache as ``async-summary`` records
 ``witness``    query the witness database: ``list`` / ``show`` /
                ``verify`` / ``export``
+``telemetry``  aggregate a telemetry stream recorded with ``--telemetry``
+               into a run report: slowest shards, plan-cache hit rate,
+               retry counts, time per phase (``--json`` for machines)
 
 Examples
 --------
@@ -48,6 +51,9 @@ Examples
     repro-dynamo async serpentinus 7 7 --engine scalar --db results/witnesses.jsonl
     repro-dynamo witness list
     repro-dynamo witness verify --all
+    repro-dynamo census --sizes 3 --processes 4 --telemetry runs/census.tel
+    repro-dynamo telemetry report runs/census.tel
+    repro-dynamo telemetry report runs/census.tel --json
 """
 
 from __future__ import annotations
@@ -230,6 +236,31 @@ def _add_backend_arg(sp, what: str) -> None:
     )
 
 
+def _add_telemetry_args(sp, what: str) -> None:
+    """``--telemetry/--telemetry-level``: the observability side channel
+    (:mod:`repro.obs`).  Telemetry is bitwise-invisible — stdout, the
+    witness db, and the run ledger are byte-identical with it on or off,
+    at any ``--processes`` count; events go only to the stream file."""
+    from .obs import DEFAULT_LEVEL, LEVELS
+
+    sp.add_argument(
+        "--telemetry",
+        metavar="FILE",
+        default=None,
+        help=f"record a structured telemetry stream (JSON lines) for "
+        f"{what}: run/phase/shard spans, cache and retry counters; "
+        "inspect it with 'repro-dynamo telemetry report FILE'",
+    )
+    sp.add_argument(
+        "--telemetry-level",
+        choices=list(LEVELS),
+        default=DEFAULT_LEVEL,
+        help="event verbosity: basic (run/phase spans + counters), "
+        "detailed (+ per-shard/compile spans; default), debug "
+        "(+ dispatch events and per-step kernel timing)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro-dynamo",
@@ -308,6 +339,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_arg(sp, "--convergence replica blocks")
     _add_plan_args(sp, "--convergence replica blocks")
     _add_ledger_args(sp, "--convergence sweeps")
+    _add_telemetry_args(sp, "the sweep")
 
     sp = sub.add_parser(
         "census",
@@ -360,6 +392,7 @@ def build_parser() -> argparse.ArgumentParser:
         "without re-running the pool",
     )
     _add_ledger_args(sp, "the census")
+    _add_telemetry_args(sp, "the census")
 
     sp = sub.add_parser(
         "search",
@@ -400,6 +433,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--db", metavar="FILE",
                     help="witness database to consult and record into")
     _add_ledger_args(sp, "the search")
+    _add_telemetry_args(sp, "the search")
     sp.add_argument("--render", action="store_true",
                     help="render the first witness found")
 
@@ -458,6 +492,7 @@ def build_parser() -> argparse.ArgumentParser:
         "row and serve already-stored definitions without re-running",
     )
     _add_ledger_args(sp, "the census")
+    _add_telemetry_args(sp, "the census")
 
     sp = sub.add_parser(
         "async",
@@ -489,6 +524,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="witness database: cache the summary as an async-summary "
         "record keyed by the full experiment definition",
     )
+    _add_telemetry_args(sp, "the trials")
+
+    sp = sub.add_parser(
+        "telemetry",
+        help="inspect recorded telemetry streams (report)",
+    )
+    tsub = sp.add_subparsers(dest="telemetry_command", required=True)
+    tp = tsub.add_parser(
+        "report",
+        help="aggregate a stream into a human summary (or --json)",
+    )
+    tp.add_argument("path", metavar="STREAM",
+                    help="telemetry stream written by --telemetry")
+    tp.add_argument("--json", action="store_true", dest="as_json",
+                    help="machine-readable summary instead of the table")
+    tp.add_argument("--top", type=_positive_arg("--top"), default=5,
+                    metavar="N",
+                    help="slowest shards/phases to list (default: 5)")
 
     sp = sub.add_parser(
         "witness",
@@ -694,6 +747,23 @@ def _main(argv: Optional[List[str]] = None) -> int:
     _check_backend_available(parser, args)
     _check_ledger_args(parser, args)
 
+    path = getattr(args, "telemetry", None)
+    if path is None:
+        return _dispatch(parser, args)
+    # the whole command runs under one telemetry session; the stream is
+    # finalized (merged + sorted) on the way out, success or failure
+    from . import obs
+
+    with obs.telemetry_session(
+        path,
+        level=args.telemetry_level,
+        command=str(args.command),
+        context={"processes": getattr(args, "processes", None)},
+    ):
+        return _dispatch(parser, args)
+
+
+def _dispatch(parser, args) -> int:
     if args.command == "sweep":
         # surface flag combinations that would otherwise be silently ignored
         convergence_flags = {
@@ -970,6 +1040,20 @@ def _main(argv: Optional[List[str]] = None) -> int:
                        else "recorded" if stats["recorded"] else "unchanged")
             print(f"witness db {args.db}: summary {outcome}", file=sys.stderr)
         return 0 if summary.takeover_rate == 1.0 else 1
+
+    if args.command == "telemetry":
+        from .obs.report import render_summary, summarize_stream
+
+        try:
+            summary = summarize_stream(args.path, top=args.top)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.as_json:
+            print(json.dumps(summary, sort_keys=True))
+        else:
+            print(render_summary(summary))
+        return 0
 
     if args.command == "witness":
         return _witness_main(args)

@@ -29,7 +29,7 @@ import numpy as np
 
 from ..topology.base import GridTopology
 from ..topology.tori import make_torus
-from .complement import find_dynamo_complement, minimum_palette_complement
+from .complement import minimum_palette_complement
 from .constructions import Construction
 
 __all__ = ["diagonal_seed", "diagonal_dynamo", "CACHED_MESH_DIAGONAL_WITNESSES"]

@@ -28,6 +28,7 @@ if TYPE_CHECKING:  # runtime import stays lazy: io.serialize imports core
     from ..io.ledger import LedgerScope, RunLedger
     from ..io.witnessdb import WitnessDB
 
+from .. import obs
 from ..engine.backends import KernelBackend, resolve_backend_ref
 from ..engine.batch import DYNAMICS_VERSION, run_batch
 from ..engine.plans import ExecutionPlan, resolve_plan
@@ -448,26 +449,35 @@ def exhaustive_dynamo_search(
         outcome.examined += batch.shape[0]
         return stop_at_first and bool(hits.size)
 
-    for seed in combinations(range(n), seed_size):
-        seed = np.asarray(seed, dtype=np.int64)
-        rest = np.setdiff1d(np.arange(n), seed)
-        for fill in product(others, repeat=rest.size):
-            colors = np.empty(n, dtype=np.int32)
-            colors[seed] = k
-            colors[rest] = fill
-            buf.append(colors)
-            if len(buf) >= batch_size:
-                if flush():
-                    # stop_at_first stopped the enumeration here; coverage
-                    # is still complete when this batch happened to be the
-                    # final one (total an exact multiple of batch_size)
-                    outcome.exhaustive = outcome.examined == total
-                    return commit(outcome)
-    # The enumeration loop completed, so every configuration was buffered
-    # and this final flush examines the rest — the search is exhaustive
-    # whether or not a witness lands in the last (or only) batch.
-    flush()
-    return commit(outcome)
+    with obs.span(
+        "phase",
+        key="exhaustive-search",
+        level="basic",
+        seed_size=int(seed_size),
+        configs=int(total),
+    ):
+        for seed in combinations(range(n), seed_size):
+            seed = np.asarray(seed, dtype=np.int64)
+            rest = np.setdiff1d(np.arange(n), seed)
+            for fill in product(others, repeat=rest.size):
+                colors = np.empty(n, dtype=np.int32)
+                colors[seed] = k
+                colors[rest] = fill
+                buf.append(colors)
+                if len(buf) >= batch_size:
+                    if flush():
+                        # stop_at_first stopped the enumeration here;
+                        # coverage is still complete when this batch
+                        # happened to be the final one (total an exact
+                        # multiple of batch_size)
+                        outcome.exhaustive = outcome.examined == total
+                        return commit(outcome)
+        # The enumeration loop completed, so every configuration was
+        # buffered and this final flush examines the rest — the search is
+        # exhaustive whether or not a witness lands in the last (or only)
+        # batch.
+        flush()
+        return commit(outcome)
 
 
 def exhaustive_min_dynamo_size(
@@ -809,17 +819,24 @@ def random_dynamo_search(
         checkpoint = ledger_scope.checkpoint(len(counts))
         max_retries = DEFAULT_SHARD_RETRIES
     shard_of: List[int] = []
-    for i, partial in enumerate(
-        run_sharded(
-            _random_search_shard,
-            shards,
-            processes=nproc,
-            checkpoint=checkpoint,
-            max_retries=max_retries,
-        )
+    with obs.span(
+        "phase",
+        key="random-search",
+        level="basic",
+        trials=int(trials),
+        shards=len(shards),
     ):
-        outcome.witnesses.extend(partial)
-        shard_of.extend([i] * len(partial))
+        for i, partial in enumerate(
+            run_sharded(
+                _random_search_shard,
+                shards,
+                processes=nproc,
+                checkpoint=checkpoint,
+                max_retries=max_retries,
+            )
+        ):
+            outcome.witnesses.extend(partial)
+            shard_of.extend([i] * len(partial))
     outcome.examined = trials
     _db_record_outcome(
         db, definition, spec, rule, num_colors, k, outcome, "random",

@@ -31,8 +31,14 @@ keys** — cached censuses and searches are served identically under any
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Tuple, Union
 
+import numpy as np
+
+from ... import obs
+from ...rules.base import Rule
+from ...topology.base import Topology
 from .base import BackendUnavailableError, KernelBackend, Stepper, fallback_stepper
 from .numba_backend import NumbaBackend
 from .reference import ReferenceBackend
@@ -45,9 +51,11 @@ __all__ = [
     "available_backend_names",
     "backend_names",
     "fallback_stepper",
+    "instrumented_stepper",
     "register_backend",
     "resolve_backend_ref",
     "select_backend",
+    "timed_compile",
 ]
 
 #: name the engine resolves when no backend is requested; ``"auto"``
@@ -149,3 +157,62 @@ def resolve_backend_ref(
             )
         return name, spec
     return name, name
+
+
+# ----------------------------------------------------------------------
+# telemetry hooks (repro.obs side channel; bitwise-invisible)
+# ----------------------------------------------------------------------
+def timed_compile(
+    backend: KernelBackend, rule: Rule, topo: Topology, max_batch: int
+) -> Stepper:
+    """Compile a stepper under a ``compile`` telemetry span.
+
+    The single compile hook the engine routes every stepper build
+    through (:meth:`repro.engine.plans.ExecutionPlan.stepper_for`): one
+    ``compile`` span per build, plus a ``backend.compile`` counter.
+    With telemetry off it is exactly ``backend.compile(...)``.
+    """
+    if not obs.enabled("detailed"):
+        return backend.compile(rule, topo, max_batch)
+    obs.count("backend.compile")
+    with obs.span(
+        "compile",
+        key=backend.name,
+        level="detailed",
+        rule=type(rule).__name__,
+        vertices=topo.num_vertices,
+        max_batch=int(max_batch),
+    ):
+        return instrumented_stepper(backend.name, backend.compile(rule, topo, max_batch))
+
+
+class _TimedStepper:
+    """Per-step timing shim (``debug`` level only).
+
+    Wraps a compiled stepper to accumulate ``backend.steps`` /
+    ``backend.step-us`` counters — aggregate totals, not per-round
+    events, so a thousand-round run adds two counter deltas, not a
+    thousand lines.  The shim is applied *after* compilation and is
+    never cached (the plan cache stores the raw stepper), so turning
+    telemetry on or off cannot change what a cache serves.
+    """
+
+    __slots__ = ("name", "stepper")
+
+    def __init__(self, name: str, stepper: Stepper):
+        self.name = name
+        self.stepper = stepper
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        t0 = time.perf_counter()
+        out = self.stepper(batch)
+        obs.count("backend.steps")
+        obs.count("backend.step-us", int(1e6 * (time.perf_counter() - t0)))
+        return out
+
+
+def instrumented_stepper(name: str, stepper: Stepper) -> Stepper:
+    """Wrap ``stepper`` with per-step timing when debug telemetry is on."""
+    if not obs.enabled("debug"):
+        return stepper
+    return _TimedStepper(name, stepper)

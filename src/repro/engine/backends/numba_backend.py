@@ -263,26 +263,26 @@ class NumbaBackend(KernelBackend):
             cols = [np.ascontiguousarray(nb[:, s]) for s in range(4)]
             strong = spec.kind == "strong-majority"
             fn = kernels["sort4"]
-            call = lambda colors, out: fn(colors, *cols, strong, out)
+            call = lambda colors, out: fn(colors, *cols, strong, out)  # noqa: E731
         elif spec.kind == "majority":
             cols = [np.ascontiguousarray(nb[:, s]) for s in range(4)]
             prefer_black = spec.tie == "prefer-black"
             fn = kernels["majority"]
-            call = lambda colors, out: fn(colors, *cols, prefer_black, out)
+            call = lambda colors, out: fn(colors, *cols, prefer_black, out)  # noqa: E731
         elif spec.kind == "plurality":
             thr = np.ascontiguousarray(spec.thresholds, dtype=np.int64)
             num_colors = int(spec.num_colors)
             fn = kernels["plurality"]
-            call = lambda colors, out: fn(colors, nb, thr, num_colors, out)
+            call = lambda colors, out: fn(colors, nb, thr, num_colors, out)  # noqa: E731
         elif spec.kind == "ordered":
             thr = np.ascontiguousarray(spec.thresholds, dtype=np.int64)
             top = int(spec.num_colors) - 1
             fn = kernels["ordered"]
-            call = lambda colors, out: fn(colors, nb, thr, top, out)
+            call = lambda colors, out: fn(colors, nb, thr, top, out)  # noqa: E731
         elif spec.kind == "threshold":
             thr = np.ascontiguousarray(spec.thresholds, dtype=np.int64)
             fn = kernels["threshold"]
-            call = lambda colors, out: fn(colors, nb, thr, out)
+            call = lambda colors, out: fn(colors, nb, thr, out)  # noqa: E731
         else:  # a spec kind this backend does not know: defer to the rule
             return fallback_stepper(rule, topo)
         # trigger JIT specialization on a one-row dummy so compile-time

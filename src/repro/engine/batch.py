@@ -45,6 +45,7 @@ from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
+from .. import obs
 from ..rules.base import Rule
 from ..topology.base import Topology
 from .backends import KernelBackend
@@ -324,6 +325,7 @@ def run_batch(
                             colors[i] = snap if offset == 0 else p[4]
                             rounds[i] = max_rounds
                             retired.append(j)
+                            obs.count("plan.shadow-cycle-retire")
                         else:
                             pending[j] = None  # digest collision: resume
                     continue
@@ -353,6 +355,7 @@ def run_batch(
             # snapshots are exact, not digest-dependent)
             next_boundary = next(boundary_iter, None)
             if ids.size:
+                obs.count("plan.escalation")
                 if mult is None:
                     mult = _digest_multipliers(n)
                 d = _digest_rows(work, mult)

@@ -36,13 +36,13 @@ from typing import (
     Iterable,
     List,
     Optional,
-    Sequence,
     Tuple,
     TypeVar,
 )
 
 import numpy as np
 
+from .. import obs
 from ..topology.base import Topology
 from ..topology.tori import TORUS_CLASSES, make_torus
 
@@ -252,25 +252,34 @@ def run_sharded(
     retries were spent.
     """
     units = list(shards)
-    if checkpoint is None and max_retries == 0:
-        nproc = resolve_processes(processes, len(units), flag=flag)
-        if nproc <= 1 or len(units) <= 1:
-            return [worker(u) for u in units]
-        # fork keeps the warm import; spawn platforms re-import lazily
-        with mp.get_context().Pool(nproc) as pool:
-            return pool.map(
-                worker,
-                units,
-                chunksize=chunksize or max(1, len(units) // (4 * nproc)),
-            )
-    return _run_sharded_resumable(
-        worker,
-        units,
-        processes=processes,
-        flag=flag,
-        checkpoint=checkpoint,
-        max_retries=max_retries,
-    )
+    with obs.span("pool", level="basic", shards=len(units)):
+        if checkpoint is None and max_retries == 0:
+            nproc = resolve_processes(processes, len(units), flag=flag)
+            if nproc <= 1 or len(units) <= 1:
+                return [
+                    obs.shard_call(worker, i, u) for i, u in enumerate(units)
+                ]
+            if obs.enabled("debug"):
+                for i in range(len(units)):
+                    obs.emit("shard-dispatch", key=i, level="debug")
+            init, initargs = obs.pool_initializer()
+            # fork keeps the warm import; spawn platforms re-import lazily
+            with mp.get_context().Pool(
+                nproc, initializer=init, initargs=initargs
+            ) as pool:
+                return pool.starmap(
+                    obs.shard_call,
+                    [(worker, i, u) for i, u in enumerate(units)],
+                    chunksize=chunksize or max(1, len(units) // (4 * nproc)),
+                )
+        return _run_sharded_resumable(
+            worker,
+            units,
+            processes=processes,
+            flag=flag,
+            checkpoint=checkpoint,
+            max_retries=max_retries,
+        )
 
 
 def _shard_key(checkpoint: Optional["ShardCheckpoint"], index: int) -> object:
@@ -292,8 +301,12 @@ def _attempt_shard(
     attempts = 0 if first_exc is None else 1
     last_exc = first_exc
     while attempts <= max_retries:
+        if last_exc is not None:
+            obs.emit(
+                "shard-retry", key=key, attempt=attempts, error=repr(last_exc)
+            )
         try:
-            return worker(unit)
+            return obs.shard_call(worker, key, unit)
         except Exception as exc:
             last_exc = exc
             attempts += 1
@@ -332,6 +345,9 @@ def _run_sharded_resumable(
             found, value = checkpoint.lookup(i)
             if found:
                 results[i] = value
+                obs.emit(
+                    "shard-replay", key=checkpoint.key_of(i), level="detailed"
+                )
                 continue
         pending.append(i)
     nproc = resolve_processes(processes, len(pending), flag=flag)
@@ -347,12 +363,19 @@ def _run_sharded_resumable(
     while queue:
         consumed: List[int] = []
         try:
+            init, initargs = obs.pool_initializer()
             with ProcessPoolExecutor(
-                max_workers=min(nproc, len(queue))
+                max_workers=min(nproc, len(queue)),
+                initializer=init,
+                initargs=initargs,
             ) as pool:
-                futures: List[Tuple[int, "Future[R]"]] = [
-                    (i, pool.submit(worker, units[i])) for i in queue
-                ]
+                futures: List[Tuple[int, "Future[R]"]] = []
+                for i in queue:
+                    key = _shard_key(checkpoint, i)
+                    obs.emit("shard-dispatch", key=key, level="debug")
+                    futures.append(
+                        (i, pool.submit(obs.shard_call, worker, key, units[i]))
+                    )
                 for i, future in futures:
                     try:
                         value = future.result()
@@ -379,6 +402,11 @@ def _run_sharded_resumable(
             # bitwise-safe and completed shards are already committed.
             remaining = [i for i in queue if i not in set(consumed)]
             first = remaining[0]
+            obs.emit(
+                "pool-rebuild",
+                key=_shard_key(checkpoint, first),
+                remaining=len(remaining),
+            )
             value = _attempt_shard(
                 worker,
                 units[first],

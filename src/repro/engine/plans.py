@@ -60,9 +60,10 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, Optional, Union
 
+from .. import obs
 from ..rules.base import Rule
 from ..topology.base import Topology
-from .backends import KernelBackend, Stepper, select_backend
+from .backends import KernelBackend, Stepper, select_backend, timed_compile
 from .backends.base import _definer
 from .parallel import topology_spec
 from .runner import validate_round_cap  # noqa: F401  (re-exported: the
@@ -212,9 +213,11 @@ class _StepperCache:
         stepper = self._data.get(key)
         if stepper is None:
             self.misses += 1
+            obs.count("plan-cache.miss")
             return None
         self._data.move_to_end(key)
         self.hits += 1
+        obs.count("plan-cache.hit")
         return stepper
 
     def put(self, key: tuple, stepper: Stepper) -> None:
@@ -223,6 +226,7 @@ class _StepperCache:
         while len(self._data) > self.maxsize:
             self._data.popitem(last=False)
             self.evictions += 1
+            obs.count("plan-cache.eviction")
 
     def stats(self) -> PlanCacheStats:
         return PlanCacheStats(
@@ -358,13 +362,13 @@ class ExecutionPlan:
         """
         resolved = select_backend(backend)
         if not self.cache or isinstance(backend, KernelBackend):
-            return resolved.compile(rule, topo, max_batch)
+            return timed_compile(resolved, rule, topo, max_batch)
         key = stepper_cache_key(resolved.name, rule, topo, max_batch)
         if key is None:
-            return resolved.compile(rule, topo, max_batch)
+            return timed_compile(resolved, rule, topo, max_batch)
         stepper = _STEPPER_CACHE.get(key)
         if stepper is None:
-            stepper = resolved.compile(rule, topo, max_batch)
+            stepper = timed_compile(resolved, rule, topo, max_batch)
             _STEPPER_CACHE.put(key, stepper)
         return stepper
 

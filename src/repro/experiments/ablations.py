@@ -22,7 +22,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..core.constructions import Construction, build_minimum_dynamo
+from ..core.constructions import build_minimum_dynamo
+from ..topology.base import Topology
 from ..engine.runner import run_synchronous
 from ..rules.base import Rule
 from ..rules.majority import ReverseSimpleMajority, ReverseStrongMajority
@@ -48,7 +49,9 @@ class AblationResult:
     monotone: Optional[bool]
 
 
-def _run_arm(name: str, con_topo, colors, rule: Rule, k: int) -> AblationResult:
+def _run_arm(
+    name: str, con_topo: Topology, colors: np.ndarray, rule: Rule, k: int
+) -> AblationResult:
     res = run_synchronous(con_topo, colors, rule, target_color=k)
     return AblationResult(
         arm=name,
@@ -158,7 +161,7 @@ def complement_ablation(
     others = np.asarray([c for c in con.palette if c != con.k], dtype=np.int32)
     complement = np.flatnonzero(~con.seed)
 
-    def success(colors) -> bool:
+    def success(colors: np.ndarray) -> bool:
         res = run_synchronous(
             con.topo, colors, SMPRule(), target_color=con.k, track_changes=False
         )

@@ -32,6 +32,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .. import obs
 from ..core.bounds import lower_bound
 from ..core.diagonal import diagonal_dynamo
 from ..core.search import (
@@ -265,64 +266,101 @@ def below_bound_census(
 
     for kind in kinds:
         for n in sizes:
-            cell_scope = scope.child(str(kind), int(n)) if scope else None
-            if store is not None:
-                cell = store.find_cell(kind, n, definition)
-                if cell is not None:
-                    rows.append(_row_from_cell(cell))
-                    cache_hits += 1
-                    continue
-            if cell_scope is not None:
-                stored = cell_scope.get("cell")
-                if stored is not None:
-                    # replay the committed cell; _record_cell converges
-                    # a db the crash left behind the ledger (idempotent
-                    # when the writes already landed)
-                    row = CensusRow(**stored["row"])
-                    rows.append(row)
-                    _record_cell(
-                        store, definition, row, stored["witness"], backend_name
+            with obs.span("cell", key=[str(kind), int(n)], level="basic"):
+                cell_scope = scope.child(str(kind), int(n)) if scope else None
+                if store is not None:
+                    cell = store.find_cell(kind, n, definition)
+                    if cell is not None:
+                        rows.append(_row_from_cell(cell))
+                        cache_hits += 1
+                        continue
+                if cell_scope is not None:
+                    stored = cell_scope.get("cell")
+                    if stored is not None:
+                        # replay the committed cell; _record_cell
+                        # converges a db the crash left behind the ledger
+                        # (idempotent when the writes already landed)
+                        row = CensusRow(**stored["row"])
+                        rows.append(row)
+                        _record_cell(
+                            store, definition, row, stored["witness"],
+                            backend_name,
+                        )
+                        continue
+                bound = lower_bound(kind, n, n)
+                cell_entropy = (int(seed), kind_tag(kind), int(n))
+                witness: _CellWitness = None
+                if n == 3:
+                    topo = make_torus(kind, 3, 3)
+                    size, outcomes = exhaustive_min_dynamo_size(
+                        topo,
+                        num_colors=_EXHAUSTIVE_PALETTE,
+                        monotone_only=True,
+                        max_seed_size=bound,
+                        batch_size=batch_size,
+                        db=store,
+                        backend=backend,
+                        plan=plan,
+                        ledger_scope=cell_scope,
                     )
+                    if size is not None:
+                        witness = (
+                            outcomes[-1].witnesses[0][0], _EXHAUSTIVE_PALETTE, 0
+                        )
+                    row = CensusRow(
+                        kind=kind,
+                        n=n,
+                        paper_bound=bound,
+                        certified_size=size,
+                        method="exhaustive",
+                        ruled_out_below=size,
+                    )
+                    commit_cell(row, witness, cell_scope)
                     continue
-            bound = lower_bound(kind, n, n)
-            cell_entropy = (int(seed), kind_tag(kind), int(n))
-            witness: _CellWitness = None
-            if n == 3:
-                topo = make_torus(kind, 3, 3)
-                size, outcomes = exhaustive_min_dynamo_size(
+                # diagonal family first (cheap for cached mesh sizes)
+                con = diagonal_dynamo(
+                    n, kind, max_nodes=2_000_000 if n <= 5 else 8_000_000
+                )
+                if con is not None and is_monotone_dynamo(
+                    con.topo, con.colors, con.k
+                ):
+                    # probe below the diagonal witness so the row records
+                    # how far the audit actually looked (and catches any
+                    # smaller random witness the diagonal family misses)
+                    below, ruled_out, probe_witness = _random_floor_scan(
+                        con.topo,
+                        con.seed_size - 1,
+                        random_trials,
+                        cell_entropy,
+                        batch_size=batch_size,
+                        processes=processes,
+                        shard_size=shard_size,
+                        db=store,
+                        backend=backend,
+                        plan=plan,
+                        ledger_scope=cell_scope,
+                    )
+                    if below is not None:
+                        witness = probe_witness
+                    else:
+                        witness = (con.colors, con.num_colors, con.k)
+                    row = CensusRow(
+                        kind=kind,
+                        n=n,
+                        paper_bound=bound,
+                        certified_size=(
+                            below if below is not None else con.seed_size
+                        ),
+                        method="diagonal" if below is None else "random",
+                        ruled_out_below=ruled_out,
+                    )
+                    commit_cell(row, witness, cell_scope)
+                    continue
+                # fall back to random search just below the bound
+                topo = make_torus(kind, n, n)
+                best, ruled_out, witness = _random_floor_scan(
                     topo,
-                    num_colors=_EXHAUSTIVE_PALETTE,
-                    monotone_only=True,
-                    max_seed_size=bound,
-                    batch_size=batch_size,
-                    db=store,
-                    backend=backend,
-                    plan=plan,
-                    ledger_scope=cell_scope,
-                )
-                if size is not None:
-                    witness = (outcomes[-1].witnesses[0][0], _EXHAUSTIVE_PALETTE, 0)
-                row = CensusRow(
-                    kind=kind,
-                    n=n,
-                    paper_bound=bound,
-                    certified_size=size,
-                    method="exhaustive",
-                    ruled_out_below=size,
-                )
-                commit_cell(row, witness, cell_scope)
-                continue
-            # diagonal family first (cheap for cached mesh sizes)
-            con = diagonal_dynamo(
-                n, kind, max_nodes=2_000_000 if n <= 5 else 8_000_000
-            )
-            if con is not None and is_monotone_dynamo(con.topo, con.colors, con.k):
-                # probe below the diagonal witness so the row records how
-                # far the audit actually looked (and catches any smaller
-                # random witness the diagonal family misses)
-                below, ruled_out, probe_witness = _random_floor_scan(
-                    con.topo,
-                    con.seed_size - 1,
+                    bound - 1,
                     random_trials,
                     cell_entropy,
                     batch_size=batch_size,
@@ -333,44 +371,15 @@ def below_bound_census(
                     plan=plan,
                     ledger_scope=cell_scope,
                 )
-                if below is not None:
-                    witness = probe_witness
-                else:
-                    witness = (con.colors, con.num_colors, con.k)
                 row = CensusRow(
                     kind=kind,
                     n=n,
                     paper_bound=bound,
-                    certified_size=below if below is not None else con.seed_size,
-                    method="diagonal" if below is None else "random",
+                    certified_size=best,
+                    method="random",
                     ruled_out_below=ruled_out,
                 )
                 commit_cell(row, witness, cell_scope)
-                continue
-            # fall back to random search just below the bound
-            topo = make_torus(kind, n, n)
-            best, ruled_out, witness = _random_floor_scan(
-                topo,
-                bound - 1,
-                random_trials,
-                cell_entropy,
-                batch_size=batch_size,
-                processes=processes,
-                shard_size=shard_size,
-                db=store,
-                backend=backend,
-                plan=plan,
-                ledger_scope=cell_scope,
-            )
-            row = CensusRow(
-                kind=kind,
-                n=n,
-                paper_bound=bound,
-                certified_size=best,
-                method="random",
-                ruled_out_below=ruled_out,
-            )
-            commit_cell(row, witness, cell_scope)
     if scope is not None:
         scope.ledger.finish(scope.run_id)
     if stats is not None:

@@ -33,7 +33,6 @@ from ..core.constructions import (
 from ..core.verify import DynamoReport, verify_dynamo
 from ..engine.runner import run_synchronous
 from ..rules.smp import SMPRule
-from ..structures.blocks import k_blocks
 from ..topology.tori import ToroidalMesh
 
 __all__ = [

@@ -29,10 +29,11 @@ or platforms without fork); ``None`` uses one worker per core.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .. import obs
 from ..engine.parallel import (
     DEFAULT_SHARD_RETRIES,
     run_sharded,
@@ -42,6 +43,9 @@ from ..engine.parallel import (
     validate_processes,
 )
 from ..io.ledger import LedgerScope, RunLedger, open_ledger
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from ..engine.plans import ExecutionPlan
 
 __all__ = [
     "SweepPoint",
@@ -104,7 +108,8 @@ def sweep_rounds(
     on the process count.
     """
     pts: List[SweepPoint] = list(points)
-    rows = run_sharded(_run_point, pts, processes=processes)
+    with obs.span("phase", key="sweep-rounds", level="basic", points=len(pts)):
+        rows = run_sharded(_run_point, pts, processes=processes)
     out = np.empty(len(rows), dtype=SWEEP_DTYPE)
     for i, row in enumerate(rows):
         out[i] = row
@@ -186,7 +191,7 @@ def convergence_sweep(
     processes: Optional[int] = 0,
     shard_size: Optional[int] = None,
     backend: Optional[str] = None,
-    plan=None,
+    plan: Optional["ExecutionPlan"] = None,
     ledger: Union[RunLedger, str, Path, None] = None,
     resume: bool = False,
 ) -> np.ndarray:
@@ -268,13 +273,20 @@ def convergence_sweep(
              for si in range(len(counts))]
         )
         max_retries = DEFAULT_SHARD_RETRIES
-    partials = run_sharded(
-        _convergence_shard,
-        shards,
-        processes=processes,
-        checkpoint=checkpoint,
-        max_retries=max_retries,
-    )
+    with obs.span(
+        "phase",
+        key="convergence-sweep",
+        level="basic",
+        points=len(pts),
+        shards=len(shards),
+    ):
+        partials = run_sharded(
+            _convergence_shard,
+            shards,
+            processes=processes,
+            checkpoint=checkpoint,
+            max_retries=max_retries,
+        )
     if ledger is not None:
         scope.ledger.finish(scope.run_id)
 

@@ -41,6 +41,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import obs
 from ..core.constructions import Construction
 from ..engine.batch import DYNAMICS_VERSION, run_batch
 from ..engine.schedulers import AsyncSchedule, run_asynchronous
@@ -226,7 +227,10 @@ def async_robustness(
             stats["cache_hit"] = True
             return AsyncRobustness.from_row(cached.row)
     schedule = AsyncSchedule.derive(root, trials)
-    res = _run_trials(con, schedule, max_sweeps=max_sweeps, engine=engine)
+    with obs.span(
+        "phase", key="async-robustness", level="basic", trials=int(trials)
+    ):
+        res = _run_trials(con, schedule, max_sweeps=max_sweeps, engine=engine)
     summary = _summarize(res, trials)
     if db is not None:
         from ..io.witnessdb import AsyncSummaryRecord
@@ -253,5 +257,8 @@ def order_sensitivity(
     """Sweep counts per schedule (the clock-control distribution)."""
     root = derive_schedule_root(seed, rng, 0x5EED)
     schedule = AsyncSchedule.derive(root, trials)
-    res = _run_trials(con, schedule, max_sweeps=None, engine=engine)
+    with obs.span(
+        "phase", key="order-sensitivity", level="basic", trials=int(trials)
+    ):
+        res = _run_trials(con, schedule, max_sweeps=None, engine=engine)
     return res.rounds.astype(np.int64)

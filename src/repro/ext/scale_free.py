@@ -28,6 +28,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..engine.batch import DYNAMICS_VERSION, run_batch
 from ..engine.parallel import (
     DEFAULT_SHARD_RETRIES,
@@ -361,71 +362,82 @@ def scale_free_takeover_census(
     for strategy in strategies:
         for fraction in seed_fractions:
             fraction = float(fraction)
-            stats["cells"] += 1
-            definition = {
-                "experiment": "scale-free-takeover",
-                "dynamics": DYNAMICS_VERSION,
-                "seed": int(seed),
-                "n": n,
-                "m_attach": int(m_attach),
-                "num_colors": int(num_colors),
-                "strategy": strategy,
-                "seed_fraction": fraction,
-                "graphs": graphs,
-                "replicas": replicas,
-                "max_rounds": int(max_rounds),
-            }
-            if db is not None:
-                cached = db.find_scale_free_cell(strategy, fraction, definition)
-                if cached is not None:
-                    cells.append(
-                        ScaleFreeCell.from_row(cached.row, from_cache=True)
+            with obs.span(
+                "cell", key=[strategy, fraction], level="basic"
+            ):
+                stats["cells"] += 1
+                definition = {
+                    "experiment": "scale-free-takeover",
+                    "dynamics": DYNAMICS_VERSION,
+                    "seed": int(seed),
+                    "n": n,
+                    "m_attach": int(m_attach),
+                    "num_colors": int(num_colors),
+                    "strategy": strategy,
+                    "seed_fraction": fraction,
+                    "graphs": graphs,
+                    "replicas": replicas,
+                    "max_rounds": int(max_rounds),
+                }
+                if db is not None:
+                    cached = db.find_scale_free_cell(
+                        strategy, fraction, definition
                     )
-                    stats["cache_hits"] += 1
-                    continue
-            shards: List[_GraphShard] = [
-                (
-                    int(seed), n, int(m_attach), int(num_colors), strategy,
-                    fraction, g, replicas, int(max_rounds), backend_name,
-                )
-                for g in range(graphs)
-            ]
-            checkpoint = None
-            if scope is not None:
-                checkpoint = scope.child(
-                    strategy, _fraction_tag(fraction)
-                ).checkpoint(graphs, label="graph")
-            partials = run_sharded(
-                _scale_free_graph_worker,
-                shards,
-                processes=processes,
-                checkpoint=checkpoint,
-                max_retries=DEFAULT_SHARD_RETRIES if checkpoint is not None else 0,
-            )
-            total = graphs * replicas
-            cell = ScaleFreeCell(
-                strategy=strategy,
-                seed_fraction=fraction,
-                graphs=graphs,
-                replicas=replicas,
-                takeover_rate=sum(p["takeovers"] for p in partials) / total,
-                mean_final_k_fraction=(
-                    sum(p["k_fraction_sum"] for p in partials) / total
-                ),
-                mean_rounds=sum(p["rounds_sum"] for p in partials) / total,
-                converged_rate=sum(p["converged"] for p in partials) / total,
-            )
-            cells.append(cell)
-            if db is not None:
-                db.add_scale_free_cell(
-                    ScaleFreeCellRecord(
-                        strategy=strategy,
-                        seed_fraction=fraction,
-                        definition=definition,
-                        row=cell.as_row(),
+                    if cached is not None:
+                        cells.append(
+                            ScaleFreeCell.from_row(cached.row, from_cache=True)
+                        )
+                        stats["cache_hits"] += 1
+                        continue
+                shards: List[_GraphShard] = [
+                    (
+                        int(seed), n, int(m_attach), int(num_colors), strategy,
+                        fraction, g, replicas, int(max_rounds), backend_name,
                     )
+                    for g in range(graphs)
+                ]
+                checkpoint = None
+                if scope is not None:
+                    checkpoint = scope.child(
+                        strategy, _fraction_tag(fraction)
+                    ).checkpoint(graphs, label="graph")
+                partials = run_sharded(
+                    _scale_free_graph_worker,
+                    shards,
+                    processes=processes,
+                    checkpoint=checkpoint,
+                    max_retries=(
+                        DEFAULT_SHARD_RETRIES if checkpoint is not None else 0
+                    ),
                 )
-                stats["recorded"] += 1
+                total = graphs * replicas
+                cell = ScaleFreeCell(
+                    strategy=strategy,
+                    seed_fraction=fraction,
+                    graphs=graphs,
+                    replicas=replicas,
+                    takeover_rate=(
+                        sum(p["takeovers"] for p in partials) / total
+                    ),
+                    mean_final_k_fraction=(
+                        sum(p["k_fraction_sum"] for p in partials) / total
+                    ),
+                    mean_rounds=sum(p["rounds_sum"] for p in partials) / total,
+                    converged_rate=(
+                        sum(p["converged"] for p in partials) / total
+                    ),
+                )
+                cells.append(cell)
+                if db is not None:
+                    db.add_scale_free_cell(
+                        ScaleFreeCellRecord(
+                            strategy=strategy,
+                            seed_fraction=fraction,
+                            definition=definition,
+                            row=cell.as_row(),
+                        )
+                    )
+                    stats["recorded"] += 1
     if scope is not None:
         scope.ledger.finish(scope.run_id)
     return ScaleFreeCensus(cells=cells, stats=stats)

@@ -27,6 +27,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterator, List, Optional, Tuple, Union
 
+from .. import obs
+
 __all__ = ["JsonlStore", "ScannedLine", "canonical_json"]
 
 PathLike = Union[str, Path]
@@ -146,6 +148,11 @@ class JsonlStore:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         line = (dumps(payload) + "\n").encode("utf-8")
         if self.torn_tail is not None:
+            obs.emit(
+                "torn-tail-heal",
+                key=self.path.name,
+                lineno=self.torn_tail[0],
+            )
             with self.path.open("r+b") as fh:
                 fh.truncate(self._good_end)
                 fh.seek(0, os.SEEK_END)

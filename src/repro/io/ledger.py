@@ -37,6 +37,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .. import obs
 from .jsonl import JsonlStore, canonical_json
 
 __all__ = [
@@ -315,6 +316,11 @@ class RunLedger:
                     f"{self.path} already records run {rid}; pass "
                     "resume=True (CLI: --resume) to continue it"
                 )
+            obs.emit(
+                "ledger-resume-replay",
+                key=rid,
+                shards=len(self._shards.get(rid, {})),
+            )
             return rid
         if resume:
             for other_rid, other in self._runs.items():
@@ -333,6 +339,7 @@ class RunLedger:
                     )
         self._runs[rid] = canon
         self._shards.setdefault(rid, {})
+        obs.emit("ledger-run-begin", key=rid, level="detailed")
         self._append(
             {
                 "type": "run",
@@ -368,6 +375,7 @@ class RunLedger:
             )
         canon_body = json.loads(canonical_json(body))
         self._shards[rid][keytext] = canon_body
+        obs.count("ledger.shard-commit")
         self._append(
             {
                 "type": "shard",

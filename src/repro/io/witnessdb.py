@@ -68,10 +68,20 @@ import dataclasses
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
 import numpy as np
 
+from .. import obs
 from ..engine.batch import run_batch
 from ..rules import make_rule
 from ..rules.base import Rule
@@ -100,6 +110,9 @@ __all__ = [
 ]
 
 PathLike = Union[str, Path]
+
+#: cache-probe result type (see :meth:`WitnessDB._probed`)
+_R = TypeVar("_R")
 
 #: class-name -> registry-name map used when recording witnesses found
 #: under a rule instance (falls back to the class name for custom rules)
@@ -635,9 +648,21 @@ class WitnessDB:
         # Durable append (flush + fsync) with torn-tail healing; keeps
         # the store's historical formatting (sorted keys, spaced
         # separators) so existing files grow byte-consistently.
+        obs.count("witnessdb.append")
         self._store.append(
             payload, dumps=lambda p: json.dumps(p, sort_keys=True)
         )
+
+    @staticmethod
+    def _probed(cache: str, record: Optional[_R]) -> Optional[_R]:
+        # cache-effectiveness telemetry on the consult-before-recompute
+        # probes; the record itself is never touched
+        if record is None:
+            obs.count("witnessdb.cache-miss")
+        else:
+            obs.count("witnessdb.cache-hit")
+            obs.emit("cache-serve", key=cache, level="detailed")
+        return record
 
     def add(self, record: WitnessRecord, *, replace: bool = False) -> bool:
         """Record a witness; returns ``True`` when a line was appended.
@@ -804,27 +829,33 @@ class WitnessDB:
         shard geometry), so a hit reproduces the original outcome's
         flags and (recorded) witnesses exactly.
         """
-        return self._searches.get(_search_id(definition))
+        return self._probed("search", self._searches.get(_search_id(definition)))
 
     def find_cell(
         self, kind: str, n: int, definition: dict
     ) -> Optional[CensusCellRecord]:
         """Census-cell cache probe (exact experiment-definition match)."""
-        return self._cells.get(_cell_id(kind, n, definition))
+        return self._probed("cell", self._cells.get(_cell_id(kind, n, definition)))
 
     def find_scale_free_cell(
         self, strategy: str, seed_fraction: float, definition: dict
     ) -> Optional[ScaleFreeCellRecord]:
         """Scale-free-cell cache probe (exact definition match)."""
-        return self._scale_free_cells.get(
-            _scale_free_cell_id(strategy, seed_fraction, definition)
+        return self._probed(
+            "scale-free-cell",
+            self._scale_free_cells.get(
+                _scale_free_cell_id(strategy, seed_fraction, definition)
+            ),
         )
 
     def find_async_summary(
         self, label: str, definition: dict
     ) -> Optional[AsyncSummaryRecord]:
         """Async-summary cache probe (exact definition match)."""
-        return self._async_summaries.get(_async_summary_id(label, definition))
+        return self._probed(
+            "async-summary",
+            self._async_summaries.get(_async_summary_id(label, definition)),
+        )
 
     # -- verification --------------------------------------------------
     def verify(

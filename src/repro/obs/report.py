@@ -1,0 +1,203 @@
+"""Aggregate a telemetry stream into a human (or machine) summary.
+
+The stream (see :mod:`repro.obs`) is a ``meta`` line plus sorted
+``span``/``event``/``counter`` records.  :func:`summarize` folds it into
+one plain dict — per-phase and per-shard timing, plan-cache hit rate,
+retry/rebuild counts, io-layer counters — and :func:`render_summary`
+prints the ``repro-dynamo telemetry report`` table form.  Everything
+here is read-only: reporting never mutates a stream.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from . import TELEMETRY_SCHEMA, _read_stream
+
+__all__ = ["load_stream", "render_summary", "summarize", "summarize_stream"]
+
+
+def load_stream(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Every parseable record of a finalized stream, meta line included.
+
+    Raises :class:`ValueError` for a missing/empty file or a stream
+    whose schema is newer than this reader.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ValueError(f"no telemetry stream at {path}")
+    records = list(_read_stream(path))
+    if not records:
+        raise ValueError(f"{path} holds no telemetry records")
+    schema = records[0].get("schema")
+    if isinstance(schema, int) and schema > TELEMETRY_SCHEMA:
+        raise ValueError(
+            f"{path} uses telemetry schema {schema}, newer than the "
+            f"supported {TELEMETRY_SCHEMA}"
+        )
+    return records
+
+
+def _span_seconds(record: Dict[str, Any]) -> float:
+    value = record.get("perf_s")
+    return float(value) if isinstance(value, (int, float)) else 0.0
+
+
+def summarize(records: List[Dict[str, Any]], *, top: int = 5) -> Dict[str, Any]:
+    """Fold stream records into the report payload (plain JSON types).
+
+    ``top`` bounds the slowest-shards and slowest-phases listings.
+    """
+    meta = records[0] if records and records[0].get("kind") == "meta" else {}
+    counters: Dict[str, int] = {}
+    spans_by_name: Dict[str, List[Dict[str, Any]]] = {}
+    events_by_name: Dict[str, int] = {}
+    for record in records:
+        kind = record.get("kind")
+        if kind == "counter":
+            name = str(record.get("name", ""))
+            n = record.get("n")
+            counters[name] = counters.get(name, 0) + (
+                int(n) if isinstance(n, (int, float)) else 0
+            )
+        elif kind == "span":
+            spans_by_name.setdefault(str(record.get("name", "")), []).append(record)
+        elif kind == "event":
+            name = str(record.get("name", ""))
+            events_by_name[name] = events_by_name.get(name, 0) + 1
+
+    def slowest(name: str) -> List[Dict[str, Any]]:
+        ranked = sorted(
+            spans_by_name.get(name, []), key=_span_seconds, reverse=True
+        )
+        return [
+            {"key": r.get("key"), "seconds": round(_span_seconds(r), 6)}
+            for r in ranked[:top]
+        ]
+
+    shard_spans = spans_by_name.get("shard", [])
+    shard_seconds = [_span_seconds(r) for r in shard_spans]
+    run_spans = spans_by_name.get("run", [])
+    hits = counters.get("plan-cache.hit", 0)
+    misses = counters.get("plan-cache.miss", 0)
+    probes = hits + misses
+    summary: Dict[str, Any] = {
+        "command": meta.get("command", ""),
+        "level": meta.get("level", ""),
+        "status": meta.get("status", ""),
+        "events": len(records) - (1 if meta else 0),
+        "dropped_lines": meta.get("dropped_lines", 0),
+        "run_seconds": round(sum(_span_seconds(r) for r in run_spans), 6),
+        "phases": [
+            {
+                "name": r.get("key") if r.get("key") is not None else r.get("phase"),
+                "seconds": round(_span_seconds(r), 6),
+            }
+            for r in sorted(
+                spans_by_name.get("phase", []), key=_span_seconds, reverse=True
+            )[:top]
+        ],
+        "shards": {
+            "count": len(shard_spans),
+            "total_seconds": round(sum(shard_seconds), 6),
+            "max_seconds": round(max(shard_seconds), 6) if shard_seconds else 0.0,
+            "slowest": slowest("shard"),
+        },
+        "retries": events_by_name.get("shard-retry", 0),
+        "pool_rebuilds": events_by_name.get("pool-rebuild", 0),
+        "replayed_shards": events_by_name.get("shard-replay", 0),
+        "plan_cache": {
+            "hits": hits,
+            "misses": misses,
+            "evictions": counters.get("plan-cache.eviction", 0),
+            "hit_rate": round(hits / probes, 4) if probes else None,
+        },
+        "compiles": {
+            "count": len(spans_by_name.get("compile", [])),
+            "total_seconds": round(
+                sum(_span_seconds(r) for r in spans_by_name.get("compile", [])), 6
+            ),
+        },
+        "counters": {name: counters[name] for name in sorted(counters)},
+        "event_counts": {
+            name: events_by_name[name] for name in sorted(events_by_name)
+        },
+    }
+    return summary
+
+
+def summarize_stream(path: Union[str, Path], *, top: int = 5) -> Dict[str, Any]:
+    """:func:`load_stream` + :func:`summarize` in one call."""
+    return summarize(load_stream(path), top=top)
+
+
+def _fmt_key(key: object) -> str:
+    if key is None:
+        return "-"
+    if isinstance(key, str):
+        return key
+    return json.dumps(key, separators=(",", ":"))
+
+
+def render_summary(summary: Dict[str, Any]) -> str:
+    """The human form ``repro-dynamo telemetry report`` prints."""
+    lines: List[str] = []
+    lines.append(
+        f"telemetry report: command={summary['command'] or '-'} "
+        f"level={summary['level'] or '-'} status={summary['status'] or '-'}"
+    )
+    lines.append(
+        f"  {summary['events']} event(s), run {summary['run_seconds']:.3f}s"
+        + (
+            f", {summary['dropped_lines']} torn line(s) dropped"
+            if summary.get("dropped_lines")
+            else ""
+        )
+    )
+    shards = summary["shards"]
+    lines.append(
+        f"shards: {shards['count']} run, total {shards['total_seconds']:.3f}s, "
+        f"slowest {shards['max_seconds']:.3f}s; "
+        f"{summary['replayed_shards']} replayed, {summary['retries']} "
+        f"retr{'y' if summary['retries'] == 1 else 'ies'}, "
+        f"{summary['pool_rebuilds']} pool rebuild(s)"
+    )
+    for entry in shards["slowest"]:
+        lines.append(
+            f"    {entry['seconds']:9.3f}s  shard {_fmt_key(entry['key'])}"
+        )
+    if summary["phases"]:
+        lines.append("phases (slowest first):")
+        for entry in summary["phases"]:
+            lines.append(
+                f"    {entry['seconds']:9.3f}s  {_fmt_key(entry['name'])}"
+            )
+    cache = summary["plan_cache"]
+    rate = (
+        "-" if cache["hit_rate"] is None else f"{100.0 * cache['hit_rate']:.1f}%"
+    )
+    lines.append(
+        f"plan cache: {cache['hits']} hit(s), {cache['misses']} miss(es), "
+        f"{cache['evictions']} eviction(s), hit rate {rate}"
+    )
+    compiles = summary["compiles"]
+    lines.append(
+        f"kernel compiles: {compiles['count']} "
+        f"({compiles['total_seconds']:.3f}s)"
+    )
+    extra = {
+        name: n
+        for name, n in summary["counters"].items()
+        if not name.startswith("plan-cache.")
+    }
+    if extra:
+        lines.append("counters:")
+        for name, n in extra.items():
+            lines.append(f"    {n:9d}  {name}")
+    if summary["event_counts"]:
+        lines.append("events:")
+        for name, n in summary["event_counts"].items():
+            lines.append(f"    {n:9d}  {name}")
+    return "\n".join(lines)

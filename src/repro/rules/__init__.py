@@ -1,5 +1,7 @@
 """Recoloring rules: the SMP-Protocol and its baselines/generalizations."""
 
+from typing import Callable, Tuple
+
 from .base import KernelSpec, Rule, as_color_array
 from .ordered import OrderedIncrementRule
 from .majority import BLACK, WHITE, ReverseSimpleMajority, ReverseStrongMajority
@@ -48,7 +50,13 @@ _RULE_REGISTRY = {
 RULE_NAMES = tuple(_RULE_REGISTRY)
 
 
-def _registry_entry(name: str):
+#: registry value: ``(constructor, replica palette)`` — see _RULE_REGISTRY.
+_RegistryEntry = Tuple[
+    Callable[[int, str, str], Rule], Callable[[int], Tuple[int, int, int]]
+]
+
+
+def _registry_entry(name: str) -> _RegistryEntry:
     try:
         return _RULE_REGISTRY[name]
     except KeyError:
@@ -57,7 +65,7 @@ def _registry_entry(name: str):
         ) from None
 
 
-def replica_palette(name: str, num_colors: int = 4):
+def replica_palette(name: str, num_colors: int = 4) -> Tuple[int, int, int]:
     """``(low, size, target)`` of the random-replica palette for a rule."""
     return _registry_entry(name)[1](num_colors)
 

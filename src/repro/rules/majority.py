@@ -92,7 +92,7 @@ class ReverseSimpleMajority(Rule):
             kind="majority", tie=self.tie, validate=self._check_bicolored
         )
 
-    def plan_token(self):
+    def plan_token(self) -> Optional[object]:
         return (self.tie,)  # the tie policy is the kernel's only state
 
     def update_vertex(self, current: int, neighbor_colors: Sequence[int]) -> int:
@@ -153,7 +153,7 @@ class ReverseStrongMajority(Rule):
             return None
         return KernelSpec(kind="strong-majority")
 
-    def plan_token(self):
+    def plan_token(self) -> Optional[object]:
         return ()  # stateless: every instance compiles the same kernel
 
     def update_vertex(self, current: int, neighbor_colors: Sequence[int]) -> int:

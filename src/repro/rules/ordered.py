@@ -95,7 +95,7 @@ class OrderedIncrementRule(Rule):
             validate=self._validate_palette,
         )
 
-    def plan_token(self):
+    def plan_token(self) -> Optional[object]:
         # palette size and threshold policy fully determine the kernel;
         # mutating either on a live instance misses the cache and
         # recompiles, as the plan-token contract requires

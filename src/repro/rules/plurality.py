@@ -32,14 +32,14 @@ from .base import KernelSpec, Rule
 __all__ = ["GeneralizedPluralityRule", "ceil_half", "strong_threshold"]
 
 
-def ceil_half(degree: np.ndarray | int):
+def ceil_half(degree: np.ndarray | int) -> np.ndarray | int:
     """Default threshold ``ceil(d/2)`` (simple majority, SMP-compatible)."""
     if isinstance(degree, np.ndarray):
         return (degree + 1) // 2
     return math.ceil(degree / 2)
 
 
-def strong_threshold(degree: np.ndarray | int):
+def strong_threshold(degree: np.ndarray | int) -> np.ndarray | int:
     """Strong-majority threshold ``ceil((d+1)/2) = floor(d/2) + 1``."""
     if isinstance(degree, np.ndarray):
         return degree // 2 + 1
@@ -192,7 +192,7 @@ class GeneralizedPluralityRule(Rule):
             validate=self._validate_palette,
         )
 
-    def plan_token(self):
+    def plan_token(self) -> Optional[object]:
         # the threshold callable itself joins the token (callables hash
         # by identity): swapping in a different function — or a fresh
         # lambda — invalidates cached steppers, while reusing the same

@@ -70,7 +70,9 @@ def smp_step_batch(colors: np.ndarray, neighbors: np.ndarray) -> np.ndarray:
     ).astype(np.int32, copy=False)
 
 
-def unique_plurality_color(neighbor_colors: Sequence[int], threshold: int = 2):
+def unique_plurality_color(
+    neighbor_colors: Sequence[int], threshold: int = 2
+) -> Optional[int]:
     """Return the unique color reaching ``threshold`` occurrences, else ``None``.
 
     This is the normalized core of the SMP rule (``threshold=2`` on degree-4
@@ -151,7 +153,7 @@ class SMPRule(Rule):
             return None  # step_batch fallback raises the rule's own error
         return KernelSpec(kind="smp")
 
-    def plan_token(self):
+    def plan_token(self) -> Optional[object]:
         return ()  # stateless: every instance compiles the same kernel
 
     def update_vertex(self, current: int, neighbor_colors: Sequence[int]) -> int:

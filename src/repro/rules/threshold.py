@@ -72,7 +72,7 @@ class LinearThresholdRule(Rule):
         self._cached, self._cached_for = thr, weakref.ref(topo)
         return thr
 
-    def __getstate__(self):
+    def __getstate__(self) -> dict:
         # the lazy cache holds a weakref (unpicklable) and is
         # per-process state anyway: pool workers rebuild their topology,
         # so a shipped cache could never hit
@@ -114,7 +114,7 @@ class LinearThresholdRule(Rule):
             validate=self._validate_states,
         )
 
-    def plan_token(self):
+    def plan_token(self) -> Optional[object]:
         if isinstance(self._spec, str):
             return (self._spec,)
         # explicit vectors: token by value, so two rules built from equal

@@ -6,13 +6,8 @@ bound* halves (Theorems 1/3/5) are refuted by the below-bound witnesses
 
 from __future__ import annotations
 
-from typing import Optional
-
-import numpy as np
-
 from ..core.bounds import lower_bound
 from ..core.constructions import (
-    build_minimum_dynamo,
     theorem2_mesh_dynamo,
     theorem4_cordalis_dynamo,
     theorem6_serpentinus_dynamo,

@@ -8,7 +8,7 @@ irregular rows with ``-1``.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Hashable, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 

@@ -11,7 +11,6 @@ from repro.core import (
 )
 from repro.topology import ToroidalMesh
 
-from helpers import TORUS_KINDS
 
 
 def test_report_on_known_dynamo():

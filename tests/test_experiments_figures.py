@@ -1,7 +1,6 @@
 """Figure reproduction tests — the paper's printed artifacts, diffed."""
 
 import numpy as np
-import pytest
 
 from repro.experiments import (
     FIG5_EXPECTED,

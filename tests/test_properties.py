@@ -2,7 +2,6 @@
 and post-hoc validation of every recoloring the engine ever performs."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

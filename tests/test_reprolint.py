@@ -371,11 +371,87 @@ class TestTypingGate:
 
     def test_t001_non_strict_package_unchecked(self):
         src = "def f(x):\n    return x\n"
-        assert lint_source(src, path="src/repro/experiments/_fixture.py") == []
+        assert lint_source(src, path="src/repro/viz/_fixture.py") == []
+
+    def test_t001_rules_and_experiments_are_strict(self):
+        src = "def f(x):\n    return x\n"
+        for pkg in ("rules", "experiments"):
+            findings = lint_source(src, path=f"src/repro/{pkg}/_fixture.py")
+            assert rules_of(findings) == ["RPL-T001"]
 
     def test_t001_suppressed(self):
         src = "def f(x):  # reprolint: disable=RPL-T001\n    return x\n"
         assert lint_source(src, path="src/repro/engine/_fixture.py") == []
+
+
+# ---------------------------------------------------------------------------
+# observability family
+# ---------------------------------------------------------------------------
+
+
+class TestObservability:
+    def test_o001_obs_value_in_digest(self):
+        src = (
+            "import hashlib\n"
+            "from repro import obs\n"
+            "h = hashlib.blake2b(obs.active_session().path)\n"
+        )
+        findings = lint_source(src, path=LIB)
+        assert rules_of(findings) == ["RPL-O001"]
+        assert findings[0].line == 3
+        assert "obs.active_session" in findings[0].message
+
+    def test_o001_obs_value_in_payload_sink(self):
+        src = (
+            "from repro import obs\n"
+            "from repro.io.jsonl import canonical_json\n"
+            "line = canonical_json({'events': obs.stable_fields({})})\n"
+        )
+        assert rules_of(lint_source(src, path=LIB)) == ["RPL-O001"]
+
+    def test_o001_obs_value_in_cache_key(self):
+        src = (
+            "from repro import obs\n"
+            "from repro.engine.plans import stepper_cache_key\n"
+            "key = stepper_cache_key('stencil', obs.count, None, 64)\n"
+        )
+        assert rules_of(lint_source(src, path=LIB)) == ["RPL-O001"]
+
+    def test_o001_relative_obs_import(self):
+        src = (
+            "import hashlib\n"
+            "from .. import obs\n"
+            "digest = hashlib.sha256(obs.token)\n"
+        )
+        assert rules_of(
+            lint_source(src, path="src/repro/io/_fixture.py")
+        ) == ["RPL-O001"]
+
+    def test_o001_clean_side_channel_use(self):
+        src = (
+            "from repro import obs\n"
+            "from repro.io.jsonl import canonical_json\n"
+            "def f(row: dict) -> str:\n"
+            "    obs.count('witnessdb.append')\n"
+            "    return canonical_json(row)\n"
+        )
+        assert lint_source(src, path=LIB) == []
+
+    def test_o001_no_obs_import_unchecked(self):
+        src = (
+            "import hashlib\n"
+            "obs = object()\n"
+            "h = hashlib.blake2b(b'x')\n"
+        )
+        assert lint_source(src, path=LIB) == []
+
+    def test_o001_suppressed(self):
+        src = (
+            "import hashlib\n"
+            "from repro import obs\n"
+            "h = hashlib.blake2b(obs.token)  # reprolint: disable=RPL-O001\n"
+        )
+        assert lint_source(src, path=LIB) == []
 
 
 # ---------------------------------------------------------------------------
@@ -498,7 +574,7 @@ class TestCli:
         assert rc == 0
         for rule in (
             "RPL-D001", "RPL-D005", "RPL-P001", "RPL-B001", "RPL-B002",
-            "RPL-C001", "RPL-C003", "RPL-T001",
+            "RPL-C001", "RPL-C003", "RPL-T001", "RPL-O001",
         ):
             assert rule in out
 

@@ -9,7 +9,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.rules import SMPRule, smp_literal_update, unique_plurality_color
-from repro.topology import ToroidalMesh, TorusCordalis, TorusSerpentinus
+from repro.topology import ToroidalMesh, TorusCordalis
 
 from helpers import TORUS_KINDS, random_coloring
 

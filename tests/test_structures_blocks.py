@@ -12,7 +12,6 @@ from repro.structures import (
     has_non_k_block,
     immutable_vertices,
     k_blocks,
-    non_k_blocks,
     prune_to_core,
 )
 from repro.topology import ToroidalMesh, TorusCordalis, TorusSerpentinus

@@ -5,7 +5,6 @@ change flips any verdict, these tests fail and EXPERIMENTS.md must be
 revisited.
 """
 
-import numpy as np
 import pytest
 
 from repro.theory import (

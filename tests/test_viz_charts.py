@@ -1,6 +1,5 @@
 """Text-chart helper tests."""
 
-import numpy as np
 
 from repro.viz import ascii_line_chart, series_table, sparkline
 

@@ -10,8 +10,8 @@ a fresh ratio collapsing below the committed one means a kernel or plan
 actually got slower relative to its baseline.
 
 This tool walks both payloads, pairs every numeric leaf whose key ends
-in ``speedup`` or contains ``speedup_vs`` (the recorded kernel ratios),
-and fails when any fresh ratio falls more than ``--max-slowdown``
+in ``speedup`` or ``hit_rate`` or contains ``speedup_vs`` (the recorded
+kernel ratios and plan-cache effectiveness), and fails when any fresh ratio falls more than ``--max-slowdown``
 (default 30%) below its committed value.  Ratios present only in the
 committed file fail too (a silently dropped measurement is a regression
 of coverage); fresh-only ratios are reported but pass (new benchmarks
@@ -37,12 +37,16 @@ __all__ = ["collect_ratios", "compare_ratios", "main"]
 
 
 def _is_ratio_key(key: str) -> bool:
-    return key.endswith("speedup") or "speedup_vs" in key
+    return (
+        key.endswith("speedup")
+        or "speedup_vs" in key
+        or key.endswith("hit_rate")
+    )
 
 
 def collect_ratios(payload, prefix: str = "") -> Dict[str, float]:
     """Flatten a benchmark payload to ``{dotted.path: ratio}`` for every
-    numeric leaf under a speedup-named key."""
+    numeric leaf under a ratio-named key (speedups, hit rates)."""
     ratios: Dict[str, float] = {}
     if isinstance(payload, dict):
         for key, value in payload.items():

@@ -32,3 +32,4 @@ from . import plan_token  # noqa: F401,E402
 from . import backend_contract  # noqa: F401,E402
 from . import typing_gate  # noqa: F401,E402
 from . import docs  # noqa: F401,E402
+from . import observability  # noqa: F401,E402

@@ -17,7 +17,7 @@ the witness-id/serialization/ledger paths against iterating bare
 from __future__ import annotations
 
 import ast
-from typing import Iterable, List, Optional
+from typing import Iterable, Optional
 
 from .core import (
     Checker,

@@ -1,0 +1,122 @@
+"""Observability family (RPL-O): telemetry stays bitwise-invisible.
+
+``repro.obs`` is a pure side channel: events and counters describe a
+run but must never *influence* one.  The runtime parity tests pin the
+end-to-end half of that contract (byte-identical stdout / witnessdb /
+ledger with telemetry on or off); this checker pins the half a test can
+miss — a telemetry value quietly folded into something persisted.  Any
+value reaching a digest constructor, a stepper cache key, or a
+canonical-serialization sink through a name imported from ``repro.obs``
+breaks run identity the moment telemetry is toggled, so RPL-O001 bans
+it statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional, Set
+
+from .core import Checker, Finding, ImportMap, Project, register_checker
+
+#: Digest constructors that mint persisted identities (mirrors the
+#: determinism family's sink list — same blast radius).
+_DIGEST_SINKS = {
+    "hashlib.blake2b",
+    "hashlib.blake2s",
+    "hashlib.md5",
+    "hashlib.new",
+    "hashlib.sha1",
+    "hashlib.sha256",
+    "hashlib.sha512",
+}
+
+#: Final dotted components of in-repo sinks that serialize persisted
+#: payloads or mint cache keys.  Matched by last component because the
+#: library imports them relatively (``from .jsonl import
+#: canonical_json``), which :class:`ImportMap` does not resolve.
+_PAYLOAD_SINK_NAMES = {
+    "canonical_json",   # repro.io.jsonl — witnessdb/ledger record lines
+    "encode_payload",   # repro.io.ledger — shard payload encoding
+    "stepper_cache_key",  # repro.engine.plans — plan-cache identity
+}
+
+
+def _obs_local_names(tree: ast.AST) -> Set[str]:
+    """Local names bound (absolutely or relatively) to ``repro.obs``."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro.obs" or alias.name.startswith("repro.obs."):
+                    names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            tail = module.split(".")[-1] if module else ""
+            from_obs_pkg = (
+                module == "repro.obs"
+                or module.startswith("repro.obs.")
+                or (node.level > 0 and (tail == "obs" or ".obs." in f".{module}."))
+            )
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                if from_obs_pkg:
+                    names.add(alias.asname or alias.name)
+                elif alias.name == "obs" and (node.level > 0 or module == "repro"):
+                    names.add(alias.asname or alias.name)
+    return names
+
+
+@register_checker
+class ObservabilityChecker(Checker):
+    family = "observability"
+    rules = {
+        "RPL-O001": (
+            "telemetry value (repro.obs) feeds a digest, cache key, or "
+            "persisted record payload — telemetry must stay "
+            "bitwise-invisible to run identity"
+        ),
+    }
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.library_modules():
+            obs_names = _obs_local_names(module.tree)
+            if not obs_names:
+                continue
+            imports = ImportMap(module.tree)
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Call) and self._is_sink(imports, node):
+                    leak = self._obs_reference(obs_names, node)
+                    if leak is not None:
+                        yield Finding(
+                            module.relpath,
+                            node.lineno,
+                            node.col_offset + 1,
+                            "RPL-O001",
+                            self.rules["RPL-O001"].split(" — ")[0]
+                            + f" (found `{leak}`)",
+                        )
+
+    @staticmethod
+    def _is_sink(imports: ImportMap, node: ast.Call) -> bool:
+        target = imports.resolve(node.func)
+        if target is None:
+            return False
+        return target in _DIGEST_SINKS or target.split(".")[-1] in _PAYLOAD_SINK_NAMES
+
+    @staticmethod
+    def _obs_reference(obs_names: Set[str], call: ast.Call) -> Optional[str]:
+        """Rendered obs-rooted name inside any argument of ``call``."""
+        for arg in [*call.args, *[kw.value for kw in call.keywords]]:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Name) and sub.id in obs_names:
+                    return sub.id
+                if isinstance(sub, ast.Attribute):
+                    base = sub
+                    parts = []
+                    while isinstance(base, ast.Attribute):
+                        parts.append(base.attr)
+                        base = base.value
+                    if isinstance(base, ast.Name) and base.id in obs_names:
+                        return ".".join([base.id, *reversed(parts)])
+        return None

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Set
+from typing import Iterable, List, Set
 
 from .core import Checker, Finding, Module, Project, dotted_parts, register_checker
 

@@ -2,7 +2,8 @@
 
 The authoritative gate is mypy with the per-module strictness table in
 pyproject.toml (``disallow_untyped_defs`` + ``disallow_incomplete_defs``
-over ``repro.engine``, ``repro.io``, ``repro.topology``) — CI runs it
+over ``repro.engine``, ``repro.experiments``, ``repro.io``,
+``repro.obs``, ``repro.rules``, ``repro.topology``) — CI runs it
 blocking.  mypy is not installable in the offline dev container, so
 this checker mirrors the *presence* half of that contract locally:
 every ``def`` in a strict package must annotate all parameters and its
@@ -22,7 +23,14 @@ from typing import Iterable, List
 from .core import Checker, Finding, Module, Project, register_checker
 
 #: Dotted-module prefixes under the mypy strictness table.
-STRICT_PREFIXES = ("repro.engine", "repro.io", "repro.topology")
+STRICT_PREFIXES = (
+    "repro.engine",
+    "repro.experiments",
+    "repro.io",
+    "repro.obs",
+    "repro.rules",
+    "repro.topology",
+)
 
 
 def _in_strict_package(module: Module) -> bool:
@@ -37,8 +45,8 @@ class TypingGateChecker(Checker):
     rules = {
         "RPL-T001": (
             "untyped or incompletely-typed def in a mypy-strict package "
-            "(repro.engine / repro.io / repro.topology) — annotate all "
-            "parameters and the return type"
+            "(see STRICT_PREFIXES) — annotate all parameters and the "
+            "return type"
         ),
     }
 
