@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""The witness corpus over HTTP: every endpoint, no network socket.
+
+`repro-dynamo serve` puts the witness database behind an HTTP API and
+runs search/census jobs in the background, appending records that are
+bitwise-identical to what the CLI writes.  This example drives the full
+endpoint surface in-process:
+
+* with the `[service]` extra installed, through the real ASGI app via
+  the repo's own dependency-free test client (`repro.service.testing`);
+* without it, through `ServiceState` — the framework-free object every
+  route delegates to — so the walkthrough works in a bare checkout.
+
+Either way no socket is opened and no third-party client is needed.
+
+Run:  python examples/query_service.py
+"""
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments import below_bound_census
+from repro.io import WitnessDB
+from repro.service import ServiceState, service_available
+
+
+def show(label, status, payload) -> None:
+    print(f"--- {label} -> {status}")
+    print(json.dumps(payload, indent=2, default=str)[:600])
+    print()
+
+
+def wait_done(get_job, job_id, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, payload = get_job(job_id)
+        if payload["status"] in ("done", "failed", "cancelled"):
+            return payload
+        time.sleep(0.1)
+    raise TimeoutError(f"job {job_id} did not finish")
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-service-"))
+    db_path = workdir / "witnesses.jsonl"
+
+    # Seed a small corpus the service will query: one census cell.
+    below_bound_census(kinds=["mesh"], sizes=[3], random_trials=400,
+                       db=WitnessDB(db_path))
+
+    if service_available():
+        # Real ASGI app, driven by the in-repo lifespan-aware client.
+        from repro.service import create_app
+        from repro.service.testing import AsgiClient
+
+        print("[service] extra installed - driving the FastAPI app\n")
+        with AsgiClient(create_app(db_path)) as client:
+            run_walkthrough(
+                health=lambda: client.get("/health"),
+                witnesses=lambda q: client.get(f"/witnesses?{q}"),
+                witness=lambda i: client.get(f"/witnesses/{i}"),
+                cells=lambda q: client.get(f"/census-cells?{q}"),
+                submit=lambda body: client.post("/jobs/search", json=body),
+                get_job=lambda i: client.get(f"/jobs/{i}"),
+            )
+    else:
+        # No extra: the framework-free core behind every route.
+        print("[service] extra absent - driving ServiceState directly\n")
+        state = ServiceState(db_path)
+        try:
+            run_walkthrough(
+                health=state.health,
+                witnesses=lambda q: state.list_witnesses(dict(
+                    kv.split("=") for kv in q.split("&") if kv)),
+                witness=state.get_witness,
+                cells=lambda q: state.list_census_cells(dict(
+                    kv.split("=") for kv in q.split("&") if kv)),
+                submit=lambda body: state.submit_job("search", body),
+                get_job=state.get_job,
+            )
+        finally:
+            state.close()
+
+
+def run_walkthrough(*, health, witnesses, witness, cells, submit, get_job):
+    show("GET /health", *health())
+
+    status, page = witnesses("kind=mesh&limit=3")
+    show("GET /witnesses?kind=mesh&limit=3", status, page)
+
+    first = page["items"][0]["id"]
+    show(f"GET /witnesses/{first}", *witness(first))
+
+    show("GET /census-cells?kind=mesh", *cells("kind=mesh"))
+
+    # Launch the same random search the CLI would run; the appended
+    # records are bitwise-identical to `repro-dynamo search ... --db`.
+    spec = {"kind": "mesh", "m": 3, "n": 3, "seed_size": 3,
+            "colors": 3, "trials": 400}
+    status, job = submit(spec)
+    show("POST /jobs/search", status, job)
+
+    done = wait_done(get_job, job["id"])
+    show(f"GET /jobs/{job['id']} (final)", 200, done)
+
+    status, payload = health()
+    print(f"corpus after the job: {payload['witnesses']} witnesses, "
+          f"{payload['searches']} recorded searches")
+
+
+if __name__ == "__main__":
+    main()

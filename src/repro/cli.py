@@ -585,6 +585,21 @@ def build_parser() -> argparse.ArgumentParser:
                     help="destination (loadable by simulate/verify --load)")
 
     sp = sub.add_parser(
+        "serve",
+        help="serve the witness corpus over HTTP (requires the "
+        "[service] extra: FastAPI + uvicorn)",
+    )
+    sp.add_argument("--db", metavar="FILE", default=_DEFAULT_DB,
+                    help=f"witness database to serve (default: {_DEFAULT_DB})")
+    sp.add_argument("--host", default="127.0.0.1",
+                    help="bind address (default: 127.0.0.1)")
+    sp.add_argument("--port", type=int, default=8711,
+                    help="bind port (default: 8711)")
+    sp.add_argument("--jobs-dir", metavar="DIR", default=None,
+                    help="directory for per-job run ledgers (default: "
+                    "<db>.jobs/ next to the database)")
+
+    sp = sub.add_parser(
         "diagonal",
         help="build the below-bound diagonal dynamo (reproduction finding)",
     )
@@ -882,7 +897,6 @@ def _dispatch(parser, args) -> int:
     if args.command == "census":
         from .experiments.census import below_bound_census
 
-        stats = {} if args.db else None
         rows = below_bound_census(
             kinds=args.kinds,
             sizes=args.sizes,
@@ -892,7 +906,6 @@ def _dispatch(parser, args) -> int:
             processes=args.processes,
             shard_size=args.shard_size,
             db=_open_db(args.db) if args.db else None,
-            stats=stats,
             backend=args.backend,
             plan=_plan_from_args(args),
             ledger=args.run_ledger,
@@ -907,11 +920,12 @@ def _dispatch(parser, args) -> int:
             size = f"{r.n}x{r.n}"
             print(f"{r.kind:>12} {size:>6} {r.paper_bound:>6} "
                   f"{found:>6} {below:>6} {ruled:>7} {r.method:>11}")
-        if stats is not None:
+        if args.db:
             # stderr keeps census stdout bitwise-identical across runs
+            rs = rows.run_stats
             print(
-                f"witness db {args.db}: {stats['cache_hits']}/{stats['cells']} "
-                f"cells from cache, {stats['witnesses_recorded']} new "
+                f"witness db {args.db}: {rs.cache_hits}/{rs.cells} "
+                f"cells from cache, {rs.records_appended} new "
                 f"witness records",
                 file=sys.stderr,
             )
@@ -982,7 +996,6 @@ def _dispatch(parser, args) -> int:
     if args.command == "scale-free":
         from .ext.scale_free import scale_free_takeover_census
 
-        stats = {} if args.db else None
         census = scale_free_takeover_census(
             n=args.n,
             m_attach=args.m_attach,
@@ -996,7 +1009,6 @@ def _dispatch(parser, args) -> int:
             db=_open_db(args.db) if args.db else None,
             processes=args.processes,
             backend=args.backend,
-            stats=stats,
             ledger=args.run_ledger,
             resume=args.resume,
         )
@@ -1006,11 +1018,12 @@ def _dispatch(parser, args) -> int:
             print(f"{c.strategy:>16} {c.seed_fraction:>6.2f} "
                   f"{c.takeover_rate:>9.3f} {c.converged_rate:>6.2f} "
                   f"{c.mean_final_k_fraction:>7.3f} {c.mean_rounds:>7.1f}")
-        if stats is not None:
+        if args.db:
             # stderr keeps census stdout bitwise-identical across runs
+            rs = census.run_stats
             print(
-                f"witness db {args.db}: {stats['cache_hits']}/{stats['cells']} "
-                f"cells from cache, {stats['recorded']} recorded",
+                f"witness db {args.db}: {rs.cache_hits}/{rs.cells} "
+                f"cells from cache, {rs.records_appended} recorded",
                 file=sys.stderr,
             )
         return 0
@@ -1019,7 +1032,6 @@ def _dispatch(parser, args) -> int:
         from .ext.asynchrony import async_robustness
 
         con = build_minimum_dynamo(args.kind, args.m, args.n, k=args.target_color)
-        stats = {} if args.db else None
         summary = async_robustness(
             con,
             trials=args.trials,
@@ -1028,16 +1040,16 @@ def _dispatch(parser, args) -> int:
             engine=args.engine,
             db=_open_db(args.db) if args.db else None,
             label=con.name,
-            stats=stats,
         )
         print(f"{con.name}: {summary.trials} random sequential schedules")
         print(f"takeover rate: {summary.takeover_rate:.3f}")
         print(f"monotone rate: {summary.monotone_rate:.3f}")
         print(f"sweeps: min {summary.min_sweeps}, max {summary.max_sweeps}, "
               f"mean {summary.mean_sweeps:.2f}")
-        if stats is not None:
-            outcome = ("served from cache" if stats["cache_hit"]
-                       else "recorded" if stats["recorded"] else "unchanged")
+        if args.db:
+            rs = summary.run_stats
+            outcome = ("served from cache" if rs.cache_hits
+                       else "recorded" if rs.records_appended else "unchanged")
             print(f"witness db {args.db}: summary {outcome}", file=sys.stderr)
         return 0 if summary.takeover_rate == 1.0 else 1
 
@@ -1053,6 +1065,21 @@ def _dispatch(parser, args) -> int:
             print(json.dumps(summary, sort_keys=True))
         else:
             print(render_summary(summary))
+        return 0
+
+    if args.command == "serve":
+        from .service import ServiceUnavailableError, run_server
+
+        try:
+            run_server(
+                args.db,
+                host=args.host,
+                port=args.port,
+                jobs_dir=args.jobs_dir,
+            )
+        except ServiceUnavailableError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         return 0
 
     if args.command == "witness":

@@ -1,6 +1,5 @@
 """Core contribution layer: constructions, bounds, verification, search."""
 
-from .batch import BatchOutcome, batch_smp_step, run_batch_smp
 from .bounds import (
     lemma3_block_min_size,
     lower_bound,
@@ -56,6 +55,19 @@ from .sequences import (
     windows_ok_path,
 )
 from .verify import DynamoReport, is_monotone_dynamo, verify_construction, verify_dynamo
+
+#: retired ``repro.core.batch`` names, resolved lazily so that importing
+#: :mod:`repro.core` does not trigger the shim's DeprecationWarning.
+_BATCH_EXPORTS = ("BatchOutcome", "batch_smp_step", "run_batch_smp")
+
+
+def __getattr__(name):
+    if name in _BATCH_EXPORTS:
+        from . import batch
+
+        return getattr(batch, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "Construction",

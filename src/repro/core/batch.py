@@ -23,6 +23,13 @@ from ..topology.base import Topology
 
 __all__ = ["batch_smp_step", "BatchOutcome", "run_batch_smp"]
 
+warnings.warn(
+    "repro.core.batch is retired; use repro.engine.run_batch (rule-agnostic "
+    "batching) instead — this shim will be removed in a future release",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
 #: re-export of the raw kernel under its historical name
 batch_smp_step = smp_step_batch
 

@@ -31,9 +31,11 @@ if TYPE_CHECKING:  # runtime import stays lazy: io.serialize imports core
 from .. import obs
 from ..engine.backends import KernelBackend, resolve_backend_ref
 from ..engine.batch import DYNAMICS_VERSION, run_batch
+from ..engine.context import ExecutionSettings, resolve_settings
 from ..engine.plans import ExecutionPlan, resolve_plan
 from ..engine.parallel import (
     DEFAULT_SHARD_RETRIES,
+    RunCancelled,
     build_topology,
     run_sharded,
     shard_counts,
@@ -309,9 +311,21 @@ def exhaustive_dynamo_search(
     ledger: LedgerSpec = None,
     resume: bool = False,
     ledger_scope: Optional["LedgerScope"] = None,
+    settings: Optional[ExecutionSettings] = None,
 ) -> SearchOutcome:
     """Enumerate every placement of an s-vertex k-seed together with every
     complement coloring over the remaining ``num_colors - 1`` colors.
+
+    ``settings`` (an :class:`~repro.engine.context.ExecutionSettings`)
+    is the preferred way to configure execution; the individual
+    ``batch_size``/``backend``/``plan``/``ledger``/``resume`` keywords
+    are **deprecated** — still honoured, folded into a settings object
+    internally, but mixing them with ``settings=`` raises
+    :class:`ValueError`.  The enumeration is one unit of work, so
+    ``settings.processes`` is ignored (bitwise-invisible anyway) while
+    a ``settings.shard_size`` is refused; ``settings.cancel`` is
+    checked between batches and raises
+    :class:`~repro.engine.parallel.RunCancelled`.
 
     ``ledger`` opens a :class:`~repro.io.ledger.RunLedger` run for this
     search (``resume=True`` re-opens a previous run); the whole
@@ -344,9 +358,21 @@ def exhaustive_dynamo_search(
     silently skip the database.
     """
     rule = rule if rule is not None else SMPRule()
+    settings = resolve_settings(
+        settings,
+        batch_size=(batch_size, 8192),
+        backend=(backend, None),
+        plan=(plan, None),
+        ledger=(ledger, None),
+        resume=(resume, False),
+    )
+    settings.reject("exhaustive_dynamo_search", "shard_size")
+    batch_size = settings.resolved_batch_size(8192)
+    ledger = settings.ledger
+    resume = settings.resume
     validate_positive(batch_size, flag="batch_size")
-    backend_name, backend_ref = resolve_backend_ref(backend)
-    plan = resolve_plan(plan)
+    backend_name, backend_ref = resolve_backend_ref(settings.backend)
+    plan = resolve_plan(settings.plan)
     n = topo.num_vertices
     total = count_configs(n, seed_size, num_colors)
     if total > max_configs:
@@ -425,6 +451,8 @@ def exhaustive_dynamo_search(
 
     def flush() -> bool:
         """Run the buffered configurations; returns True to stop early."""
+        if settings.cancelled():
+            raise RunCancelled("exhaustive search cancelled between batches")
         if not buf:
             return False
         batch = np.stack(buf)
@@ -449,7 +477,7 @@ def exhaustive_dynamo_search(
         outcome.examined += batch.shape[0]
         return stop_at_first and bool(hits.size)
 
-    with obs.span(
+    with settings.telemetry_scope("exhaustive-search"), obs.span(
         "phase",
         key="exhaustive-search",
         level="basic",
@@ -494,6 +522,7 @@ def exhaustive_min_dynamo_size(
     backend: BackendSpec = None,
     plan: PlanSpec = None,
     ledger_scope: Optional["LedgerScope"] = None,
+    settings: Optional[ExecutionSettings] = None,
 ) -> Tuple[Optional[int], List[SearchOutcome]]:
     """Smallest seed size admitting a (monotone) k-dynamo, by exhaustion.
 
@@ -502,8 +531,15 @@ def exhaustive_min_dynamo_size(
     forwarded to every per-size :func:`exhaustive_dynamo_search`, so a
     populated witness database short-circuits the sizes that previously
     produced witnesses (witness-free sizes always re-run: absence is not
-    recorded).
+    recorded).  ``settings`` is the preferred execution spelling; the
+    ``batch_size``/``backend``/``plan`` keywords are deprecated.
     """
+    settings = resolve_settings(
+        settings,
+        batch_size=(batch_size, 8192),
+        backend=(backend, None),
+        plan=(plan, None),
+    )
     n = topo.num_vertices
     cap = n if max_seed_size is None else min(max_seed_size, n)
     outcomes: List[SearchOutcome] = []
@@ -516,13 +552,11 @@ def exhaustive_min_dynamo_size(
             rule=rule,
             monotone_only=monotone_only,
             max_configs=max_configs,
-            batch_size=batch_size,
             db=db,
-            backend=backend,
-            plan=plan,
             ledger_scope=(
                 None if ledger_scope is None else ledger_scope.child("size", s)
             ),
+            settings=settings,
         )
         outcomes.append(res)
         if res.found_dynamo:
@@ -665,8 +699,18 @@ def random_dynamo_search(
     ledger: LedgerSpec = None,
     resume: bool = False,
     ledger_scope: Optional["LedgerScope"] = None,
+    settings: Optional[ExecutionSettings] = None,
 ) -> SearchOutcome:
     """Monte-Carlo falsification: random seeds + random complements.
+
+    ``settings`` (an :class:`~repro.engine.context.ExecutionSettings`)
+    is the preferred way to configure execution; the individual
+    ``batch_size``/``processes``/``shard_size``/``backend``/``plan``/
+    ``ledger``/``resume`` keywords are **deprecated** — still honoured,
+    folded into a settings object internally, but mixing them with
+    ``settings=`` raises :class:`ValueError`.  ``settings.cancel`` is
+    checked between shards and raises
+    :class:`~repro.engine.parallel.RunCancelled`.
 
     ``ledger`` opens a :class:`~repro.io.ledger.RunLedger` run for this
     search (``resume=True`` re-opens a previous run): every completed
@@ -713,11 +757,26 @@ def random_dynamo_search(
     record nothing and therefore always re-run.
     """
     rule = rule if rule is not None else SMPRule()
+    settings = resolve_settings(
+        settings,
+        processes=(processes, 0),
+        shard_size=(shard_size, None),
+        batch_size=(batch_size, 4096),
+        backend=(backend, None),
+        plan=(plan, None),
+        ledger=(ledger, None),
+        resume=(resume, False),
+    )
+    batch_size = settings.resolved_batch_size(4096)
+    shard_size = settings.shard_size
+    backend = settings.backend
+    ledger = settings.ledger
+    resume = settings.resume
     validate_positive(batch_size, flag="batch_size")
     if shard_size is not None:
         validate_positive(shard_size, flag="shard_size")
-    nproc = validate_processes(processes)
-    plan = resolve_plan(plan)
+    nproc = validate_processes(settings.processes)
+    plan = resolve_plan(settings.plan)
     n = topo.num_vertices
     if max_rounds is None:
         max_rounds = 4 * n + 16
@@ -819,7 +878,7 @@ def random_dynamo_search(
         checkpoint = ledger_scope.checkpoint(len(counts))
         max_retries = DEFAULT_SHARD_RETRIES
     shard_of: List[int] = []
-    with obs.span(
+    with settings.telemetry_scope("random-search"), obs.span(
         "phase",
         key="random-search",
         level="basic",
@@ -833,6 +892,7 @@ def random_dynamo_search(
                 processes=nproc,
                 checkpoint=checkpoint,
                 max_retries=max_retries,
+                cancel=settings.cancel,
             )
         ):
             outcome.witnesses.extend(partial)

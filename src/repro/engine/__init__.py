@@ -15,6 +15,7 @@ from .backends import (
     select_backend,
 )
 from .batch import BatchRunResult, as_color_batch, run_batch
+from .context import ExecutionSettings, RunStats, resolve_settings
 from .plans import (
     DEFAULT_PLAN,
     NO_PLAN,
@@ -27,6 +28,7 @@ from .plans import (
     resolve_plan,
 )
 from .parallel import (
+    RunCancelled,
     kind_tag,
     resolve_processes,
     run_sharded,
@@ -51,6 +53,10 @@ __all__ = [
     "run_asynchronous_batch",
     "run_temporal",
     "run_temporal_batch",
+    "ExecutionSettings",
+    "RunStats",
+    "RunCancelled",
+    "resolve_settings",
     "run_sharded",
     "shard_counts",
     "shard_seed",

@@ -45,12 +45,14 @@ import numpy as np
 from .. import obs
 from ..topology.base import Topology
 from ..topology.tori import TORUS_CLASSES, make_torus
+from .context import CancelCheck, ExecutionSettings
 
 if TYPE_CHECKING:  # type-only: avoid a runtime engine -> io import cycle
     from ..io.ledger import ShardCheckpoint
 
 __all__ = [
     "DEFAULT_SHARD_RETRIES",
+    "RunCancelled",
     "ShardError",
     "build_topology",
     "kind_tag",
@@ -75,6 +77,26 @@ TopologySpec = Tuple[str, int, int]
 #: shard's RNG derives from its coordinates (:func:`shard_seed`), never
 #: from the attempt count or the process that runs it.
 DEFAULT_SHARD_RETRIES = 2
+
+
+class RunCancelled(RuntimeError):
+    """A cancellation probe tripped between shards.
+
+    Raised by :func:`run_sharded` (and by drivers that run their own
+    shard loops) when the ``cancel`` probe — usually
+    ``threading.Event.is_set`` wired in by a service job — returns
+    ``True``.  Cancellation is cooperative and shard-granular: work
+    already committed (witness-db records, ledger shards) stays
+    committed, so a cancelled ledgered run resumes exactly like a
+    crashed one.
+    """
+
+
+def _check_cancel(cancel: Optional[CancelCheck]) -> None:
+    """Raise :class:`RunCancelled` once the probe (if any) trips."""
+    if cancel is not None and cancel():
+        obs.count("parallel.cancelled")
+        raise RunCancelled("run cancelled between shards")
 
 
 class ShardError(RuntimeError):
@@ -201,6 +223,8 @@ def run_sharded(
     flag: str = "processes",
     checkpoint: Optional["ShardCheckpoint"] = None,
     max_retries: int = 0,
+    settings: Optional[ExecutionSettings] = None,
+    cancel: Optional[CancelCheck] = None,
 ) -> List[R]:
     """Map ``worker`` over ``shards``, optionally across a process pool.
 
@@ -244,6 +268,15 @@ def run_sharded(
         ``SeedSequence`` and bitwise-identical output; once the budget
         is exhausted a :class:`ShardError` naming the shard's key is
         raised.  The default ``0`` preserves fail-fast semantics.
+    settings:
+        An :class:`~repro.engine.context.ExecutionSettings` supplying
+        ``processes`` (and ``cancel``, unless overridden) — the single
+        settings object the sharded drivers thread through.  Mutually
+        exclusive with the ``processes`` keyword.
+    cancel:
+        Cancellation probe checked between shards (inline paths) and at
+        pool-wave boundaries; a ``True`` return raises
+        :class:`RunCancelled`.  Committed work stays committed.
 
     Returns
     -------
@@ -251,14 +284,25 @@ def run_sharded(
     process count, whether shards were replayed, and however many
     retries were spent.
     """
+    if settings is not None:
+        if processes is not None:
+            raise ValueError(
+                "pass processes through settings= or the keyword, not both"
+            )
+        processes = settings.processes
+        if cancel is None:
+            cancel = settings.cancel
     units = list(shards)
     with obs.span("pool", level="basic", shards=len(units)):
         if checkpoint is None and max_retries == 0:
             nproc = resolve_processes(processes, len(units), flag=flag)
             if nproc <= 1 or len(units) <= 1:
-                return [
-                    obs.shard_call(worker, i, u) for i, u in enumerate(units)
-                ]
+                results: List[R] = []
+                for i, u in enumerate(units):
+                    _check_cancel(cancel)
+                    results.append(obs.shard_call(worker, i, u))
+                return results
+            _check_cancel(cancel)
             if obs.enabled("debug"):
                 for i in range(len(units)):
                     obs.emit("shard-dispatch", key=i, level="debug")
@@ -279,6 +323,7 @@ def run_sharded(
             flag=flag,
             checkpoint=checkpoint,
             max_retries=max_retries,
+            cancel=cancel,
         )
 
 
@@ -322,6 +367,7 @@ def _run_sharded_resumable(
     flag: str,
     checkpoint: Optional["ShardCheckpoint"],
     max_retries: int,
+    cancel: Optional[CancelCheck] = None,
 ) -> List[R]:
     """The ledger-aware / fault-tolerant fan-out behind :func:`run_sharded`.
 
@@ -353,6 +399,7 @@ def _run_sharded_resumable(
     nproc = resolve_processes(processes, len(pending), flag=flag)
     if nproc <= 1 or len(pending) <= 1:
         for i in pending:
+            _check_cancel(cancel)
             results[i] = _attempt_shard(
                 worker, units[i], _shard_key(checkpoint, i), max_retries, None
             )
@@ -361,6 +408,7 @@ def _run_sharded_resumable(
         return results  # type: ignore[return-value]
     queue = pending
     while queue:
+        _check_cancel(cancel)
         consumed: List[int] = []
         try:
             init, initargs = obs.pool_initializer()

@@ -26,7 +26,7 @@ cached and fresh censuses are indistinguishable in output.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -44,13 +44,19 @@ from ..core.search import (
 from ..core.verify import is_monotone_dynamo
 from ..engine.backends import resolve_backend_ref
 from ..engine.batch import DYNAMICS_VERSION
-from ..engine.parallel import kind_tag, validate_positive, validate_processes
+from ..engine.context import ExecutionSettings, RunStats, resolve_settings
+from ..engine.parallel import (
+    RunCancelled,
+    kind_tag,
+    validate_positive,
+    validate_processes,
+)
 from ..io.ledger import LedgerScope, RunLedger, open_ledger
 from ..io.witnessdb import CensusCellRecord, WitnessDB
 from ..topology.base import Topology
 from ..topology.tori import make_torus
 
-__all__ = ["CensusRow", "below_bound_census"]
+__all__ = ["CensusResult", "CensusRow", "below_bound_census"]
 
 #: palette size used by the statistical (random-search) branches; richer
 #: than the constructions' palettes because more colors only make small
@@ -93,18 +99,29 @@ class CensusRow:
 _CellWitness = Optional[Tuple[np.ndarray, int, int]]
 
 
+class CensusResult(List[CensusRow]):
+    """The audit table (a plain list of rows) plus typed run accounting.
+
+    Behaves exactly like the ``List[CensusRow]`` the census always
+    returned; :attr:`run_stats` carries the cache/record counts that the
+    deprecated ``stats`` dict out-param used to report.
+    """
+
+    run_stats: RunStats
+
+    def __init__(self, rows: Sequence[CensusRow], run_stats: RunStats) -> None:
+        super().__init__(rows)
+        self.run_stats = run_stats
+
+
 def _random_floor_scan(
     topo: Topology,
     start_size: int,
     trials: int,
     entropy_base: Sequence[int],
     *,
-    batch_size: int,
-    processes: Optional[int],
-    shard_size: Optional[int],
+    settings: ExecutionSettings,
     db: Optional[WitnessDB] = None,
-    backend: BackendSpec = None,
-    plan: PlanSpec = None,
     ledger_scope: Optional[LedgerScope] = None,
 ) -> Tuple[Optional[int], Optional[int], _CellWitness]:
     """Scan seed sizes downward from ``start_size`` by random search.
@@ -127,12 +144,8 @@ def _random_floor_scan(
             trials,
             [*entropy_base, s],
             monotone_only=True,
-            batch_size=batch_size,
-            processes=processes,
-            shard_size=shard_size,
+            settings=settings,
             db=db,
-            backend=backend,
-            plan=plan,
             ledger_scope=(
                 None if ledger_scope is None else ledger_scope.child("size", s)
             ),
@@ -171,8 +184,18 @@ def below_bound_census(
     plan: PlanSpec = None,
     ledger: Union[RunLedger, str, Path, None] = None,
     resume: bool = False,
-) -> List[CensusRow]:
+    settings: Optional[ExecutionSettings] = None,
+) -> "CensusResult":
     """Run the audit; every returned witness size is re-verified.
+
+    ``settings`` (an :class:`~repro.engine.context.ExecutionSettings`)
+    is the preferred way to configure execution; the individual
+    ``batch_size``/``processes``/``shard_size``/``backend``/``plan``/
+    ``ledger``/``resume`` keywords below are **deprecated** — they keep
+    working and are folded into a settings object internally, but
+    mixing them with ``settings=`` raises :class:`ValueError`.  The
+    returned :class:`CensusResult` is the usual list of rows plus a
+    typed :attr:`~CensusResult.run_stats`.
 
     ``batch_size`` is the replica-block width handed to the batched
     engine (:func:`repro.engine.batch.run_batch`) by both the exhaustive
@@ -187,8 +210,9 @@ def below_bound_census(
     stored ``census-cell`` record is served
     from the store without running any search, and freshly computed
     cells store their witness and summary on the way out.  ``stats``
-    (an optional dict, mutated in place) reports ``cells``,
-    ``cache_hits``, and ``witnesses_recorded``.
+    (an optional dict, mutated in place) is **deprecated** in favour of
+    the returned ``run_stats``; for one more release it still reports
+    ``cells``, ``cache_hits``, and ``witnesses_recorded``.
 
     ``backend`` selects the kernel backend
     (:mod:`repro.engine.backends`) the searches run under.  Backends are
@@ -213,15 +237,42 @@ def below_bound_census(
     """
     from ..engine.plans import resolve_plan
 
-    plan = resolve_plan(plan)  # reject junk before any cell runs
-    nproc = validate_processes(processes)
+    settings = resolve_settings(
+        settings,
+        processes=(processes, 0),
+        shard_size=(shard_size, None),
+        batch_size=(batch_size, 8192),
+        backend=(backend, None),
+        plan=(plan, None),
+        ledger=(ledger, None),
+        resume=(resume, False),
+    )
+    plan = resolve_plan(settings.plan)  # reject junk before any cell runs
+    nproc = validate_processes(settings.processes)
+    batch_size = settings.resolved_batch_size(8192)
     validate_positive(batch_size, flag="batch_size")
+    shard_size = settings.shard_size
     if shard_size is not None:
-        validate_positive(shard_size, flag="shard_size")
+        shard_size = validate_positive(shard_size, flag="shard_size")
+    backend = settings.backend
+    ledger = settings.ledger
+    resume = settings.resume
     # same sharded-instance rejection the searches apply, but *before*
     # any cell runs — a mid-census failure would waste finished cells
     backend_name, _ = resolve_backend_ref(
         backend, sharded=nproc is None or nproc > 0
+    )
+    # what the inner searches see: geometry fully resolved (the random
+    # search's own batch default must never apply), ledger handed down
+    # as explicit scopes instead of a second top-level run
+    search_settings = replace(
+        settings,
+        batch_size=batch_size,
+        shard_size=shard_size,
+        plan=plan,
+        ledger=None,
+        resume=False,
+        telemetry=None,
     )
     store = _open_db(db)
     witnesses_before = len(store) if store is not None else 0
@@ -264,132 +315,138 @@ def below_bound_census(
         if cell_scope is not None:
             cell_scope.put({"row": asdict(row), "witness": witness}, "cell")
 
-    for kind in kinds:
-        for n in sizes:
-            with obs.span("cell", key=[str(kind), int(n)], level="basic"):
-                cell_scope = scope.child(str(kind), int(n)) if scope else None
-                if store is not None:
-                    cell = store.find_cell(kind, n, definition)
-                    if cell is not None:
-                        rows.append(_row_from_cell(cell))
-                        cache_hits += 1
-                        continue
-                if cell_scope is not None:
-                    stored = cell_scope.get("cell")
-                    if stored is not None:
-                        # replay the committed cell; _record_cell
-                        # converges a db the crash left behind the ledger
-                        # (idempotent when the writes already landed)
-                        row = CensusRow(**stored["row"])
-                        rows.append(row)
-                        _record_cell(
-                            store, definition, row, stored["witness"],
-                            backend_name,
+    with settings.telemetry_scope("census"):
+        for kind in kinds:
+            for n in sizes:
+                if settings.cancelled():
+                    raise RunCancelled("census cancelled between cells")
+                with obs.span("cell", key=[str(kind), int(n)], level="basic"):
+                    cell_scope = (
+                        scope.child(str(kind), int(n)) if scope else None
+                    )
+                    if store is not None:
+                        cell = store.find_cell(kind, n, definition)
+                        if cell is not None:
+                            rows.append(_row_from_cell(cell))
+                            cache_hits += 1
+                            continue
+                    if cell_scope is not None:
+                        stored = cell_scope.get("cell")
+                        if stored is not None:
+                            # replay the committed cell; _record_cell
+                            # converges a db the crash left behind the
+                            # ledger (idempotent when the writes landed)
+                            row = CensusRow(**stored["row"])
+                            rows.append(row)
+                            _record_cell(
+                                store, definition, row, stored["witness"],
+                                backend_name,
+                            )
+                            continue
+                    bound = lower_bound(kind, n, n)
+                    cell_entropy = (int(seed), kind_tag(kind), int(n))
+                    witness: _CellWitness = None
+                    if n == 3:
+                        topo = make_torus(kind, 3, 3)
+                        size, outcomes = exhaustive_min_dynamo_size(
+                            topo,
+                            num_colors=_EXHAUSTIVE_PALETTE,
+                            monotone_only=True,
+                            max_seed_size=bound,
+                            db=store,
+                            ledger_scope=cell_scope,
+                            # the exhaustive path does not shard: its
+                            # settings must not carry a shard_size
+                            settings=replace(search_settings, shard_size=None),
                         )
+                        if size is not None:
+                            witness = (
+                                outcomes[-1].witnesses[0][0],
+                                _EXHAUSTIVE_PALETTE,
+                                0,
+                            )
+                        row = CensusRow(
+                            kind=kind,
+                            n=n,
+                            paper_bound=bound,
+                            certified_size=size,
+                            method="exhaustive",
+                            ruled_out_below=size,
+                        )
+                        commit_cell(row, witness, cell_scope)
                         continue
-                bound = lower_bound(kind, n, n)
-                cell_entropy = (int(seed), kind_tag(kind), int(n))
-                witness: _CellWitness = None
-                if n == 3:
-                    topo = make_torus(kind, 3, 3)
-                    size, outcomes = exhaustive_min_dynamo_size(
+                    # diagonal family first (cheap for cached mesh sizes)
+                    con = diagonal_dynamo(
+                        n, kind, max_nodes=2_000_000 if n <= 5 else 8_000_000
+                    )
+                    if con is not None and is_monotone_dynamo(
+                        con.topo, con.colors, con.k
+                    ):
+                        # probe below the diagonal witness so the row
+                        # records how far the audit actually looked (and
+                        # catches any smaller random witness the diagonal
+                        # family misses)
+                        below, ruled_out, probe_witness = _random_floor_scan(
+                            con.topo,
+                            con.seed_size - 1,
+                            random_trials,
+                            cell_entropy,
+                            settings=search_settings,
+                            db=store,
+                            ledger_scope=cell_scope,
+                        )
+                        if below is not None:
+                            witness = probe_witness
+                        else:
+                            witness = (con.colors, con.num_colors, con.k)
+                        row = CensusRow(
+                            kind=kind,
+                            n=n,
+                            paper_bound=bound,
+                            certified_size=(
+                                below if below is not None else con.seed_size
+                            ),
+                            method="diagonal" if below is None else "random",
+                            ruled_out_below=ruled_out,
+                        )
+                        commit_cell(row, witness, cell_scope)
+                        continue
+                    # fall back to random search just below the bound
+                    topo = make_torus(kind, n, n)
+                    best, ruled_out, witness = _random_floor_scan(
                         topo,
-                        num_colors=_EXHAUSTIVE_PALETTE,
-                        monotone_only=True,
-                        max_seed_size=bound,
-                        batch_size=batch_size,
-                        db=store,
-                        backend=backend,
-                        plan=plan,
-                        ledger_scope=cell_scope,
-                    )
-                    if size is not None:
-                        witness = (
-                            outcomes[-1].witnesses[0][0], _EXHAUSTIVE_PALETTE, 0
-                        )
-                    row = CensusRow(
-                        kind=kind,
-                        n=n,
-                        paper_bound=bound,
-                        certified_size=size,
-                        method="exhaustive",
-                        ruled_out_below=size,
-                    )
-                    commit_cell(row, witness, cell_scope)
-                    continue
-                # diagonal family first (cheap for cached mesh sizes)
-                con = diagonal_dynamo(
-                    n, kind, max_nodes=2_000_000 if n <= 5 else 8_000_000
-                )
-                if con is not None and is_monotone_dynamo(
-                    con.topo, con.colors, con.k
-                ):
-                    # probe below the diagonal witness so the row records
-                    # how far the audit actually looked (and catches any
-                    # smaller random witness the diagonal family misses)
-                    below, ruled_out, probe_witness = _random_floor_scan(
-                        con.topo,
-                        con.seed_size - 1,
+                        bound - 1,
                         random_trials,
                         cell_entropy,
-                        batch_size=batch_size,
-                        processes=processes,
-                        shard_size=shard_size,
+                        settings=search_settings,
                         db=store,
-                        backend=backend,
-                        plan=plan,
                         ledger_scope=cell_scope,
                     )
-                    if below is not None:
-                        witness = probe_witness
-                    else:
-                        witness = (con.colors, con.num_colors, con.k)
                     row = CensusRow(
                         kind=kind,
                         n=n,
                         paper_bound=bound,
-                        certified_size=(
-                            below if below is not None else con.seed_size
-                        ),
-                        method="diagonal" if below is None else "random",
+                        certified_size=best,
+                        method="random",
                         ruled_out_below=ruled_out,
                     )
                     commit_cell(row, witness, cell_scope)
-                    continue
-                # fall back to random search just below the bound
-                topo = make_torus(kind, n, n)
-                best, ruled_out, witness = _random_floor_scan(
-                    topo,
-                    bound - 1,
-                    random_trials,
-                    cell_entropy,
-                    batch_size=batch_size,
-                    processes=processes,
-                    shard_size=shard_size,
-                    db=store,
-                    backend=backend,
-                    plan=plan,
-                    ledger_scope=cell_scope,
-                )
-                row = CensusRow(
-                    kind=kind,
-                    n=n,
-                    paper_bound=bound,
-                    certified_size=best,
-                    method="random",
-                    ruled_out_below=ruled_out,
-                )
-                commit_cell(row, witness, cell_scope)
     if scope is not None:
         scope.ledger.finish(scope.run_id)
+    recorded = (len(store) - witnesses_before) if store is not None else 0
     if stats is not None:
-        # count actual store growth: the searches themselves append
-        # witnesses beyond the one-per-cell the census links to its row
-        recorded = (len(store) - witnesses_before) if store is not None else 0
+        # deprecated out-param, populated for one more release: count
+        # actual store growth — the searches themselves append witnesses
+        # beyond the one-per-cell the census links to its row
         stats.update(
             cells=len(rows), cache_hits=cache_hits, witnesses_recorded=recorded
         )
-    return rows
+    return CensusResult(
+        rows,
+        RunStats(
+            cells=len(rows), cache_hits=cache_hits, records_appended=recorded
+        ),
+    )
 
 
 def _record_cell(

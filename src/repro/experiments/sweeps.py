@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple, Uni
 import numpy as np
 
 from .. import obs
+from ..engine.context import ExecutionSettings, resolve_settings
 from ..engine.parallel import (
     DEFAULT_SHARD_RETRIES,
     run_sharded,
@@ -194,8 +195,16 @@ def convergence_sweep(
     plan: Optional["ExecutionPlan"] = None,
     ledger: Union[RunLedger, str, Path, None] = None,
     resume: bool = False,
+    settings: Optional[ExecutionSettings] = None,
 ) -> np.ndarray:
     """Random-replica convergence statistics per grid point, sharded.
+
+    ``settings`` (an :class:`~repro.engine.context.ExecutionSettings`)
+    is the preferred way to configure execution; the individual
+    ``batch_size``/``processes``/``shard_size``/``backend``/``plan``/
+    ``ledger``/``resume`` keywords are **deprecated** — still honoured,
+    folded into a settings object internally, but mixing them with
+    ``settings=`` raises :class:`ValueError`.
 
     For each ``(kind, m, n)`` point, ``replicas`` uniform random initial
     colorings are advanced by the batched engine in blocks of
@@ -229,13 +238,28 @@ def convergence_sweep(
     from ..engine.plans import resolve_plan
     from ..rules import make_rule  # validate the rule name before forking
 
-    plan = resolve_plan(plan)
+    settings = resolve_settings(
+        settings,
+        processes=(processes, 0),
+        shard_size=(shard_size, None),
+        batch_size=(batch_size, 256),
+        backend=(backend, None),
+        plan=(plan, None),
+        ledger=(ledger, None),
+        resume=(resume, False),
+    )
+    batch_size = settings.resolved_batch_size(256)
+    shard_size = settings.shard_size
+    backend = settings.backend
+    ledger = settings.ledger
+    resume = settings.resume
+    plan = resolve_plan(settings.plan)
     validate_positive(replicas, flag="replicas")
     validate_positive(batch_size, flag="batch_size")
     if shard_size is not None:
         validate_positive(shard_size, flag="shard_size")
     make_rule(rule_name, num_colors=num_colors)
-    nproc = validate_processes(processes)
+    nproc = validate_processes(settings.processes)
     # shards carry the backend *name* whenever a pool could spin up
     # (workers resolve it locally) and the instance itself only inline;
     # unpicklable instances are rejected here, before forking
@@ -273,7 +297,7 @@ def convergence_sweep(
              for si in range(len(counts))]
         )
         max_retries = DEFAULT_SHARD_RETRIES
-    with obs.span(
+    with settings.telemetry_scope("convergence-sweep"), obs.span(
         "phase",
         key="convergence-sweep",
         level="basic",
@@ -283,9 +307,10 @@ def convergence_sweep(
         partials = run_sharded(
             _convergence_shard,
             shards,
-            processes=processes,
+            processes=nproc,
             checkpoint=checkpoint,
             max_retries=max_retries,
+            cancel=settings.cancel,
         )
     if ledger is not None:
         scope.ledger.finish(scope.run_id)

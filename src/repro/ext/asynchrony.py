@@ -36,7 +36,7 @@ question than the paper posed.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
@@ -44,6 +44,7 @@ import numpy as np
 from .. import obs
 from ..core.constructions import Construction
 from ..engine.batch import DYNAMICS_VERSION, run_batch
+from ..engine.context import RunStats
 from ..engine.schedulers import AsyncSchedule, run_asynchronous
 from ..rules.smp import SMPRule
 
@@ -57,7 +58,13 @@ __all__ = [
 
 @dataclass
 class AsyncRobustness:
-    """Summary over random sequential schedules."""
+    """Summary over random sequential schedules.
+
+    ``run_stats`` summarizes how :func:`async_robustness` produced this
+    summary (cache hit vs fresh sweeps, record appended or not); it is
+    execution provenance, not part of the summary's value, so it is
+    excluded from equality and from ``as_row``/``from_row``.
+    """
 
     trials: int
     takeover_rate: float
@@ -65,6 +72,9 @@ class AsyncRobustness:
     min_sweeps: int
     max_sweeps: int
     mean_sweeps: float
+    run_stats: RunStats = field(
+        default_factory=RunStats, compare=False, repr=False
+    )
 
     def as_row(self) -> dict:
         return {
@@ -205,7 +215,10 @@ def async_robustness(
     ``db``, the summary is cached as an ``async-summary`` record keyed
     by the full experiment definition (including a content hash of the
     configuration) and later identical invocations skip the sweeps
-    entirely; ``stats`` (mutated in place) reports the cache outcome.
+    entirely.  The cache outcome is reported on the returned summary's
+    ``run_stats`` field (:class:`~repro.engine.context.RunStats`); the
+    ``stats`` dict out-param is deprecated and will be removed in a
+    future release — it is still mutated in place for now.
     """
     root = derive_schedule_root(seed, rng, 0xA5C)
     if stats is None:
@@ -225,7 +238,9 @@ def async_robustness(
         cached = db.find_async_summary(record_label, definition)
         if cached is not None:
             stats["cache_hit"] = True
-            return AsyncRobustness.from_row(cached.row)
+            summary = AsyncRobustness.from_row(cached.row)
+            summary.run_stats = RunStats(cells=1, cache_hits=1)
+            return summary
     schedule = AsyncSchedule.derive(root, trials)
     with obs.span(
         "phase", key="async-robustness", level="basic", trials=int(trials)
@@ -243,6 +258,9 @@ def async_robustness(
             )
         )
         stats["recorded"] = True
+    summary.run_stats = RunStats(
+        cells=1, records_appended=1 if stats["recorded"] else 0
+    )
     return summary
 
 

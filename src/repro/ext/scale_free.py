@@ -30,8 +30,10 @@ import numpy as np
 
 from .. import obs
 from ..engine.batch import DYNAMICS_VERSION, run_batch
+from ..engine.context import ExecutionSettings, RunStats, resolve_settings
 from ..engine.parallel import (
     DEFAULT_SHARD_RETRIES,
+    RunCancelled,
     kind_tag,
     run_sharded,
     validate_positive,
@@ -209,10 +211,16 @@ class ScaleFreeCell:
 
 @dataclass
 class ScaleFreeCensus:
-    """All cells of one census invocation plus execution statistics."""
+    """All cells of one census invocation plus execution statistics.
+
+    ``run_stats`` is the typed accounting (cells / cache hits / records
+    appended); the ``stats`` dict mirrors it under the legacy keys
+    (``cells`` / ``cache_hits`` / ``recorded``) and is **deprecated**.
+    """
 
     cells: List[ScaleFreeCell]
     stats: dict = field(default_factory=dict)
+    run_stats: RunStats = field(default_factory=RunStats)
 
 
 def _fraction_tag(seed_fraction: float) -> int:
@@ -222,8 +230,10 @@ def _fraction_tag(seed_fraction: float) -> int:
 
 #: one shard = one BA graph of one cell:
 #: (seed, n, m_attach, num_colors, strategy, fraction, graph, replicas,
-#:  max_rounds, backend_name)
-_GraphShard = Tuple[int, int, int, int, str, float, int, int, int, Optional[str]]
+#:  max_rounds, backend_name, plan)
+_GraphShard = Tuple[
+    int, int, int, int, str, float, int, int, int, Optional[str], object
+]
 
 
 def _scale_free_graph_worker(shard: _GraphShard) -> dict:
@@ -237,7 +247,7 @@ def _scale_free_graph_worker(shard: _GraphShard) -> dict:
     """
     (
         seed, n, m_attach, num_colors, strategy, fraction,
-        graph, replicas, max_rounds, backend,
+        graph, replicas, max_rounds, backend, plan,
     ) = shard
     rng = np.random.default_rng(
         np.random.SeedSequence(
@@ -264,6 +274,7 @@ def _scale_free_graph_worker(shard: _GraphShard) -> dict:
         target_color=k,
         detect_cycles=False,
         backend=backend,
+        plan=plan,
     )
     return {
         "takeovers": int(res.k_monochromatic.sum()),
@@ -290,8 +301,22 @@ def scale_free_takeover_census(
     stats: Optional[dict] = None,
     ledger=None,
     resume: bool = False,
+    settings: Optional[ExecutionSettings] = None,
 ) -> ScaleFreeCensus:
     """Sweep (strategy x seed fraction), averaging replicas over BA graphs.
+
+    ``settings`` (an :class:`~repro.engine.context.ExecutionSettings`)
+    is the preferred way to configure execution; the individual
+    ``processes``/``backend``/``ledger``/``resume`` keywords are
+    **deprecated** — still honoured, folded into a settings object
+    internally, but mixing them with ``settings=`` raises
+    :class:`ValueError`.  This census has fixed shard geometry (one
+    graph's replicas advance as one block), so a ``shard_size`` or
+    ``batch_size`` in the settings is refused rather than silently
+    ignored; ``settings.plan`` is honoured by every graph worker, and
+    ``settings.cancel`` is checked between cells and shards.  The
+    ``stats`` out-param is likewise **deprecated** in favour of the
+    returned :attr:`ScaleFreeCensus.run_stats`.
 
     Each cell runs ``graphs`` independent Barabási–Albert graphs with
     ``replicas`` random initial configurations each; a graph is one
@@ -317,6 +342,20 @@ def scale_free_takeover_census(
     """
     from ..io.witnessdb import ScaleFreeCellRecord
 
+    settings = resolve_settings(
+        settings,
+        processes=(processes, 0),
+        backend=(backend, None),
+        ledger=(ledger, None),
+        resume=(resume, False),
+    )
+    settings.reject(
+        "scale_free_takeover_census", "shard_size", "batch_size"
+    )
+    processes = settings.processes
+    backend = settings.backend
+    ledger = settings.ledger
+    resume = settings.resume
     n = validate_positive(n, flag="n")
     graphs = validate_positive(graphs, flag="graphs")
     replicas = validate_positive(replicas, flag="replicas")
@@ -335,6 +374,9 @@ def scale_free_takeover_census(
         from ..engine.backends import select_backend
 
         backend_name = select_backend(backend).name
+    from ..engine.plans import resolve_plan
+
+    plan = resolve_plan(settings.plan)
 
     if stats is None:
         stats = {}
@@ -359,85 +401,102 @@ def scale_free_takeover_census(
         scope = LedgerScope(led, led.begin(run_definition, resume=resume))
 
     cells: List[ScaleFreeCell] = []
-    for strategy in strategies:
-        for fraction in seed_fractions:
-            fraction = float(fraction)
-            with obs.span(
-                "cell", key=[strategy, fraction], level="basic"
-            ):
-                stats["cells"] += 1
-                definition = {
-                    "experiment": "scale-free-takeover",
-                    "dynamics": DYNAMICS_VERSION,
-                    "seed": int(seed),
-                    "n": n,
-                    "m_attach": int(m_attach),
-                    "num_colors": int(num_colors),
-                    "strategy": strategy,
-                    "seed_fraction": fraction,
-                    "graphs": graphs,
-                    "replicas": replicas,
-                    "max_rounds": int(max_rounds),
-                }
-                if db is not None:
-                    cached = db.find_scale_free_cell(
-                        strategy, fraction, definition
+    with settings.telemetry_scope("scale-free-census"):
+        for strategy in strategies:
+            for fraction in seed_fractions:
+                fraction = float(fraction)
+                if settings.cancelled():
+                    raise RunCancelled(
+                        "scale-free census cancelled between cells"
                     )
-                    if cached is not None:
-                        cells.append(
-                            ScaleFreeCell.from_row(cached.row, from_cache=True)
+                with obs.span(
+                    "cell", key=[strategy, fraction], level="basic"
+                ):
+                    stats["cells"] += 1
+                    definition = {
+                        "experiment": "scale-free-takeover",
+                        "dynamics": DYNAMICS_VERSION,
+                        "seed": int(seed),
+                        "n": n,
+                        "m_attach": int(m_attach),
+                        "num_colors": int(num_colors),
+                        "strategy": strategy,
+                        "seed_fraction": fraction,
+                        "graphs": graphs,
+                        "replicas": replicas,
+                        "max_rounds": int(max_rounds),
+                    }
+                    if db is not None:
+                        cached = db.find_scale_free_cell(
+                            strategy, fraction, definition
                         )
-                        stats["cache_hits"] += 1
-                        continue
-                shards: List[_GraphShard] = [
-                    (
-                        int(seed), n, int(m_attach), int(num_colors), strategy,
-                        fraction, g, replicas, int(max_rounds), backend_name,
-                    )
-                    for g in range(graphs)
-                ]
-                checkpoint = None
-                if scope is not None:
-                    checkpoint = scope.child(
-                        strategy, _fraction_tag(fraction)
-                    ).checkpoint(graphs, label="graph")
-                partials = run_sharded(
-                    _scale_free_graph_worker,
-                    shards,
-                    processes=processes,
-                    checkpoint=checkpoint,
-                    max_retries=(
-                        DEFAULT_SHARD_RETRIES if checkpoint is not None else 0
-                    ),
-                )
-                total = graphs * replicas
-                cell = ScaleFreeCell(
-                    strategy=strategy,
-                    seed_fraction=fraction,
-                    graphs=graphs,
-                    replicas=replicas,
-                    takeover_rate=(
-                        sum(p["takeovers"] for p in partials) / total
-                    ),
-                    mean_final_k_fraction=(
-                        sum(p["k_fraction_sum"] for p in partials) / total
-                    ),
-                    mean_rounds=sum(p["rounds_sum"] for p in partials) / total,
-                    converged_rate=(
-                        sum(p["converged"] for p in partials) / total
-                    ),
-                )
-                cells.append(cell)
-                if db is not None:
-                    db.add_scale_free_cell(
-                        ScaleFreeCellRecord(
-                            strategy=strategy,
-                            seed_fraction=fraction,
-                            definition=definition,
-                            row=cell.as_row(),
+                        if cached is not None:
+                            cells.append(
+                                ScaleFreeCell.from_row(cached.row, from_cache=True)
+                            )
+                            stats["cache_hits"] += 1
+                            continue
+                    shards: List[_GraphShard] = [
+                        (
+                            int(seed), n, int(m_attach), int(num_colors),
+                            strategy, fraction, g, replicas, int(max_rounds),
+                            backend_name, plan,
                         )
+                        for g in range(graphs)
+                    ]
+                    checkpoint = None
+                    if scope is not None:
+                        checkpoint = scope.child(
+                            strategy, _fraction_tag(fraction)
+                        ).checkpoint(graphs, label="graph")
+                    partials = run_sharded(
+                        _scale_free_graph_worker,
+                        shards,
+                        processes=processes,
+                        checkpoint=checkpoint,
+                        max_retries=(
+                            DEFAULT_SHARD_RETRIES
+                            if checkpoint is not None
+                            else 0
+                        ),
+                        cancel=settings.cancel,
                     )
-                    stats["recorded"] += 1
+                    total = graphs * replicas
+                    cell = ScaleFreeCell(
+                        strategy=strategy,
+                        seed_fraction=fraction,
+                        graphs=graphs,
+                        replicas=replicas,
+                        takeover_rate=(
+                            sum(p["takeovers"] for p in partials) / total
+                        ),
+                        mean_final_k_fraction=(
+                            sum(p["k_fraction_sum"] for p in partials) / total
+                        ),
+                        mean_rounds=sum(p["rounds_sum"] for p in partials) / total,
+                        converged_rate=(
+                            sum(p["converged"] for p in partials) / total
+                        ),
+                    )
+                    cells.append(cell)
+                    if db is not None:
+                        db.add_scale_free_cell(
+                            ScaleFreeCellRecord(
+                                strategy=strategy,
+                                seed_fraction=fraction,
+                                definition=definition,
+                                row=cell.as_row(),
+                            )
+                        )
+                        stats["recorded"] += 1
     if scope is not None:
         scope.ledger.finish(scope.run_id)
-    return ScaleFreeCensus(cells=cells, stats=stats)
+    return ScaleFreeCensus(
+        cells=cells,
+        stats=stats,
+        run_stats=RunStats(
+            cells=stats["cells"],
+            cache_hits=stats["cache_hits"],
+            records_appended=stats["recorded"],
+        ),
+    )

@@ -1,0 +1,160 @@
+"""A minimal in-process ASGI test client (no network, no httpx).
+
+CI and local tests drive the FastAPI app through the raw ASGI
+protocol: a private event loop runs the application coroutine, the
+lifespan protocol is driven manually (startup on ``__enter__``,
+shutdown on ``close``), and each request is one ``http`` scope with
+the response messages collected synchronously.  This keeps the test
+surface at exactly what a real server exercises while needing nothing
+beyond the app object itself — the ``[service]`` extra's *server* half
+(uvicorn) is never required for testing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json as _json
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import urlsplit
+
+__all__ = ["AsgiClient"]
+
+
+class AsgiClient:
+    """Synchronous requests against an ASGI app, in-process.
+
+    Use as a context manager::
+
+        with AsgiClient(create_app(db)) as client:
+            status, payload = client.get("/health")
+    """
+
+    def __init__(self, app: Any) -> None:
+        self._app = app
+        self._loop = asyncio.new_event_loop()
+        self._lifespan_in: Optional[asyncio.Queue] = None
+        self._lifespan_task: Optional[asyncio.Task] = None
+        self._started = False
+
+    # -- lifespan ------------------------------------------------------
+
+    def __enter__(self) -> "AsgiClient":
+        self._loop.run_until_complete(self._startup())
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    async def _startup(self) -> None:
+        self._lifespan_in = asyncio.Queue()
+        received: asyncio.Queue = asyncio.Queue()
+        scope = {"type": "lifespan", "asgi": {"version": "3.0"}}
+
+        async def receive() -> Dict[str, Any]:
+            assert self._lifespan_in is not None
+            return await self._lifespan_in.get()
+
+        async def send(message: Dict[str, Any]) -> None:
+            await received.put(message)
+
+        self._lifespan_task = asyncio.ensure_future(
+            self._app(scope, receive, send)
+        )
+        await self._lifespan_in.put({"type": "lifespan.startup"})
+        message = await received.get()
+        if message["type"] != "lifespan.startup.complete":
+            raise RuntimeError(f"lifespan startup failed: {message}")
+        self._lifespan_received = received
+        self._started = True
+
+    def close(self) -> None:
+        if self._started and self._lifespan_task is not None:
+            async def _shutdown() -> None:
+                assert self._lifespan_in is not None
+                await self._lifespan_in.put({"type": "lifespan.shutdown"})
+                await self._lifespan_received.get()
+                await self._lifespan_task
+
+            self._loop.run_until_complete(_shutdown())
+            self._started = False
+        self._loop.close()
+
+    # -- requests ------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        url: str,
+        *,
+        json: Any = None,
+        body: Optional[bytes] = None,
+    ) -> Tuple[int, Any]:
+        """One request; returns ``(status, decoded-json-or-bytes)``."""
+        if json is not None:
+            body = _json.dumps(json).encode("utf-8")
+        status, payload = self._loop.run_until_complete(
+            self._request(method, url, body or b"")
+        )
+        try:
+            return status, _json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return status, payload
+
+    def get(self, url: str) -> Tuple[int, Any]:
+        return self.request("GET", url)
+
+    def post(self, url: str, *, json: Any = None,
+             body: Optional[bytes] = None) -> Tuple[int, Any]:
+        return self.request("POST", url, json=json, body=body)
+
+    def delete(self, url: str) -> Tuple[int, Any]:
+        return self.request("DELETE", url)
+
+    async def _request(
+        self, method: str, url: str, body: bytes
+    ) -> Tuple[int, bytes]:
+        parts = urlsplit(url)
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0"},
+            "http_version": "1.1",
+            "method": method.upper(),
+            "scheme": "http",
+            "path": parts.path,
+            "raw_path": parts.path.encode("utf-8"),
+            "query_string": parts.query.encode("utf-8"),
+            "root_path": "",
+            "headers": [
+                (b"host", b"testserver"),
+                (b"content-type", b"application/json"),
+                (b"content-length", str(len(body)).encode("ascii")),
+            ],
+            "client": ("testclient", 50000),
+            "server": ("testserver", 80),
+        }
+        sent_body = False
+        messages = []
+
+        async def receive() -> Dict[str, Any]:
+            nonlocal sent_body
+            if not sent_body:
+                sent_body = True
+                return {
+                    "type": "http.request",
+                    "body": body,
+                    "more_body": False,
+                }
+            return {"type": "http.disconnect"}
+
+        async def send(message: Dict[str, Any]) -> None:
+            messages.append(message)
+
+        await self._app(scope, receive, send)
+        status = 500
+        payload = b""
+        for message in messages:
+            if message["type"] == "http.response.start":
+                status = message["status"]
+            elif message["type"] == "http.response.body":
+                payload += message.get("body", b"")
+        return status, payload

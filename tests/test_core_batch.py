@@ -1,17 +1,24 @@
 """Batched SMP kernel tests: the search substrate must agree with the
 single-configuration engine bit for bit.
 
-These exercise the deprecated :mod:`repro.core.batch` shim on purpose
-(its DeprecationWarning is expected behavior, filtered below); the
-rule-agnostic replacement is covered by ``test_engine_batch.py``.
+These exercise the retired :mod:`repro.core.batch` shim on purpose
+(its import-time and call-time DeprecationWarnings are expected behavior,
+filtered below); the rule-agnostic replacement is covered by
+``test_engine_batch.py``.
 """
+
+import sys
+import warnings
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import batch_smp_step, run_batch_smp
+with warnings.catch_warnings():
+    warnings.simplefilter("ignore", DeprecationWarning)
+    from repro.core import batch_smp_step, run_batch_smp
+
 from repro.engine import run_synchronous
 from repro.rules import SMPRule
 from repro.topology import GraphTopology, ToroidalMesh
@@ -21,6 +28,23 @@ from helpers import TORUS_KINDS
 pytestmark = pytest.mark.filterwarnings(
     "ignore:run_batch_smp is deprecated:DeprecationWarning"
 )
+
+
+def test_shim_import_warns():
+    """A fresh import of the retired module emits DeprecationWarning."""
+    sys.modules.pop("repro.core.batch", None)
+    with pytest.warns(DeprecationWarning, match="repro.core.batch is retired"):
+        import repro.core.batch  # noqa: F401
+
+
+def test_core_import_stays_quiet():
+    """Importing repro.core itself must not touch the retired shim."""
+    sys.modules.pop("repro.core.batch", None)
+    sys.modules.pop("repro.core", None)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        import repro.core  # noqa: F401
+    assert "repro.core.batch" not in sys.modules
 
 
 @settings(max_examples=25, deadline=None)

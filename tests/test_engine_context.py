@@ -1,0 +1,240 @@
+"""ExecutionSettings contract: one settings object, bitwise parity.
+
+Every sharded driver accepts a frozen
+:class:`repro.engine.ExecutionSettings` as ``settings=`` and must
+produce **bitwise-identical** results to the equivalent legacy-kwargs
+invocation — the settings object is pure plumbing, never identity.
+Also pinned here: the conflict rule (settings= plus a non-default
+legacy kwarg is an error), the rejection of inapplicable definitional
+knobs, and cooperative cancellation through ``settings.cancel``.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.search import (
+    exhaustive_dynamo_search,
+    exhaustive_min_dynamo_size,
+    random_dynamo_search,
+)
+from repro.engine import ExecutionSettings, RunCancelled, RunStats, run_sharded
+from repro.engine.context import resolve_settings
+from repro.experiments.census import below_bound_census
+from repro.experiments.sweeps import convergence_sweep
+from repro.topology import ToroidalMesh
+
+
+def outcome_key(out):
+    """Everything observable about a SearchOutcome, hashable-ish."""
+    return (
+        out.seed_size,
+        out.examined,
+        out.exhaustive,
+        out.cached,
+        [(cfg.tobytes(), mono) for cfg, mono in out.witnesses],
+    )
+
+
+class TestSettingsObject:
+    def test_frozen_and_comparable(self):
+        s = ExecutionSettings(processes=2, batch_size=64)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            s.processes = 4
+        assert s == ExecutionSettings(processes=2, batch_size=64)
+        # cancel is execution wiring, not identity
+        assert s == dataclasses.replace(s, cancel=lambda: False)
+
+    def test_resolve_conflict_is_an_error(self):
+        with pytest.raises(ValueError, match="settings="):
+            resolve_settings(
+                ExecutionSettings(), processes=(2, 0)
+            )
+        # passing the default alongside settings= is fine
+        s = resolve_settings(ExecutionSettings(processes=3), processes=(0, 0))
+        assert s.processes == 3
+
+    def test_reject_inapplicable_definitional_knobs(self):
+        topo = ToroidalMesh(3, 3)
+        with pytest.raises(ValueError, match="shard_size"):
+            exhaustive_dynamo_search(
+                topo, 1, 3, settings=ExecutionSettings(shard_size=8)
+            )
+
+    def test_run_stats_shape(self):
+        rs = RunStats(cells=2, cache_hits=1, records_appended=3)
+        assert rs.as_dict() == {
+            "cells": 2, "cache_hits": 1, "records_appended": 3
+        }
+
+
+class TestRunShardedSettings:
+    def test_settings_processes_matches_kwarg(self):
+        def work(shard):
+            return shard * shard
+
+        by_kwarg = run_sharded(work, list(range(6)), processes=0)
+        by_settings = run_sharded(
+            work, list(range(6)), settings=ExecutionSettings(processes=0)
+        )
+        assert by_kwarg == by_settings
+
+    def test_both_processes_sources_conflict(self):
+        with pytest.raises(ValueError, match="not both"):
+            run_sharded(
+                lambda s: s,
+                [1],
+                processes=0,
+                settings=ExecutionSettings(processes=0),
+            )
+
+    def test_cancel_raises_run_cancelled(self):
+        calls = []
+
+        def work(shard):
+            calls.append(shard)
+            return shard
+
+        with pytest.raises(RunCancelled):
+            run_sharded(
+                work,
+                list(range(8)),
+                settings=ExecutionSettings(
+                    processes=0, cancel=lambda: len(calls) >= 2
+                ),
+            )
+        assert len(calls) == 2  # committed work stopped at the boundary
+
+
+class TestDriverParity:
+    """kwargs path vs settings path: bitwise-equal results, all drivers."""
+
+    def test_random_search(self):
+        topo = ToroidalMesh(3, 3)
+        kwargs = random_dynamo_search(
+            topo, 3, 3, 300, 11, processes=0, batch_size=64, shard_size=128
+        )
+        settings = random_dynamo_search(
+            topo, 3, 3, 300, 11,
+            settings=ExecutionSettings(
+                processes=0, batch_size=64, shard_size=128
+            ),
+        )
+        assert outcome_key(kwargs) == outcome_key(settings)
+
+    def test_exhaustive_search(self):
+        topo = ToroidalMesh(3, 3)
+        kwargs = exhaustive_dynamo_search(topo, 1, 3, batch_size=128)
+        settings = exhaustive_dynamo_search(
+            topo, 1, 3, settings=ExecutionSettings(batch_size=128)
+        )
+        assert outcome_key(kwargs) == outcome_key(settings)
+
+    def test_exhaustive_min_size(self):
+        topo = ToroidalMesh(3, 3)
+        kwargs = exhaustive_min_dynamo_size(topo, 3, max_seed_size=2)
+        settings = exhaustive_min_dynamo_size(
+            topo, 3, max_seed_size=2, settings=ExecutionSettings()
+        )
+        assert kwargs[0] == settings[0]
+        assert [outcome_key(o) for o in kwargs[1]] == [
+            outcome_key(o) for o in settings[1]
+        ]
+
+    def test_census(self, tmp_path):
+        from repro.io.witnessdb import WitnessDB
+
+        def run(db_path, **kw):
+            db = WitnessDB(db_path)
+            rows = below_bound_census(
+                kinds=["mesh"], sizes=[3], random_trials=60, db=db, **kw
+            )
+            return rows, db_path.read_bytes()
+
+        rows_kw, bytes_kw = run(
+            tmp_path / "kw.jsonl", batch_size=512, processes=0
+        )
+        rows_st, bytes_st = run(
+            tmp_path / "st.jsonl",
+            settings=ExecutionSettings(batch_size=512, processes=0),
+        )
+        assert rows_kw == rows_st
+        assert bytes_kw == bytes_st
+        assert rows_kw.run_stats == rows_st.run_stats
+        assert rows_st.run_stats.cells == 1
+        assert rows_st.run_stats.cache_hits == 0
+
+    def test_convergence_sweep(self):
+        points = [("mesh", 4, 4)]
+        kwargs = convergence_sweep(
+            points, "smp", replicas=32, batch_size=16, seed=5
+        )
+        settings = convergence_sweep(
+            points, "smp", replicas=32, seed=5,
+            settings=ExecutionSettings(batch_size=16),
+        )
+        assert kwargs.tobytes() == settings.tobytes()
+        assert kwargs.shape == settings.shape
+
+    def test_scale_free(self):
+        pytest.importorskip("networkx")
+        from repro.ext.scale_free import scale_free_takeover_census
+
+        common = dict(
+            n=30, m_attach=2, num_colors=2, strategies=("random",),
+            seed_fractions=(0.2,), graphs=2, replicas=4, max_rounds=40,
+            seed=9,
+        )
+        kwargs = scale_free_takeover_census(processes=0, **common)
+        settings = scale_free_takeover_census(
+            settings=ExecutionSettings(processes=0), **common
+        )
+        assert [c.as_row() for c in kwargs.cells] == [
+            c.as_row() for c in settings.cells
+        ]
+        assert settings.run_stats == RunStats(cells=1)
+
+    def test_scale_free_rejects_geometry_knobs(self):
+        pytest.importorskip("networkx")
+        from repro.ext.scale_free import scale_free_takeover_census
+
+        with pytest.raises(ValueError, match="batch_size"):
+            scale_free_takeover_census(
+                n=20, graphs=1, replicas=2,
+                settings=ExecutionSettings(batch_size=64),
+            )
+
+
+class TestCancellationPaths:
+    def test_census_cancel_stops_the_run(self):
+        with pytest.raises(RunCancelled):
+            below_bound_census(
+                kinds=["mesh", "cordalis"],
+                sizes=[3],
+                random_trials=40,
+                settings=ExecutionSettings(cancel=lambda: True),
+            )
+
+    def test_exhaustive_cancel_between_batches(self):
+        topo = ToroidalMesh(3, 3)
+        with pytest.raises(RunCancelled):
+            exhaustive_dynamo_search(
+                topo, 2, 3,
+                settings=ExecutionSettings(
+                    batch_size=16, cancel=lambda: True
+                ),
+            )
+
+
+def test_deprecated_stats_dicts_still_fill():
+    """The dict out-params stay populated for one deprecation cycle."""
+    stats = {}
+    rows = below_bound_census(
+        kinds=["mesh"], sizes=[3], random_trials=40, stats=stats
+    )
+    assert stats == {
+        "cells": 1,
+        "cache_hits": 0,
+        "witnesses_recorded": 0,
+    }
+    assert rows.run_stats.cells == 1

@@ -519,6 +519,20 @@ class TestDocsDrift:
         assert c003[0].line == 4
         assert "--no-such-flag" in c003[0].message
 
+    def test_c004_retired_module_reference(self, tmp_path):
+        readme = (
+            "# x\n\nuse `repro.core.batch.run_batch_smp` here\n\n"
+            f"{_all_flags_blurb()}\n"
+        )
+        root = _mini_repo(tmp_path, readme)
+        findings, _ = lint_project(root, ["src"], select=["docs"])
+        c004 = [f for f in findings if f.rule == "RPL-C004"]
+        assert len(c004) == 1
+        assert c004[0].line == 3
+        assert "repro.core.batch" in c004[0].message
+        # a retired reference must not double-report as a dangling ref
+        assert [f for f in findings if f.rule == "RPL-C002"] == []
+
     def test_c003_valid_invocation_clean(self, tmp_path):
         readme = (
             "# x\n\n```bash\nrepro-dynamo census --sizes 3 4 \\\n"
@@ -574,7 +588,7 @@ class TestCli:
         assert rc == 0
         for rule in (
             "RPL-D001", "RPL-D005", "RPL-P001", "RPL-B001", "RPL-B002",
-            "RPL-C001", "RPL-C003", "RPL-T001", "RPL-O001",
+            "RPL-C001", "RPL-C003", "RPL-C004", "RPL-T001", "RPL-O001",
         ):
             assert rule in out
 

@@ -13,6 +13,10 @@ hand-maintained list:
 * RPL-C003 — every documented ``repro-dynamo`` invocation must parse
   against the real parser (absorbed from the former standalone
   ``tools/check_docs_cli.py``, which now delegates here).
+* RPL-C004 — retired modules must not be referenced from README.md /
+  docs/*.md.  Currently only ``repro.core.batch`` is retired; its docs
+  live in the module docstring (which is exempt — only prose docs are
+  scanned), so any surviving reference is stale guidance.
 
 These checkers read real files, so they run only with a repo root
 (``requires_root``) and are skipped for in-memory fixtures.
@@ -43,6 +47,9 @@ _DOTTED_REF = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
 _PATH_REF = re.compile(
     r"`((?:src|tools|docs|tests|benchmarks|examples|results)/[\w\-./]+)`"
 )
+
+#: retired dotted module prefixes that prose docs must no longer cite
+RETIRED_MODULES = ("repro.core.batch",)
 
 
 def iter_doc_files(root: Path) -> Iterator[Path]:
@@ -200,6 +207,10 @@ class DocsDriftChecker(Checker):
             "documented repro-dynamo invocation does not parse against "
             "the real CLI parser"
         ),
+        "RPL-C004": (
+            "docs reference a retired module — point readers at the "
+            "replacement API instead"
+        ),
     }
 
     def check(self, project: Project) -> Iterable[Finding]:
@@ -266,10 +277,27 @@ class DocsDriftChecker(Checker):
                 doc.read_text(encoding="utf-8").splitlines(), start=1
             ):
                 for match in _DOTTED_REF.finditer(line):
-                    if not resolve_dotted_ref(root, match.group(0)):
+                    ref = match.group(0)
+                    retired = next(
+                        (
+                            mod
+                            for mod in RETIRED_MODULES
+                            if ref == mod or ref.startswith(mod + ".")
+                        ),
+                        None,
+                    )
+                    if retired is not None:
+                        yield Finding(
+                            rel, lineno, match.start() + 1, "RPL-C004",
+                            f"`{ref}` references the retired module "
+                            f"`{retired}`; cite the repro.engine "
+                            "replacement instead",
+                        )
+                        continue
+                    if not resolve_dotted_ref(root, ref):
                         yield Finding(
                             rel, lineno, match.start() + 1, "RPL-C002",
-                            f"`{match.group(0)}` does not resolve to a "
+                            f"`{ref}` does not resolve to a "
                             "module or top-level name under src/",
                         )
                 for match in _PATH_REF.finditer(line):
